@@ -1,0 +1,72 @@
+//! Criterion benches for the reference kernels: the direct nested-loop
+//! convolution vs the im2col+GEMM formulation (they must agree bit-for-bit;
+//! this bench shows their different cost profiles), plus the building
+//! blocks the tiled executor leans on.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use htvm_ir::{DType, Padding2d};
+use htvm_kernels as k;
+use htvm_models::random_input;
+
+fn conv_impl_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("conv_impls");
+    for (name, ch, hw) in [
+        ("small_16ch_16x16", 16usize, 16usize),
+        ("large_64ch_32x32", 64, 32),
+    ] {
+        let x = random_input(1, &[ch, hw, hw]);
+        let mut w = htvm_ir::Tensor::zeros(DType::I8, &[ch, ch, 3, 3]);
+        for (i, v) in w.data_mut().iter_mut().enumerate() {
+            *v = (i as i32 % 13) - 6;
+        }
+        g.bench_function(format!("direct/{name}"), |b| {
+            b.iter(|| k::conv2d(black_box(&x), black_box(&w), (1, 1), Padding2d::same(1)))
+        });
+        g.bench_function(format!("im2col/{name}"), |b| {
+            b.iter(|| k::conv2d_im2col(black_box(&x), black_box(&w), (1, 1), Padding2d::same(1)))
+        });
+    }
+    g.finish();
+}
+
+fn elementwise_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("elementwise");
+    let x = random_input(2, &[64, 32, 32]);
+    let y = random_input(3, &[64, 32, 32]);
+    g.bench_function("add_64x32x32", |b| {
+        b.iter(|| k::add(black_box(&x), black_box(&y)))
+    });
+    let acc = k::add(&x, &y);
+    g.bench_function("requant_chain_64x32x32", |b| {
+        b.iter(|| {
+            let s = k::right_shift(black_box(&acc), 4);
+            let cl = k::clip(&s, -128, 127);
+            k::cast(&cl, DType::I8)
+        })
+    });
+    g.finish();
+}
+
+fn interpreter_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reference_interpreter");
+    g.sample_size(10);
+    let model = htvm_models::resnet8(htvm_models::QuantScheme::Int8);
+    let input = model.input(1);
+    g.bench_function("resnet8_reference", |b| {
+        b.iter(|| {
+            k::evaluate(
+                black_box(&model.graph),
+                black_box(std::slice::from_ref(&input)),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    conv_impl_benches,
+    elementwise_benches,
+    interpreter_benches
+);
+criterion_main!(benches);

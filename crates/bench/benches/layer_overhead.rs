@@ -1,0 +1,75 @@
+//! Criterion benches for single-layer simulation (the machinery behind
+//! Fig. 5): one representative kernel per (engine, layer-kind) pair.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use htvm::{single_layer_program, DianaConfig, EngineKind, Machine, MemoryBudget, TilingObjective};
+use htvm_dory::{solve, ArrayDims, LayerGeometry};
+use htvm_ir::DType;
+use htvm_models::random_input;
+
+fn budget_for(engine: EngineKind, cfg: &DianaConfig) -> MemoryBudget {
+    match engine {
+        EngineKind::Digital => MemoryBudget {
+            act_bytes: cfg.l1_act_bytes,
+            weight_bytes: Some(cfg.digital.weight_bytes),
+            array: None,
+        },
+        _ => MemoryBudget {
+            act_bytes: cfg.l1_act_bytes,
+            weight_bytes: None,
+            array: Some(ArrayDims {
+                rows: cfg.analog.rows,
+                cols: cfg.analog.cols,
+            }),
+        },
+    }
+}
+
+fn layer_benches(c: &mut Criterion) {
+    let cfg = DianaConfig::default();
+    let machine = Machine::new(cfg);
+    let cases: Vec<(&str, EngineKind, LayerGeometry)> = vec![
+        (
+            "digital_conv_32ch",
+            EngineKind::Digital,
+            LayerGeometry::conv2d(32, 32, 32, 32, 3, 3, (1, 1), (1, 1, 1, 1)),
+        ),
+        (
+            "digital_dw_64ch",
+            EngineKind::Digital,
+            LayerGeometry::depthwise(64, 25, 5, 3, 3, (1, 1), (1, 1, 1, 1)),
+        ),
+        (
+            "digital_fc_640x128",
+            EngineKind::Digital,
+            LayerGeometry::dense(640, 128),
+        ),
+        (
+            "analog_conv_64ch_ternary",
+            EngineKind::Analog,
+            LayerGeometry::conv2d(64, 64, 16, 16, 3, 3, (1, 1), (1, 1, 1, 1))
+                .with_weight_dtype(DType::Ternary),
+        ),
+    ];
+    let mut g = c.benchmark_group("single_layer_sim");
+    for (name, engine, geom) in cases {
+        let objective = match engine {
+            EngineKind::Digital => TilingObjective::diana_digital(),
+            _ => TilingObjective::diana_analog(),
+        };
+        let sol = solve(&geom, &budget_for(engine, &cfg), &objective).expect("tileable");
+        let program = single_layer_program(&geom, sol.tile, engine);
+        let input = if geom.kind == htvm_dory::LayerKind::Dense {
+            random_input(1, &[geom.c])
+        } else {
+            random_input(1, &[geom.c, geom.iy, geom.ix])
+        };
+        g.bench_function(name, |b| {
+            b.iter(|| machine.run(black_box(&program), black_box(std::slice::from_ref(&input))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, layer_benches);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benches for end-to-end deployment (the machinery behind
+//! Table I): compile time and full compile+simulate time for each MLPerf™
+//! Tiny network on its paper configuration.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use htvm::{Compiler, DeployConfig, Machine};
+use htvm_bench::scheme_for;
+use htvm_models::all_models;
+
+fn compile_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile");
+    g.sample_size(10);
+    for deploy in [DeployConfig::Digital, DeployConfig::Both] {
+        for model in all_models(scheme_for(deploy)) {
+            let compiler = Compiler::new().with_deploy(deploy);
+            g.bench_function(format!("{}/{:?}", model.name, deploy), |b| {
+                b.iter(|| compiler.compile(black_box(&model.graph)).expect("compiles"))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn run_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate");
+    g.sample_size(10);
+    let deploy = DeployConfig::Both;
+    for model in all_models(scheme_for(deploy)) {
+        let compiler = Compiler::new().with_deploy(deploy);
+        let artifact = compiler.compile(&model.graph).expect("compiles");
+        let machine = Machine::new(*compiler.platform());
+        let input = model.input(1);
+        g.bench_function(format!("{}/mixed", model.name), |b| {
+            b.iter(|| {
+                machine
+                    .run(
+                        black_box(&artifact.program),
+                        black_box(std::slice::from_ref(&input)),
+                    )
+                    .expect("runs")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, compile_benches, run_benches);
+criterion_main!(benches);

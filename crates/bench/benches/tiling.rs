@@ -1,0 +1,88 @@
+//! Criterion benches for the DORY tiling substrate (the machinery behind
+//! Fig. 4): solver throughput across objectives and geometries, tile-loop
+//! enumeration, and the L2 memory planner.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use htvm_dory::memplan::{plan, BufferReq};
+use htvm_dory::{solve, tiles, LayerGeometry, MemoryBudget, TileConfig, TilingObjective};
+
+fn solver_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tiling_solver");
+    let budget = MemoryBudget {
+        act_bytes: 32 * 1024,
+        weight_bytes: Some(64 * 1024),
+        array: None,
+    };
+    for (name, geom) in [
+        (
+            "resnet_conv_16x16x32x32",
+            LayerGeometry::conv2d(16, 16, 32, 32, 3, 3, (1, 1), (1, 1, 1, 1)),
+        ),
+        (
+            "mobilenet_pw_128x128x12x12",
+            LayerGeometry::conv2d(128, 128, 12, 12, 1, 1, (1, 1), (0, 0, 0, 0)),
+        ),
+        (
+            "large_conv_128x128x32x32",
+            LayerGeometry::conv2d(128, 128, 32, 32, 3, 3, (1, 1), (1, 1, 1, 1)),
+        ),
+        ("toyadmos_fc_640x128", LayerGeometry::dense(640, 128)),
+    ] {
+        for (obj_name, obj) in [
+            ("memory_only", TilingObjective::memory_only()),
+            ("diana_digital", TilingObjective::diana_digital()),
+        ] {
+            g.bench_function(format!("{name}/{obj_name}"), |b| {
+                b.iter(|| solve(black_box(&geom), black_box(&budget), black_box(&obj)))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn tile_loop_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tile_loop");
+    let geom = LayerGeometry::conv2d(64, 64, 32, 32, 3, 3, (1, 1), (1, 1, 1, 1));
+    let tile = TileConfig {
+        c_t: 16,
+        k_t: 16,
+        oy_t: 8,
+        ox_t: 32,
+    };
+    g.bench_function("enumerate_64ch_conv", |b| {
+        b.iter(|| tiles(black_box(&geom), black_box(&tile)))
+    });
+    g.finish();
+}
+
+fn memplan_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memplan");
+    // A MobileNet-scale allocation problem: ~30 buffers, chained lifetimes.
+    let reqs: Vec<BufferReq> = (0..30)
+        .map(|i| BufferReq {
+            id: i,
+            size: 4096 + (i * 977) % 32768,
+            first_use: i,
+            last_use: i + 1,
+        })
+        .collect();
+    g.bench_function("mobilenet_scale_chain", |b| {
+        b.iter(|| plan(black_box(&reqs), usize::MAX))
+    });
+    // Adversarial: everything live at once.
+    let dense: Vec<BufferReq> = (0..30)
+        .map(|i| BufferReq {
+            id: i,
+            size: 1024,
+            first_use: 0,
+            last_use: 64,
+        })
+        .collect();
+    g.bench_function("all_live", |b| {
+        b.iter(|| plan(black_box(&dense), usize::MAX))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, solver_benches, tile_loop_benches, memplan_benches);
+criterion_main!(benches);

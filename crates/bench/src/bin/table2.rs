@@ -1,0 +1,78 @@
+//! Regenerates **Table II** of the HTVM paper: MLPerf™ Tiny latency at a
+//! normalized 260 MHz clock across four platforms — an STM32L4R5 with
+//! plain TVM kernels, the same MCU with CMSIS-NN kernels, a GAP9 cluster
+//! with GAPflow, and HTVM on (simulated) DIANA using the digital
+//! accelerator.
+//!
+//! The first three platforms are closed systems modeled by calibrated
+//! MAC-throughput cost models ([`htvm_soc::platforms`]); the DIANA column
+//! runs the full compiler + simulator. Paper headlines: HTVM beats
+//! TVM-on-STM32 by 150× on ResNet and CMSIS-NN by 24× on MobileNet, while
+//! hand-tuned GAP9 remains faster (HTVM 35.5% slower on ResNet).
+
+use htvm::DeployConfig;
+use htvm_bench::{deploy_and_run, json_mode, ms};
+use htvm_models::{all_models, QuantScheme};
+use htvm_soc::platforms::{NetworkWorkload, PlatformModel};
+
+fn main() {
+    let json = json_mode();
+    let platforms = [
+        PlatformModel::stm32_tvm(),
+        PlatformModel::stm32_cmsis_nn(),
+        PlatformModel::gap9_gapflow(),
+    ];
+    if !json {
+        println!("TABLE II: MLPerf(tm) Tiny latency (ms) at 260 MHz across platforms\n");
+        print!("{:<14}", "network");
+        for p in &platforms {
+            print!("{:<28}", p.name);
+        }
+        println!("{:<22}", "HTVM / DIANA digital");
+    }
+    let mut rows = Vec::new();
+    let mut by_net = std::collections::HashMap::new();
+    for model in all_models(QuantScheme::Int8) {
+        let workload = NetworkWorkload::from_graph(&model.graph);
+        let mut lats: Vec<f64> = platforms.iter().map(|p| p.latency_ms(&workload)).collect();
+        let (_, report) =
+            deploy_and_run(&model, DeployConfig::Digital).expect("digital deployment compiles");
+        let diana = ms(report.total_cycles());
+        lats.push(diana);
+        by_net.insert(model.name, lats.clone());
+        if json {
+            rows.push(serde_json::json!({
+                "network": model.name,
+                "stm32_tvm_ms": lats[0],
+                "stm32_cmsis_ms": lats[1],
+                "gap9_ms": lats[2],
+                "diana_htvm_ms": lats[3],
+            }));
+        } else {
+            print!("{:<14}", model.name);
+            for l in &lats {
+                print!("{:<28.3}", l);
+            }
+            println!();
+        }
+    }
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+        return;
+    }
+    println!();
+    let resnet = &by_net["resnet8"];
+    let mobilenet = &by_net["mobilenet_v1"];
+    println!(
+        "ResNet: HTVM/DIANA vs TVM/STM32: {:.0}x faster (paper: 150x)",
+        resnet[0] / resnet[3]
+    );
+    println!(
+        "MobileNet: HTVM/DIANA vs CMSIS-NN/STM32: {:.0}x faster (paper: 24x)",
+        mobilenet[1] / mobilenet[3]
+    );
+    println!(
+        "ResNet: HTVM/DIANA vs GAP9: {:.1}% slower (paper: 35.5% slower)",
+        100.0 * (resnet[3] - resnet[2]) / resnet[2]
+    );
+}

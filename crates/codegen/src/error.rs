@@ -1,0 +1,80 @@
+//! Lowering errors.
+
+use htvm_dory::memplan::OutOfMemory;
+use htvm_dory::TilingError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from lowering a partitioned graph to a device program.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum LowerError {
+    /// A matched region could not be normalized into an accelerator layer
+    /// (unexpected chain structure — indicates a pattern/rule mismatch).
+    MalformedRegion {
+        /// Pattern name of the offending region.
+        pattern: String,
+        /// What was wrong.
+        detail: String,
+    },
+    /// A region's tiling failed for the target engine.
+    Tiling(TilingError),
+    /// The L2 activation schedule does not fit main memory — the paper's
+    /// MobileNet-on-plain-TVM failure mode.
+    OutOfMemory(OutOfMemory),
+    /// The graph uses a construct lowering does not support (e.g. a
+    /// constant feeding an accelerator region's data input).
+    UnsupportedGraph(String),
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LowerError::MalformedRegion { pattern, detail } => {
+                write!(f, "region '{pattern}' cannot be lowered: {detail}")
+            }
+            LowerError::Tiling(e) => write!(f, "tiling failed: {e}"),
+            LowerError::OutOfMemory(e) => write!(f, "l2 planning failed: {e}"),
+            LowerError::UnsupportedGraph(s) => write!(f, "unsupported graph: {s}"),
+        }
+    }
+}
+
+impl Error for LowerError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LowerError::Tiling(e) => Some(e),
+            LowerError::OutOfMemory(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TilingError> for LowerError {
+    fn from(e: TilingError) -> Self {
+        LowerError::Tiling(e)
+    }
+}
+
+impl From<OutOfMemory> for LowerError {
+    fn from(e: OutOfMemory) -> Self {
+        LowerError::OutOfMemory(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = LowerError::OutOfMemory(OutOfMemory {
+            needed: 600_000,
+            capacity: 524_288,
+        });
+        assert!(e.to_string().contains("600000"));
+        assert!(e.source().is_some());
+        let e = LowerError::UnsupportedGraph("x".into());
+        assert!(e.source().is_none());
+    }
+}

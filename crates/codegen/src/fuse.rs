@@ -1,0 +1,173 @@
+//! Fusing leftover CPU operators into linear kernels.
+
+use htvm_ir::{Graph, NodeId};
+use std::collections::HashMap;
+
+/// Groups the CPU-fallback op nodes of a graph into maximal *linear*
+/// chains, mimicking TVM's operator fusion: a node joins the running group
+/// when its (single) non-constant operand is the group's current tail and
+/// that tail has no other users. Each group becomes one fused CPU kernel —
+/// one kernel-call overhead, one code-size charge.
+///
+/// Anchor operators (convolutions, dense) and pooling are *fusion
+/// barriers*, exactly as in TVM's fusion rules: element-wise epilogues
+/// fuse into the anchor that precedes them, but two anchors never share a
+/// kernel, and every anchor output materializes in L2. This is what makes
+/// the plain-TVM memory footprint the sum of all layer activations — the
+/// failure mode behind the paper's MobileNet out-of-memory entry.
+///
+/// `cpu_nodes` must be in topological order (as returned by
+/// [`htvm_pattern::PartitionedGraph::cpu_nodes`]). Returns the groups in
+/// topological order of their tails.
+///
+/// # Examples
+///
+/// ```
+/// use htvm_ir::{DType, GraphBuilder};
+/// use htvm_codegen::fuse_cpu_nodes;
+///
+/// # fn main() -> Result<(), htvm_ir::IrError> {
+/// let mut b = GraphBuilder::new();
+/// let x = b.input("x", &[8], DType::I8);
+/// let r = b.relu(x)?;
+/// let c = b.clip(r, 0, 64)?;
+/// let s = b.softmax(c)?;
+/// let g = b.finish(&[s])?;
+/// let nodes: Vec<_> = g.nodes().filter(|(_, n)| n.op().is_some()).map(|(i, _)| i).collect();
+/// let groups = fuse_cpu_nodes(&g, &nodes);
+/// assert_eq!(groups.len(), 1); // relu → clip → softmax fuse into one kernel
+/// assert_eq!(groups[0].len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn fuse_cpu_nodes(graph: &Graph, cpu_nodes: &[NodeId]) -> Vec<Vec<NodeId>> {
+    let users = graph.users();
+    let in_cpu: std::collections::HashSet<NodeId> = cpu_nodes.iter().copied().collect();
+    // tail node -> group index
+    let mut tail_of: HashMap<NodeId, usize> = HashMap::new();
+    let mut groups: Vec<Vec<NodeId>> = Vec::new();
+
+    for &id in cpu_nodes {
+        let node = graph.node(id);
+        // Anchors and pooling open their own kernel (TVM fusion barrier).
+        let is_barrier = node
+            .op()
+            .is_some_and(|op| op.is_anchor() || matches!(op, htvm_ir::Op::Pool2d { .. }));
+        // Non-constant operands of this op.
+        let data_ops: Vec<NodeId> = node
+            .inputs()
+            .iter()
+            .copied()
+            .filter(|&i| !graph.node(i).is_constant())
+            .collect();
+        let extend = match data_ops.as_slice() {
+            [single] if !is_barrier && in_cpu.contains(single) => {
+                // The operand must currently be a group tail with no other
+                // users (keeps groups single-output and linear).
+                let sole_user = users
+                    .get(single)
+                    .is_some_and(|us| us.len() == 1 && us[0] == id);
+                if sole_user {
+                    tail_of.get(single).copied()
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        match extend {
+            Some(gidx) => {
+                let old_tail = *groups[gidx].last().expect("groups are non-empty");
+                tail_of.remove(&old_tail);
+                groups[gidx].push(id);
+                tail_of.insert(id, gidx);
+            }
+            None => {
+                tail_of.insert(id, groups.len());
+                groups.push(vec![id]);
+            }
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htvm_ir::{DType, GraphBuilder, Tensor};
+
+    #[test]
+    fn conv_chain_fuses_into_one_kernel() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", &[3, 8, 8], DType::I8);
+        let w = b.constant("w", Tensor::zeros(DType::I8, &[4, 3, 3, 3]));
+        let bias = b.constant("b", Tensor::zeros(DType::I32, &[4]));
+        let c = b.conv2d(x, w, (1, 1), (1, 1, 1, 1)).unwrap();
+        let c = b.bias_add(c, bias).unwrap();
+        let q = b.requantize(c, 7, true).unwrap();
+        let g = b.finish(&[q]).unwrap();
+        let nodes: Vec<_> = g
+            .nodes()
+            .filter(|(_, n)| n.op().is_some())
+            .map(|(i, _)| i)
+            .collect();
+        let groups = fuse_cpu_nodes(&g, &nodes);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 6);
+    }
+
+    #[test]
+    fn fan_out_breaks_fusion() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", &[8], DType::I8);
+        let r = b.relu(x).unwrap();
+        // Two users of r: neither consumer can fuse with it.
+        let a = b.clip(r, 0, 10).unwrap();
+        let c = b.clip(r, -10, 0).unwrap();
+        let s = b.add(a, c).unwrap();
+        let g = b.finish(&[s]).unwrap();
+        let nodes: Vec<_> = g
+            .nodes()
+            .filter(|(_, n)| n.op().is_some())
+            .map(|(i, _)| i)
+            .collect();
+        let groups = fuse_cpu_nodes(&g, &nodes);
+        // relu | clip | clip | add -> 4 kernels.
+        assert_eq!(groups.len(), 4);
+    }
+
+    #[test]
+    fn two_operand_ops_start_new_groups() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", &[8], DType::I8);
+        let y = b.input("y", &[8], DType::I8);
+        let r = b.relu(x).unwrap();
+        let s = b.add(r, y).unwrap(); // add has two data operands
+        let q = b.clip(s, -128, 127).unwrap();
+        let g = b.finish(&[q]).unwrap();
+        let nodes: Vec<_> = g
+            .nodes()
+            .filter(|(_, n)| n.op().is_some())
+            .map(|(i, _)| i)
+            .collect();
+        let groups = fuse_cpu_nodes(&g, &nodes);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0], vec![r]);
+        assert_eq!(groups[1], vec![s, q]);
+    }
+
+    #[test]
+    fn gap_in_cpu_coverage_breaks_fusion() {
+        // relu -> (accel-claimed) -> clip: clip's operand is not a CPU node,
+        // so it starts its own group.
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", &[8], DType::I8);
+        let r = b.relu(x).unwrap();
+        let mid = b.clip(r, 0, 100).unwrap(); // pretend accel takes this
+        let tail = b.relu(mid).unwrap();
+        let g = b.finish(&[tail]).unwrap();
+        let groups = fuse_cpu_nodes(&g, &[r, tail]);
+        assert_eq!(groups.len(), 2);
+    }
+}

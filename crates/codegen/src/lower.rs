@@ -1,0 +1,521 @@
+//! The main lowering pass: partitioned graph → device program.
+
+use crate::binsize::{binary_size, BinarySizeModel};
+use crate::{extract, fuse_cpu_nodes, Artifact, LayerAssignment, LowerError};
+use htvm_dory::memplan::{plan, BufferReq, OutOfMemory};
+use htvm_dory::{solve, ArrayDims, MemoryBudget, TilingObjective};
+use htvm_ir::{Graph, GraphBuilder, NodeId, NodeKind};
+use htvm_pattern::PartitionedGraph;
+use htvm_soc::{
+    AccelLayerDesc, BufferDecl, BufferId, BufferKind, DianaConfig, EngineKind, Program, Step,
+};
+use std::collections::HashMap;
+
+/// Knobs for lowering.
+#[derive(Debug, Clone)]
+pub struct LowerOptions {
+    /// Tiling objective for digital-engine regions (Eq. 3–5 by default).
+    pub digital_objective: TilingObjective,
+    /// Tiling objective for analog-engine regions.
+    pub analog_objective: TilingObjective,
+    /// Use the plain-TVM allocation discipline: one L2 range per
+    /// intermediate, no lifetime reuse. This is the baseline whose
+    /// MobileNet deployment runs out of memory in Table I.
+    pub naive_l2: bool,
+    /// Override the shared L1 activation budget (used by the Fig. 4
+    /// memory-sweep benchmarks).
+    pub l1_act_override: Option<usize>,
+    /// Binary-size model constants.
+    pub size_model: BinarySizeModel,
+}
+
+impl Default for LowerOptions {
+    fn default() -> Self {
+        LowerOptions {
+            digital_objective: TilingObjective::diana_digital(),
+            analog_objective: TilingObjective::diana_analog(),
+            naive_l2: false,
+            l1_act_override: None,
+            size_model: BinarySizeModel::default(),
+        }
+    }
+}
+
+enum Unit {
+    Region(usize),
+    Cpu(Vec<NodeId>),
+}
+
+/// Lowers a partitioned graph into a runnable [`Artifact`] for the DIANA
+/// configuration `cfg`.
+///
+/// # Errors
+///
+/// Returns [`LowerError`] when a region cannot be normalized or tiled,
+/// when the graph uses unsupported constructs, or when the L2 activation
+/// schedule exceeds main memory.
+pub fn lower(
+    graph: &Graph,
+    part: &PartitionedGraph<EngineKind>,
+    cfg: &DianaConfig,
+    opts: &LowerOptions,
+) -> Result<Artifact, LowerError> {
+    // ---- Collect execution units (regions + fused CPU groups) ----
+    let cpu_groups = fuse_cpu_nodes(graph, &part.cpu_nodes(graph));
+    let mut units: Vec<(NodeId, Unit)> = part
+        .regions
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (r.m.root, Unit::Region(i)))
+        .collect();
+    units.extend(cpu_groups.into_iter().map(|g| {
+        let tail = *g.last().expect("fused groups are non-empty");
+        (tail, Unit::Cpu(g))
+    }));
+    // Unit output ids form a topological order of the unit DAG.
+    units.sort_by_key(|(id, _)| *id);
+
+    // ---- Declare buffers ----
+    let mut buffers: Vec<BufferDecl> = Vec::new();
+    let mut buffer_of: HashMap<NodeId, BufferId> = HashMap::new();
+    let declare = |node_id: NodeId, kind: BufferKind, buffers: &mut Vec<BufferDecl>| {
+        let node = graph.node(node_id);
+        let id = BufferId(buffers.len());
+        buffers.push(BufferDecl {
+            id,
+            name: node.name.clone(),
+            shape: node.shape.clone(),
+            dtype: node.dtype,
+            offset: 0,
+            size: node.dtype.storage_bytes(node.shape.num_elements()),
+            kind,
+        });
+        id
+    };
+    for &input in graph.inputs() {
+        let id = declare(input, BufferKind::Input, &mut buffers);
+        buffer_of.insert(input, id);
+    }
+
+    // ---- Emit steps ----
+    // DORY's double-buffering holds two tiles per operand in flight, so
+    // the solver sees half the physical scratchpad when overlap is on.
+    let l1_effective = if cfg.dma.double_buffer {
+        cfg.l1_act_bytes / 2
+    } else {
+        cfg.l1_act_bytes
+    };
+    let l1_act = opts.l1_act_override.unwrap_or(l1_effective);
+    let mut steps: Vec<Step> = Vec::new();
+    let mut assignments: Vec<LayerAssignment> = Vec::new();
+    let mut producer_step: HashMap<BufferId, usize> = HashMap::new();
+    let mut last_consumer: HashMap<BufferId, usize> = HashMap::new();
+
+    for (out_node, unit) in units {
+        let step_idx = steps.len();
+        let resolve = |id: NodeId| -> Result<BufferId, LowerError> {
+            buffer_of.get(&id).copied().ok_or_else(|| {
+                LowerError::UnsupportedGraph(format!(
+                    "value {id} crosses a unit boundary without a buffer"
+                ))
+            })
+        };
+        let kind = if graph.outputs().contains(&out_node) {
+            BufferKind::Output
+        } else {
+            BufferKind::Intermediate
+        };
+        match unit {
+            Unit::Region(ridx) => {
+                let region = &part.regions[ridx];
+                let engine = region.tag;
+                let e = extract(graph, &region.pattern, &region.m)?;
+                let (budget, objective) = match engine {
+                    EngineKind::Digital => (
+                        MemoryBudget {
+                            act_bytes: l1_act,
+                            weight_bytes: Some(cfg.digital.weight_bytes),
+                            array: None,
+                        },
+                        &opts.digital_objective,
+                    ),
+                    EngineKind::Analog => (
+                        MemoryBudget {
+                            act_bytes: l1_act,
+                            weight_bytes: None,
+                            array: Some(ArrayDims {
+                                rows: cfg.analog.rows,
+                                cols: cfg.analog.cols,
+                            }),
+                        },
+                        &opts.analog_objective,
+                    ),
+                    EngineKind::Cpu => {
+                        return Err(LowerError::UnsupportedGraph(
+                            "regions must target an accelerator".into(),
+                        ));
+                    }
+                };
+                let solution = solve(&e.geom, &budget, objective)?;
+                let input = resolve(e.data_inputs[0])?;
+                let input2 = match e.data_inputs.get(1) {
+                    Some(&n) => Some(resolve(n)?),
+                    None => None,
+                };
+                let output = declare(out_node, kind, &mut buffers);
+                buffer_of.insert(out_node, output);
+                let name = format!("{}_{}", region.pattern, out_node.index());
+                assignments.push(LayerAssignment {
+                    name: name.clone(),
+                    engine,
+                    pattern: Some(region.pattern.clone()),
+                    macs: e.geom.macs(),
+                    n_tiles: solution.n_tiles,
+                });
+                last_consumer.insert(input, step_idx);
+                if let Some(i2) = input2 {
+                    last_consumer.insert(i2, step_idx);
+                }
+                producer_step.insert(output, step_idx);
+                steps.push(Step::Accel {
+                    engine,
+                    desc: AccelLayerDesc {
+                        name,
+                        geom: e.geom,
+                        tile: solution.tile,
+                        weights: e.weights,
+                        bias: e.bias,
+                        shift: e.shift,
+                        relu: e.relu,
+                        pool: e.pool,
+                    },
+                    input,
+                    input2,
+                    output,
+                });
+            }
+            Unit::Cpu(group) => {
+                let (segment, ext_inputs) = build_segment(graph, &group)?;
+                let mut input_ids = Vec::with_capacity(ext_inputs.len());
+                for n in &ext_inputs {
+                    let b = resolve(*n)?;
+                    last_consumer.insert(b, step_idx);
+                    input_ids.push(b);
+                }
+                let output = declare(out_node, kind, &mut buffers);
+                buffer_of.insert(out_node, output);
+                producer_step.insert(output, step_idx);
+                let name = format!("cpu_{}", out_node.index());
+                assignments.push(LayerAssignment {
+                    name: name.clone(),
+                    engine: EngineKind::Cpu,
+                    pattern: None,
+                    macs: segment.total_macs(),
+                    n_tiles: 1,
+                });
+                steps.push(Step::CpuFused {
+                    name,
+                    graph: segment,
+                    inputs: input_ids,
+                    output,
+                });
+            }
+        }
+    }
+
+    // ---- Program outputs ----
+    let mut outputs = Vec::with_capacity(graph.outputs().len());
+    for &o in graph.outputs() {
+        let b = buffer_of.get(&o).copied().ok_or_else(|| {
+            LowerError::UnsupportedGraph(format!("graph output {o} has no produced buffer"))
+        })?;
+        outputs.push(b);
+    }
+    let inputs: Vec<BufferId> = graph.inputs().iter().map(|i| buffer_of[i]).collect();
+
+    // ---- Binary size, then the L2 activation schedule ----
+    let binary = binary_size(&opts.size_model, &steps);
+    let capacity = cfg.l2_bytes.saturating_sub(binary.total());
+    let n_steps = steps.len();
+    let reqs: Vec<BufferReq> = buffers
+        .iter()
+        .map(|b| BufferReq {
+            id: b.id.0,
+            size: b.size,
+            first_use: match b.kind {
+                BufferKind::Input => 0,
+                _ => producer_step.get(&b.id).copied().unwrap_or(0),
+            },
+            last_use: if outputs.contains(&b.id) {
+                n_steps
+            } else {
+                last_consumer
+                    .get(&b.id)
+                    .copied()
+                    .unwrap_or_else(|| producer_step.get(&b.id).copied().unwrap_or(0))
+            },
+        })
+        .collect();
+    let activation_peak = if opts.naive_l2 {
+        // Plain TVM: every tensor gets its own range for the whole run.
+        let mut offset = 0usize;
+        for b in &mut buffers {
+            b.offset = offset;
+            offset += b.size;
+        }
+        if offset > capacity {
+            return Err(LowerError::OutOfMemory(OutOfMemory {
+                needed: offset,
+                capacity,
+            }));
+        }
+        offset
+    } else {
+        let memory_plan = plan(&reqs, capacity)?;
+        for b in &mut buffers {
+            b.offset = memory_plan
+                .offset_of(b.id.0)
+                .expect("planner covers every requested buffer");
+        }
+        memory_plan.peak
+    };
+
+    Ok(Artifact {
+        program: Program {
+            buffers,
+            steps,
+            inputs,
+            outputs,
+            activation_peak,
+        },
+        binary,
+        assignments,
+    })
+}
+
+/// Rebuilds a fused CPU group as a standalone executable segment graph,
+/// returning it plus the original node ids of its external data inputs (in
+/// segment-input order).
+fn build_segment(graph: &Graph, group: &[NodeId]) -> Result<(Graph, Vec<NodeId>), LowerError> {
+    let mut b = GraphBuilder::new();
+    let mut mapped: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut ext_inputs: Vec<NodeId> = Vec::new();
+    let in_group: std::collections::HashSet<NodeId> = group.iter().copied().collect();
+
+    for &id in group {
+        let node = graph.node(id);
+        let NodeKind::Op { op, inputs } = &node.kind else {
+            return Err(LowerError::UnsupportedGraph(
+                "cpu groups contain only op nodes".into(),
+            ));
+        };
+        let mut new_inputs = Vec::with_capacity(inputs.len());
+        for &src in inputs {
+            let mapped_id = if let Some(&m) = mapped.get(&src) {
+                m
+            } else {
+                let src_node = graph.node(src);
+                let new_id = match &src_node.kind {
+                    NodeKind::Constant(t) => b.constant(&src_node.name, t.clone()),
+                    _ if !in_group.contains(&src) => {
+                        ext_inputs.push(src);
+                        b.input(&src_node.name, src_node.shape.dims(), src_node.dtype)
+                    }
+                    _ => {
+                        return Err(LowerError::UnsupportedGraph(
+                            "group member consumed before definition".into(),
+                        ));
+                    }
+                };
+                mapped.insert(src, new_id);
+                new_id
+            };
+            new_inputs.push(mapped_id);
+        }
+        let new_id = b
+            .apply(op.clone(), &new_inputs)
+            .map_err(|e| LowerError::UnsupportedGraph(format!("segment rebuild failed: {e}")))?;
+        mapped.insert(id, new_id);
+    }
+    let tail = mapped[group.last().expect("non-empty group")];
+    let segment = b
+        .finish(&[tail])
+        .map_err(|e| LowerError::UnsupportedGraph(format!("segment finish failed: {e}")))?;
+    Ok((segment, ext_inputs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htvm_ir::{DType, Tensor};
+    use htvm_pattern::{is_constant, is_op, partition, wildcard, NamedPattern};
+
+    fn conv_pattern() -> NamedPattern {
+        let conv2d = is_op("nn.conv2d", vec![wildcard(), is_constant()]);
+        let bias_add = is_op("nn.bias_add", vec![conv2d, is_constant()]);
+        let right_shift = is_op("right_shift", vec![bias_add]);
+        let clip = is_op("clip", vec![right_shift]);
+        let cast = is_op("cast", vec![clip]);
+        NamedPattern::new("conv2d_bias_requant", cast.optional("nn.relu"))
+    }
+
+    /// conv block -> conv block -> flatten -> softmax.
+    fn sample_graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", &[3, 16, 16], DType::I8);
+        let w1 = b.constant("w1", Tensor::zeros(DType::I8, &[8, 3, 3, 3]));
+        let b1 = b.constant("b1", Tensor::zeros(DType::I32, &[8]));
+        let c = b.conv2d(x, w1, (1, 1), (1, 1, 1, 1)).unwrap();
+        let c = b.bias_add(c, b1).unwrap();
+        let c = b.requantize(c, 7, true).unwrap();
+        let w2 = b.constant("w2", Tensor::zeros(DType::I8, &[8, 8, 3, 3]));
+        let b2 = b.constant("b2", Tensor::zeros(DType::I32, &[8]));
+        let c2 = b.conv2d(c, w2, (1, 1), (1, 1, 1, 1)).unwrap();
+        let c2 = b.bias_add(c2, b2).unwrap();
+        let c2 = b.requantize(c2, 7, false).unwrap();
+        let f = b.flatten(c2).unwrap();
+        let s = b.softmax(f).unwrap();
+        b.finish(&[s]).unwrap()
+    }
+
+    #[test]
+    fn lowers_mixed_program() {
+        let g = sample_graph();
+        let part = partition(&g, &[conv_pattern()], |_, _| Some(EngineKind::Digital));
+        let artifact = lower(&g, &part, &DianaConfig::default(), &LowerOptions::default())
+            .expect("lowering succeeds");
+        // Two accel steps + one fused CPU (flatten+softmax).
+        assert_eq!(artifact.program.steps.len(), 3);
+        assert_eq!(artifact.steps_on(EngineKind::Digital), 2);
+        assert_eq!(artifact.steps_on(EngineKind::Cpu), 1);
+        assert!(artifact.offload_fraction() > 0.99);
+        assert_eq!(artifact.program.inputs.len(), 1);
+        assert_eq!(artifact.program.outputs.len(), 1);
+        assert!(artifact.binary.total() > 0);
+    }
+
+    #[test]
+    fn cpu_only_lowering_matches_reference() {
+        use htvm_soc::Machine;
+        let g = sample_graph();
+        let part = partition(&g, &[], |_, _: &htvm_pattern::Match| None::<EngineKind>);
+        let artifact = lower(&g, &part, &DianaConfig::default(), &LowerOptions::default()).unwrap();
+        let mut input = Tensor::zeros(DType::I8, &[3, 16, 16]);
+        for (i, v) in input.data_mut().iter_mut().enumerate() {
+            *v = (i as i32 % 19) - 9;
+        }
+        let machine = Machine::new(DianaConfig::default());
+        let report = machine.run(&artifact.program, &[input.clone()]).unwrap();
+        let reference = htvm_kernels_evaluate(&g, &input);
+        assert_eq!(report.outputs[0], reference);
+    }
+
+    fn htvm_kernels_evaluate(g: &Graph, input: &Tensor) -> Tensor {
+        htvm_kernels::evaluate(g, std::slice::from_ref(input))
+            .unwrap()
+            .remove(0)
+    }
+
+    #[test]
+    fn accelerated_lowering_matches_reference() {
+        use htvm_soc::Machine;
+        let g = sample_graph();
+        let part = partition(&g, &[conv_pattern()], |_, _| Some(EngineKind::Digital));
+        let artifact = lower(&g, &part, &DianaConfig::default(), &LowerOptions::default()).unwrap();
+        let mut input = Tensor::zeros(DType::I8, &[3, 16, 16]);
+        for (i, v) in input.data_mut().iter_mut().enumerate() {
+            *v = (i as i32 % 23) - 11;
+        }
+        let machine = Machine::new(DianaConfig::default());
+        let report = machine.run(&artifact.program, &[input.clone()]).unwrap();
+        let reference = htvm_kernels_evaluate(&g, &input);
+        assert_eq!(report.outputs[0], reference);
+    }
+
+    #[test]
+    fn naive_allocation_needs_more_memory() {
+        let g = sample_graph();
+        let part = partition(&g, &[], |_, _: &htvm_pattern::Match| None::<EngineKind>);
+        let planned = lower(&g, &part, &DianaConfig::default(), &LowerOptions::default()).unwrap();
+        let naive_opts = LowerOptions {
+            naive_l2: true,
+            ..LowerOptions::default()
+        };
+        let naive = lower(&g, &part, &DianaConfig::default(), &naive_opts).unwrap();
+        assert!(naive.program.activation_peak >= planned.program.activation_peak);
+    }
+
+    #[test]
+    fn oom_when_l2_too_small() {
+        let g = sample_graph();
+        let part = partition(&g, &[], |_, _: &htvm_pattern::Match| None::<EngineKind>);
+        let tiny = DianaConfig {
+            l2_bytes: 14 * 1024,
+            ..DianaConfig::default()
+        };
+        let err = lower(&g, &part, &tiny, &LowerOptions::default()).unwrap_err();
+        assert!(matches!(err, LowerError::OutOfMemory(_)));
+    }
+
+    #[test]
+    fn buffers_do_not_overlap_while_live() {
+        let g = sample_graph();
+        let part = partition(&g, &[conv_pattern()], |_, _| Some(EngineKind::Digital));
+        let artifact = lower(&g, &part, &DianaConfig::default(), &LowerOptions::default()).unwrap();
+        let p = &artifact.program;
+        // Reconstruct liveness from the schedule and check pairwise.
+        let n = p.steps.len();
+        let mut live: Vec<(usize, usize)> = vec![(usize::MAX, 0); p.buffers.len()];
+        for (&b, l) in p.inputs.iter().zip(live.iter_mut()) {
+            let _ = b;
+            l.0 = 0;
+        }
+        for (i, s) in p.steps.iter().enumerate() {
+            let touch = |b: BufferId, live: &mut Vec<(usize, usize)>| {
+                let l = &mut live[b.0];
+                l.0 = l.0.min(i);
+                l.1 = l.1.max(i);
+            };
+            match s {
+                Step::Accel {
+                    input,
+                    input2,
+                    output,
+                    ..
+                } => {
+                    touch(*input, &mut live);
+                    if let Some(i2) = input2 {
+                        touch(*i2, &mut live);
+                    }
+                    touch(*output, &mut live);
+                }
+                Step::CpuFused { inputs, output, .. } => {
+                    for b in inputs {
+                        touch(*b, &mut live);
+                    }
+                    touch(*output, &mut live);
+                }
+            }
+        }
+        for o in &p.outputs {
+            live[o.0].1 = n;
+        }
+        for a in &p.buffers {
+            for b in &p.buffers {
+                if a.id >= b.id || a.size == 0 || b.size == 0 {
+                    continue;
+                }
+                let (af, al) = live[a.id.0];
+                let (bf, bl) = live[b.id.0];
+                let overlap_life = af <= bl && bf <= al;
+                let overlap_mem = a.offset < b.offset + b.size && b.offset < a.offset + a.size;
+                assert!(
+                    !(overlap_life && overlap_mem),
+                    "buffers {} and {} overlap while both live",
+                    a.name,
+                    b.name
+                );
+            }
+        }
+    }
+}

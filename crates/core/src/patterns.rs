@@ -1,0 +1,100 @@
+//! The DIANA pattern table.
+
+use htvm_pattern::{is_constant, is_op, wildcard, NamedPattern, Pattern};
+
+/// Wraps an anchor pattern with the standard requantization tail of
+/// Listing 1: `right_shift → clip → cast (→ optional relu)`.
+fn requant_tail(anchor: Pattern) -> Pattern {
+    let right_shift = is_op("right_shift", vec![anchor]);
+    let clip = is_op("clip", vec![right_shift]);
+    let cast = is_op("cast", vec![clip]);
+    // Both accelerators execute "some pooling operations at the output"
+    // (paper §III-C), so a trailing pool is absorbed into the region when
+    // present; the dispatch rule still gates fused pooling on untiled fit.
+    cast.optional("nn.relu").optional("nn.pool2d")
+}
+
+/// The operator patterns DIANA's accelerators can execute as single
+/// coarse-grained instructions (paper §III-A and Listing 1): quantized
+/// convolution / depthwise / dense chains with optional bias and optional
+/// ReLU, plus the residual-add chain. Ordered longest-first so greedy
+/// partitioning prefers the most coarse-grained match.
+///
+/// # Examples
+///
+/// ```
+/// let table = htvm::diana_patterns();
+/// assert!(table.iter().any(|p| p.name == "conv2d_bias_requant"));
+/// ```
+#[must_use]
+pub fn diana_patterns() -> Vec<NamedPattern> {
+    let conv = || is_op("nn.conv2d", vec![wildcard(), is_constant()]);
+    let dw = || is_op("nn.depthwise_conv2d", vec![wildcard(), is_constant()]);
+    let dense = || is_op("nn.dense", vec![wildcard(), is_constant()]);
+    let with_bias = |anchor: Pattern| is_op("nn.bias_add", vec![anchor, is_constant()]);
+
+    let mut table = vec![
+        NamedPattern::new("conv2d_bias_requant", requant_tail(with_bias(conv()))),
+        NamedPattern::new("dwconv2d_bias_requant", requant_tail(with_bias(dw()))),
+        NamedPattern::new("dense_bias_requant", requant_tail(with_bias(dense()))),
+        NamedPattern::new("conv2d_requant", requant_tail(conv())),
+        NamedPattern::new("dwconv2d_requant", requant_tail(dw())),
+        NamedPattern::new("dense_requant", requant_tail(dense())),
+        NamedPattern::new(
+            "add_requant",
+            requant_tail(is_op("add", vec![wildcard(), wildcard()])),
+        ),
+    ];
+    // Defensive: keep longest-first ordering even if the list above is
+    // edited.
+    table.sort_by_key(|p| std::cmp::Reverse(p.pattern.min_ops()));
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htvm_ir::{DType, GraphBuilder, Tensor};
+    use htvm_pattern::match_at;
+
+    #[test]
+    fn ordered_longest_first() {
+        let t = diana_patterns();
+        let sizes: Vec<usize> = t.iter().map(|p| p.pattern.min_ops()).collect();
+        assert!(sizes.windows(2).all(|w| w[0] >= w[1]));
+        assert_eq!(t.len(), 7);
+    }
+
+    #[test]
+    fn listing1_chain_matches_conv_pattern() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", &[3, 8, 8], DType::I8);
+        let w = b.constant("w", Tensor::zeros(DType::I8, &[4, 3, 3, 3]));
+        let bias = b.constant("b", Tensor::zeros(DType::I32, &[4]));
+        let c = b.conv2d(x, w, (1, 1), (1, 1, 1, 1)).unwrap();
+        let c = b.bias_add(c, bias).unwrap();
+        let q = b.requantize(c, 7, true).unwrap();
+        let g = b.finish(&[q]).unwrap();
+        let p = diana_patterns()
+            .into_iter()
+            .find(|p| p.name == "conv2d_bias_requant")
+            .unwrap();
+        assert!(match_at(&g, &p.pattern, q).is_some());
+    }
+
+    #[test]
+    fn add_chain_matches() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", &[4, 4, 4], DType::I8);
+        let y = b.input("y", &[4, 4, 4], DType::I8);
+        let s = b.add(x, y).unwrap();
+        let q = b.requantize(s, 1, false).unwrap();
+        let g = b.finish(&[q]).unwrap();
+        let p = diana_patterns()
+            .into_iter()
+            .find(|p| p.name == "add_requant")
+            .unwrap();
+        let m = match_at(&g, &p.pattern, q).unwrap();
+        assert_eq!(m.inputs.len(), 2);
+    }
+}

@@ -1,0 +1,227 @@
+//! L2 activation memory planning.
+//!
+//! HTVM "yields a memory schedule for allocating and de-allocating
+//! intermediate activation tensors in main memory (L2)" (paper §III). This
+//! module implements that planner: given buffer lifetimes over the layer
+//! schedule, it assigns non-overlapping byte offsets with a first-fit
+//! policy and reports the peak footprint — or an out-of-memory error, which
+//! is how the MobileNet CPU-only OoM of Table I surfaces.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// A buffer to place: `size` bytes live from step `first_use` through
+/// `last_use` inclusive (steps are schedule positions, e.g. layer indices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BufferReq {
+    /// Caller-chosen identifier (index into the caller's buffer table).
+    pub id: usize,
+    /// Size in bytes (zero-sized buffers are legal and take no space).
+    pub size: usize,
+    /// First schedule step at which the buffer must exist.
+    pub first_use: usize,
+    /// Last schedule step at which the buffer must exist.
+    pub last_use: usize,
+}
+
+/// A computed placement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryPlan {
+    /// `(id, offset)` for every requested buffer.
+    pub offsets: Vec<(usize, usize)>,
+    /// Peak bytes in use at any schedule step.
+    pub peak: usize,
+}
+
+impl MemoryPlan {
+    /// The planned offset of buffer `id`, if it was part of the request.
+    #[must_use]
+    pub fn offset_of(&self, id: usize) -> Option<usize> {
+        self.offsets
+            .iter()
+            .find(|(bid, _)| *bid == id)
+            .map(|&(_, off)| off)
+    }
+}
+
+/// Planning failure: the buffers cannot be packed into `capacity` bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// Bytes the first-fit packing would have needed.
+    pub needed: usize,
+    /// The capacity that was exceeded.
+    pub capacity: usize,
+}
+
+impl fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "activation buffers need {} bytes, exceeding the {} byte capacity",
+            self.needed, self.capacity
+        )
+    }
+}
+
+impl Error for OutOfMemory {}
+
+/// Packs buffers into `capacity` bytes with first-fit on lifetime overlap.
+///
+/// Buffers are placed in order of `first_use` (then decreasing size), each
+/// at the lowest offset that does not overlap an already-placed buffer with
+/// an intersecting lifetime. The result is deterministic.
+///
+/// # Errors
+///
+/// Returns [`OutOfMemory`] (with the peak the packing would need) when the
+/// plan exceeds `capacity`.
+///
+/// # Examples
+///
+/// ```
+/// use htvm_dory::memplan::{BufferReq, plan};
+///
+/// # fn main() -> Result<(), htvm_dory::memplan::OutOfMemory> {
+/// // Two buffers with disjoint lifetimes share the same offset.
+/// let reqs = [
+///     BufferReq { id: 0, size: 100, first_use: 0, last_use: 1 },
+///     BufferReq { id: 1, size: 100, first_use: 2, last_use: 3 },
+/// ];
+/// let plan = plan(&reqs, 128)?;
+/// assert_eq!(plan.peak, 100);
+/// assert_eq!(plan.offset_of(0), plan.offset_of(1));
+/// # Ok(())
+/// # }
+/// ```
+pub fn plan(reqs: &[BufferReq], capacity: usize) -> Result<MemoryPlan, OutOfMemory> {
+    let mut order: Vec<&BufferReq> = reqs.iter().collect();
+    order.sort_by_key(|r| (r.first_use, usize::MAX - r.size, r.id));
+
+    let mut placed: Vec<(&BufferReq, usize)> = Vec::with_capacity(reqs.len());
+    let mut peak = 0usize;
+    for req in order {
+        debug_assert!(req.first_use <= req.last_use, "inverted lifetime");
+        // Collect intervals occupied by live, overlapping buffers.
+        let mut occupied: Vec<(usize, usize)> = placed
+            .iter()
+            .filter(|(other, _)| lifetimes_overlap(req, other))
+            .map(|&(other, off)| (off, off + other.size))
+            .collect();
+        occupied.sort_unstable();
+        // First-fit: walk the gaps.
+        let mut offset = 0usize;
+        for (lo, hi) in occupied {
+            if offset + req.size <= lo {
+                break;
+            }
+            offset = offset.max(hi);
+        }
+        peak = peak.max(offset + req.size);
+        placed.push((req, offset));
+    }
+
+    if peak > capacity {
+        return Err(OutOfMemory {
+            needed: peak,
+            capacity,
+        });
+    }
+    let mut offsets: Vec<(usize, usize)> =
+        placed.into_iter().map(|(req, off)| (req.id, off)).collect();
+    offsets.sort_unstable();
+    Ok(MemoryPlan { offsets, peak })
+}
+
+fn lifetimes_overlap(a: &BufferReq, b: &BufferReq) -> bool {
+    a.first_use <= b.last_use && b.first_use <= a.last_use
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: usize, size: usize, first: usize, last: usize) -> BufferReq {
+        BufferReq {
+            id,
+            size,
+            first_use: first,
+            last_use: last,
+        }
+    }
+
+    #[test]
+    fn overlapping_lifetimes_get_disjoint_ranges() {
+        let reqs = [req(0, 64, 0, 2), req(1, 64, 1, 3), req(2, 64, 2, 4)];
+        let p = plan(&reqs, 1024).unwrap();
+        assert_eq!(p.peak, 192);
+        // All three alive at step 2: offsets pairwise disjoint.
+        let offs: Vec<usize> = (0..3).map(|i| p.offset_of(i).unwrap()).collect();
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                let (a, b) = (offs[i], offs[j]);
+                assert!(a + 64 <= b || b + 64 <= a, "buffers {i} and {j} overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_lifetimes_reuse_space() {
+        let reqs = [req(0, 1000, 0, 1), req(1, 1000, 2, 3), req(2, 1000, 4, 5)];
+        let p = plan(&reqs, 1000).unwrap();
+        assert_eq!(p.peak, 1000);
+    }
+
+    #[test]
+    fn gap_filling_first_fit() {
+        // Big buffer 0..4 at offset 0, small buffer 0..4 above it; a third
+        // buffer alive 2..3 must slot above both, but a fourth alive 5..6
+        // reuses offset 0.
+        let reqs = [
+            req(0, 100, 0, 4),
+            req(1, 10, 0, 4),
+            req(2, 50, 2, 3),
+            req(3, 100, 5, 6),
+        ];
+        let p = plan(&reqs, 1024).unwrap();
+        assert_eq!(p.offset_of(0), Some(0));
+        assert_eq!(p.offset_of(1), Some(100));
+        assert_eq!(p.offset_of(2), Some(110));
+        assert_eq!(p.offset_of(3), Some(0));
+        assert_eq!(p.peak, 160);
+    }
+
+    #[test]
+    fn oom_reports_needed_bytes() {
+        let reqs = [req(0, 600, 0, 1), req(1, 600, 0, 1)];
+        let err = plan(&reqs, 1000).unwrap_err();
+        assert_eq!(err.needed, 1200);
+        assert_eq!(err.capacity, 1000);
+        assert!(err.to_string().contains("1200"));
+    }
+
+    #[test]
+    fn zero_sized_buffers_are_fine() {
+        let reqs = [req(0, 0, 0, 1), req(1, 10, 0, 1)];
+        let p = plan(&reqs, 10).unwrap();
+        assert_eq!(p.peak, 10);
+    }
+
+    #[test]
+    fn empty_request_is_empty_plan() {
+        let p = plan(&[], 0).unwrap();
+        assert_eq!(p.peak, 0);
+        assert!(p.offsets.is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        let reqs = [
+            req(0, 64, 0, 2),
+            req(1, 32, 1, 3),
+            req(2, 128, 2, 4),
+            req(3, 16, 0, 4),
+        ];
+        assert_eq!(plan(&reqs, 4096), plan(&reqs, 4096));
+    }
+}

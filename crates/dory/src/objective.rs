@@ -1,0 +1,244 @@
+//! The tiling objective: Eq. 1 of the paper, with the DIANA heuristics of
+//! Eq. 3–5 as pluggable terms.
+
+use crate::{tile_memory, LayerGeometry, MemoryBudget, TileConfig};
+use serde::{Deserialize, Serialize};
+
+/// An accelerator-aware tiling heuristic `Hᵢ` (paper §III-B/C).
+///
+/// Each heuristic scores a candidate tile in `[0, 1]`; the solver maximizes
+/// `α·(memory utilization) + Σᵢ βᵢ·Hᵢ` (Eq. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Heuristic {
+    /// Eq. 3: `H = (Cᵗ − 1) mod m`, maximal when the input-channel tile is
+    /// a multiple of the PE-array row count `m` (16 on DIANA's digital
+    /// accelerator).
+    PeAlignC {
+        /// PE-array row count.
+        modulo: usize,
+    },
+    /// Eq. 4: `H = (i_xᵗ − 1) mod m`, maximal when the input-width tile is
+    /// a multiple of the PE-array column count.
+    PeAlignIx {
+        /// PE-array column count.
+        modulo: usize,
+    },
+    /// Eq. 5: `H = i_yᵗ` — maximize the input-height tile to coalesce DMA
+    /// transfers. In the C–y–x layout rows are only contiguous across `y`
+    /// when the tile spans the full width, so the score is gated on
+    /// `i_xᵗ = i_x`: growing `i_yᵗ` while splitting `x` would *increase*
+    /// the transfer count, the opposite of what Eq. 5 is for.
+    DmaMaxIy,
+    /// Analog IMC: maximize the fraction of array rows occupied by the
+    /// tile's `Cᵗ·Fy·Fx` weight rows ("spatially unroll C as much as
+    /// possible").
+    ImcFillRows {
+        /// Total array rows (1152 on DIANA).
+        rows: usize,
+    },
+    /// Analog IMC: maximize the fraction of array columns occupied by `Kᵗ`
+    /// ("spatially unroll K as much as possible").
+    ImcFillCols {
+        /// Total array columns (512 on DIANA).
+        cols: usize,
+    },
+}
+
+impl Heuristic {
+    /// Scores a candidate tile in `[0, 1]` (1 is best).
+    #[must_use]
+    pub fn score(&self, geom: &LayerGeometry, tile: &TileConfig) -> f64 {
+        let (_iy_t, ix_t) = tile.in_dims(geom);
+        match *self {
+            Heuristic::PeAlignC { modulo } => {
+                // (c_t - 1) mod m is maximal (m - 1) when c_t ≡ 0 (mod m);
+                // also maximal when c_t equals the whole (smaller) layer dim.
+                if tile.c_t == geom.c {
+                    1.0
+                } else {
+                    ((tile.c_t + modulo - 1) % modulo) as f64 / (modulo - 1) as f64
+                }
+            }
+            Heuristic::PeAlignIx { modulo } => {
+                if ix_t == geom.ix {
+                    1.0
+                } else {
+                    ((ix_t + modulo - 1) % modulo) as f64 / (modulo - 1) as f64
+                }
+            }
+            Heuristic::DmaMaxIy => {
+                // Gate on full *output* width: an ox split always forces
+                // non-contiguous input fetches, even when the halo formula
+                // caps i_xᵗ at the input width. Score the *output* rows
+                // rather than the capped input rows — near the top of the
+                // range the cap would otherwise make an oy-split tile look
+                // as tall as the full layer while doubling the tile count.
+                if tile.ox_t == geom.ox() {
+                    tile.oy_t as f64 / geom.oy() as f64
+                } else {
+                    0.0
+                }
+            }
+            Heuristic::ImcFillRows { rows } => {
+                let used = (tile.c_t * geom.fy * geom.fx).min(rows);
+                used as f64 / rows as f64
+            }
+            Heuristic::ImcFillCols { cols } => (tile.k_t.min(cols)) as f64 / cols as f64,
+        }
+    }
+}
+
+/// The full Eq. 1 objective: a memory-utilization weight `α` plus weighted
+/// heuristic terms `βᵢ·Hᵢ`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TilingObjective {
+    /// Weight of the memory-utilization term.
+    pub alpha: f64,
+    /// Heuristic terms and their weights.
+    pub terms: Vec<(Heuristic, f64)>,
+}
+
+impl TilingObjective {
+    /// Hardware-agnostic baseline: maximize memory utilization only
+    /// (the round markers of Fig. 4).
+    #[must_use]
+    pub fn memory_only() -> Self {
+        TilingObjective {
+            alpha: 1.0,
+            terms: Vec::new(),
+        }
+    }
+
+    /// DIANA digital-accelerator heuristics Eq. 3 and Eq. 4 only
+    /// (the square markers of Fig. 4).
+    #[must_use]
+    pub fn diana_digital_pe_only() -> Self {
+        TilingObjective {
+            alpha: 1.0,
+            terms: vec![
+                (Heuristic::PeAlignC { modulo: 16 }, 2.0),
+                (Heuristic::PeAlignIx { modulo: 16 }, 2.0),
+            ],
+        }
+    }
+
+    /// The full DIANA digital objective: Eq. 3, 4 and 5 (the diamond
+    /// markers of Fig. 4 and the configuration HTVM deploys with).
+    #[must_use]
+    pub fn diana_digital() -> Self {
+        TilingObjective {
+            alpha: 1.0,
+            terms: vec![
+                (Heuristic::PeAlignC { modulo: 16 }, 2.0),
+                (Heuristic::PeAlignIx { modulo: 16 }, 2.0),
+                // Sub-unit weight: Eq. 5 should steer among comparable
+                // tiles, not trade away memory utilization (and with it
+                // tile count) for height.
+                (Heuristic::DmaMaxIy, 0.2),
+            ],
+        }
+    }
+
+    /// The DIANA analog objective: fill the 1152×512 IMC macro ("spatially
+    /// unroll C and K as much as possible", paper §III-C).
+    #[must_use]
+    pub fn diana_analog() -> Self {
+        TilingObjective {
+            alpha: 1.0,
+            terms: vec![
+                (Heuristic::ImcFillRows { rows: 1152 }, 2.0),
+                (Heuristic::ImcFillCols { cols: 512 }, 2.0),
+            ],
+        }
+    }
+
+    /// Evaluates Eq. 1 for a candidate tile. Higher is better.
+    ///
+    /// The memory term is the mean occupied fraction of the budget's
+    /// activation (and, if present, weight) capacities.
+    #[must_use]
+    pub fn score(&self, geom: &LayerGeometry, tile: &TileConfig, budget: &MemoryBudget) -> f64 {
+        let mem = tile_memory(geom, tile);
+        // Eq. 1's memory term is a single sum L1ʷ + L1ᵒᵘᵗ + L1ⁱⁿ; with
+        // DIANA's split memories we normalize by the combined capacity, so
+        // leaving the weight store idle costs utilization.
+        let capacity = budget.act_bytes + budget.weight_bytes.unwrap_or(0);
+        let mem_term = (mem.total() as f64 / capacity as f64).min(1.0);
+        let h: f64 = self
+            .terms
+            .iter()
+            .map(|(heur, beta)| beta * heur.score(geom, tile))
+            .sum();
+        self.alpha * mem_term + h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> LayerGeometry {
+        LayerGeometry::conv2d(64, 64, 32, 32, 3, 3, (1, 1), (1, 1, 1, 1))
+    }
+
+    fn tile(c: usize, k: usize, oy: usize, ox: usize) -> TileConfig {
+        TileConfig {
+            c_t: c,
+            k_t: k,
+            oy_t: oy,
+            ox_t: ox,
+        }
+    }
+
+    #[test]
+    fn pe_align_c_peaks_at_multiples_of_16() {
+        let h = Heuristic::PeAlignC { modulo: 16 };
+        let g = geom();
+        assert_eq!(h.score(&g, &tile(16, 64, 32, 32)), 1.0);
+        assert_eq!(h.score(&g, &tile(32, 64, 32, 32)), 1.0);
+        assert!(h.score(&g, &tile(17, 64, 32, 32)) < 0.1);
+        // Whole-dimension tiles always score 1 (nothing to align).
+        assert_eq!(h.score(&g, &tile(64, 64, 32, 32)), 1.0);
+    }
+
+    #[test]
+    fn pe_align_ix_uses_derived_input_width() {
+        let h = Heuristic::PeAlignIx { modulo: 16 };
+        let g = geom();
+        // ox_t = 14 -> ix_t = 16: aligned.
+        assert_eq!(h.score(&g, &tile(64, 64, 32, 14)), 1.0);
+        // ox_t = 15 -> ix_t = 17: misaligned.
+        assert!(h.score(&g, &tile(64, 64, 32, 15)) < 0.1);
+    }
+
+    #[test]
+    fn dma_heuristic_prefers_tall_tiles() {
+        let h = Heuristic::DmaMaxIy;
+        let g = geom();
+        assert!(h.score(&g, &tile(64, 64, 32, 32)) > h.score(&g, &tile(64, 64, 8, 32)));
+    }
+
+    #[test]
+    fn imc_heuristics_reward_array_fill() {
+        let rows = Heuristic::ImcFillRows { rows: 1152 };
+        let cols = Heuristic::ImcFillCols { cols: 512 };
+        let g = geom(); // c*fy*fx = 64*9 = 576 rows
+        let full = tile(64, 64, 32, 32);
+        assert!((rows.score(&g, &full) - 0.5).abs() < 1e-9);
+        assert!((cols.score(&g, &full) - 0.125).abs() < 1e-9);
+        assert!(rows.score(&g, &tile(32, 64, 32, 32)) < rows.score(&g, &full));
+    }
+
+    #[test]
+    fn objective_combines_terms() {
+        let g = geom();
+        let budget = MemoryBudget::unified(1 << 20);
+        let obj = TilingObjective::diana_digital();
+        let aligned = tile(16, 64, 32, 14);
+        let misaligned = tile(17, 64, 32, 15);
+        assert!(obj.score(&g, &aligned, &budget) > obj.score(&g, &misaligned, &budget));
+        // The memory-only baseline prefers the (bigger) misaligned tile.
+        let base = TilingObjective::memory_only();
+        assert!(base.score(&g, &misaligned, &budget) > base.score(&g, &aligned, &budget));
+    }
+}

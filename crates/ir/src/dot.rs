@@ -1,0 +1,105 @@
+//! Graphviz DOT rendering of dataflow graphs.
+
+use crate::{Graph, NodeKind};
+use std::fmt::Write as _;
+
+impl Graph {
+    /// Renders the graph in Graphviz DOT format for visualization:
+    /// operator nodes as boxes, inputs as ellipses, constants as small
+    /// notes, with output shapes on the edges.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use htvm_ir::{DType, GraphBuilder};
+    /// # fn main() -> Result<(), htvm_ir::IrError> {
+    /// let mut b = GraphBuilder::new();
+    /// let x = b.input("x", &[4], DType::I8);
+    /// let y = b.relu(x)?;
+    /// let g = b.finish(&[y])?;
+    /// let dot = g.to_dot();
+    /// assert!(dot.starts_with("digraph network"));
+    /// assert!(dot.contains("nn.relu"));
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn to_dot(&self) -> String {
+        let mut s = String::from("digraph network {\n  rankdir=TB;\n  node [fontsize=10];\n");
+        for (id, node) in self.nodes() {
+            let n = id.index();
+            match &node.kind {
+                NodeKind::Input => {
+                    let _ = writeln!(
+                        s,
+                        "  n{n} [shape=ellipse, style=bold, label=\"{}\\n{}{}\"];",
+                        node.name, node.dtype, node.shape
+                    );
+                }
+                NodeKind::Constant(_) => {
+                    let _ = writeln!(
+                        s,
+                        "  n{n} [shape=note, color=gray, label=\"{}\\n{}{}\"];",
+                        node.name, node.dtype, node.shape
+                    );
+                }
+                NodeKind::Op { op, inputs } => {
+                    let _ = writeln!(
+                        s,
+                        "  n{n} [shape=box, label=\"{}\\n{}{}\"];",
+                        op.name(),
+                        node.dtype,
+                        node.shape
+                    );
+                    for src in inputs {
+                        let _ = writeln!(s, "  n{} -> n{n};", src.index());
+                    }
+                }
+            }
+        }
+        for (i, o) in self.outputs().iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "  out{i} [shape=ellipse, style=dashed, label=\"output {i}\"];"
+            );
+            let _ = writeln!(s, "  n{} -> out{i};", o.index());
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{DType, GraphBuilder, Tensor};
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", &[2, 4, 4], DType::I8);
+        let w = b.constant("w", Tensor::zeros(DType::I8, &[2, 2, 3, 3]));
+        let c = b.conv2d(x, w, (1, 1), (1, 1, 1, 1)).unwrap();
+        let r = b.relu(c).unwrap();
+        let g = b.finish(&[r]).unwrap();
+        let dot = g.to_dot();
+        assert!(dot.contains("nn.conv2d"));
+        assert!(dot.contains("nn.relu"));
+        assert!(dot.contains("shape=note")); // the constant
+        assert!(dot.contains("n0 -> n2")); // x -> conv
+        assert!(dot.contains("n1 -> n2")); // w -> conv
+        assert!(dot.contains("-> out0"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_handles_multiple_outputs() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", &[4], DType::I32);
+        let a = b.relu(x).unwrap();
+        let c = b.clip(x, 0, 1).unwrap();
+        let g = b.finish(&[a, c]).unwrap();
+        let dot = g.to_dot();
+        assert!(dot.contains("out0"));
+        assert!(dot.contains("out1"));
+    }
+}

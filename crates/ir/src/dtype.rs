@@ -1,0 +1,131 @@
+//! Element data types for quantized tensors.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Element type of a [`Tensor`](crate::Tensor).
+///
+/// HTVM targets quantized TinyML workloads, so the type lattice is small:
+/// 8-bit activations/weights, 32-bit accumulators (bias and partial sums),
+/// and ternary weights for analog in-memory-compute accelerators. DIANA's
+/// analog array consumes 7-bit activations; we keep those as [`DType::I8`]
+/// values range-checked to ±63 at dispatch time, mirroring how the silicon
+/// clips the DAC input.
+///
+/// # Examples
+///
+/// ```
+/// use htvm_ir::DType;
+/// assert_eq!(DType::I8.bits(), 8);
+/// assert!(DType::Ternary.contains(-1));
+/// assert!(!DType::Ternary.contains(2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DType {
+    /// Signed 8-bit integer: activations and digital-accelerator weights.
+    I8,
+    /// Signed 16-bit integer: intermediate precision for some CPU kernels.
+    I16,
+    /// Signed 32-bit integer: biases and accumulators.
+    I32,
+    /// Ternary weights in `{-1, 0, +1}` for the analog IMC accelerator.
+    Ternary,
+}
+
+impl DType {
+    /// Nominal bit width of one element.
+    ///
+    /// Ternary elements report 2 bits, which is the packed storage density
+    /// used by the binary-size model (the paper notes ternary weight data
+    /// "requires less storage").
+    #[must_use]
+    pub fn bits(self) -> u32 {
+        match self {
+            DType::I8 => 8,
+            DType::I16 => 16,
+            DType::I32 => 32,
+            DType::Ternary => 2,
+        }
+    }
+
+    /// Storage bytes for `n` elements of this type, rounding up for packed
+    /// sub-byte types.
+    #[must_use]
+    pub fn storage_bytes(self, n: usize) -> usize {
+        ((n as u64 * u64::from(self.bits())).div_ceil(8)) as usize
+    }
+
+    /// Inclusive value range representable by this type.
+    #[must_use]
+    pub fn range(self) -> (i32, i32) {
+        match self {
+            DType::I8 => (i32::from(i8::MIN), i32::from(i8::MAX)),
+            DType::I16 => (i32::from(i16::MIN), i32::from(i16::MAX)),
+            DType::I32 => (i32::MIN, i32::MAX),
+            DType::Ternary => (-1, 1),
+        }
+    }
+
+    /// Returns `true` if `v` is representable in this type.
+    #[must_use]
+    pub fn contains(self, v: i32) -> bool {
+        let (lo, hi) = self.range();
+        v >= lo && v <= hi
+    }
+
+    /// Saturate `v` into this type's range.
+    #[must_use]
+    pub fn saturate(self, v: i32) -> i32 {
+        let (lo, hi) = self.range();
+        v.clamp(lo, hi)
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DType::I8 => "i8",
+            DType::I16 => "i16",
+            DType::I32 => "i32",
+            DType::Ternary => "ternary",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_and_storage() {
+        assert_eq!(DType::I8.storage_bytes(10), 10);
+        assert_eq!(DType::I32.storage_bytes(10), 40);
+        assert_eq!(DType::I16.storage_bytes(3), 6);
+        // 2 bits/element, packed: 10 elements -> 20 bits -> 3 bytes.
+        assert_eq!(DType::Ternary.storage_bytes(10), 3);
+        assert_eq!(DType::Ternary.storage_bytes(0), 0);
+    }
+
+    #[test]
+    fn ranges() {
+        assert_eq!(DType::I8.range(), (-128, 127));
+        assert_eq!(DType::Ternary.range(), (-1, 1));
+        assert!(DType::I16.contains(-30000));
+        assert!(!DType::I16.contains(40000));
+    }
+
+    #[test]
+    fn saturation() {
+        assert_eq!(DType::I8.saturate(300), 127);
+        assert_eq!(DType::I8.saturate(-300), -128);
+        assert_eq!(DType::Ternary.saturate(7), 1);
+        assert_eq!(DType::I32.saturate(i32::MIN), i32::MIN);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(DType::I8.to_string(), "i8");
+        assert_eq!(DType::Ternary.to_string(), "ternary");
+    }
+}

@@ -1,0 +1,372 @@
+//! Shape and dtype inference for operators.
+
+use crate::{DType, IrError, Op, Padding2d, Shape};
+
+/// Result of inferring one operator application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Inferred {
+    pub shape: Shape,
+    pub dtype: DType,
+}
+
+/// Computes the output spatial extent of a convolution/pooling window.
+///
+/// Returns `None` when the window does not fit (an invalid geometry).
+pub(crate) fn conv_out_dim(
+    input: usize,
+    kernel: usize,
+    stride: usize,
+    pad_lo: usize,
+    pad_hi: usize,
+) -> Option<usize> {
+    let padded = input + pad_lo + pad_hi;
+    if kernel == 0 || stride == 0 || padded < kernel {
+        return None;
+    }
+    Some((padded - kernel) / stride + 1)
+}
+
+fn bad(op: &'static str, expected: impl Into<String>, got: &Shape) -> IrError {
+    IrError::BadOperand {
+        op,
+        expected: expected.into(),
+        got: got.clone(),
+    }
+}
+
+/// Infers the result type of `op` applied to operands with the given
+/// shapes/dtypes. Operand slices are `(shape, dtype)` pairs in operand order.
+pub(crate) fn infer(op: &Op, operands: &[(&Shape, DType)]) -> Result<Inferred, IrError> {
+    if operands.len() != op.arity() {
+        return Err(IrError::BadOperand {
+            op: op.name(),
+            expected: format!("{} operands", op.arity()),
+            got: Shape::new(&[operands.len()]),
+        });
+    }
+    match op {
+        Op::Conv2d { strides, padding } => infer_conv(operands, *strides, *padding),
+        Op::DepthwiseConv2d { strides, padding } => infer_dwconv(operands, *strides, *padding),
+        Op::Dense => infer_dense(operands),
+        Op::BiasAdd => infer_bias_add(operands),
+        Op::RightShift { amount } => {
+            if *amount > 31 {
+                return Err(IrError::BadAttribute {
+                    op: "right_shift",
+                    detail: format!("shift amount {amount} exceeds 31"),
+                });
+            }
+            Ok(Inferred {
+                shape: operands[0].0.clone(),
+                dtype: operands[0].1,
+            })
+        }
+        Op::Clip { min, max } => {
+            if min > max {
+                return Err(IrError::BadAttribute {
+                    op: "clip",
+                    detail: format!("min {min} > max {max}"),
+                });
+            }
+            Ok(Inferred {
+                shape: operands[0].0.clone(),
+                dtype: operands[0].1,
+            })
+        }
+        Op::Cast { to } => Ok(Inferred {
+            shape: operands[0].0.clone(),
+            dtype: *to,
+        }),
+        Op::Relu => Ok(Inferred {
+            shape: operands[0].0.clone(),
+            dtype: operands[0].1,
+        }),
+        Op::Add => {
+            let (a, da) = operands[0];
+            let (b, db) = operands[1];
+            if a != b {
+                return Err(bad("add", format!("matching shapes (lhs {a})"), b));
+            }
+            if da != db {
+                return Err(IrError::DTypeMismatch {
+                    op: "add",
+                    detail: format!("operand dtypes differ: {da} vs {db}"),
+                });
+            }
+            // Element-wise addition widens to the accumulator type so the
+            // following requantization chain is explicit in the graph.
+            Ok(Inferred {
+                shape: a.clone(),
+                dtype: DType::I32,
+            })
+        }
+        Op::Pool2d {
+            kernel,
+            strides,
+            padding,
+            ..
+        } => infer_pool(operands, *kernel, *strides, *padding),
+        Op::Softmax => Ok(Inferred {
+            shape: operands[0].0.clone(),
+            dtype: operands[0].1,
+        }),
+        Op::Reshape { new_shape } => {
+            let (s, d) = operands[0];
+            let target = Shape::new(new_shape);
+            if target.num_elements() != s.num_elements() {
+                return Err(bad(
+                    "reshape",
+                    format!("{} elements", s.num_elements()),
+                    &target,
+                ));
+            }
+            Ok(Inferred {
+                shape: target,
+                dtype: d,
+            })
+        }
+        Op::Flatten => {
+            let (s, d) = operands[0];
+            Ok(Inferred {
+                shape: Shape::new(&[s.num_elements()]),
+                dtype: d,
+            })
+        }
+    }
+}
+
+fn infer_conv(
+    operands: &[(&Shape, DType)],
+    strides: (usize, usize),
+    padding: Padding2d,
+) -> Result<Inferred, IrError> {
+    let (x, _xd) = operands[0];
+    let (w, wd) = operands[1];
+    if x.rank() != 3 {
+        return Err(bad("nn.conv2d", "rank-3 input [C,H,W]", x));
+    }
+    if w.rank() != 4 {
+        return Err(bad("nn.conv2d", "rank-4 weights [K,C,Fy,Fx]", w));
+    }
+    let (c, h, wdt) = (x.dims()[0], x.dims()[1], x.dims()[2]);
+    let (k, wc, fy, fx) = (w.dims()[0], w.dims()[1], w.dims()[2], w.dims()[3]);
+    if wc != c {
+        return Err(bad("nn.conv2d", format!("weight input channels == {c}"), w));
+    }
+    let oy = conv_out_dim(h, fy, strides.0, padding.top, padding.bottom)
+        .ok_or_else(|| bad("nn.conv2d", "window fitting input height", x))?;
+    let ox = conv_out_dim(wdt, fx, strides.1, padding.left, padding.right)
+        .ok_or_else(|| bad("nn.conv2d", "window fitting input width", x))?;
+    // Weights may be I8 (digital) or Ternary (analog); activations stay I8.
+    if !matches!(wd, DType::I8 | DType::Ternary) {
+        return Err(IrError::DTypeMismatch {
+            op: "nn.conv2d",
+            detail: format!("weights must be i8 or ternary, got {wd}"),
+        });
+    }
+    Ok(Inferred {
+        shape: Shape::new(&[k, oy, ox]),
+        dtype: DType::I32,
+    })
+}
+
+fn infer_dwconv(
+    operands: &[(&Shape, DType)],
+    strides: (usize, usize),
+    padding: Padding2d,
+) -> Result<Inferred, IrError> {
+    let (x, _) = operands[0];
+    let (w, wd) = operands[1];
+    if x.rank() != 3 {
+        return Err(bad("nn.depthwise_conv2d", "rank-3 input [C,H,W]", x));
+    }
+    if w.rank() != 3 {
+        return Err(bad("nn.depthwise_conv2d", "rank-3 weights [C,Fy,Fx]", w));
+    }
+    let (c, h, wdt) = (x.dims()[0], x.dims()[1], x.dims()[2]);
+    if w.dims()[0] != c {
+        return Err(bad(
+            "nn.depthwise_conv2d",
+            format!("weight channels == {c}"),
+            w,
+        ));
+    }
+    let (fy, fx) = (w.dims()[1], w.dims()[2]);
+    let oy = conv_out_dim(h, fy, strides.0, padding.top, padding.bottom)
+        .ok_or_else(|| bad("nn.depthwise_conv2d", "window fitting input height", x))?;
+    let ox = conv_out_dim(wdt, fx, strides.1, padding.left, padding.right)
+        .ok_or_else(|| bad("nn.depthwise_conv2d", "window fitting input width", x))?;
+    if !matches!(wd, DType::I8 | DType::Ternary) {
+        return Err(IrError::DTypeMismatch {
+            op: "nn.depthwise_conv2d",
+            detail: format!("weights must be i8 or ternary, got {wd}"),
+        });
+    }
+    Ok(Inferred {
+        shape: Shape::new(&[c, oy, ox]),
+        dtype: DType::I32,
+    })
+}
+
+fn infer_dense(operands: &[(&Shape, DType)]) -> Result<Inferred, IrError> {
+    let (x, _) = operands[0];
+    let (w, wd) = operands[1];
+    if x.rank() != 1 {
+        return Err(bad("nn.dense", "rank-1 input [C]", x));
+    }
+    if w.rank() != 2 {
+        return Err(bad("nn.dense", "rank-2 weights [K,C]", w));
+    }
+    if w.dims()[1] != x.dims()[0] {
+        return Err(bad(
+            "nn.dense",
+            format!("weight columns == {}", x.dims()[0]),
+            w,
+        ));
+    }
+    if !matches!(wd, DType::I8 | DType::Ternary) {
+        return Err(IrError::DTypeMismatch {
+            op: "nn.dense",
+            detail: format!("weights must be i8 or ternary, got {wd}"),
+        });
+    }
+    Ok(Inferred {
+        shape: Shape::new(&[w.dims()[0]]),
+        dtype: DType::I32,
+    })
+}
+
+fn infer_bias_add(operands: &[(&Shape, DType)]) -> Result<Inferred, IrError> {
+    let (x, xd) = operands[0];
+    let (b, bd) = operands[1];
+    if b.rank() != 1 {
+        return Err(bad("nn.bias_add", "rank-1 bias [K]", b));
+    }
+    if x.rank() == 0 || x.dims()[0] != b.dims()[0] {
+        return Err(bad(
+            "nn.bias_add",
+            format!("leading dim == bias length {}", b.dims()[0]),
+            x,
+        ));
+    }
+    if bd != DType::I32 {
+        return Err(IrError::DTypeMismatch {
+            op: "nn.bias_add",
+            detail: format!("bias must be i32, got {bd}"),
+        });
+    }
+    Ok(Inferred {
+        shape: x.clone(),
+        dtype: xd,
+    })
+}
+
+fn infer_pool(
+    operands: &[(&Shape, DType)],
+    kernel: (usize, usize),
+    strides: (usize, usize),
+    padding: Padding2d,
+) -> Result<Inferred, IrError> {
+    let (x, d) = operands[0];
+    if x.rank() != 3 {
+        return Err(bad("nn.pool2d", "rank-3 input [C,H,W]", x));
+    }
+    let (c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2]);
+    let oy = conv_out_dim(h, kernel.0, strides.0, padding.top, padding.bottom)
+        .ok_or_else(|| bad("nn.pool2d", "window fitting input height", x))?;
+    let ox = conv_out_dim(w, kernel.1, strides.1, padding.left, padding.right)
+        .ok_or_else(|| bad("nn.pool2d", "window fitting input width", x))?;
+    Ok(Inferred {
+        shape: Shape::new(&[c, oy, ox]),
+        dtype: d,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_out_dim_cases() {
+        assert_eq!(conv_out_dim(32, 3, 1, 1, 1), Some(32));
+        assert_eq!(conv_out_dim(32, 3, 2, 1, 1), Some(16));
+        assert_eq!(conv_out_dim(4, 5, 1, 0, 0), None);
+        assert_eq!(conv_out_dim(4, 5, 1, 1, 0), Some(1));
+        assert_eq!(conv_out_dim(8, 2, 0, 0, 0), None);
+    }
+
+    #[test]
+    fn conv_infer_shapes() {
+        let x = Shape::new(&[3, 32, 32]);
+        let w = Shape::new(&[16, 3, 3, 3]);
+        let op = Op::Conv2d {
+            strides: (1, 1),
+            padding: Padding2d::same(1),
+        };
+        let r = infer(&op, &[(&x, DType::I8), (&w, DType::I8)]).unwrap();
+        assert_eq!(r.shape.dims(), &[16, 32, 32]);
+        assert_eq!(r.dtype, DType::I32);
+    }
+
+    #[test]
+    fn conv_rejects_channel_mismatch() {
+        let x = Shape::new(&[3, 32, 32]);
+        let w = Shape::new(&[16, 4, 3, 3]);
+        let op = Op::Conv2d {
+            strides: (1, 1),
+            padding: Padding2d::same(1),
+        };
+        assert!(infer(&op, &[(&x, DType::I8), (&w, DType::I8)]).is_err());
+    }
+
+    #[test]
+    fn conv_rejects_i32_weights() {
+        let x = Shape::new(&[3, 8, 8]);
+        let w = Shape::new(&[4, 3, 3, 3]);
+        let op = Op::Conv2d {
+            strides: (1, 1),
+            padding: Padding2d::same(1),
+        };
+        assert!(matches!(
+            infer(&op, &[(&x, DType::I8), (&w, DType::I32)]),
+            Err(IrError::DTypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn add_widens_to_i32() {
+        let s = Shape::new(&[4, 2, 2]);
+        let r = infer(&Op::Add, &[(&s, DType::I8), (&s, DType::I8)]).unwrap();
+        assert_eq!(r.dtype, DType::I32);
+    }
+
+    #[test]
+    fn reshape_checks_element_count() {
+        let s = Shape::new(&[2, 6]);
+        let ok = infer(
+            &Op::Reshape {
+                new_shape: vec![3, 4],
+            },
+            &[(&s, DType::I8)],
+        );
+        assert!(ok.is_ok());
+        let bad = infer(&Op::Reshape { new_shape: vec![5] }, &[(&s, DType::I8)]);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn clip_validates_bounds() {
+        let s = Shape::new(&[2]);
+        assert!(matches!(
+            infer(&Op::Clip { min: 5, max: -5 }, &[(&s, DType::I32)]),
+            Err(IrError::BadAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn right_shift_validates_amount() {
+        let s = Shape::new(&[2]);
+        assert!(infer(&Op::RightShift { amount: 31 }, &[(&s, DType::I32)]).is_ok());
+        assert!(infer(&Op::RightShift { amount: 32 }, &[(&s, DType::I32)]).is_err());
+    }
+}

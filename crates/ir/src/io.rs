@@ -1,0 +1,129 @@
+//! Graph serialization.
+//!
+//! HTVM ingests models "in common formats like TFLite or ONNX" (paper
+//! §III). This crate's equivalent exchange format is JSON: a verified
+//! round trip of the full graph — topology, operator attributes, and
+//! constant payloads — so models can be produced by external tooling,
+//! stored next to benchmark configs, and reloaded bit-exactly.
+
+use crate::{passes, Graph, IrError};
+use std::error::Error;
+use std::fmt;
+
+/// Errors from loading a serialized graph.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum LoadError {
+    /// The payload is not valid JSON for a graph.
+    Parse(serde_json::Error),
+    /// The decoded graph fails verification (corrupt or hand-edited).
+    Invalid(IrError),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Parse(e) => write!(f, "malformed graph json: {e}"),
+            LoadError::Invalid(e) => write!(f, "decoded graph is invalid: {e}"),
+        }
+    }
+}
+
+impl Error for LoadError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LoadError::Parse(e) => Some(e),
+            LoadError::Invalid(e) => Some(e),
+        }
+    }
+}
+
+impl Graph {
+    /// Serializes the graph (topology, attributes, constants) to JSON.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use htvm_ir::{DType, Graph, GraphBuilder};
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut b = GraphBuilder::new();
+    /// let x = b.input("x", &[4], DType::I8);
+    /// let y = b.relu(x)?;
+    /// let g = b.finish(&[y])?;
+    /// let json = g.to_json();
+    /// let back = Graph::from_json(&json)?;
+    /// assert_eq!(g, back);
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("graphs contain no non-serializable state")
+    }
+
+    /// Deserializes and *verifies* a graph from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadError::Parse`] for malformed JSON and
+    /// [`LoadError::Invalid`] when the decoded graph fails structural
+    /// verification (stale shapes, dangling ids, out-of-range constants) —
+    /// loading never produces a graph the compiler could mis-lower.
+    pub fn from_json(json: &str) -> Result<Graph, LoadError> {
+        let graph: Graph = serde_json::from_str(json).map_err(LoadError::Parse)?;
+        passes::verify(&graph).map_err(LoadError::Invalid)?;
+        Ok(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DType, GraphBuilder, Tensor};
+
+    fn sample() -> Graph {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", &[2, 4, 4], DType::I8);
+        let w = b.constant("w", Tensor::zeros(DType::Ternary, &[3, 2, 3, 3]));
+        let c = b.conv2d(x, w, (1, 1), (1, 1, 1, 1)).unwrap();
+        let q = b.requantize(c, 5, true).unwrap();
+        b.finish(&[q]).unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let g = sample();
+        let back = Graph::from_json(&g.to_json()).unwrap();
+        assert_eq!(g, back);
+        assert_eq!(g.to_text(), back.to_text());
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(matches!(
+            Graph::from_json("{not json"),
+            Err(LoadError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_corrupted_graph() {
+        // Tamper with a stored shape: verification must catch it.
+        let g = sample();
+        let json = g.to_json();
+        let tampered = json.replacen("[3,", "[4,", 1);
+        assert!(
+            matches!(
+                Graph::from_json(&tampered),
+                Err(LoadError::Invalid(_) | LoadError::Parse(_))
+            ),
+            "tampered graph must not load"
+        );
+    }
+
+    #[test]
+    fn load_error_displays() {
+        let e = Graph::from_json("[]").unwrap_err();
+        assert!(!e.to_string().is_empty());
+    }
+}

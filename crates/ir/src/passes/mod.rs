@@ -1,0 +1,124 @@
+//! Graph transformation and validation passes.
+//!
+//! These are the "initial optimizations" TVM performs on ingested Relay
+//! graphs before pattern matching (the paper mentions constant folding
+//! explicitly): [`verify`], [`fold_constants`], and
+//! [`eliminate_dead_nodes`].
+
+mod fold;
+mod ternarize;
+mod verify;
+
+pub use fold::fold_constants;
+pub use ternarize::{ternarize_weights, TernarizeOptions};
+pub use verify::verify;
+
+use crate::{Graph, Node, NodeId, NodeKind};
+use std::collections::HashSet;
+
+/// Removes nodes whose value can never reach a graph output.
+///
+/// Returns the rewritten graph and the number of nodes removed. Node ids are
+/// renumbered; graph inputs are always retained (they are part of the
+/// external signature even if unused).
+///
+/// # Examples
+///
+/// ```
+/// use htvm_ir::{DType, GraphBuilder};
+/// use htvm_ir::passes::eliminate_dead_nodes;
+/// # fn main() -> Result<(), htvm_ir::IrError> {
+/// let mut b = GraphBuilder::new();
+/// let x = b.input("x", &[4], DType::I32);
+/// let dead = b.relu(x)?;
+/// let _ = dead; // never used as an output
+/// let live = b.clip(x, 0, 10)?;
+/// let g = b.finish(&[live])?;
+/// let (g, removed) = eliminate_dead_nodes(&g);
+/// assert_eq!(removed, 1);
+/// assert_eq!(g.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn eliminate_dead_nodes(graph: &Graph) -> (Graph, usize) {
+    let mut live: HashSet<NodeId> = HashSet::new();
+    let mut stack: Vec<NodeId> = graph.outputs().to_vec();
+    while let Some(id) = stack.pop() {
+        if live.insert(id) {
+            stack.extend_from_slice(graph.node(id).inputs());
+        }
+    }
+    for &i in graph.inputs() {
+        live.insert(i);
+    }
+
+    let mut remap: Vec<Option<NodeId>> = vec![None; graph.len()];
+    let mut nodes: Vec<Node> = Vec::with_capacity(live.len());
+    for (id, node) in graph.nodes() {
+        if !live.contains(&id) {
+            continue;
+        }
+        let new_id = NodeId(nodes.len());
+        remap[id.0] = Some(new_id);
+        let mut node = node.clone();
+        if let NodeKind::Op { inputs, .. } = &mut node.kind {
+            for i in inputs.iter_mut() {
+                *i = remap[i.0].expect("operand precedes user in topological order");
+            }
+        }
+        nodes.push(node);
+    }
+    let removed = graph.len() - nodes.len();
+    let inputs = graph
+        .inputs()
+        .iter()
+        .map(|i| remap[i.0].expect("inputs retained"))
+        .collect();
+    let outputs = graph
+        .outputs()
+        .iter()
+        .map(|o| remap[o.0].expect("outputs are live"))
+        .collect();
+    (
+        Graph {
+            nodes,
+            inputs,
+            outputs,
+        },
+        removed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DType, GraphBuilder};
+
+    #[test]
+    fn dce_keeps_unused_inputs() {
+        let mut b = GraphBuilder::new();
+        let _unused = b.input("a", &[1], DType::I8);
+        let x = b.input("x", &[1], DType::I8);
+        let y = b.relu(x).unwrap();
+        let g = b.finish(&[y]).unwrap();
+        let (g2, removed) = eliminate_dead_nodes(&g);
+        assert_eq!(removed, 0);
+        assert_eq!(g2.inputs().len(), 2);
+        verify(&g2).unwrap();
+    }
+
+    #[test]
+    fn dce_removes_chains() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", &[1], DType::I32);
+        let d1 = b.relu(x).unwrap();
+        let _d2 = b.clip(d1, 0, 1).unwrap();
+        let live = b.relu(x).unwrap();
+        let g = b.finish(&[live]).unwrap();
+        let (g2, removed) = eliminate_dead_nodes(&g);
+        assert_eq!(removed, 2);
+        verify(&g2).unwrap();
+        assert_eq!(g2.outputs().len(), 1);
+    }
+}

@@ -1,0 +1,238 @@
+//! Weight ternarization.
+//!
+//! DIANA's analog array executes ternary weights; the paper deploys
+//! pre-quantized ternary/mixed networks and dispatches on the weights'
+//! bit width (§III-C). This pass produces those networks from an 8-bit
+//! model: convolution and dense weights are mapped to `{-1, 0, +1}` by
+//! sign with a dead-zone threshold, optionally keeping the first/last
+//! eligible layers in 8-bit — the paper's mixed recipe ("the layers that
+//! do not cause an accuracy drop" go analog).
+
+use crate::{DType, Graph, NodeId, NodeKind, Op, Tensor};
+
+/// Options for [`ternarize_weights`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TernarizeOptions {
+    /// Keep the first accelerator-eligible layer in 8-bit (mixed recipe).
+    pub keep_first: bool,
+    /// Keep the last accelerator-eligible layer in 8-bit (mixed recipe).
+    pub keep_last: bool,
+    /// Dead zone: weights with `|w| <= threshold` become 0.
+    pub threshold: i32,
+}
+
+impl Default for TernarizeOptions {
+    fn default() -> Self {
+        TernarizeOptions {
+            keep_first: false,
+            keep_last: false,
+            threshold: 16,
+        }
+    }
+}
+
+impl TernarizeOptions {
+    /// The paper's mixed recipe: first and last eligible layers stay 8-bit.
+    #[must_use]
+    pub fn mixed() -> Self {
+        TernarizeOptions {
+            keep_first: true,
+            keep_last: true,
+            ..TernarizeOptions::default()
+        }
+    }
+}
+
+/// Rewrites eligible convolution/dense weights to ternary, returning the
+/// new graph and how many weight tensors were converted.
+///
+/// Eligible anchors are `nn.conv2d` and `nn.dense` with constant 8-bit
+/// weights; depthwise weights are never converted (the analog array
+/// cannot execute depthwise, so ternarizing them would only push the
+/// layer onto the CPU, which cannot execute ternary at all — the paper's
+/// footnote). Weight constants shared with a non-converted consumer are
+/// left untouched.
+///
+/// # Examples
+///
+/// ```
+/// use htvm_ir::passes::{TernarizeOptions, ternarize_weights};
+/// use htvm_ir::{DType, GraphBuilder, Tensor};
+/// # fn main() -> Result<(), htvm_ir::IrError> {
+/// let mut b = GraphBuilder::new();
+/// let x = b.input("x", &[2, 4, 4], DType::I8);
+/// let w = b.constant("w", Tensor::new(DType::I8, &[2, 2, 1, 1], vec![90, -5, -90, 3])?);
+/// let c = b.conv2d(x, w, (1, 1), (0, 0, 0, 0))?;
+/// let g = b.finish(&[c])?;
+/// let (t, n) = ternarize_weights(&g, &TernarizeOptions::default());
+/// assert_eq!(n, 1);
+/// let weights = t.nodes().find_map(|(_, n)| n.constant()).unwrap();
+/// assert_eq!(weights.dtype(), DType::Ternary);
+/// assert_eq!(weights.data(), &[1, 0, -1, 0]); // sign with dead zone
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn ternarize_weights(graph: &Graph, opts: &TernarizeOptions) -> (Graph, usize) {
+    // Collect eligible (anchor, weight-constant) pairs in topological order.
+    let mut eligible: Vec<(NodeId, NodeId)> = Vec::new();
+    for (id, node) in graph.nodes() {
+        let Some(op) = node.op() else { continue };
+        if !matches!(op, Op::Conv2d { .. } | Op::Dense) {
+            continue;
+        }
+        let w_id = node.inputs()[1];
+        let w = graph.node(w_id);
+        if w.is_constant() && w.dtype == DType::I8 {
+            eligible.push((id, w_id));
+        }
+    }
+    if eligible.is_empty() {
+        return (graph.clone(), 0);
+    }
+
+    // Apply the keep-first / keep-last exclusions over *all* eligible
+    // anchors (depthwise counts as an eligible layer position in the
+    // paper's recipe, but it is always kept, so only conv/dense appear
+    // here; the boundary layers of these networks are conv/dense anyway).
+    let mut selected: Vec<(NodeId, NodeId)> = eligible.clone();
+    if opts.keep_first {
+        selected.remove(0);
+    }
+    if opts.keep_last && !selected.is_empty() {
+        selected.pop();
+    }
+
+    // A weight may only convert if every consumer is a selected anchor.
+    let users = graph.users();
+    let selected_anchors: std::collections::HashSet<NodeId> =
+        selected.iter().map(|&(a, _)| a).collect();
+    let convert: std::collections::HashSet<NodeId> = selected
+        .iter()
+        .filter(|&&(_, w)| {
+            users
+                .get(&w)
+                .is_some_and(|us| us.iter().all(|u| selected_anchors.contains(u)))
+        })
+        .map(|&(_, w)| w)
+        .collect();
+
+    let mut nodes: Vec<crate::Node> = graph.nodes().map(|(_, n)| n.clone()).collect();
+    for &w_id in &convert {
+        let node = &mut nodes[w_id.index()];
+        let NodeKind::Constant(t) = &node.kind else {
+            unreachable!("eligibility requires a constant");
+        };
+        let data: Vec<i32> = t
+            .data()
+            .iter()
+            .map(|&v| {
+                if v.abs() <= opts.threshold {
+                    0
+                } else {
+                    v.signum()
+                }
+            })
+            .collect();
+        let ternary = Tensor::new(DType::Ternary, t.shape().dims(), data)
+            .expect("sign mapping stays in ternary range");
+        node.dtype = DType::Ternary;
+        node.kind = NodeKind::Constant(ternary);
+    }
+    (
+        Graph {
+            nodes,
+            inputs: graph.inputs().to_vec(),
+            outputs: graph.outputs().to_vec(),
+        },
+        convert.len(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::verify;
+    use crate::GraphBuilder;
+
+    fn three_conv_graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", &[2, 8, 8], DType::I8);
+        let mut cur = x;
+        for i in 0..3 {
+            let w = b.constant(
+                &format!("w{i}"),
+                Tensor::new(DType::I8, &[2, 2, 1, 1], vec![100, -100, 5, -5]).unwrap(),
+            );
+            let c = b.conv2d(cur, w, (1, 1), (0, 0, 0, 0)).unwrap();
+            cur = b.requantize(c, 4, true).unwrap();
+        }
+        b.finish(&[cur]).unwrap()
+    }
+
+    #[test]
+    fn converts_all_by_default() {
+        let g = three_conv_graph();
+        let (t, n) = ternarize_weights(&g, &TernarizeOptions::default());
+        assert_eq!(n, 3);
+        verify(&t).unwrap();
+        let ternary = t
+            .nodes()
+            .filter_map(|(_, n)| n.constant())
+            .filter(|c| c.dtype() == DType::Ternary)
+            .count();
+        assert_eq!(ternary, 3);
+    }
+
+    #[test]
+    fn mixed_recipe_keeps_boundary_layers() {
+        let g = three_conv_graph();
+        let (t, n) = ternarize_weights(&g, &TernarizeOptions::mixed());
+        assert_eq!(n, 1);
+        verify(&t).unwrap();
+        let dtypes: Vec<DType> = t
+            .nodes()
+            .filter_map(|(_, n)| n.constant())
+            .map(Tensor::dtype)
+            .collect();
+        assert_eq!(dtypes, vec![DType::I8, DType::Ternary, DType::I8]);
+    }
+
+    #[test]
+    fn depthwise_weights_untouched() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", &[4, 8, 8], DType::I8);
+        let w = b.constant("dw", Tensor::zeros(DType::I8, &[4, 3, 3]));
+        let d = b.depthwise_conv2d(x, w, (1, 1), (1, 1, 1, 1)).unwrap();
+        let g = b.finish(&[d]).unwrap();
+        let (t, n) = ternarize_weights(&g, &TernarizeOptions::default());
+        assert_eq!(n, 0);
+        verify(&t).unwrap();
+    }
+
+    #[test]
+    fn threshold_controls_dead_zone() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", &[1, 2, 2], DType::I8);
+        let w = b.constant(
+            "w",
+            Tensor::new(DType::I8, &[1, 1, 1, 1], vec![20]).unwrap(),
+        );
+        let c = b.conv2d(x, w, (1, 1), (0, 0, 0, 0)).unwrap();
+        let g = b.finish(&[c]).unwrap();
+        let wide = TernarizeOptions {
+            threshold: 30,
+            ..TernarizeOptions::default()
+        };
+        let (t, _) = ternarize_weights(&g, &wide);
+        let k = t.nodes().find_map(|(_, n)| n.constant()).unwrap();
+        assert_eq!(k.data(), &[0]);
+        let narrow = TernarizeOptions {
+            threshold: 10,
+            ..TernarizeOptions::default()
+        };
+        let (t, _) = ternarize_weights(&g, &narrow);
+        let k = t.nodes().find_map(|(_, n)| n.constant()).unwrap();
+        assert_eq!(k.data(), &[1]);
+    }
+}

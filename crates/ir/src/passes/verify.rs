@@ -1,0 +1,128 @@
+//! Structural graph verification.
+
+use crate::infer::infer;
+use crate::{Graph, IrError, NodeKind};
+
+/// Checks structural well-formedness of a graph:
+///
+/// - every operand id refers to an *earlier* node (topological/SSA order,
+///   which also rules out cycles),
+/// - every output id is in range,
+/// - re-running inference on every op reproduces the stored shape/dtype,
+/// - every constant's payload matches its declared shape/dtype.
+///
+/// # Errors
+///
+/// Returns the first violation found as an [`IrError`].
+///
+/// # Examples
+///
+/// ```
+/// use htvm_ir::{DType, GraphBuilder, passes::verify};
+/// # fn main() -> Result<(), htvm_ir::IrError> {
+/// let mut b = GraphBuilder::new();
+/// let x = b.input("x", &[4], DType::I32);
+/// let y = b.relu(x)?;
+/// let g = b.finish(&[y])?;
+/// verify(&g)?;
+/// # Ok(())
+/// # }
+/// ```
+pub fn verify(graph: &Graph) -> Result<(), IrError> {
+    if graph.is_empty() || graph.outputs().is_empty() {
+        return Err(IrError::EmptyGraph);
+    }
+    for (id, node) in graph.nodes() {
+        match &node.kind {
+            NodeKind::Input => {}
+            NodeKind::Constant(t) => {
+                if t.shape() != &node.shape || t.dtype() != node.dtype {
+                    return Err(IrError::ShapeMismatch {
+                        expected: node.shape.num_elements(),
+                        got: t.shape().num_elements(),
+                    });
+                }
+                t.validate()?;
+            }
+            NodeKind::Op { op, inputs } => {
+                let mut operands = Vec::with_capacity(inputs.len());
+                for &i in inputs {
+                    if i.0 >= id.0 {
+                        return Err(IrError::NotADag);
+                    }
+                    let n = graph.try_node(i)?;
+                    operands.push((&n.shape, n.dtype));
+                }
+                let inferred = infer(op, &operands)?;
+                if inferred.shape != node.shape || inferred.dtype != node.dtype {
+                    return Err(IrError::ShapeMismatch {
+                        expected: inferred.shape.num_elements(),
+                        got: node.shape.num_elements(),
+                    });
+                }
+            }
+        }
+    }
+    for &o in graph.outputs() {
+        graph.try_node(o)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DType, GraphBuilder, Tensor};
+
+    #[test]
+    fn builder_graphs_verify() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", &[3, 8, 8], DType::I8);
+        let w = b.constant("w", Tensor::zeros(DType::I8, &[4, 3, 3, 3]));
+        let c = b.conv2d(x, w, (1, 1), (0, 0, 0, 0)).unwrap();
+        let q = b.requantize(c, 6, true).unwrap();
+        let g = b.finish(&[q]).unwrap();
+        verify(&g).unwrap();
+    }
+
+    #[test]
+    fn detects_forward_reference() {
+        use crate::{Node, NodeId, NodeKind, Op, Shape};
+        // Hand-construct a malformed graph: node 0 references node 1.
+        let g = Graph {
+            nodes: vec![
+                Node {
+                    name: "bad".into(),
+                    kind: NodeKind::Op {
+                        op: Op::Relu,
+                        inputs: vec![NodeId(1)],
+                    },
+                    shape: Shape::new(&[1]),
+                    dtype: DType::I8,
+                },
+                Node {
+                    name: "x".into(),
+                    kind: NodeKind::Input,
+                    shape: Shape::new(&[1]),
+                    dtype: DType::I8,
+                },
+            ],
+            inputs: vec![NodeId(1)],
+            outputs: vec![NodeId(0)],
+        };
+        assert_eq!(verify(&g), Err(IrError::NotADag));
+    }
+
+    #[test]
+    fn detects_stale_shape() {
+        use crate::{NodeKind, Shape};
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", &[4], DType::I32);
+        let y = b.relu(x).unwrap();
+        let mut g = b.finish(&[y]).unwrap();
+        // Corrupt the stored shape.
+        g.nodes[y.index()].shape = Shape::new(&[5]);
+        assert!(matches!(g.nodes[y.index()].kind, NodeKind::Op { .. }));
+        assert!(verify(&g).is_err());
+    }
+}

@@ -1,0 +1,121 @@
+//! Tensor shapes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The shape of a tensor, as a list of dimension extents.
+///
+/// Activations use the `[C, H, W]` (channel–row–column) layout throughout,
+/// matching DIANA's digital accelerator storage order (the paper's
+/// "C - y - x layout"); batch is implicitly 1 as in all TinyML deployments.
+/// Convolution weights use `[K, C, Fy, Fx]`, depthwise weights `[C, Fy, Fx]`,
+/// dense weights `[K, C]`.
+///
+/// # Examples
+///
+/// ```
+/// use htvm_ir::Shape;
+/// let s = Shape::new(&[8, 32, 32]);
+/// assert_eq!(s.num_elements(), 8 * 32 * 32);
+/// assert_eq!(s.rank(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from dimension extents.
+    #[must_use]
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// A rank-0 (scalar) shape.
+    #[must_use]
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// The dimension extents.
+    #[must_use]
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of extents; 1 for scalars).
+    #[must_use]
+    pub fn num_elements(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Extent of dimension `i`, or `None` if out of range.
+    #[must_use]
+    pub fn dim(&self, i: usize) -> Option<usize> {
+        self.0.get(i).copied()
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.num_elements(), 24);
+        assert_eq!(s.dim(1), Some(3));
+        assert_eq!(s.dim(5), None);
+    }
+
+    #[test]
+    fn scalar_has_one_element() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.num_elements(), 1);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Shape::new(&[8, 16, 16]).to_string(), "[8x16x16]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+
+    #[test]
+    fn conversions() {
+        let s: Shape = vec![1, 2].into();
+        assert_eq!(s.dims(), &[1, 2]);
+        let s2: Shape = (&[3usize, 4][..]).into();
+        assert_eq!(s2.dims(), &[3, 4]);
+    }
+}

@@ -1,0 +1,244 @@
+//! Concrete tensor values.
+
+use crate::{DType, IrError, Shape};
+use serde::{Deserialize, Serialize};
+
+/// A concrete integer tensor value.
+///
+/// Elements are stored widened to `i32` regardless of [`DType`]; the dtype
+/// records the *nominal* precision and constrains the representable range
+/// (checked by [`Tensor::new`]). This mirrors how quantized inference is
+/// specified: arithmetic happens in 32-bit accumulators and values are
+/// narrowed explicitly by requantization ops.
+///
+/// # Examples
+///
+/// ```
+/// use htvm_ir::{DType, Tensor};
+/// # fn main() -> Result<(), htvm_ir::IrError> {
+/// let t = Tensor::new(DType::I8, &[2, 2], vec![1, -2, 3, -4])?;
+/// assert_eq!(t.get(&[1, 0]), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tensor {
+    dtype: DType,
+    shape: Shape,
+    data: Vec<i32>,
+}
+
+impl Tensor {
+    /// Creates a tensor, validating that `data` matches the shape's element
+    /// count and that every element is representable in `dtype`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::ShapeMismatch`] if `data.len()` differs from the
+    /// shape's element count, and [`IrError::ValueOutOfRange`] if an element
+    /// does not fit `dtype`.
+    pub fn new(dtype: DType, dims: &[usize], data: Vec<i32>) -> Result<Self, IrError> {
+        let shape = Shape::new(dims);
+        if data.len() != shape.num_elements() {
+            return Err(IrError::ShapeMismatch {
+                expected: shape.num_elements(),
+                got: data.len(),
+            });
+        }
+        if let Some(&bad) = data.iter().find(|v| !dtype.contains(**v)) {
+            return Err(IrError::ValueOutOfRange { value: bad, dtype });
+        }
+        Ok(Tensor { dtype, shape, data })
+    }
+
+    /// Creates an all-zero tensor of the given type and shape.
+    #[must_use]
+    pub fn zeros(dtype: DType, dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        let n = shape.num_elements();
+        Tensor {
+            dtype,
+            shape,
+            data: vec![0; n],
+        }
+    }
+
+    /// Creates a rank-0 scalar tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not representable in `dtype`.
+    #[must_use]
+    pub fn scalar(dtype: DType, v: i32) -> Self {
+        assert!(dtype.contains(v), "scalar {v} out of range for {dtype}");
+        Tensor {
+            dtype,
+            shape: Shape::scalar(),
+            data: vec![v],
+        }
+    }
+
+    /// The element type.
+    #[must_use]
+    pub fn dtype(&self) -> DType {
+        self.dtype
+    }
+
+    /// The shape.
+    #[must_use]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Flat view of the element data (row-major).
+    #[must_use]
+    pub fn data(&self) -> &[i32] {
+        &self.data
+    }
+
+    /// Mutable flat view of the element data (row-major).
+    ///
+    /// Callers are responsible for keeping values within the dtype's range;
+    /// [`Tensor::validate`] re-checks on demand.
+    pub fn data_mut(&mut self) -> &mut [i32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the flat element data.
+    #[must_use]
+    pub fn into_data(self) -> Vec<i32> {
+        self.data
+    }
+
+    /// Row-major flat index for a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` has the wrong rank or an index is out of bounds.
+    #[must_use]
+    pub fn flat_index(&self, idx: &[usize]) -> usize {
+        let dims = self.shape.dims();
+        assert_eq!(idx.len(), dims.len(), "index rank mismatch");
+        let mut flat = 0usize;
+        for (i, (&ix, &d)) in idx.iter().zip(dims).enumerate() {
+            assert!(ix < d, "index {ix} out of bounds for dim {i} (extent {d})");
+            flat = flat * d + ix;
+        }
+        flat
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds (see [`Tensor::flat_index`]).
+    #[must_use]
+    pub fn get(&self, idx: &[usize]) -> i32 {
+        self.data[self.flat_index(idx)]
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds (see [`Tensor::flat_index`]).
+    pub fn set(&mut self, idx: &[usize], v: i32) {
+        let i = self.flat_index(idx);
+        self.data[i] = v;
+    }
+
+    /// Storage size in bytes at the tensor's nominal precision (packed for
+    /// sub-byte types). This is what the binary-size model charges for
+    /// weights stored in the deployed image.
+    #[must_use]
+    pub fn storage_bytes(&self) -> usize {
+        self.dtype.storage_bytes(self.shape.num_elements())
+    }
+
+    /// Re-checks that all elements are within the dtype's range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::ValueOutOfRange`] for the first offending element.
+    pub fn validate(&self) -> Result<(), IrError> {
+        if let Some(&bad) = self.data.iter().find(|v| !self.dtype.contains(**v)) {
+            return Err(IrError::ValueOutOfRange {
+                value: bad,
+                dtype: self.dtype,
+            });
+        }
+        Ok(())
+    }
+
+    /// Returns a copy reinterpreted with a new dtype, saturating each element
+    /// into the new range. Used by requantization folding and test helpers.
+    #[must_use]
+    pub fn saturating_cast(&self, dtype: DType) -> Tensor {
+        Tensor {
+            dtype,
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&v| dtype.saturate(v)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_len_and_range() {
+        assert!(Tensor::new(DType::I8, &[2], vec![1, 2]).is_ok());
+        assert!(matches!(
+            Tensor::new(DType::I8, &[2], vec![1]),
+            Err(IrError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            Tensor::new(DType::I8, &[1], vec![300]),
+            Err(IrError::ValueOutOfRange { .. })
+        ));
+        assert!(matches!(
+            Tensor::new(DType::Ternary, &[1], vec![2]),
+            Err(IrError::ValueOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn indexing_round_trip() {
+        let mut t = Tensor::zeros(DType::I32, &[2, 3, 4]);
+        t.set(&[1, 2, 3], 42);
+        assert_eq!(t.get(&[1, 2, 3]), 42);
+        assert_eq!(t.flat_index(&[1, 2, 3]), 23);
+        assert_eq!(t.get(&[0, 0, 0]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn indexing_out_of_bounds_panics() {
+        let t = Tensor::zeros(DType::I8, &[2, 2]);
+        let _ = t.get(&[2, 0]);
+    }
+
+    #[test]
+    fn storage_bytes_uses_packed_width() {
+        let t = Tensor::zeros(DType::Ternary, &[100]);
+        assert_eq!(t.storage_bytes(), 25); // 100 * 2 bits = 200 bits = 25 B
+        let t = Tensor::zeros(DType::I32, &[100]);
+        assert_eq!(t.storage_bytes(), 400);
+    }
+
+    #[test]
+    fn saturating_cast_clamps() {
+        let t = Tensor::new(DType::I32, &[3], vec![-500, 5, 500]).unwrap();
+        let c = t.saturating_cast(DType::I8);
+        assert_eq!(c.data(), &[-128, 5, 127]);
+        assert_eq!(c.dtype(), DType::I8);
+    }
+
+    #[test]
+    fn scalar_round_trip() {
+        let t = Tensor::scalar(DType::I32, 7);
+        assert_eq!(t.shape().rank(), 0);
+        assert_eq!(t.get(&[]), 7);
+    }
+}

@@ -1,0 +1,326 @@
+//! Convolution kernels (standard and depthwise), with sub-range variants
+//! used by the tiled executor.
+
+use htvm_ir::{DType, Padding2d, Tensor};
+use std::ops::Range;
+
+/// Accumulates a 2-D convolution over sub-ranges of the output and input
+/// channels into an `i32` output tensor.
+///
+/// This is the building block for tiled execution: the SoC simulator calls
+/// it once per tile with the tile's `k`/`oy`/`ox`/`c` ranges, and summing
+/// over all tiles must reproduce [`conv2d`] exactly.
+///
+/// * `x`: input `[C, H, W]` (any integer dtype; values used as-is),
+/// * `w`: weights `[K, C, Fy, Fx]`,
+/// * `out`: accumulator `[K, OY, OX]` with dtype `I32`, updated in place,
+/// * `k_range`/`oy_range`/`ox_range`: the output sub-block to compute,
+/// * `c_range`: the input channels to accumulate (partial sums when a tile
+///   splits the channel dimension).
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent, a range exceeds its dimension, or
+/// `out` is not `I32`.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_accumulate(
+    x: &Tensor,
+    w: &Tensor,
+    out: &mut Tensor,
+    strides: (usize, usize),
+    padding: Padding2d,
+    k_range: Range<usize>,
+    oy_range: Range<usize>,
+    ox_range: Range<usize>,
+    c_range: Range<usize>,
+) {
+    assert_eq!(x.shape().rank(), 3, "conv2d input must be [C,H,W]");
+    assert_eq!(w.shape().rank(), 4, "conv2d weights must be [K,C,Fy,Fx]");
+    assert_eq!(out.dtype(), DType::I32, "conv2d accumulator must be i32");
+    let [c, h, iw] = [
+        x.shape().dims()[0],
+        x.shape().dims()[1],
+        x.shape().dims()[2],
+    ];
+    let [k, wc, fy, fx] = [
+        w.shape().dims()[0],
+        w.shape().dims()[1],
+        w.shape().dims()[2],
+        w.shape().dims()[3],
+    ];
+    assert_eq!(wc, c, "weight input channels must match input");
+    let [ok, ooy, oox] = [
+        out.shape().dims()[0],
+        out.shape().dims()[1],
+        out.shape().dims()[2],
+    ];
+    assert_eq!(ok, k, "output channels must match weights");
+    assert!(k_range.end <= k && oy_range.end <= ooy && ox_range.end <= oox);
+    assert!(c_range.end <= c, "channel range exceeds input channels");
+
+    let (sy, sx) = strides;
+    let xd = x.data();
+    let wd = w.data();
+    let od = out.data_mut();
+    for ko in k_range {
+        for oy in oy_range.clone() {
+            for ox in ox_range.clone() {
+                let mut acc: i32 = 0;
+                for ci in c_range.clone() {
+                    for ky in 0..fy {
+                        // Signed input row index relative to the unpadded input.
+                        let iy = (oy * sy + ky) as isize - padding.top as isize;
+                        if iy < 0 || iy as usize >= h {
+                            continue;
+                        }
+                        for kx in 0..fx {
+                            let ix = (ox * sx + kx) as isize - padding.left as isize;
+                            if ix < 0 || ix as usize >= iw {
+                                continue;
+                            }
+                            let xv = xd[(ci * h + iy as usize) * iw + ix as usize];
+                            let wv = wd[((ko * c + ci) * fy + ky) * fx + kx];
+                            acc = acc.wrapping_add(xv.wrapping_mul(wv));
+                        }
+                    }
+                }
+                let oi = (ko * ooy + oy) * oox + ox;
+                od[oi] = od[oi].wrapping_add(acc);
+            }
+        }
+    }
+}
+
+/// Reference 2-D convolution: `[C,H,W]` input, `[K,C,Fy,Fx]` weights,
+/// `i32` output `[K,OY,OX]`.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent or the window does not fit.
+#[must_use]
+pub fn conv2d(x: &Tensor, w: &Tensor, strides: (usize, usize), padding: Padding2d) -> Tensor {
+    let (h, iw) = (x.shape().dims()[1], x.shape().dims()[2]);
+    let (k, fy, fx) = (
+        w.shape().dims()[0],
+        w.shape().dims()[2],
+        w.shape().dims()[3],
+    );
+    let oy = out_dim(h, fy, strides.0, padding.top, padding.bottom);
+    let ox = out_dim(iw, fx, strides.1, padding.left, padding.right);
+    let mut out = Tensor::zeros(DType::I32, &[k, oy, ox]);
+    let c = x.shape().dims()[0];
+    conv2d_accumulate(x, w, &mut out, strides, padding, 0..k, 0..oy, 0..ox, 0..c);
+    out
+}
+
+/// Computes a depthwise convolution over an output sub-block (channels and
+/// spatial ranges). Depthwise has no cross-channel reduction, so there is no
+/// partial-sum range; each call fully computes its output elements.
+///
+/// * `x`: input `[C, H, W]`,
+/// * `w`: weights `[C, Fy, Fx]`,
+/// * `out`: accumulator `[C, OY, OX]` (`I32`), written in place.
+///
+/// # Panics
+///
+/// Panics on inconsistent shapes or out-of-range sub-blocks.
+#[allow(clippy::too_many_arguments)]
+pub fn depthwise_conv2d_region(
+    x: &Tensor,
+    w: &Tensor,
+    out: &mut Tensor,
+    strides: (usize, usize),
+    padding: Padding2d,
+    c_range: Range<usize>,
+    oy_range: Range<usize>,
+    ox_range: Range<usize>,
+) {
+    assert_eq!(x.shape().rank(), 3, "dwconv input must be [C,H,W]");
+    assert_eq!(w.shape().rank(), 3, "dwconv weights must be [C,Fy,Fx]");
+    assert_eq!(out.dtype(), DType::I32, "dwconv accumulator must be i32");
+    let [c, h, iw] = [
+        x.shape().dims()[0],
+        x.shape().dims()[1],
+        x.shape().dims()[2],
+    ];
+    assert_eq!(w.shape().dims()[0], c);
+    let (fy, fx) = (w.shape().dims()[1], w.shape().dims()[2]);
+    let (ooy, oox) = (out.shape().dims()[1], out.shape().dims()[2]);
+    assert!(c_range.end <= c && oy_range.end <= ooy && ox_range.end <= oox);
+
+    let (sy, sx) = strides;
+    let xd = x.data();
+    let wd = w.data();
+    let od = out.data_mut();
+    for ci in c_range {
+        for oy in oy_range.clone() {
+            for ox in ox_range.clone() {
+                let mut acc: i32 = 0;
+                for ky in 0..fy {
+                    let iy = (oy * sy + ky) as isize - padding.top as isize;
+                    if iy < 0 || iy as usize >= h {
+                        continue;
+                    }
+                    for kx in 0..fx {
+                        let ix = (ox * sx + kx) as isize - padding.left as isize;
+                        if ix < 0 || ix as usize >= iw {
+                            continue;
+                        }
+                        let xv = xd[(ci * h + iy as usize) * iw + ix as usize];
+                        let wv = wd[(ci * fy + ky) * fx + kx];
+                        acc = acc.wrapping_add(xv.wrapping_mul(wv));
+                    }
+                }
+                od[(ci * ooy + oy) * oox + ox] = acc;
+            }
+        }
+    }
+}
+
+/// Reference depthwise convolution: `[C,H,W]` input, `[C,Fy,Fx]` weights,
+/// `i32` output `[C,OY,OX]`.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent or the window does not fit.
+#[must_use]
+pub fn depthwise_conv2d(
+    x: &Tensor,
+    w: &Tensor,
+    strides: (usize, usize),
+    padding: Padding2d,
+) -> Tensor {
+    let (c, h, iw) = (
+        x.shape().dims()[0],
+        x.shape().dims()[1],
+        x.shape().dims()[2],
+    );
+    let (fy, fx) = (w.shape().dims()[1], w.shape().dims()[2]);
+    let oy = out_dim(h, fy, strides.0, padding.top, padding.bottom);
+    let ox = out_dim(iw, fx, strides.1, padding.left, padding.right);
+    let mut out = Tensor::zeros(DType::I32, &[c, oy, ox]);
+    depthwise_conv2d_region(x, w, &mut out, strides, padding, 0..c, 0..oy, 0..ox);
+    out
+}
+
+fn out_dim(input: usize, kernel: usize, stride: usize, lo: usize, hi: usize) -> usize {
+    let padded = input + lo + hi;
+    assert!(
+        kernel > 0 && stride > 0 && padded >= kernel,
+        "convolution window does not fit input"
+    );
+    (padded - kernel) / stride + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htvm_ir::DType;
+
+    fn t(dims: &[usize], data: Vec<i32>) -> Tensor {
+        Tensor::new(DType::I32, dims, data).unwrap()
+    }
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        let x = t(&[1, 3, 3], (1..=9).collect());
+        let w = t(&[1, 1, 1, 1], vec![1]);
+        let y = conv2d(&x, &w, (1, 1), Padding2d::same(0));
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn known_3x3_sum_kernel() {
+        // All-ones 3x3 kernel over a 3x3 input of ones with same-padding:
+        // corner sees 4, edge 6, center 9.
+        let x = t(&[1, 3, 3], vec![1; 9]);
+        let w = t(&[1, 1, 3, 3], vec![1; 9]);
+        let y = conv2d(&x, &w, (1, 1), Padding2d::same(1));
+        assert_eq!(y.shape().dims(), &[1, 3, 3]);
+        assert_eq!(y.data(), &[4, 6, 4, 6, 9, 6, 4, 6, 4]);
+    }
+
+    #[test]
+    fn strides_subsample() {
+        let x = t(&[1, 4, 4], (0..16).collect());
+        let w = t(&[1, 1, 1, 1], vec![1]);
+        let y = conv2d(&x, &w, (2, 2), Padding2d::same(0));
+        assert_eq!(y.shape().dims(), &[1, 2, 2]);
+        assert_eq!(y.data(), &[0, 2, 8, 10]);
+    }
+
+    #[test]
+    fn multi_channel_reduction() {
+        // Two input channels, one output channel, 1x1 kernel with weights
+        // (2, 3): out = 2*x0 + 3*x1.
+        let x = t(&[2, 1, 2], vec![1, 2, 10, 20]);
+        let w = t(&[1, 2, 1, 1], vec![2, 3]);
+        let y = conv2d(&x, &w, (1, 1), Padding2d::same(0));
+        assert_eq!(y.data(), &[2 + 30, 4 + 60]);
+    }
+
+    #[test]
+    fn accumulate_partial_channels_matches_full() {
+        let x = t(&[4, 5, 5], (0..100).map(|v| v % 13 - 6).collect());
+        let w = t(&[3, 4, 3, 3], (0..108).map(|v| v % 7 - 3).collect());
+        let full = conv2d(&x, &w, (1, 1), Padding2d::same(1));
+        let mut partial = Tensor::zeros(DType::I32, full.shape().dims());
+        // Split channel reduction 0..2 then 2..4, and split spatial.
+        for c_range in [0..2usize, 2..4] {
+            for oy_range in [0..3usize, 3..5] {
+                conv2d_accumulate(
+                    &x,
+                    &w,
+                    &mut partial,
+                    (1, 1),
+                    Padding2d::same(1),
+                    0..3,
+                    oy_range.clone(),
+                    0..5,
+                    c_range.clone(),
+                );
+            }
+        }
+        assert_eq!(partial, full);
+    }
+
+    #[test]
+    fn depthwise_is_per_channel() {
+        // Channel 0 scaled by 1, channel 1 scaled by -1 (1x1 kernels).
+        let x = t(&[2, 2, 2], vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        let w = t(&[2, 1, 1], vec![1, -1]);
+        let y = depthwise_conv2d(&x, &w, (1, 1), Padding2d::same(0));
+        assert_eq!(y.data(), &[1, 2, 3, 4, -5, -6, -7, -8]);
+    }
+
+    #[test]
+    fn depthwise_region_matches_full() {
+        let x = t(&[3, 6, 6], (0..108).map(|v| v % 11 - 5).collect());
+        let w = t(&[3, 3, 3], (0..27).map(|v| v % 5 - 2).collect());
+        let full = depthwise_conv2d(&x, &w, (1, 1), Padding2d::same(1));
+        let mut tiled = Tensor::zeros(DType::I32, full.shape().dims());
+        for c_range in [0..1usize, 1..3] {
+            for ox_range in [0..2usize, 2..6] {
+                depthwise_conv2d_region(
+                    &x,
+                    &w,
+                    &mut tiled,
+                    (1, 1),
+                    Padding2d::same(1),
+                    c_range.clone(),
+                    0..6,
+                    ox_range.clone(),
+                );
+            }
+        }
+        assert_eq!(tiled, full);
+    }
+
+    #[test]
+    #[should_panic(expected = "channels must match")]
+    fn channel_mismatch_panics() {
+        let x = t(&[2, 2, 2], vec![0; 8]);
+        let w = t(&[1, 3, 1, 1], vec![0; 3]);
+        let _ = conv2d(&x, &w, (1, 1), Padding2d::same(0));
+    }
+}

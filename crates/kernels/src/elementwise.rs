@@ -1,0 +1,150 @@
+//! Element-wise kernels: bias addition, requantization primitives,
+//! activation functions and residual addition.
+
+use htvm_ir::{DType, Tensor};
+
+/// Adds a per-channel bias `b[k]` to every element of channel `k`.
+///
+/// * `x`: `[K, ...]` tensor (any rank ≥ 1),
+/// * `bias`: `[K]` tensor.
+///
+/// # Panics
+///
+/// Panics if the leading dimension of `x` differs from the bias length.
+#[must_use]
+pub fn bias_add(x: &Tensor, bias: &Tensor) -> Tensor {
+    assert_eq!(bias.shape().rank(), 1, "bias must be rank-1");
+    let k = bias.shape().dims()[0];
+    assert!(
+        x.shape().rank() >= 1 && x.shape().dims()[0] == k,
+        "leading dim of input must equal bias length"
+    );
+    let inner: usize = x.shape().dims()[1..].iter().product();
+    let mut out = x.clone();
+    let bd = bias.data();
+    for (i, v) in out.data_mut().iter_mut().enumerate() {
+        *v = v.wrapping_add(bd[i / inner.max(1)]);
+    }
+    out
+}
+
+/// Arithmetic right shift of every element (the requantization scale step).
+#[must_use]
+pub fn right_shift(x: &Tensor, amount: u32) -> Tensor {
+    let mut out = x.clone();
+    for v in out.data_mut() {
+        *v >>= amount;
+    }
+    out
+}
+
+/// Clamps every element into `[min, max]`.
+#[must_use]
+pub fn clip(x: &Tensor, min: i32, max: i32) -> Tensor {
+    let mut out = x.clone();
+    for v in out.data_mut() {
+        *v = (*v).clamp(min, max);
+    }
+    out
+}
+
+/// Reinterprets the tensor with a new dtype.
+///
+/// # Panics
+///
+/// Panics if a value does not fit the target dtype — the graph must narrow
+/// with an explicit [`clip`] first, exactly as the Listing-1 requantization
+/// chain does.
+#[must_use]
+pub fn cast(x: &Tensor, to: DType) -> Tensor {
+    Tensor::new(to, x.shape().dims(), x.data().to_vec())
+        .expect("cast requires values narrowed into the target range")
+}
+
+/// Rectified linear unit.
+#[must_use]
+pub fn relu(x: &Tensor) -> Tensor {
+    let mut out = x.clone();
+    for v in out.data_mut() {
+        *v = (*v).max(0);
+    }
+    out
+}
+
+/// Element-wise addition, widening to `i32` (residual connections).
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+#[must_use]
+pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape(), b.shape(), "add requires matching shapes");
+    let data = a
+        .data()
+        .iter()
+        .zip(b.data())
+        .map(|(&x, &y)| x.wrapping_add(y))
+        .collect();
+    Tensor::new(DType::I32, a.shape().dims(), data).expect("i32 add cannot overflow range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(dims: &[usize], data: Vec<i32>) -> Tensor {
+        Tensor::new(DType::I32, dims, data).unwrap()
+    }
+
+    #[test]
+    fn bias_add_broadcasts_over_spatial() {
+        let x = t(&[2, 1, 2], vec![1, 2, 3, 4]);
+        let b = t(&[2], vec![10, -10]);
+        let y = bias_add(&x, &b);
+        assert_eq!(y.data(), &[11, 12, -7, -6]);
+    }
+
+    #[test]
+    fn bias_add_rank1() {
+        let x = t(&[3], vec![1, 2, 3]);
+        let b = t(&[3], vec![1, 1, 1]);
+        assert_eq!(bias_add(&x, &b).data(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn shift_is_arithmetic() {
+        let x = t(&[2], vec![-7, 7]);
+        // Rust's >> on i32 is arithmetic: -7 >> 1 == -4 (floor).
+        assert_eq!(right_shift(&x, 1).data(), &[-4, 3]);
+    }
+
+    #[test]
+    fn clip_then_cast_narrows() {
+        let x = t(&[3], vec![-300, 5, 300]);
+        let y = cast(&clip(&x, -128, 127), DType::I8);
+        assert_eq!(y.dtype(), DType::I8);
+        assert_eq!(y.data(), &[-128, 5, 127]);
+    }
+
+    #[test]
+    #[should_panic(expected = "narrowed into the target range")]
+    fn cast_without_clip_panics() {
+        let x = t(&[1], vec![300]);
+        let _ = cast(&x, DType::I8);
+    }
+
+    #[test]
+    fn relu_zeroes_negatives() {
+        let x = t(&[4], vec![-2, -1, 0, 3]);
+        assert_eq!(relu(&x).data(), &[0, 0, 0, 3]);
+    }
+
+    #[test]
+    fn add_widens() {
+        let a = Tensor::new(DType::I8, &[2], vec![100, -100]).unwrap();
+        let b = Tensor::new(DType::I8, &[2], vec![100, -100]).unwrap();
+        let y = add(&a, &b);
+        assert_eq!(y.dtype(), DType::I32);
+        assert_eq!(y.data(), &[200, -200]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Evaluation errors.
+
+use htvm_ir::IrError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the reference graph interpreter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EvalError {
+    /// The number of provided inputs does not match the graph signature.
+    InputCountMismatch {
+        /// Inputs declared by the graph.
+        expected: usize,
+        /// Inputs provided by the caller.
+        got: usize,
+    },
+    /// A provided input tensor does not match the declared shape or dtype.
+    InputTypeMismatch {
+        /// Index of the offending input.
+        index: usize,
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// The graph itself is malformed.
+    Ir(IrError),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::InputCountMismatch { expected, got } => {
+                write!(f, "graph expects {expected} inputs, got {got}")
+            }
+            EvalError::InputTypeMismatch { index, detail } => {
+                write!(f, "input {index}: {detail}")
+            }
+            EvalError::Ir(e) => write!(f, "malformed graph: {e}"),
+        }
+    }
+}
+
+impl Error for EvalError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EvalError::Ir(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IrError> for EvalError {
+    fn from(e: IrError) -> Self {
+        EvalError::Ir(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = EvalError::InputCountMismatch {
+            expected: 2,
+            got: 1,
+        };
+        assert_eq!(e.to_string(), "graph expects 2 inputs, got 1");
+        let e: EvalError = IrError::EmptyGraph.into();
+        assert!(Error::source(&e).is_some());
+    }
+}

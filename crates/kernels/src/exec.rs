@@ -1,0 +1,201 @@
+//! The reference graph interpreter.
+
+use crate::{conv, dense, elementwise, pool, softmax, EvalError};
+use htvm_ir::{Graph, NodeKind, Op, Tensor};
+
+/// Evaluates a graph on concrete inputs using the reference kernels,
+/// returning one tensor per graph output.
+///
+/// This is the *golden model*: every compiled deployment (tiled, fused,
+/// accelerated) must produce bit-identical outputs.
+///
+/// # Errors
+///
+/// Returns [`EvalError`] if the number, shapes or dtypes of `inputs` do not
+/// match the graph signature.
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+pub fn evaluate(graph: &Graph, inputs: &[Tensor]) -> Result<Vec<Tensor>, EvalError> {
+    if inputs.len() != graph.inputs().len() {
+        return Err(EvalError::InputCountMismatch {
+            expected: graph.inputs().len(),
+            got: inputs.len(),
+        });
+    }
+    for (i, (&id, t)) in graph.inputs().iter().zip(inputs).enumerate() {
+        let node = graph.node(id);
+        if t.shape() != &node.shape || t.dtype() != node.dtype {
+            return Err(EvalError::InputTypeMismatch {
+                index: i,
+                detail: format!(
+                    "expected {}{}, got {}{}",
+                    node.dtype,
+                    node.shape,
+                    t.dtype(),
+                    t.shape()
+                ),
+            });
+        }
+        t.validate().map_err(|e| EvalError::InputTypeMismatch {
+            index: i,
+            detail: e.to_string(),
+        })?;
+    }
+
+    let mut values: Vec<Option<Tensor>> = vec![None; graph.len()];
+    let mut next_input = 0usize;
+    for (id, node) in graph.nodes() {
+        let value = match &node.kind {
+            NodeKind::Input => {
+                let t = inputs[next_input].clone();
+                next_input += 1;
+                t
+            }
+            NodeKind::Constant(t) => t.clone(),
+            NodeKind::Op { op, inputs: args } => {
+                let a = |i: usize| {
+                    values[args[i].index()]
+                        .as_ref()
+                        .expect("topological order guarantees operand availability")
+                };
+                apply_op(op, a)
+            }
+        };
+        values[id.index()] = Some(value);
+    }
+    Ok(graph
+        .outputs()
+        .iter()
+        .map(|&o| {
+            values[o.index()]
+                .clone()
+                .expect("outputs validated by graph construction")
+        })
+        .collect())
+}
+
+fn apply_op<'a>(op: &Op, arg: impl Fn(usize) -> &'a Tensor) -> Tensor {
+    match op {
+        Op::Conv2d { strides, padding } => conv::conv2d(arg(0), arg(1), *strides, *padding),
+        Op::DepthwiseConv2d { strides, padding } => {
+            conv::depthwise_conv2d(arg(0), arg(1), *strides, *padding)
+        }
+        Op::Dense => dense::dense(arg(0), arg(1)),
+        Op::BiasAdd => elementwise::bias_add(arg(0), arg(1)),
+        Op::RightShift { amount } => elementwise::right_shift(arg(0), *amount),
+        Op::Clip { min, max } => elementwise::clip(arg(0), *min, *max),
+        Op::Cast { to } => elementwise::cast(arg(0), *to),
+        Op::Relu => elementwise::relu(arg(0)),
+        Op::Add => elementwise::add(arg(0), arg(1)),
+        Op::Pool2d {
+            kind,
+            kernel,
+            strides,
+            padding,
+        } => pool::pool2d(arg(0), *kind, *kernel, *strides, *padding),
+        Op::Softmax => softmax::softmax(arg(0)),
+        Op::Reshape { new_shape } => {
+            let x = arg(0);
+            Tensor::new(x.dtype(), new_shape, x.data().to_vec())
+                .expect("reshape validated by inference")
+        }
+        Op::Flatten => {
+            let x = arg(0);
+            let n = x.shape().num_elements();
+            Tensor::new(x.dtype(), &[n], x.data().to_vec())
+                .expect("flatten preserves element count")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htvm_ir::{DType, GraphBuilder};
+
+    #[test]
+    fn end_to_end_conv_block() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", &[1, 3, 3], DType::I8);
+        let w = b.constant("w", Tensor::new(DType::I8, &[1, 1, 1, 1], vec![2]).unwrap());
+        let bias = b.constant("b", Tensor::new(DType::I32, &[1], vec![4]).unwrap());
+        let c = b.conv2d(x, w, (1, 1), (0, 0, 0, 0)).unwrap();
+        let c = b.bias_add(c, bias).unwrap();
+        let q = b.requantize(c, 1, true).unwrap();
+        let g = b.finish(&[q]).unwrap();
+        let input = Tensor::new(DType::I8, &[1, 3, 3], vec![-8, -1, 0, 1, 2, 3, 4, 5, 6]).unwrap();
+        let out = evaluate(&g, &[input]).unwrap();
+        // y = relu((2x + 4) >> 1) = relu(x + 2)
+        assert_eq!(out[0].data(), &[0, 1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(out[0].dtype(), DType::I8);
+    }
+
+    #[test]
+    fn rejects_wrong_input_count() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", &[2], DType::I8);
+        let y = b.relu(x).unwrap();
+        let g = b.finish(&[y]).unwrap();
+        assert!(matches!(
+            evaluate(&g, &[]),
+            Err(EvalError::InputCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_input_shape() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", &[2], DType::I8);
+        let y = b.relu(x).unwrap();
+        let g = b.finish(&[y]).unwrap();
+        let bad = Tensor::zeros(DType::I8, &[3]);
+        assert!(matches!(
+            evaluate(&g, &[bad]),
+            Err(EvalError::InputTypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_input_values() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", &[1], DType::I8);
+        let y = b.relu(x).unwrap();
+        let g = b.finish(&[y]).unwrap();
+        // Construct an i32 tensor and force it through as "i8" via zeros +
+        // data_mut to simulate a caller bug.
+        let mut bad = Tensor::zeros(DType::I8, &[1]);
+        bad.data_mut()[0] = 1000;
+        assert!(matches!(
+            evaluate(&g, &[bad]),
+            Err(EvalError::InputTypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn multiple_outputs() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", &[2], DType::I32);
+        let y = b.relu(x).unwrap();
+        let z = b.clip(x, -1, 1).unwrap();
+        let g = b.finish(&[y, z]).unwrap();
+        let input = Tensor::new(DType::I32, &[2], vec![-5, 5]).unwrap();
+        let out = evaluate(&g, &[input]).unwrap();
+        assert_eq!(out[0].data(), &[0, 5]);
+        assert_eq!(out[1].data(), &[-1, 1]);
+    }
+
+    #[test]
+    fn residual_add_block() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", &[2, 2, 2], DType::I8);
+        let y = b.relu(x).unwrap();
+        let s = b.add(x, y).unwrap();
+        let q = b.requantize(s, 0, false).unwrap();
+        let g = b.finish(&[q]).unwrap();
+        let input = Tensor::new(DType::I8, &[2, 2, 2], vec![-1, 2, -3, 4, -5, 6, -7, 8]).unwrap();
+        let out = evaluate(&g, &[input]).unwrap();
+        assert_eq!(out[0].data(), &[-1, 4, -3, 8, -5, 12, -7, 16]);
+    }
+}

@@ -1,0 +1,161 @@
+//! An independent im2col + GEMM convolution.
+//!
+//! Algorithmic diversity for the correctness story: this formulation
+//! lowers the convolution to an explicit patch matrix and a matrix
+//! multiply — the classic CPU-library approach (CMSIS-NN and TVM's
+//! default conv schedules do exactly this) — and must agree bit-for-bit
+//! with the direct nested-loop [`conv2d`](crate::conv2d) on every input.
+//! The differential property test in `tests/properties.rs` enforces that.
+
+use htvm_ir::{DType, Padding2d, Tensor};
+
+/// Lowers the input into the im2col patch matrix of shape
+/// `[C·Fy·Fx, OY·OX]`: column `j` holds the receptive field of output
+/// position `j`, with zero padding materialized explicitly.
+///
+/// # Panics
+///
+/// Panics if the input is not rank 3 or the window does not fit.
+#[must_use]
+pub fn im2col(
+    x: &Tensor,
+    kernel: (usize, usize),
+    strides: (usize, usize),
+    padding: Padding2d,
+) -> Tensor {
+    assert_eq!(x.shape().rank(), 3, "im2col input must be [C,H,W]");
+    let (c, h, w) = (
+        x.shape().dims()[0],
+        x.shape().dims()[1],
+        x.shape().dims()[2],
+    );
+    let (fy, fx) = kernel;
+    let (sy, sx) = strides;
+    let padded_h = h + padding.top + padding.bottom;
+    let padded_w = w + padding.left + padding.right;
+    assert!(
+        fy > 0 && fx > 0 && sy > 0 && sx > 0 && padded_h >= fy && padded_w >= fx,
+        "convolution window does not fit input"
+    );
+    let oy = (padded_h - fy) / sy + 1;
+    let ox = (padded_w - fx) / sx + 1;
+    let rows = c * fy * fx;
+    let cols = oy * ox;
+    let mut out = Tensor::zeros(DType::I32, &[rows, cols]);
+    let xd = x.data();
+    let od = out.data_mut();
+    for ci in 0..c {
+        for ky in 0..fy {
+            for kx in 0..fx {
+                let row = (ci * fy + ky) * fx + kx;
+                for yo in 0..oy {
+                    let iy = (yo * sy + ky) as isize - padding.top as isize;
+                    for xo in 0..ox {
+                        let ix = (xo * sx + kx) as isize - padding.left as isize;
+                        let v = if iy < 0 || iy as usize >= h || ix < 0 || ix as usize >= w {
+                            0
+                        } else {
+                            xd[(ci * h + iy as usize) * w + ix as usize]
+                        };
+                        od[row * cols + yo * ox + xo] = v;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Convolution via im2col + GEMM: reshapes the weights to
+/// `[K, C·Fy·Fx]`, multiplies by the patch matrix, and reshapes the
+/// product to `[K, OY, OX]`. Bit-identical to [`conv2d`](crate::conv2d).
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent or the window does not fit.
+#[must_use]
+pub fn conv2d_im2col(
+    x: &Tensor,
+    w: &Tensor,
+    strides: (usize, usize),
+    padding: Padding2d,
+) -> Tensor {
+    assert_eq!(w.shape().rank(), 4, "weights must be [K,C,Fy,Fx]");
+    let (k, wc, fy, fx) = (
+        w.shape().dims()[0],
+        w.shape().dims()[1],
+        w.shape().dims()[2],
+        w.shape().dims()[3],
+    );
+    assert_eq!(
+        wc,
+        x.shape().dims()[0],
+        "weight input channels must match input"
+    );
+    let patches = im2col(x, (fy, fx), strides, padding);
+    let rows = patches.shape().dims()[0];
+    let cols = patches.shape().dims()[1];
+    // GEMM: [K, rows] x [rows, cols] -> [K, cols].
+    let mut out_flat = vec![0i32; k * cols];
+    let wd = w.data();
+    let pd = patches.data();
+    for ko in 0..k {
+        for r in 0..rows {
+            let wv = wd[ko * rows + r];
+            if wv == 0 {
+                continue;
+            }
+            let prow = &pd[r * cols..(r + 1) * cols];
+            let orow = &mut out_flat[ko * cols..(ko + 1) * cols];
+            for (o, &p) in orow.iter_mut().zip(prow) {
+                *o = o.wrapping_add(wv.wrapping_mul(p));
+            }
+        }
+    }
+    // Recover output spatial dims from the patch-column count.
+    let (h, ww) = (x.shape().dims()[1], x.shape().dims()[2]);
+    let oy = (h + padding.top + padding.bottom - fy) / strides.0 + 1;
+    let ox = (ww + padding.left + padding.right - fx) / strides.1 + 1;
+    debug_assert_eq!(oy * ox, cols);
+    Tensor::new(DType::I32, &[k, oy, ox], out_flat).expect("gemm output is well formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv2d;
+
+    fn t(dims: &[usize], data: Vec<i32>) -> Tensor {
+        Tensor::new(DType::I32, dims, data).unwrap()
+    }
+
+    #[test]
+    fn im2col_identity_window() {
+        // 1x1 window, no padding: patch matrix is just a reshape.
+        let x = t(&[2, 2, 2], vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        let p = im2col(&x, (1, 1), (1, 1), Padding2d::same(0));
+        assert_eq!(p.shape().dims(), &[2, 4]);
+        assert_eq!(p.data(), x.data());
+    }
+
+    #[test]
+    fn im2col_materializes_zero_padding() {
+        let x = t(&[1, 1, 1], vec![9]);
+        let p = im2col(&x, (3, 3), (1, 1), Padding2d::same(1));
+        assert_eq!(p.shape().dims(), &[9, 1]);
+        // The single real value sits at the window center.
+        let expected: Vec<i32> = (0..9).map(|i| if i == 4 { 9 } else { 0 }).collect();
+        assert_eq!(p.data(), &expected[..]);
+    }
+
+    #[test]
+    fn matches_direct_conv_on_fixed_case() {
+        let x = t(&[3, 6, 5], (0..90).map(|v| v % 11 - 5).collect());
+        let w = t(&[4, 3, 3, 3], (0..108).map(|v| v % 7 - 3).collect());
+        for (strides, pad) in [((1, 1), 1), ((2, 2), 1), ((1, 1), 0), ((2, 1), 2)] {
+            let direct = conv2d(&x, &w, strides, Padding2d::same(pad));
+            let gemm = conv2d_im2col(&x, &w, strides, Padding2d::same(pad));
+            assert_eq!(direct, gemm, "strides {strides:?} pad {pad}");
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! 2-D pooling kernels.
+
+use crate::round_div;
+use htvm_ir::{Padding2d, PoolKind, Tensor};
+
+/// 2-D pooling over a `[C, H, W]` tensor.
+///
+/// Average pooling divides by the number of *valid* (in-bounds) window
+/// elements with round-half-away-from-zero, matching common quantized
+/// `AveragePool` semantics where padding is excluded from the count.
+/// Max pooling ignores padded positions entirely.
+///
+/// # Panics
+///
+/// Panics if the input is not rank 3 or the window does not fit.
+#[must_use]
+pub fn pool2d(
+    x: &Tensor,
+    kind: PoolKind,
+    kernel: (usize, usize),
+    strides: (usize, usize),
+    padding: Padding2d,
+) -> Tensor {
+    assert_eq!(x.shape().rank(), 3, "pool2d input must be [C,H,W]");
+    let (c, h, w) = (
+        x.shape().dims()[0],
+        x.shape().dims()[1],
+        x.shape().dims()[2],
+    );
+    let (ky, kx) = kernel;
+    let (sy, sx) = strides;
+    let padded_h = h + padding.top + padding.bottom;
+    let padded_w = w + padding.left + padding.right;
+    assert!(
+        ky > 0 && kx > 0 && sy > 0 && sx > 0 && padded_h >= ky && padded_w >= kx,
+        "pooling window does not fit input"
+    );
+    let oy = (padded_h - ky) / sy + 1;
+    let ox = (padded_w - kx) / sx + 1;
+    let mut out = Tensor::zeros(x.dtype(), &[c, oy, ox]);
+    let xd = x.data();
+    for ci in 0..c {
+        for yo in 0..oy {
+            for xo in 0..ox {
+                let mut acc: i64 = 0;
+                let mut max_v = i32::MIN;
+                let mut count: i64 = 0;
+                for dy in 0..ky {
+                    let iy = (yo * sy + dy) as isize - padding.top as isize;
+                    if iy < 0 || iy as usize >= h {
+                        continue;
+                    }
+                    for dx in 0..kx {
+                        let ix = (xo * sx + dx) as isize - padding.left as isize;
+                        if ix < 0 || ix as usize >= w {
+                            continue;
+                        }
+                        let v = xd[(ci * h + iy as usize) * w + ix as usize];
+                        acc += i64::from(v);
+                        max_v = max_v.max(v);
+                        count += 1;
+                    }
+                }
+                let v = match kind {
+                    PoolKind::Avg => {
+                        if count == 0 {
+                            0
+                        } else {
+                            round_div(acc, count) as i32
+                        }
+                    }
+                    PoolKind::Max => {
+                        if count == 0 {
+                            0
+                        } else {
+                            max_v
+                        }
+                    }
+                };
+                out.set(&[ci, yo, xo], v);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htvm_ir::DType;
+
+    fn t(dims: &[usize], data: Vec<i32>) -> Tensor {
+        Tensor::new(DType::I32, dims, data).unwrap()
+    }
+
+    #[test]
+    fn avg_pool_2x2() {
+        let x = t(&[1, 2, 2], vec![1, 3, 5, 7]);
+        let y = pool2d(&x, PoolKind::Avg, (2, 2), (1, 1), Padding2d::same(0));
+        assert_eq!(y.shape().dims(), &[1, 1, 1]);
+        assert_eq!(y.data(), &[4]);
+    }
+
+    #[test]
+    fn avg_pool_rounds_half_away_from_zero() {
+        let x = t(&[1, 1, 2], vec![1, 2]); // mean 1.5 -> 2
+        let y = pool2d(&x, PoolKind::Avg, (1, 2), (1, 1), Padding2d::same(0));
+        assert_eq!(y.data(), &[2]);
+        let x = t(&[1, 1, 2], vec![-1, -2]); // mean -1.5 -> -2
+        let y = pool2d(&x, PoolKind::Avg, (1, 2), (1, 1), Padding2d::same(0));
+        assert_eq!(y.data(), &[-2]);
+    }
+
+    #[test]
+    fn max_pool_strided() {
+        let x = t(&[1, 4, 4], (0..16).collect());
+        let y = pool2d(&x, PoolKind::Max, (2, 2), (2, 2), Padding2d::same(0));
+        assert_eq!(y.shape().dims(), &[1, 2, 2]);
+        assert_eq!(y.data(), &[5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn padding_excluded_from_average() {
+        // 1x1 input padded by 1: the corner windows see only the one real
+        // element, so average == that element, not element/4.
+        let x = t(&[1, 1, 1], vec![8]);
+        let y = pool2d(&x, PoolKind::Avg, (2, 2), (1, 1), Padding2d::same(1));
+        assert_eq!(y.shape().dims(), &[1, 2, 2]);
+        assert_eq!(y.data(), &[8, 8, 8, 8]);
+    }
+
+    #[test]
+    fn global_average() {
+        let x = t(&[2, 2, 2], vec![1, 2, 3, 4, -1, -2, -3, -4]);
+        let y = pool2d(&x, PoolKind::Avg, (2, 2), (1, 1), Padding2d::same(0));
+        assert_eq!(y.data(), &[3, -3]);
+    }
+
+    #[test]
+    fn preserves_dtype() {
+        let x = Tensor::new(DType::I8, &[1, 2, 2], vec![4, 4, 4, 4]).unwrap();
+        let y = pool2d(&x, PoolKind::Avg, (2, 2), (1, 1), Padding2d::same(0));
+        assert_eq!(y.dtype(), DType::I8);
+    }
+}

@@ -1,0 +1,76 @@
+//! Softmax (always executed on the CPU in HTVM deployments).
+
+use htvm_ir::Tensor;
+
+/// Softmax over the last dimension, returning quantized probabilities.
+///
+/// Inputs are treated as raw integer logits. The result is quantized back to
+/// the input dtype's range as `round(p · hi)` where `hi` is the dtype's
+/// maximum (e.g. 127 for `i8`), matching how TFLite emits an int8 softmax
+/// (up to the zero-point convention, which is irrelevant for arg-max style
+/// consumers). Computation uses the numerically stable max-subtracted form
+/// in `f64` and is fully deterministic.
+///
+/// # Panics
+///
+/// Panics if the input has rank 0.
+#[must_use]
+pub fn softmax(x: &Tensor) -> Tensor {
+    assert!(x.shape().rank() >= 1, "softmax requires rank >= 1");
+    let dims = x.shape().dims();
+    let n = *dims.last().expect("rank checked above");
+    let outer: usize = dims[..dims.len() - 1].iter().product();
+    let (_, hi) = x.dtype().range();
+    let mut out = x.clone();
+    let data = out.data_mut();
+    for row in 0..outer {
+        let s = &mut data[row * n..(row + 1) * n];
+        let max = s.iter().copied().max().unwrap_or(0);
+        let exps: Vec<f64> = s.iter().map(|&v| f64::from(v - max).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        for (v, e) in s.iter_mut().zip(&exps) {
+            *v = ((e / sum) * f64::from(hi)).round() as i32;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htvm_ir::DType;
+
+    #[test]
+    fn uniform_logits_give_uniform_probabilities() {
+        let x = Tensor::new(DType::I8, &[4], vec![5, 5, 5, 5]).unwrap();
+        let y = softmax(&x);
+        // 127/4 = 31.75 -> 32 after rounding.
+        assert_eq!(y.data(), &[32, 32, 32, 32]);
+    }
+
+    #[test]
+    fn dominant_logit_saturates() {
+        let x = Tensor::new(DType::I8, &[3], vec![100, 0, 0]).unwrap();
+        let y = softmax(&x);
+        assert_eq!(y.data()[0], 127);
+        assert_eq!(y.data()[1], 0);
+    }
+
+    #[test]
+    fn argmax_is_preserved() {
+        let x = Tensor::new(DType::I32, &[5], vec![3, -1, 7, 7, 0]).unwrap();
+        let y = softmax(&x);
+        let max = y.data().iter().copied().max().unwrap();
+        assert_eq!(y.data()[2], max);
+        assert_eq!(y.data()[3], max);
+    }
+
+    #[test]
+    fn rows_are_independent() {
+        let x = Tensor::new(DType::I8, &[2, 2], vec![10, 0, 0, 10]).unwrap();
+        let y = softmax(&x);
+        assert_eq!(y.data()[0], y.data()[3]);
+        assert_eq!(y.data()[1], y.data()[2]);
+        assert!(y.data()[0] > y.data()[1]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Single-layer workload generators for the Fig. 4 and Fig. 5 sweeps.
+
+use htvm_dory::LayerGeometry;
+use htvm_ir::DType;
+
+/// The convolutional layers whose tiled latency Fig. 4 sweeps against a
+/// shrinking L1 budget: three sizes so at least one curve leaves the
+/// "fits untiled" grey region at every budget in the sweep.
+#[must_use]
+pub fn fig4_layers() -> Vec<(&'static str, LayerGeometry)> {
+    vec![
+        (
+            "conv_32x32x16x16",
+            LayerGeometry::conv2d(32, 32, 16, 16, 3, 3, (1, 1), (1, 1, 1, 1)),
+        ),
+        (
+            "conv_64x64x32x32",
+            LayerGeometry::conv2d(64, 64, 32, 32, 3, 3, (1, 1), (1, 1, 1, 1)),
+        ),
+        (
+            "conv_128x128x32x32",
+            LayerGeometry::conv2d(128, 128, 32, 32, 3, 3, (1, 1), (1, 1, 1, 1)),
+        ),
+    ]
+}
+
+/// The L1 activation budgets (bytes) Fig. 4 sweeps, largest first
+/// (the x-axis of the figure: "decreasing L1 memory budget").
+#[must_use]
+pub fn fig4_budgets() -> Vec<usize> {
+    [256, 128, 64, 48, 32, 24, 16, 12, 8]
+        .into_iter()
+        .map(|kb| kb * 1024)
+        .collect()
+}
+
+/// Fig. 5 Conv2D geometries scaling the *channel* dimension (constant
+/// 16×16 spatial size).
+#[must_use]
+pub fn fig5_conv_channel_sweep(w_dtype: DType) -> Vec<LayerGeometry> {
+    [8usize, 16, 32, 48, 64, 96, 128]
+        .into_iter()
+        .map(|c| {
+            LayerGeometry::conv2d(c, c, 16, 16, 3, 3, (1, 1), (1, 1, 1, 1))
+                .with_weight_dtype(w_dtype)
+        })
+        .collect()
+}
+
+/// Fig. 5 Conv2D geometries scaling the *spatial* dimension (constant 32
+/// channels).
+#[must_use]
+pub fn fig5_conv_spatial_sweep(w_dtype: DType) -> Vec<LayerGeometry> {
+    [8usize, 16, 24, 32, 48, 64]
+        .into_iter()
+        .map(|s| {
+            LayerGeometry::conv2d(32, 32, s, s, 3, 3, (1, 1), (1, 1, 1, 1))
+                .with_weight_dtype(w_dtype)
+        })
+        .collect()
+}
+
+/// Fig. 5 fully-connected geometries scaling the channel dimensions
+/// (digital engine; the paper's worst-case overhead workload).
+#[must_use]
+pub fn fig5_fc_sweep() -> Vec<LayerGeometry> {
+    [16usize, 32, 64, 128, 256, 512]
+        .into_iter()
+        .map(|n| LayerGeometry::dense(n, n))
+        .collect()
+}
+
+/// Fig. 5 depthwise geometries scaling the channel count (digital engine).
+#[must_use]
+pub fn fig5_dw_sweep() -> Vec<LayerGeometry> {
+    [16usize, 32, 64, 128, 256]
+        .into_iter()
+        .map(|c| LayerGeometry::depthwise(c, 16, 16, 3, 3, (1, 1), (1, 1, 1, 1)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_covers_tiling_and_untiled_regimes() {
+        let layers = fig4_layers();
+        let budgets = fig4_budgets();
+        // The largest budget must hold the smallest layer untiled...
+        let (_, small) = &layers[0];
+        assert!(small.input_bytes() + small.output_bytes() <= budgets[0]);
+        // ...and the smallest budget must force tiling on the largest.
+        let (_, large) = &layers[2];
+        assert!(large.input_bytes() + large.output_bytes() > *budgets.last().unwrap());
+    }
+
+    #[test]
+    fn budgets_strictly_decrease() {
+        let b = fig4_budgets();
+        assert!(b.windows(2).all(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn sweeps_grow_monotonically_in_macs() {
+        for sweep in [
+            fig5_conv_channel_sweep(DType::I8),
+            fig5_conv_spatial_sweep(DType::I8),
+            fig5_fc_sweep(),
+            fig5_dw_sweep(),
+        ] {
+            let macs: Vec<u64> = sweep.iter().map(LayerGeometry::macs).collect();
+            assert!(macs.windows(2).all(|w| w[0] < w[1]), "{macs:?}");
+        }
+    }
+
+    #[test]
+    fn ternary_sweeps_use_ternary_weights() {
+        for g in fig5_conv_channel_sweep(DType::Ternary) {
+            assert_eq!(g.w_dtype, DType::Ternary);
+        }
+    }
+}

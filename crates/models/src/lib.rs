@@ -1,0 +1,44 @@
+//! MLPerf™ Tiny model zoo and synthetic workloads for HTVM-RS.
+//!
+//! The paper evaluates HTVM on the four networks of the MLPerf Tiny v1.0
+//! suite (§IV-C). Trained weights are irrelevant to deployment latency and
+//! binary size — only topology and quantization matter — so this crate
+//! rebuilds the four topologies layer-by-layer with seeded synthetic
+//! weights:
+//!
+//! - [`ds_cnn`] — keyword-spotting CNN (input filter adapted to 7×5, as
+//!   the paper's Table I footnote describes),
+//! - [`mobilenet_v1`] — MobileNetV1 0.25× @ 96×96 for Visual Wake Words,
+//! - [`resnet8`] — the CIFAR-10 ResNet image classifier,
+//! - [`toyadmos_dae`] — the ToyADMOS deep auto-encoder.
+//!
+//! Each takes a [`QuantScheme`] selecting the per-layer weight precision
+//! that drives HTVM's bit-width-based dispatch: all-8-bit (digital),
+//! all-ternary-convolutions (analog), or the paper's mixed recipe (first
+//! and last accelerator-eligible layers plus all depthwise layers in
+//! 8-bit, everything else ternary).
+//!
+//! The [`layers`] module generates the single-layer sweeps behind Fig. 4
+//! and Fig. 5.
+//!
+//! # Examples
+//!
+//! ```
+//! use htvm_models::{QuantScheme, resnet8};
+//! let model = resnet8(QuantScheme::Int8);
+//! assert_eq!(model.name, "resnet8");
+//! let macs = model.graph.total_macs();
+//! assert!(macs > 10_000_000 && macs < 15_000_000); // ~12.5 M MACs
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod layers;
+mod weights;
+mod zoo;
+
+pub use weights::random_input;
+pub use zoo::{
+    all_models, ds_cnn, mobilenet_v1, resnet8, stress_test, toyadmos_dae, Model, QuantScheme,
+};

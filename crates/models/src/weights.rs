@@ -1,0 +1,58 @@
+//! Seeded synthetic tensors.
+
+use htvm_ir::{DType, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fills a tensor with seeded values spanning the dtype's range (weights).
+pub(crate) fn random_tensor(rng: &mut StdRng, dtype: DType, dims: &[usize]) -> Tensor {
+    let mut t = Tensor::zeros(dtype, dims);
+    let (lo, hi) = match dtype {
+        // Keep biases moderate so requantized outputs stay informative.
+        DType::I32 => (-1024, 1024),
+        d => d.range(),
+    };
+    for v in t.data_mut() {
+        *v = rng.gen_range(lo..=hi);
+    }
+    t
+}
+
+/// A deterministic pseudo-random `i8` activation tensor, for feeding
+/// compiled networks in tests and benches.
+///
+/// # Examples
+///
+/// ```
+/// use htvm_models::random_input;
+/// let a = random_input(42, &[3, 32, 32]);
+/// let b = random_input(42, &[3, 32, 32]);
+/// assert_eq!(a, b); // same seed, same data
+/// ```
+#[must_use]
+pub fn random_input(seed: u64, dims: &[usize]) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    random_tensor(&mut rng, DType::I8, dims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = random_input(1, &[8]);
+        let b = random_input(2, &[8]);
+        assert_ne!(a, b);
+        assert_eq!(a, random_input(1, &[8]));
+    }
+
+    #[test]
+    fn ternary_values_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = random_tensor(&mut rng, DType::Ternary, &[100]);
+        t.validate().unwrap();
+        assert!(t.data().contains(&-1));
+        assert!(t.data().contains(&1));
+    }
+}

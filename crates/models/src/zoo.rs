@@ -1,0 +1,422 @@
+//! The four MLPerf™ Tiny v1.0 topologies.
+
+use crate::weights::{random_input, random_tensor};
+use htvm_ir::{DType, Graph, GraphBuilder, NodeId, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-layer weight-precision recipe. HTVM's dispatch looks at the
+/// weights' bit width (paper §III-C), so the quantization scheme *is* the
+/// deployment recipe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QuantScheme {
+    /// All layers 8-bit — the digital and plain-TVM configurations.
+    Int8,
+    /// Convolutions and dense layers ternary (analog); depthwise layers
+    /// stay 8-bit since the analog array cannot execute them (they fall to
+    /// the CPU in the analog-only configuration).
+    Ternary,
+    /// The paper's mixed recipe: the first and last accelerator-eligible
+    /// layers and all depthwise layers in 8-bit (digital — "all the layers
+    /// that do not cause an accuracy drop"), everything else ternary
+    /// (analog).
+    Mixed,
+}
+
+/// A generated network with its metadata.
+#[derive(Debug, Clone)]
+pub struct Model {
+    /// Stable name (`"ds_cnn"`, `"mobilenet_v1"`, `"resnet8"`,
+    /// `"toyadmos_dae"`).
+    pub name: &'static str,
+    /// The quantized graph.
+    pub graph: Graph,
+    /// Input tensor dimensions.
+    pub input_dims: Vec<usize>,
+    /// The scheme the model was built with.
+    pub scheme: QuantScheme,
+}
+
+impl Model {
+    /// A deterministic input tensor for this model.
+    #[must_use]
+    pub fn input(&self, seed: u64) -> Tensor {
+        random_input(seed, &self.input_dims)
+    }
+}
+
+/// Builder tracking the accelerator-eligible layer index for the mixed
+/// recipe.
+struct Net {
+    b: GraphBuilder,
+    rng: StdRng,
+    scheme: QuantScheme,
+    eligible_idx: usize,
+    eligible_total: usize,
+}
+
+impl Net {
+    fn new(seed: u64, scheme: QuantScheme, eligible_total: usize) -> Self {
+        Net {
+            b: GraphBuilder::new(),
+            rng: StdRng::seed_from_u64(seed),
+            scheme,
+            eligible_idx: 0,
+            eligible_total,
+        }
+    }
+
+    /// Weight precision for the next eligible layer.
+    fn next_prec(&mut self, is_dw: bool) -> DType {
+        let i = self.eligible_idx;
+        self.eligible_idx += 1;
+        match self.scheme {
+            QuantScheme::Int8 => DType::I8,
+            QuantScheme::Ternary => {
+                if is_dw {
+                    DType::I8
+                } else {
+                    DType::Ternary
+                }
+            }
+            QuantScheme::Mixed => {
+                if is_dw || i == 0 || i + 1 == self.eligible_total {
+                    DType::I8
+                } else {
+                    DType::Ternary
+                }
+            }
+        }
+    }
+
+    fn requant_shift(&self, w_dtype: DType, reduction: usize) -> u32 {
+        let bits = usize::BITS - reduction.max(1).leading_zeros();
+        match w_dtype {
+            DType::Ternary => bits + 2,
+            _ => bits + 6,
+        }
+        .min(24)
+    }
+
+    fn conv(
+        &mut self,
+        x: NodeId,
+        k: usize,
+        (fy, fx): (usize, usize),
+        strides: (usize, usize),
+        padding: (usize, usize, usize, usize),
+        relu: bool,
+    ) -> NodeId {
+        let c = self.b.shape_of(x).expect("valid node").dims()[0];
+        let dtype = self.next_prec(false);
+        let w = self
+            .b
+            .constant("w", random_tensor(&mut self.rng, dtype, &[k, c, fy, fx]));
+        let bias = self
+            .b
+            .constant("b", random_tensor(&mut self.rng, DType::I32, &[k]));
+        let y = self.b.conv2d(x, w, strides, padding).expect("conv");
+        let y = self.b.bias_add(y, bias).expect("bias");
+        let shift = self.requant_shift(dtype, c * fy * fx);
+        self.b.requantize(y, shift, relu).expect("requant")
+    }
+
+    fn dw(
+        &mut self,
+        x: NodeId,
+        (fy, fx): (usize, usize),
+        strides: (usize, usize),
+        padding: (usize, usize, usize, usize),
+    ) -> NodeId {
+        let c = self.b.shape_of(x).expect("valid node").dims()[0];
+        let dtype = self.next_prec(true);
+        let w = self
+            .b
+            .constant("w_dw", random_tensor(&mut self.rng, dtype, &[c, fy, fx]));
+        let bias = self
+            .b
+            .constant("b_dw", random_tensor(&mut self.rng, DType::I32, &[c]));
+        let y = self.b.depthwise_conv2d(x, w, strides, padding).expect("dw");
+        let y = self.b.bias_add(y, bias).expect("bias");
+        let shift = self.requant_shift(dtype, fy * fx);
+        self.b.requantize(y, shift, true).expect("requant")
+    }
+
+    fn dense(&mut self, x: NodeId, k: usize, relu: bool) -> NodeId {
+        let c = self.b.shape_of(x).expect("valid node").dims()[0];
+        let dtype = self.next_prec(false);
+        let w = self
+            .b
+            .constant("w_fc", random_tensor(&mut self.rng, dtype, &[k, c]));
+        let bias = self
+            .b
+            .constant("b_fc", random_tensor(&mut self.rng, DType::I32, &[k]));
+        let y = self.b.dense(x, w).expect("dense");
+        let y = self.b.bias_add(y, bias).expect("bias");
+        let shift = self.requant_shift(dtype, c);
+        self.b.requantize(y, shift, relu).expect("requant")
+    }
+
+    fn residual(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let s = self.b.add(a, b).expect("add");
+        self.b.requantize(s, 1, true).expect("requant")
+    }
+}
+
+/// DS-CNN keyword spotting: 49×10 MFCC input, a 7×5 stride-2 stem (the
+/// paper's adapted filter size), four depthwise-separable blocks at 64
+/// channels, global average pooling and a 12-way classifier.
+#[must_use]
+pub fn ds_cnn(scheme: QuantScheme) -> Model {
+    let mut n = Net::new(0xD5C0, scheme, 10);
+    let x = n.b.input("mfcc", &[1, 49, 10], DType::I8);
+    // 49 -> 25 (pad 3+3), 10 -> 5 (pad 1+2).
+    let mut y = n.conv(x, 64, (7, 5), (2, 2), (3, 3, 1, 2), true);
+    for _ in 0..4 {
+        y = n.dw(y, (3, 3), (1, 1), (1, 1, 1, 1));
+        y = n.conv(y, 64, (1, 1), (1, 1), (0, 0, 0, 0), true);
+    }
+    let p = n.b.global_avg_pool(y).expect("pool");
+    let f = n.b.flatten(p).expect("flatten");
+    let d = n.dense(f, 12, false);
+    let s = n.b.softmax(d).expect("softmax");
+    Model {
+        name: "ds_cnn",
+        graph: n.b.finish(&[s]).expect("graph"),
+        input_dims: vec![1, 49, 10],
+        scheme,
+    }
+}
+
+/// MobileNetV1 with 0.25× width at 96×96 input — the Visual Wake Words
+/// person-detection model (2 classes).
+#[must_use]
+pub fn mobilenet_v1(scheme: QuantScheme) -> Model {
+    let mut n = Net::new(0x30B1, scheme, 28);
+    let x = n.b.input("image", &[3, 96, 96], DType::I8);
+    let mut y = n.conv(x, 8, (3, 3), (2, 2), (0, 1, 0, 1), true);
+    // (stride, output channels) for the 13 depthwise-separable blocks.
+    let blocks: [(usize, usize); 13] = [
+        (1, 16),
+        (2, 32),
+        (1, 32),
+        (2, 64),
+        (1, 64),
+        (2, 128),
+        (1, 128),
+        (1, 128),
+        (1, 128),
+        (1, 128),
+        (1, 128),
+        (2, 256),
+        (1, 256),
+    ];
+    for (stride, k) in blocks {
+        let pad = if stride == 2 {
+            (0, 1, 0, 1)
+        } else {
+            (1, 1, 1, 1)
+        };
+        y = n.dw(y, (3, 3), (stride, stride), pad);
+        y = n.conv(y, k, (1, 1), (1, 1), (0, 0, 0, 0), true);
+    }
+    let p = n.b.global_avg_pool(y).expect("pool");
+    let f = n.b.flatten(p).expect("flatten");
+    let d = n.dense(f, 2, false);
+    let s = n.b.softmax(d).expect("softmax");
+    Model {
+        name: "mobilenet_v1",
+        graph: n.b.finish(&[s]).expect("graph"),
+        input_dims: vec![3, 96, 96],
+        scheme,
+    }
+}
+
+/// The MLPerf Tiny CIFAR-10 ResNet (ResNet-8): a 16-channel stem and three
+/// residual stacks at 16/32/64 channels, the latter two with strided 1×1
+/// shortcut convolutions.
+#[must_use]
+pub fn resnet8(scheme: QuantScheme) -> Model {
+    let mut n = Net::new(0x4E58, scheme, 10);
+    let x = n.b.input("image", &[3, 32, 32], DType::I8);
+    let stem = n.conv(x, 16, (3, 3), (1, 1), (1, 1, 1, 1), true);
+    // Stack 1: identity shortcut.
+    let c1 = n.conv(stem, 16, (3, 3), (1, 1), (1, 1, 1, 1), true);
+    let c2 = n.conv(c1, 16, (3, 3), (1, 1), (1, 1, 1, 1), false);
+    let s1 = n.residual(c2, stem);
+    // Stack 2: stride-2, 32 channels, 1x1 conv shortcut.
+    let c1 = n.conv(s1, 32, (3, 3), (2, 2), (0, 1, 0, 1), true);
+    let c2 = n.conv(c1, 32, (3, 3), (1, 1), (1, 1, 1, 1), false);
+    let sc = n.conv(s1, 32, (1, 1), (2, 2), (0, 0, 0, 0), false);
+    let s2 = n.residual(c2, sc);
+    // Stack 3: stride-2, 64 channels.
+    let c1 = n.conv(s2, 64, (3, 3), (2, 2), (0, 1, 0, 1), true);
+    let c2 = n.conv(c1, 64, (3, 3), (1, 1), (1, 1, 1, 1), false);
+    let sc = n.conv(s2, 64, (1, 1), (2, 2), (0, 0, 0, 0), false);
+    let s3 = n.residual(c2, sc);
+    let p = n.b.global_avg_pool(s3).expect("pool");
+    let f = n.b.flatten(p).expect("flatten");
+    let d = n.dense(f, 10, false);
+    let s = n.b.softmax(d).expect("softmax");
+    Model {
+        name: "resnet8",
+        graph: n.b.finish(&[s]).expect("graph"),
+        input_dims: vec![3, 32, 32],
+        scheme,
+    }
+}
+
+/// The ToyADMOS anomaly-detection deep auto-encoder: a 640-dimensional
+/// spectrogram window through 128-wide encoder/decoder stacks with an
+/// 8-dimensional bottleneck.
+#[must_use]
+pub fn toyadmos_dae(scheme: QuantScheme) -> Model {
+    let mut n = Net::new(0x70A4, scheme, 10);
+    let x = n.b.input("frames", &[640], DType::I8);
+    let mut y = x;
+    for _ in 0..4 {
+        y = n.dense(y, 128, true);
+    }
+    y = n.dense(y, 8, true);
+    for _ in 0..4 {
+        y = n.dense(y, 128, true);
+    }
+    let out = n.dense(y, 640, false);
+    Model {
+        name: "toyadmos_dae",
+        graph: n.b.finish(&[out]).expect("graph"),
+        input_dims: vec![640],
+        scheme,
+    }
+}
+
+/// A synthetic stress-test network exercising every operator and
+/// structural feature the compiler supports in one graph: asymmetric
+/// padding, mixed strides, a depthwise-separable block, two stacked
+/// residual connections, max *and* average pooling, a tiled dense layer
+/// (weights larger than the digital weight memory), and a softmax head.
+/// Not part of MLPerf™ Tiny — used by the integration tests to cover the
+/// pipeline's corners in a single compile.
+#[must_use]
+pub fn stress_test(scheme: QuantScheme) -> Model {
+    let mut n = Net::new(0x57E5, scheme, 8);
+    let x = n.b.input("sensor", &[4, 33, 29], DType::I8);
+    // Asymmetric stem: 5x3 kernel, stride (2,1), lopsided padding.
+    let mut y = n.conv(x, 16, (5, 3), (2, 1), (2, 1, 0, 2), true);
+    // Depthwise-separable block.
+    y = n.dw(y, (3, 3), (1, 1), (1, 1, 1, 1));
+    y = n.conv(y, 32, (1, 1), (1, 1), (0, 0, 0, 0), true);
+    // Residual pair (same-shape 3x3 convs).
+    let skip = y;
+    let c1 = n.conv(y, 32, (3, 3), (1, 1), (1, 1, 1, 1), true);
+    let c2 = n.conv(c1, 32, (3, 3), (1, 1), (1, 1, 1, 1), false);
+    y = n.residual(c2, skip);
+    // Second residual from a 1x1 projection.
+    let proj = n.conv(y, 32, (1, 1), (1, 1), (0, 0, 0, 0), false);
+    y = n.residual(proj, y);
+    // Max pool, then global average pool.
+    y =
+        n.b.pool2d(y, htvm_ir::PoolKind::Max, (2, 2), (2, 2), (0, 1, 0, 1))
+            .expect("pool");
+    let p = n.b.global_avg_pool(y).expect("gap");
+    let f = n.b.flatten(p).expect("flatten");
+    // Wide dense layer: 32 -> 2600 would be trivial; use an expansion so
+    // the [K, C] matrix exceeds the 64 kB digital weight store and forces
+    // k-tiling (32 * 2600 = 83 kB).
+    let wide = n.dense(f, 2600, true);
+    let out = n.dense(wide, 6, false);
+    let s = n.b.softmax(out).expect("softmax");
+    Model {
+        name: "stress_test",
+        graph: n.b.finish(&[s]).expect("graph"),
+        input_dims: vec![4, 33, 29],
+        scheme,
+    }
+}
+
+/// All four suite models under one scheme, in the paper's Table I order.
+#[must_use]
+pub fn all_models(scheme: QuantScheme) -> Vec<Model> {
+    vec![
+        ds_cnn(scheme),
+        mobilenet_v1(scheme),
+        resnet8(scheme),
+        toyadmos_dae(scheme),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htvm_ir::passes::verify;
+
+    #[test]
+    fn all_models_verify() {
+        for scheme in [QuantScheme::Int8, QuantScheme::Ternary, QuantScheme::Mixed] {
+            for m in all_models(scheme) {
+                verify(&m.graph).unwrap_or_else(|e| panic!("{} ({scheme:?}): {e}", m.name));
+            }
+        }
+    }
+
+    #[test]
+    fn mac_counts_match_mlperf_scale() {
+        let macs = |m: &Model| m.graph.total_macs();
+        let r = resnet8(QuantScheme::Int8);
+        assert!((10_000_000..15_000_000).contains(&macs(&r)), "{}", macs(&r));
+        let d = ds_cnn(QuantScheme::Int8);
+        assert!((2_000_000..4_000_000).contains(&macs(&d)), "{}", macs(&d));
+        let m = mobilenet_v1(QuantScheme::Int8);
+        assert!((6_000_000..9_000_000).contains(&macs(&m)), "{}", macs(&m));
+        let t = toyadmos_dae(QuantScheme::Int8);
+        assert!((200_000..300_000).contains(&macs(&t)), "{}", macs(&t));
+    }
+
+    #[test]
+    fn schemes_only_change_weight_dtypes() {
+        let a = resnet8(QuantScheme::Int8);
+        let b = resnet8(QuantScheme::Mixed);
+        assert_eq!(a.graph.len(), b.graph.len());
+        // Mixed must contain at least one ternary and one i8 conv weight.
+        let dtypes: Vec<DType> = b
+            .graph
+            .nodes()
+            .filter_map(|(_, n)| n.constant())
+            .filter(|t| t.shape().rank() == 4)
+            .map(Tensor::dtype)
+            .collect();
+        assert!(dtypes.contains(&DType::Ternary));
+        assert!(dtypes.contains(&DType::I8));
+        // First conv weight (stem) is i8 under the mixed recipe.
+        assert_eq!(dtypes[0], DType::I8);
+    }
+
+    #[test]
+    fn ternary_scheme_keeps_dw_in_i8() {
+        let m = mobilenet_v1(QuantScheme::Ternary);
+        for (_, n) in m.graph.nodes() {
+            if let Some(t) = n.constant() {
+                if t.shape().rank() == 3 {
+                    // depthwise weights [C,Fy,Fx]
+                    assert_eq!(t.dtype(), DType::I8);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn models_evaluate_end_to_end() {
+        for m in [ds_cnn(QuantScheme::Int8), toyadmos_dae(QuantScheme::Int8)] {
+            let input = m.input(3);
+            let out = htvm_kernels::evaluate(&m.graph, &[input]).unwrap();
+            assert_eq!(out.len(), 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let a = ds_cnn(QuantScheme::Mixed);
+        let b = ds_cnn(QuantScheme::Mixed);
+        assert_eq!(a.graph, b.graph);
+    }
+}

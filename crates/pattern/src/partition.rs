@@ -1,0 +1,275 @@
+//! Greedy graph partitioning into accelerator regions.
+
+use crate::{match_at, Match, NamedPattern};
+use htvm_ir::{Graph, NodeId};
+use std::collections::{HashMap, HashSet};
+
+/// A matched operator chain extracted for offload to one engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Region<T> {
+    /// Name of the pattern that produced this region.
+    pub pattern: String,
+    /// Engine tag assigned by the accelerator-aware rules.
+    pub tag: T,
+    /// The structural match (root, interior ops, inputs, constants).
+    pub m: Match,
+}
+
+/// A graph annotated with offload regions. Op nodes not covered by any
+/// region fall back to the host CPU (TVM's native lowering path in the
+/// paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionedGraph<T> {
+    /// The regions, in reverse topological order of their roots (the order
+    /// in which they were matched).
+    pub regions: Vec<Region<T>>,
+    region_of: HashMap<NodeId, usize>,
+}
+
+impl<T> PartitionedGraph<T> {
+    /// The index of the region covering `id`, if any.
+    #[must_use]
+    pub fn region_of(&self, id: NodeId) -> Option<usize> {
+        self.region_of.get(&id).copied()
+    }
+
+    /// Op nodes of `graph` not covered by any region (CPU fallback), in
+    /// topological order.
+    #[must_use]
+    pub fn cpu_nodes(&self, graph: &Graph) -> Vec<NodeId> {
+        graph
+            .nodes()
+            .filter(|(id, n)| n.op().is_some() && !self.region_of.contains_key(id))
+            .map(|(id, _)| id)
+            .collect()
+    }
+}
+
+/// Partitions `graph` by greedily matching `patterns` at every op node in
+/// reverse topological order (so the *latest* ops anchor matches first and
+/// chains are consumed from their outputs).
+///
+/// For each structural match, two checks gate extraction:
+///
+/// 1. **No interior escape**: every matched op except the root must be
+///    consumed only by other ops in the same match — otherwise extracting
+///    the region would duplicate work or break the single-output contract.
+/// 2. **Accelerator-aware rules**: the caller's `accept` closure inspects
+///    the match (geometries, bit widths, strides...) and either returns an
+///    engine tag or rejects the offload. This is the paper's rule layer
+///    that sits behind the pattern matcher.
+///
+/// Patterns are tried in the order given; register coarse patterns before
+/// fine ones. Typical tables sort by [`Pattern::min_ops`] descending.
+///
+/// [`Pattern::min_ops`]: crate::Pattern::min_ops
+///
+/// # Examples
+///
+/// ```
+/// use htvm_ir::{DType, GraphBuilder, Tensor};
+/// use htvm_pattern::{NamedPattern, is_constant, is_op, partition, wildcard};
+///
+/// # fn main() -> Result<(), htvm_ir::IrError> {
+/// let mut b = GraphBuilder::new();
+/// let x = b.input("x", &[4], DType::I8);
+/// let w = b.constant("w", Tensor::zeros(DType::I8, &[2, 4]));
+/// let d = b.dense(x, w)?;
+/// let s = b.softmax(d)?;
+/// let g = b.finish(&[s])?;
+/// let table = [NamedPattern::new(
+///     "dense",
+///     is_op("nn.dense", vec![wildcard(), is_constant()]),
+/// )];
+/// let part = partition(&g, &table, |_, _| Some("accel"));
+/// assert_eq!(part.regions.len(), 1);
+/// assert_eq!(part.cpu_nodes(&g).len(), 1); // softmax stays on the CPU
+/// # Ok(())
+/// # }
+/// ```
+pub fn partition<T: Clone>(
+    graph: &Graph,
+    patterns: &[NamedPattern],
+    accept: impl Fn(&NamedPattern, &Match) -> Option<T>,
+) -> PartitionedGraph<T> {
+    let users = graph.users();
+    let mut claimed: HashSet<NodeId> = HashSet::new();
+    let mut regions: Vec<Region<T>> = Vec::new();
+    let mut region_of: HashMap<NodeId, usize> = HashMap::new();
+
+    let mut roots: Vec<NodeId> = graph
+        .nodes()
+        .filter(|(_, n)| n.op().is_some())
+        .map(|(id, _)| id)
+        .collect();
+    roots.reverse();
+
+    for root in roots {
+        if claimed.contains(&root) {
+            continue;
+        }
+        for np in patterns {
+            let Some(m) = match_at(graph, &np.pattern, root) else {
+                continue;
+            };
+            if m.ops.iter().any(|op| claimed.contains(op)) {
+                continue;
+            }
+            if !no_interior_escape(graph, &m, &users) {
+                continue;
+            }
+            let Some(tag) = accept(np, &m) else {
+                continue;
+            };
+            let idx = regions.len();
+            for &op in &m.ops {
+                claimed.insert(op);
+                region_of.insert(op, idx);
+            }
+            regions.push(Region {
+                pattern: np.name.clone(),
+                tag,
+                m,
+            });
+            break;
+        }
+    }
+
+    PartitionedGraph { regions, region_of }
+}
+
+/// Every matched op except the root must only be used inside the match —
+/// and must not itself be a graph output (an implicit external user).
+fn no_interior_escape(graph: &Graph, m: &Match, users: &HashMap<NodeId, Vec<NodeId>>) -> bool {
+    let members: HashSet<NodeId> = m.ops.iter().copied().collect();
+    m.ops.iter().filter(|&&op| op != m.root).all(|op| {
+        !graph.outputs().contains(op)
+            && users
+                .get(op)
+                .is_some_and(|us| us.iter().all(|u| members.contains(u)))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{is_constant, is_op, wildcard};
+    use htvm_ir::{DType, GraphBuilder, Tensor};
+
+    fn conv_pattern() -> NamedPattern {
+        let conv2d = is_op("nn.conv2d", vec![wildcard(), is_constant()]);
+        let bias_add = is_op("nn.bias_add", vec![conv2d, is_constant()]);
+        let right_shift = is_op("right_shift", vec![bias_add]);
+        let clip = is_op("clip", vec![right_shift]);
+        let cast = is_op("cast", vec![clip]);
+        NamedPattern::new("conv2d_bias_requant", cast.optional("nn.relu"))
+    }
+
+    /// Two back-to-back conv blocks followed by softmax.
+    fn two_block_graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", &[3, 8, 8], DType::I8);
+        let w1 = b.constant("w1", Tensor::zeros(DType::I8, &[4, 3, 3, 3]));
+        let b1 = b.constant("b1", Tensor::zeros(DType::I32, &[4]));
+        let c = b.conv2d(x, w1, (1, 1), (1, 1, 1, 1)).unwrap();
+        let c = b.bias_add(c, b1).unwrap();
+        let c = b.requantize(c, 7, true).unwrap();
+        let w2 = b.constant("w2", Tensor::zeros(DType::I8, &[4, 4, 3, 3]));
+        let b2 = b.constant("b2", Tensor::zeros(DType::I32, &[4]));
+        let c2 = b.conv2d(c, w2, (1, 1), (1, 1, 1, 1)).unwrap();
+        let c2 = b.bias_add(c2, b2).unwrap();
+        let c2 = b.requantize(c2, 7, false).unwrap();
+        let f = b.flatten(c2).unwrap();
+        let s = b.softmax(f).unwrap();
+        b.finish(&[s]).unwrap()
+    }
+
+    #[test]
+    fn partitions_both_blocks() {
+        let g = two_block_graph();
+        let part = partition(&g, &[conv_pattern()], |_, _| Some(()));
+        assert_eq!(part.regions.len(), 2);
+        // flatten + softmax remain on the CPU.
+        assert_eq!(part.cpu_nodes(&g).len(), 2);
+        // Regions must not overlap.
+        let mut seen = HashSet::new();
+        for r in &part.regions {
+            for op in &r.m.ops {
+                assert!(seen.insert(*op), "op {op} claimed twice");
+            }
+        }
+    }
+
+    #[test]
+    fn rules_can_reject() {
+        let g = two_block_graph();
+        let part = partition(&g, &[conv_pattern()], |_, _| None::<()>);
+        assert!(part.regions.is_empty());
+        // All 13 op nodes fall back to the CPU.
+        assert_eq!(part.cpu_nodes(&g).len(), 13);
+    }
+
+    #[test]
+    fn interior_escape_blocks_extraction() {
+        // conv output also consumed by a second user outside the chain:
+        // the full chain can't be extracted (conv is interior to it), but a
+        // shorter conv-only pattern rooted at the conv can.
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", &[1, 4, 4], DType::I8);
+        let w = b.constant("w", Tensor::zeros(DType::I8, &[1, 1, 1, 1]));
+        let c = b.conv2d(x, w, (1, 1), (0, 0, 0, 0)).unwrap();
+        let r = b.relu(c).unwrap();
+        let escape = b.clip(c, 0, 1).unwrap(); // second user of conv
+        let s = b.add(r, escape).unwrap();
+        let g = b.finish(&[s]).unwrap();
+
+        let chain = NamedPattern::new(
+            "conv_relu",
+            is_op(
+                "nn.relu",
+                vec![is_op("nn.conv2d", vec![wildcard(), is_constant()])],
+            ),
+        );
+        let part = partition(&g, &[chain], |_, _| Some(()));
+        assert!(part.regions.is_empty(), "escaping conv must not be claimed");
+
+        let solo = NamedPattern::new("conv", is_op("nn.conv2d", vec![wildcard(), is_constant()]));
+        let part = partition(&g, &[solo], |_, _| Some(()));
+        assert_eq!(part.regions.len(), 1);
+    }
+
+    #[test]
+    fn first_listed_pattern_wins() {
+        let g = two_block_graph();
+        let long = conv_pattern();
+        let short = NamedPattern::new(
+            "conv_only",
+            is_op("nn.conv2d", vec![wildcard(), is_constant()]),
+        );
+        // Long first: both chains fully consumed.
+        let part = partition(&g, &[long.clone(), short.clone()], |_, _| Some(()));
+        assert!(part
+            .regions
+            .iter()
+            .all(|r| r.pattern == "conv2d_bias_requant"));
+        // Short first: the conv-only pattern cannot claim convs (their bias
+        // users escape), so the long pattern still wins.
+        let part = partition(&g, &[short, long], |_, _| Some(()));
+        assert_eq!(part.regions.len(), 2);
+        assert!(part
+            .regions
+            .iter()
+            .all(|r| r.pattern == "conv2d_bias_requant"));
+    }
+
+    #[test]
+    fn region_of_maps_members() {
+        let g = two_block_graph();
+        let part = partition(&g, &[conv_pattern()], |_, _| Some(()));
+        for (idx, r) in part.regions.iter().enumerate() {
+            for op in &r.m.ops {
+                assert_eq!(part.region_of(*op), Some(idx));
+            }
+        }
+    }
+}

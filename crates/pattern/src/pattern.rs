@@ -1,0 +1,232 @@
+//! The pattern language.
+
+use htvm_ir::{AttrValue, DType};
+use std::fmt;
+
+/// A structural pattern over dataflow graphs, mirroring TVM's Relay pattern
+/// matching language (`is_op`, `wildcard`, `is_constant`, `has_attr`,
+/// `optional`).
+///
+/// Patterns are matched *rooted at a node*: the pattern describes the node
+/// and (recursively) its operands. See [`match_at`](crate::match_at).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pattern {
+    /// Matches any node; the matched node becomes an external input of the
+    /// region.
+    Wildcard,
+    /// Matches a constant node (weights, biases); the constant is captured
+    /// into the region.
+    Constant,
+    /// Matches an operator application.
+    Op {
+        /// Operator name as returned by [`htvm_ir::Op::name`].
+        name: String,
+        /// Operand sub-patterns; the length must equal the operator arity.
+        args: Vec<Pattern>,
+        /// Attribute equality predicates (`has_attr`).
+        attrs: Vec<(String, AttrValue)>,
+    },
+    /// Matches `inner`, optionally wrapped by a single-operand op called
+    /// `op_name` (e.g. an optional trailing ReLU).
+    Optional {
+        /// The mandatory part.
+        inner: Box<Pattern>,
+        /// Name of the optional single-operand wrapper op.
+        op_name: String,
+    },
+    /// Matches if either alternative matches, preferring the first
+    /// (Relay's `AltPattern`).
+    Alt(Box<Pattern>, Box<Pattern>),
+    /// Matches `inner` only if the matched node's output dtype equals
+    /// `dtype` (Relay's `has_dtype`). On constants this constrains the
+    /// payload precision — e.g. ternary vs 8-bit weights, the distinction
+    /// DIANA's dispatch rule keys on.
+    HasDType {
+        /// The constrained sub-pattern.
+        inner: Box<Pattern>,
+        /// Required node output dtype.
+        dtype: DType,
+    },
+}
+
+/// Matches any node (region input).
+#[must_use]
+pub fn wildcard() -> Pattern {
+    Pattern::Wildcard
+}
+
+/// Matches a constant node.
+#[must_use]
+pub fn is_constant() -> Pattern {
+    Pattern::Constant
+}
+
+/// Matches an operator by name with operand sub-patterns.
+///
+/// # Examples
+///
+/// ```
+/// use htvm_pattern::{is_op, wildcard, is_constant};
+/// let p = is_op("nn.dense", vec![wildcard(), is_constant()]);
+/// assert_eq!(p.to_string(), "nn.dense(*, const)");
+/// ```
+#[must_use]
+pub fn is_op(name: &str, args: Vec<Pattern>) -> Pattern {
+    Pattern::Op {
+        name: name.to_owned(),
+        args,
+        attrs: Vec::new(),
+    }
+}
+
+impl Pattern {
+    /// Adds an attribute equality predicate to an op pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if applied to a non-op pattern (a usage bug caught at pattern
+    /// construction time).
+    #[must_use]
+    pub fn has_attr(mut self, name: &str, value: AttrValue) -> Pattern {
+        match &mut self {
+            Pattern::Op { attrs, .. } => {
+                attrs.push((name.to_owned(), value));
+                self
+            }
+            _ => panic!("has_attr can only be applied to is_op patterns"),
+        }
+    }
+
+    /// Wraps the pattern in an optional single-operand op (e.g. the optional
+    /// ReLU at the end of the Listing-1 chain).
+    #[must_use]
+    pub fn optional(self, op_name: &str) -> Pattern {
+        Pattern::Optional {
+            inner: Box::new(self),
+            op_name: op_name.to_owned(),
+        }
+    }
+
+    /// Either this pattern or `other`, preferring this one.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use htvm_pattern::{is_op, wildcard};
+    /// let act = is_op("nn.relu", vec![wildcard()])
+    ///     .or(is_op("clip", vec![wildcard()]));
+    /// assert_eq!(act.to_string(), "(nn.relu(*) | clip(*))");
+    /// ```
+    #[must_use]
+    pub fn or(self, other: Pattern) -> Pattern {
+        Pattern::Alt(Box::new(self), Box::new(other))
+    }
+
+    /// Constrains the matched node's output dtype.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use htvm_ir::DType;
+    /// use htvm_pattern::is_constant;
+    /// let ternary_weights = is_constant().has_dtype(DType::Ternary);
+    /// assert_eq!(ternary_weights.to_string(), "const:ternary");
+    /// ```
+    #[must_use]
+    pub fn has_dtype(self, dtype: DType) -> Pattern {
+        Pattern::HasDType {
+            inner: Box::new(self),
+            dtype,
+        }
+    }
+
+    /// Number of op nodes in the *mandatory* part of the pattern — used to
+    /// order patterns longest-first so greedy partitioning prefers the most
+    /// coarse-grained match.
+    #[must_use]
+    pub fn min_ops(&self) -> usize {
+        match self {
+            Pattern::Wildcard | Pattern::Constant => 0,
+            Pattern::Op { args, .. } => 1 + args.iter().map(Pattern::min_ops).sum::<usize>(),
+            Pattern::Optional { inner, .. } | Pattern::HasDType { inner, .. } => inner.min_ops(),
+            Pattern::Alt(a, b) => a.min_ops().min(b.min_ops()),
+        }
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pattern::Wildcard => f.write_str("*"),
+            Pattern::Constant => f.write_str("const"),
+            Pattern::Op { name, args, .. } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+            Pattern::Optional { inner, op_name } => {
+                write!(f, "optional({op_name})({inner})")
+            }
+            Pattern::Alt(a, b) => write!(f, "({a} | {b})"),
+            Pattern::HasDType { inner, dtype } => write!(f, "{inner}:{dtype}"),
+        }
+    }
+}
+
+/// A pattern with a stable name, as registered in an accelerator's pattern
+/// table (e.g. `"conv2d_bias_requant"`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NamedPattern {
+    /// Stable identifier used in reports and dispatch decisions.
+    pub name: String,
+    /// The pattern itself.
+    pub pattern: Pattern,
+}
+
+impl NamedPattern {
+    /// Creates a named pattern.
+    #[must_use]
+    pub fn new(name: &str, pattern: Pattern) -> Self {
+        NamedPattern {
+            name: name.to_owned(),
+            pattern,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(wildcard().to_string(), "*");
+        assert_eq!(is_constant().to_string(), "const");
+        let p = is_op("nn.conv2d", vec![wildcard(), is_constant()]);
+        assert_eq!(p.to_string(), "nn.conv2d(*, const)");
+        assert_eq!(
+            p.clone().optional("nn.relu").to_string(),
+            "optional(nn.relu)(nn.conv2d(*, const))"
+        );
+    }
+
+    #[test]
+    fn min_ops_counts_mandatory_part() {
+        let conv = is_op("nn.conv2d", vec![wildcard(), is_constant()]);
+        let chain = is_op("nn.bias_add", vec![conv, is_constant()]);
+        assert_eq!(chain.min_ops(), 2);
+        assert_eq!(chain.clone().optional("nn.relu").min_ops(), 2);
+        assert_eq!(wildcard().min_ops(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "has_attr can only be applied")]
+    fn has_attr_on_wildcard_panics() {
+        let _ = wildcard().has_attr("dtype", AttrValue::Int(1));
+    }
+}

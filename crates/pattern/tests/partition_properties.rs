@@ -1,0 +1,158 @@
+//! Property tests for the partitioner over randomly generated
+//! network-like graphs: regions never overlap, never lose ops, stay
+//! single-output, and always re-match their own pattern.
+
+use htvm_ir::{DType, Graph, GraphBuilder, NodeId, Tensor};
+use htvm_pattern::{is_constant, is_op, match_at, partition, wildcard, NamedPattern, Pattern};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn requant_tail(anchor: Pattern) -> Pattern {
+    let right_shift = is_op("right_shift", vec![anchor]);
+    let clip = is_op("clip", vec![right_shift]);
+    let cast = is_op("cast", vec![clip]);
+    cast.optional("nn.relu")
+}
+
+fn table() -> Vec<NamedPattern> {
+    let conv = is_op("nn.conv2d", vec![wildcard(), is_constant()]);
+    let with_bias = is_op("nn.bias_add", vec![conv, is_constant()]);
+    vec![
+        NamedPattern::new("conv2d_bias_requant", requant_tail(with_bias)),
+        NamedPattern::new(
+            "add_requant",
+            requant_tail(is_op("add", vec![wildcard(), wildcard()])),
+        ),
+    ]
+}
+
+/// One randomly chosen block appended to the network under construction.
+#[derive(Debug, Clone, Copy)]
+enum Block {
+    ConvRelu,
+    ConvNoRelu,
+    Residual,
+    Pool,
+    Relu,
+}
+
+fn block_strategy() -> impl Strategy<Value = Block> {
+    prop_oneof![
+        Just(Block::ConvRelu),
+        Just(Block::ConvNoRelu),
+        Just(Block::Residual),
+        Just(Block::Pool),
+        Just(Block::Relu),
+    ]
+}
+
+/// Builds a random but valid network over an 8-channel 8x8 activation.
+fn build(blocks: &[Block]) -> Graph {
+    let mut b = GraphBuilder::new();
+    let x = b.input("x", &[8, 8, 8], DType::I8);
+    let mut cur = x;
+    let mut skip: Option<NodeId> = None;
+    for (i, block) in blocks.iter().enumerate() {
+        match block {
+            Block::ConvRelu | Block::ConvNoRelu => {
+                let w = b.constant(&format!("w{i}"), Tensor::zeros(DType::I8, &[8, 8, 3, 3]));
+                let bias = b.constant(&format!("b{i}"), Tensor::zeros(DType::I32, &[8]));
+                let c = b.conv2d(cur, w, (1, 1), (1, 1, 1, 1)).unwrap();
+                let c = b.bias_add(c, bias).unwrap();
+                skip = Some(cur);
+                cur = b
+                    .requantize(c, 7, matches!(block, Block::ConvRelu))
+                    .unwrap();
+            }
+            Block::Residual => {
+                if let Some(s) = skip {
+                    let sum = b.add(cur, s).unwrap();
+                    cur = b.requantize(sum, 1, true).unwrap();
+                    skip = None;
+                }
+            }
+            Block::Pool => {
+                cur = b
+                    .pool2d(cur, htvm_ir::PoolKind::Max, (2, 2), (1, 1), (0, 1, 0, 1))
+                    .unwrap();
+            }
+            Block::Relu => {
+                cur = b.relu(cur).unwrap();
+            }
+        }
+    }
+    b.finish(&[cur]).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn partition_invariants(blocks in prop::collection::vec(block_strategy(), 1..12)) {
+        let g = build(&blocks);
+        let part = partition(&g, &table(), |_, _| Some(()));
+
+        // 1. Regions are pairwise disjoint.
+        let mut claimed: HashSet<NodeId> = HashSet::new();
+        for r in &part.regions {
+            for op in &r.m.ops {
+                prop_assert!(claimed.insert(*op), "node {op} claimed twice");
+            }
+        }
+
+        // 2. Regions + CPU fallback exactly cover the op nodes.
+        let cpu: HashSet<NodeId> = part.cpu_nodes(&g).into_iter().collect();
+        let all_ops: HashSet<NodeId> = g
+            .nodes()
+            .filter(|(_, n)| n.op().is_some())
+            .map(|(id, _)| id)
+            .collect();
+        let union: HashSet<NodeId> = claimed.union(&cpu).copied().collect();
+        prop_assert_eq!(&union, &all_ops);
+        prop_assert!(claimed.is_disjoint(&cpu));
+
+        // 3. Every region's interior stays private: no user outside the
+        //    region consumes a non-root member, and no non-root member is a
+        //    graph output.
+        let users = g.users();
+        for r in &part.regions {
+            let members: HashSet<NodeId> = r.m.ops.iter().copied().collect();
+            for &op in &r.m.ops {
+                if op == r.m.root {
+                    continue;
+                }
+                prop_assert!(!g.outputs().contains(&op));
+                if let Some(us) = users.get(&op) {
+                    for u in us {
+                        prop_assert!(members.contains(u), "interior {op} escapes to {u}");
+                    }
+                }
+            }
+        }
+
+        // 4. Every region re-matches its own named pattern at its root.
+        let tbl = table();
+        for r in &part.regions {
+            let np = tbl.iter().find(|p| p.name == r.pattern).expect("known pattern");
+            let m = match_at(&g, &np.pattern, r.m.root).expect("region re-matches");
+            prop_assert_eq!(&m, &r.m);
+        }
+
+        // 5. Determinism.
+        let again = partition(&g, &table(), |_, _| Some(()));
+        prop_assert_eq!(part.regions.len(), again.regions.len());
+        for (a, b) in part.regions.iter().zip(&again.regions) {
+            prop_assert_eq!(&a.m, &b.m);
+        }
+    }
+
+    /// Rejecting every match leaves everything on the CPU.
+    #[test]
+    fn reject_all_leaves_everything_on_cpu(blocks in prop::collection::vec(block_strategy(), 1..8)) {
+        let g = build(&blocks);
+        let part = partition(&g, &table(), |_, _| None::<()>);
+        prop_assert!(part.regions.is_empty());
+        let n_ops = g.nodes().filter(|(_, n)| n.op().is_some()).count();
+        prop_assert_eq!(part.cpu_nodes(&g).len(), n_ops);
+    }
+}

@@ -1,0 +1,202 @@
+//! Performance counters and run reports.
+
+use crate::EngineKind;
+use htvm_ir::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Cycle breakdown for one layer/kernel, mirroring DIANA's hardware
+/// performance counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleBreakdown {
+    /// Cycles the engine's datapath was busy.
+    pub compute: u64,
+    /// Activation DMA cycles (L2 ↔ L1).
+    pub dma: u64,
+    /// Weight transfer cycles (DMA to the digital weight memory, or analog
+    /// macro row programming).
+    pub weight_load: u64,
+    /// Host overhead: kernel calls, per-tile configuration/handshake.
+    pub overhead: u64,
+}
+
+impl CycleBreakdown {
+    /// All cycles: what the host observes between kernel call and return
+    /// (the paper's "full kernel" measurement).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.compute + self.dma + self.weight_load + self.overhead
+    }
+
+    /// Accelerator-only cycles: trigger to completion, weight transfer
+    /// included (the paper's "peak performance" measurement, §IV-B).
+    #[must_use]
+    pub fn peak(&self) -> u64 {
+        self.compute + self.weight_load
+    }
+}
+
+/// Per-layer execution profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerProfile {
+    /// Layer or kernel name.
+    pub name: String,
+    /// Engine that executed it.
+    pub engine: EngineKind,
+    /// Cycle breakdown.
+    pub cycles: CycleBreakdown,
+    /// Multiply-accumulates performed.
+    pub macs: u64,
+    /// Accelerator invocations (tile count); 1 for CPU kernels.
+    pub n_tiles: usize,
+}
+
+/// The result of running a program on the simulated SoC.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Network outputs, in signature order.
+    pub outputs: Vec<Tensor>,
+    /// Per-layer profiles, in execution order.
+    pub layers: Vec<LayerProfile>,
+}
+
+impl RunReport {
+    /// Total cycles (the "full kernel" end-to-end latency).
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.cycles.total()).sum()
+    }
+
+    /// End-to-end cycles with accelerator layers counted at peak (trigger
+    /// to completion) — the Table I "Peak" columns: CPU kernels keep their
+    /// full cost ("Peak measurements... do not affect TVM-generated
+    /// kernels", §IV-C).
+    #[must_use]
+    pub fn peak_cycles(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| match l.engine {
+                EngineKind::Cpu => l.cycles.total(),
+                _ => l.cycles.peak(),
+            })
+            .sum()
+    }
+
+    /// Total cycles spent on one engine.
+    #[must_use]
+    pub fn engine_cycles(&self, engine: EngineKind) -> u64 {
+        self.layers
+            .iter()
+            .filter(|l| l.engine == engine)
+            .map(|l| l.cycles.total())
+            .sum()
+    }
+
+    /// Total MACs executed.
+    #[must_use]
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs).sum()
+    }
+
+    /// Exports the run as Chrome trace-event JSON (load it in
+    /// `chrome://tracing` or Perfetto): one duration event per layer on
+    /// its engine's row, with cycle counts as microsecond timestamps and
+    /// the breakdown attached as event arguments.
+    #[must_use]
+    pub fn to_chrome_trace(&self) -> String {
+        let mut events = Vec::new();
+        let mut cursor: u64 = 0;
+        for layer in &self.layers {
+            let dur = layer.cycles.total();
+            let tid = match layer.engine {
+                EngineKind::Cpu => 0,
+                EngineKind::Digital => 1,
+                EngineKind::Analog => 2,
+            };
+            events.push(serde_json::json!({
+                "name": layer.name,
+                "ph": "X",
+                "ts": cursor,
+                "dur": dur.max(1),
+                "pid": 1,
+                "tid": tid,
+                "args": {
+                    "engine": layer.engine.to_string(),
+                    "compute_cycles": layer.cycles.compute,
+                    "dma_cycles": layer.cycles.dma,
+                    "weight_load_cycles": layer.cycles.weight_load,
+                    "overhead_cycles": layer.cycles.overhead,
+                    "macs": layer.macs,
+                    "tiles": layer.n_tiles,
+                },
+            }));
+            cursor += dur;
+        }
+        for (tid, name) in [(0, "cpu"), (1, "digital"), (2, "analog")] {
+            events.push(serde_json::json!({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": { "name": name },
+            }));
+        }
+        serde_json::to_string(&serde_json::json!({ "traceEvents": events }))
+            .expect("trace events are serializable")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(engine: EngineKind, compute: u64, dma: u64, wl: u64, ovh: u64) -> LayerProfile {
+        LayerProfile {
+            name: "l".into(),
+            engine,
+            cycles: CycleBreakdown {
+                compute,
+                dma,
+                weight_load: wl,
+                overhead: ovh,
+            },
+            macs: 100,
+            n_tiles: 1,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_sequential_events() {
+        let report = RunReport {
+            outputs: vec![],
+            layers: vec![
+                profile(EngineKind::Digital, 100, 50, 20, 30),
+                profile(EngineKind::Cpu, 1000, 0, 0, 10),
+            ],
+        };
+        let trace = report.to_chrome_trace();
+        let v: serde_json::Value = serde_json::from_str(&trace).unwrap();
+        let events = v["traceEvents"].as_array().unwrap();
+        // 2 duration events + 3 thread-name metadata events.
+        assert_eq!(events.len(), 5);
+        assert_eq!(events[0]["ts"], 0);
+        assert_eq!(events[0]["dur"], 200);
+        assert_eq!(events[1]["ts"], 200);
+        assert_eq!(events[0]["args"]["dma_cycles"], 50);
+    }
+
+    #[test]
+    fn peak_excludes_dma_and_overhead_for_accels_only() {
+        let report = RunReport {
+            outputs: vec![],
+            layers: vec![
+                profile(EngineKind::Digital, 100, 50, 20, 30),
+                profile(EngineKind::Cpu, 1000, 0, 0, 10),
+            ],
+        };
+        assert_eq!(report.total_cycles(), 200 + 1010);
+        assert_eq!(report.peak_cycles(), 120 + 1010);
+        assert_eq!(report.engine_cycles(EngineKind::Digital), 200);
+        assert_eq!(report.engine_cycles(EngineKind::Analog), 0);
+        assert_eq!(report.total_macs(), 200);
+    }
+}

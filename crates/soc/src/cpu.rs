@@ -1,0 +1,128 @@
+//! Host CPU cost model for TVM-generated fused kernels.
+
+use crate::CpuConfig;
+use htvm_ir::{Graph, Op};
+
+/// Cycles for one fused CPU kernel executing the operator chain `graph`.
+///
+/// The model charges each anchor op by its MAC count at a per-kind
+/// cycles-per-MAC rate (scalar RISC-V with XpulpV2 SIMD: convolutions reuse
+/// data well, depthwise does not), element-wise ops per element, pooling
+/// per window element, and softmax per element — plus one kernel-call
+/// overhead for the fused kernel as a whole. Calibrated so the four
+/// MLPerf™ Tiny TVM baselines land near the paper's Table I CPU column.
+///
+/// # Examples
+///
+/// ```
+/// use htvm_ir::{DType, GraphBuilder, Tensor};
+/// use htvm_soc::{DianaConfig, cpu_graph_cycles};
+///
+/// # fn main() -> Result<(), htvm_ir::IrError> {
+/// let cfg = DianaConfig::default().cpu;
+/// let mut b = GraphBuilder::new();
+/// let x = b.input("x", &[8, 8, 8], DType::I8);
+/// let w = b.constant("w", Tensor::zeros(DType::I8, &[8, 8, 3, 3]));
+/// let c = b.conv2d(x, w, (1, 1), (1, 1, 1, 1))?;
+/// let g = b.finish(&[c])?;
+/// // 8*8*9 * 64 = 36864 MACs at 2.8 cycles/MAC, plus call overhead.
+/// assert!(cpu_graph_cycles(&cfg, &g) > 100_000);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn cpu_graph_cycles(cfg: &CpuConfig, graph: &Graph) -> u64 {
+    let mut cycles = cfg.kernel_call_overhead;
+    for (_, node) in graph.nodes() {
+        let Some(op) = node.op() else { continue };
+        let out_elems = node.shape.num_elements() as u64;
+        cycles += match op {
+            Op::Conv2d { .. } => {
+                let w = graph.node(node.inputs()[1]);
+                let macs = w.shape.num_elements() as u64
+                    * (node.shape.dim(1).unwrap_or(1) * node.shape.dim(2).unwrap_or(1)) as u64;
+                macs * cfg.conv_cycles_per_mac_x100 / 100
+            }
+            Op::DepthwiseConv2d { .. } => {
+                let w = graph.node(node.inputs()[1]);
+                let macs = w.shape.num_elements() as u64
+                    * (node.shape.dim(1).unwrap_or(1) * node.shape.dim(2).unwrap_or(1)) as u64;
+                macs * cfg.dw_cycles_per_mac_x100 / 100
+            }
+            Op::Dense => {
+                let w = graph.node(node.inputs()[1]);
+                w.shape.num_elements() as u64 * cfg.dense_cycles_per_mac_x100 / 100
+            }
+            Op::Pool2d { kernel, .. } => {
+                out_elems * (kernel.0 * kernel.1) as u64 * cfg.pool_cycles_x100 / 100
+            }
+            Op::Softmax => out_elems * cfg.softmax_cycles_per_elem,
+            Op::Reshape { .. } | Op::Flatten => 0, // layout no-ops
+            // bias/shift/clip/cast/relu/add: element-wise SIMD.
+            _ => out_elems * cfg.elem_cycles_x100 / 100,
+        };
+    }
+    cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htvm_ir::{DType, GraphBuilder, Tensor};
+
+    fn cfg() -> CpuConfig {
+        crate::DianaConfig::default().cpu
+    }
+
+    #[test]
+    fn conv_dominates_requant_chain() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", &[16, 16, 16], DType::I8);
+        let w = b.constant("w", Tensor::zeros(DType::I8, &[16, 16, 3, 3]));
+        let bias = b.constant("b", Tensor::zeros(DType::I32, &[16]));
+        let c = b.conv2d(x, w, (1, 1), (1, 1, 1, 1)).unwrap();
+        let c = b.bias_add(c, bias).unwrap();
+        let q = b.requantize(c, 7, true).unwrap();
+        let g = b.finish(&[q]).unwrap();
+        let total = cpu_graph_cycles(&cfg(), &g);
+        let macs = 16u64 * 16 * 9 * 256;
+        let conv_only = macs * 280 / 100;
+        assert!(total > conv_only);
+        assert!(
+            total < conv_only + conv_only / 5,
+            "elementwise tail must be small"
+        );
+    }
+
+    #[test]
+    fn depthwise_rate_exceeds_conv_rate() {
+        let mut b1 = GraphBuilder::new();
+        let x = b1.input("x", &[16, 8, 8], DType::I8);
+        let w = b1.constant("w", Tensor::zeros(DType::I8, &[16, 3, 3]));
+        let d = b1.depthwise_conv2d(x, w, (1, 1), (1, 1, 1, 1)).unwrap();
+        let g = b1.finish(&[d]).unwrap();
+        let dw_cycles = cpu_graph_cycles(&cfg(), &g) - cfg().kernel_call_overhead;
+        let dw_macs = 16u64 * 9 * 64;
+        assert_eq!(dw_cycles, dw_macs * cfg().dw_cycles_per_mac_x100 / 100);
+        assert!(cfg().dw_cycles_per_mac_x100 > cfg().conv_cycles_per_mac_x100);
+    }
+
+    #[test]
+    fn reshape_is_free() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", &[4, 4], DType::I8);
+        let r = b.flatten(x).unwrap();
+        let g = b.finish(&[r]).unwrap();
+        assert_eq!(cpu_graph_cycles(&cfg(), &g), cfg().kernel_call_overhead);
+    }
+
+    #[test]
+    fn resnet8_scale_sanity() {
+        // ~12.5 M MACs at 2.8 cycles/MAC should be ~35 M cycles ≈ 134 ms
+        // at 260 MHz (the paper's TVM baseline).
+        let macs: u64 = 12_500_000;
+        let cycles = macs * cfg().conv_cycles_per_mac_x100 / 100;
+        let ms = cycles as f64 / 260_000.0;
+        assert!((ms - 134.6).abs() < 2.0, "got {ms} ms");
+    }
+}

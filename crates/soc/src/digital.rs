@@ -1,0 +1,141 @@
+//! Digital accelerator cost model.
+
+use crate::DigitalConfig;
+use htvm_dory::{LayerGeometry, LayerKind, TileInstance};
+
+/// Compute cycles for one tile invocation on the digital 16×16 PE array.
+///
+/// Mapping (paper §III-C): the array spatially unrolls **input channels**
+/// across its 16 rows and **input columns** across its 16 columns, so each
+/// cycle retires up to 256 MACs for one `(k, o_y, f_y, f_x)` combination:
+///
+/// ```text
+/// cycles_conv = Kᵗ · o_yᵗ · Fy · Fx · ⌈Cᵗ/16⌉ · ⌈i_xᵗ/16⌉ / efficiency
+/// ```
+///
+/// A tile with `Cᵗ = 17` therefore takes two row passes where `Cᵗ = 16`
+/// takes one — the utilization cliff the Eq. 3–4 heuristics avoid and
+/// Fig. 4 measures. Fully-connected layers unroll `C` and `K`
+/// (`⌈Cᵗ/16⌉·⌈Kᵗ/16⌉` cycles); depthwise convolutions use a single PE row
+/// at the paper's measured 3.75 MAC/cycle peak; element-wise adds stream
+/// through the output SIMD stage.
+///
+/// # Examples
+///
+/// ```
+/// use htvm_dory::{LayerGeometry, TileConfig, tiles};
+/// use htvm_soc::{DianaConfig, digital_tile_cycles};
+///
+/// let cfg = DianaConfig::default().digital;
+/// let g = LayerGeometry::conv2d(16, 16, 16, 16, 3, 3, (1, 1), (1, 1, 1, 1));
+/// let all = tiles(&g, &TileConfig::full(&g));
+/// let aligned = digital_tile_cycles(&cfg, &g, &all[0]);
+///
+/// let g17 = LayerGeometry::conv2d(17, 16, 16, 16, 3, 3, (1, 1), (1, 1, 1, 1));
+/// let all17 = tiles(&g17, &TileConfig::full(&g17));
+/// // One extra input channel doubles the row passes (± rounding).
+/// assert!(digital_tile_cycles(&cfg, &g17, &all17[0]) > aligned * 19 / 10);
+/// ```
+#[must_use]
+pub fn digital_tile_cycles(cfg: &DigitalConfig, geom: &LayerGeometry, tile: &TileInstance) -> u64 {
+    let ideal = match geom.kind {
+        LayerKind::Conv2d => {
+            let ix_t = tile.input_cols(geom).len().max(1);
+            let c_blocks = tile.c.len().div_ceil(cfg.pe_rows) as u64;
+            let x_blocks = ix_t.div_ceil(cfg.pe_cols) as u64;
+            (tile.k.len() * tile.oy.len() * geom.fy * geom.fx) as u64 * c_blocks * x_blocks
+        }
+        LayerKind::Dense => {
+            let c_blocks = tile.c.len().div_ceil(cfg.pe_rows) as u64;
+            let k_blocks = tile.k.len().div_ceil(cfg.pe_cols) as u64;
+            c_blocks * k_blocks
+        }
+        LayerKind::DepthwiseConv2d => {
+            // One PE row; 3.75 MAC/cycle peak (paper §IV-B).
+            tile.macs(geom) * 100 / cfg.dw_macs_per_cycle_x100
+        }
+        LayerKind::Add => {
+            let elems = (tile.k.len() * tile.oy.len() * tile.ox.len()) as u64;
+            elems.div_ceil(cfg.add_elems_per_cycle)
+        }
+    };
+    (ideal * 100).div_ceil(cfg.efficiency_pct.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htvm_dory::{tiles, TileConfig};
+
+    fn cfg() -> DigitalConfig {
+        DigitalConfig {
+            efficiency_pct: 100, // exact arithmetic in tests
+            ..crate::DianaConfig::default().digital
+        }
+    }
+
+    fn one_tile(g: &LayerGeometry) -> TileInstance {
+        tiles(g, &TileConfig::full(g)).remove(0)
+    }
+
+    #[test]
+    fn aligned_conv_hits_peak_blocks() {
+        // c=16, ix=16, fx=3 pad 1 -> ox=16, oy=16, k=16.
+        let g = LayerGeometry::conv2d(16, 16, 16, 16, 3, 3, (1, 1), (1, 1, 1, 1));
+        let t = one_tile(&g);
+        // k*oy*fy*fx * 1 * 1 = 16*16*9 = 2304 cycles.
+        assert_eq!(digital_tile_cycles(&cfg(), &g, &t), 2304);
+        // 256 MACs/cycle when perfectly aligned: macs = 16*16*9*256 = 589824.
+        assert_eq!(t.macs(&g) / 2304, 256);
+    }
+
+    #[test]
+    fn misaligned_channels_double_cost() {
+        let a = LayerGeometry::conv2d(16, 8, 8, 16, 3, 3, (1, 1), (1, 1, 1, 1));
+        let b = LayerGeometry::conv2d(17, 8, 8, 16, 3, 3, (1, 1), (1, 1, 1, 1));
+        let ca = digital_tile_cycles(&cfg(), &a, &one_tile(&a));
+        let cb = digital_tile_cycles(&cfg(), &b, &one_tile(&b));
+        assert_eq!(cb, 2 * ca);
+    }
+
+    #[test]
+    fn fc_unrolls_c_and_k() {
+        let g = LayerGeometry::dense(64, 32);
+        let t = one_tile(&g);
+        // ceil(64/16) * ceil(32/16) = 4 * 2.
+        assert_eq!(digital_tile_cycles(&cfg(), &g, &t), 8);
+    }
+
+    #[test]
+    fn depthwise_is_slow() {
+        let g = LayerGeometry::depthwise(64, 25, 5, 3, 3, (1, 1), (1, 1, 1, 1));
+        let t = one_tile(&g);
+        let macs = t.macs(&g);
+        let cycles = digital_tile_cycles(&cfg(), &g, &t);
+        let rate = macs as f64 / cycles as f64;
+        assert!(
+            rate <= 3.76,
+            "depthwise must not beat 3.75 MAC/cycle, got {rate}"
+        );
+        assert!(rate > 3.5);
+    }
+
+    #[test]
+    fn add_streams_elements() {
+        let g = LayerGeometry::add(16, 8, 8);
+        let t = one_tile(&g);
+        assert_eq!(digital_tile_cycles(&cfg(), &g, &t), (16 * 64) / 16);
+    }
+
+    #[test]
+    fn efficiency_scales_cycles() {
+        let g = LayerGeometry::dense(64, 32);
+        let t = one_tile(&g);
+        let full = digital_tile_cycles(&cfg(), &g, &t);
+        let half = DigitalConfig {
+            efficiency_pct: 50,
+            ..cfg()
+        };
+        assert_eq!(digital_tile_cycles(&half, &g, &t), 2 * full);
+    }
+}

@@ -1,0 +1,68 @@
+//! DMA cost model.
+
+use crate::DmaConfig;
+
+/// Cycles for a DMA transaction of `bytes` split over `chunks` contiguous
+/// 1-D transfers.
+///
+/// Each chunk pays the setup cost; the payload then streams at the bus
+/// width. This makes transfer *count* matter as much as volume, which is
+/// exactly what the paper's `H_DMA = i_yᵗ` heuristic (Eq. 5) exploits:
+/// taller full-width tiles need fewer, longer transfers from a C–y–x
+/// laid-out tensor.
+///
+/// # Examples
+///
+/// ```
+/// use htvm_soc::{DianaConfig, dma_cycles};
+/// let dma = DianaConfig::default().dma;
+/// // Same bytes, 10x the chunks: strictly slower.
+/// assert!(dma_cycles(&dma, 4096, 40) > dma_cycles(&dma, 4096, 4));
+/// ```
+#[must_use]
+pub fn dma_cycles(cfg: &DmaConfig, bytes: usize, chunks: usize) -> u64 {
+    if bytes == 0 {
+        return 0;
+    }
+    let stream = (bytes as u64).div_ceil(cfg.bytes_per_cycle);
+    cfg.setup_cycles * chunks.max(1) as u64 + stream
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DmaConfig {
+        DmaConfig {
+            setup_cycles: 30,
+            bytes_per_cycle: 8,
+            double_buffer: false,
+        }
+    }
+
+    #[test]
+    fn zero_bytes_is_free() {
+        assert_eq!(dma_cycles(&cfg(), 0, 5), 0);
+    }
+
+    #[test]
+    fn streaming_rate() {
+        // 800 bytes over one chunk: 30 setup + 100 stream.
+        assert_eq!(dma_cycles(&cfg(), 800, 1), 130);
+    }
+
+    #[test]
+    fn chunk_count_scales_setup() {
+        assert_eq!(dma_cycles(&cfg(), 800, 10), 300 + 100);
+    }
+
+    #[test]
+    fn chunks_clamped_to_one() {
+        assert_eq!(dma_cycles(&cfg(), 8, 0), 30 + 1);
+    }
+
+    #[test]
+    fn partial_beat_rounds_up() {
+        assert_eq!(dma_cycles(&cfg(), 9, 1), 30 + 2);
+    }
+}

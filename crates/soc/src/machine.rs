@@ -1,0 +1,723 @@
+//! The program executor: functional semantics + cycle accounting.
+
+use crate::{
+    analog, cpu, digital, dma, AccelLayerDesc, BufferId, CycleBreakdown, DianaConfig, EngineKind,
+    LayerProfile, Program, RunReport, Step,
+};
+use htvm_dory::{tiles, LayerKind, TileInstance};
+use htvm_ir::{DType, Tensor};
+use htvm_kernels as kernels;
+use std::error::Error;
+use std::fmt;
+use std::ops::Range;
+
+/// Errors produced while running a program.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RunError {
+    /// The number of provided inputs does not match the program signature.
+    InputCountMismatch {
+        /// Inputs the program declares.
+        expected: usize,
+        /// Inputs provided.
+        got: usize,
+    },
+    /// A provided input does not match its buffer declaration.
+    InputTypeMismatch {
+        /// Input index.
+        index: usize,
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A fused CPU kernel failed to evaluate (malformed segment graph).
+    Eval(kernels::EvalError),
+    /// An accelerator step's tile exceeds a physical memory: the program
+    /// violates the Eq. 2 constraint the tiler was supposed to enforce.
+    L1Overflow {
+        /// The offending layer.
+        layer: String,
+        /// Bytes the tile needs in the violated memory.
+        needed: usize,
+        /// The memory's capacity in bytes.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::InputCountMismatch { expected, got } => {
+                write!(f, "program expects {expected} inputs, got {got}")
+            }
+            RunError::InputTypeMismatch { index, detail } => write!(f, "input {index}: {detail}"),
+            RunError::Eval(e) => write!(f, "cpu kernel evaluation failed: {e}"),
+            RunError::L1Overflow {
+                layer,
+                needed,
+                capacity,
+            } => write!(
+                f,
+                "layer '{layer}' tile needs {needed} bytes, exceeding the {capacity} byte scratchpad"
+            ),
+        }
+    }
+}
+
+impl Error for RunError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RunError::Eval(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<kernels::EvalError> for RunError {
+    fn from(e: kernels::EvalError) -> Self {
+        RunError::Eval(e)
+    }
+}
+
+/// The simulated DIANA SoC: executes compiled [`Program`]s, producing both
+/// bit-exact outputs and the per-layer cycle profile the paper reads from
+/// DIANA's hardware performance counters.
+///
+/// # Examples
+///
+/// Built end-to-end by the `htvm` compiler crate; see its documentation.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    cfg: DianaConfig,
+}
+
+impl Machine {
+    /// Creates a machine with the given platform configuration.
+    #[must_use]
+    pub fn new(cfg: DianaConfig) -> Self {
+        Machine { cfg }
+    }
+
+    /// The platform configuration.
+    #[must_use]
+    pub fn config(&self) -> &DianaConfig {
+        &self.cfg
+    }
+
+    /// Runs a program on concrete inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError`] if the inputs do not match the program
+    /// signature or a CPU segment fails to evaluate.
+    pub fn run(&self, program: &Program, inputs: &[Tensor]) -> Result<RunReport, RunError> {
+        if inputs.len() != program.inputs.len() {
+            return Err(RunError::InputCountMismatch {
+                expected: program.inputs.len(),
+                got: inputs.len(),
+            });
+        }
+        let mut values: Vec<Option<Tensor>> = vec![None; program.buffers.len()];
+        for (i, (&id, t)) in program.inputs.iter().zip(inputs).enumerate() {
+            let decl = program.buffer(id);
+            if t.shape() != &decl.shape || t.dtype() != decl.dtype {
+                return Err(RunError::InputTypeMismatch {
+                    index: i,
+                    detail: format!(
+                        "expected {}{}, got {}{}",
+                        decl.dtype,
+                        decl.shape,
+                        t.dtype(),
+                        t.shape()
+                    ),
+                });
+            }
+            values[id.0] = Some(t.clone());
+        }
+
+        let mut layers = Vec::with_capacity(program.steps.len());
+        for step in &program.steps {
+            let profile = match step {
+                Step::Accel {
+                    engine,
+                    desc,
+                    input,
+                    input2,
+                    output,
+                } => {
+                    self.check_tile_fits(*engine, desc)?;
+                    let a = take_ref(&values, *input);
+                    let b = input2.map(|id| take_ref(&values, id).clone());
+                    let (tensor, profile) = self.exec_accel(*engine, desc, a, b.as_ref());
+                    values[output.0] = Some(tensor);
+                    profile
+                }
+                Step::CpuFused {
+                    name,
+                    graph,
+                    inputs: step_inputs,
+                    output,
+                } => {
+                    let args: Vec<Tensor> = step_inputs
+                        .iter()
+                        .map(|&id| take_ref(&values, id).clone())
+                        .collect();
+                    let mut out = kernels::evaluate(graph, &args)?;
+                    let cycles = cpu::cpu_graph_cycles(&self.cfg.cpu, graph);
+                    values[output.0] = Some(out.remove(0));
+                    LayerProfile {
+                        name: name.clone(),
+                        engine: EngineKind::Cpu,
+                        cycles: CycleBreakdown {
+                            compute: cycles,
+                            ..CycleBreakdown::default()
+                        },
+                        macs: graph.total_macs(),
+                        n_tiles: 1,
+                    }
+                }
+            };
+            layers.push(profile);
+        }
+
+        let outputs = program
+            .outputs
+            .iter()
+            .map(|&id| take_ref(&values, id).clone())
+            .collect();
+        Ok(RunReport { outputs, layers })
+    }
+
+    /// Enforces the Eq. 2 capacity constraint at execution time: a
+    /// program whose tiles physically overflow the shared L1 or the
+    /// engine's weight store is rejected, whatever the compiler claimed.
+    fn check_tile_fits(&self, engine: EngineKind, desc: &AccelLayerDesc) -> Result<(), RunError> {
+        let mem = htvm_dory::tile_memory(&desc.geom, &desc.tile);
+        let act = mem.input + mem.output;
+        if act > self.cfg.l1_act_bytes {
+            return Err(RunError::L1Overflow {
+                layer: desc.name.clone(),
+                needed: act,
+                capacity: self.cfg.l1_act_bytes,
+            });
+        }
+        match engine {
+            EngineKind::Digital => {
+                if mem.weight > self.cfg.digital.weight_bytes {
+                    return Err(RunError::L1Overflow {
+                        layer: desc.name.clone(),
+                        needed: mem.weight,
+                        capacity: self.cfg.digital.weight_bytes,
+                    });
+                }
+            }
+            EngineKind::Analog => {
+                let rows_needed = match desc.geom.kind {
+                    LayerKind::DepthwiseConv2d | LayerKind::Add => 0,
+                    _ => desc.tile.c_t * desc.geom.fy * desc.geom.fx,
+                };
+                if rows_needed > self.cfg.analog.rows || desc.tile.k_t > self.cfg.analog.cols {
+                    return Err(RunError::L1Overflow {
+                        layer: desc.name.clone(),
+                        needed: rows_needed.max(desc.tile.k_t),
+                        capacity: self.cfg.analog.rows,
+                    });
+                }
+            }
+            EngineKind::Cpu => {}
+        }
+        Ok(())
+    }
+
+    /// Executes one accelerator layer: the DORY tile loop with DMA, weight
+    /// staging and compute costs, accumulating functionally per tile.
+    fn exec_accel(
+        &self,
+        engine: EngineKind,
+        desc: &AccelLayerDesc,
+        input: &Tensor,
+        input2: Option<&Tensor>,
+    ) -> (Tensor, LayerProfile) {
+        let geom = &desc.geom;
+        // Optional 7-bit DAC clamp on the analog input path.
+        let clamped;
+        let (input, input2) = if engine == EngineKind::Analog && self.cfg.analog.clamp_inputs_7bit {
+            clamped = (
+                kernels::clip(input, -63, 63),
+                input2.map(|t| kernels::clip(t, -63, 63)),
+            );
+            (&clamped.0, clamped.1.as_ref())
+        } else {
+            (input, input2)
+        };
+        let out_shape: Vec<usize> = match geom.kind {
+            LayerKind::Dense => vec![geom.k],
+            _ => vec![geom.k, geom.oy(), geom.ox()],
+        };
+        let mut acc = Tensor::zeros(DType::I32, &out_shape);
+
+        let mut cycles = CycleBreakdown::default();
+        cycles.overhead += match engine {
+            EngineKind::Digital => self.cfg.digital.kernel_call_overhead,
+            EngineKind::Analog => self.cfg.analog.kernel_call_overhead,
+            EngineKind::Cpu => unreachable!("accel steps never target the cpu"),
+        };
+
+        let instances = tiles(geom, &desc.tile);
+        let n_tiles = instances.len();
+        let mut prev_weights: Option<(Range<usize>, Range<usize>)> = None;
+        let mut prev_input: Option<(Range<usize>, Range<usize>, Range<usize>)> = None;
+        for inst in &instances {
+            cycles.overhead += match engine {
+                EngineKind::Digital => self.cfg.digital.tile_overhead,
+                EngineKind::Analog => self.cfg.analog.tile_overhead,
+                EngineKind::Cpu => unreachable!(),
+            };
+            // Activation DMA in (two operands for element-wise add). The
+            // L1 input buffer is single-buffered per layer, so consecutive
+            // instances over the same (c, oy, ox) slice — e.g. successive
+            // output-channel blocks of an untiled-input layer — reuse the
+            // resident tile without a new transfer.
+            let input_slice = (inst.c.clone(), inst.oy.clone(), inst.ox.clone());
+            if prev_input.as_ref() != Some(&input_slice) {
+                let operand_count = if geom.kind == LayerKind::Add { 2 } else { 1 };
+                cycles.dma += operand_count
+                    * dma::dma_cycles(
+                        &self.cfg.dma,
+                        inst.input_bytes(geom),
+                        inst.input_chunks(geom),
+                    );
+                prev_input = Some(input_slice);
+            }
+            // Weight staging when the (k, c) slice changes.
+            if geom.kind != LayerKind::Add {
+                let slice = (inst.k.clone(), inst.c.clone());
+                if prev_weights.as_ref() != Some(&slice) {
+                    cycles.weight_load += match engine {
+                        EngineKind::Digital => {
+                            let elems = match geom.kind {
+                                LayerKind::Conv2d => {
+                                    inst.k.len() * inst.c.len() * geom.fy * geom.fx
+                                }
+                                LayerKind::DepthwiseConv2d => inst.c.len() * geom.fy * geom.fx,
+                                LayerKind::Dense => inst.k.len() * inst.c.len(),
+                                LayerKind::Add => 0,
+                            };
+                            dma::dma_cycles(&self.cfg.dma, geom.w_dtype.storage_bytes(elems), 1)
+                        }
+                        EngineKind::Analog => {
+                            analog::analog_weight_load_cycles(&self.cfg.analog, geom, inst)
+                        }
+                        EngineKind::Cpu => unreachable!(),
+                    };
+                    prev_weights = Some(slice);
+                }
+            }
+            // Compute.
+            cycles.compute += match engine {
+                EngineKind::Digital => digital::digital_tile_cycles(&self.cfg.digital, geom, inst),
+                EngineKind::Analog => analog::analog_tile_cycles(&self.cfg.analog, geom, inst),
+                EngineKind::Cpu => unreachable!(),
+            };
+            // Output DMA (final reduction slice only).
+            cycles.dma += dma::dma_cycles(
+                &self.cfg.dma,
+                inst.output_bytes(geom),
+                inst.output_chunks(geom),
+            );
+
+            // Functional execution of exactly this tile's work.
+            self.exec_tile(desc, input, input2, &mut acc, inst);
+        }
+
+        // DORY double-buffering (optional): activation DMA of tile i+1
+        // overlaps compute of tile i, leaving only the first-tile fill and
+        // whatever DMA exceeds the compute time exposed. Weight staging is
+        // part of the accelerator instruction and never overlaps.
+        if self.cfg.dma.double_buffer && n_tiles > 1 {
+            let fill = cycles.dma / n_tiles as u64;
+            cycles.dma = cycles.dma.saturating_sub(cycles.compute).max(fill);
+        }
+
+        // Fused output path: bias, requantization, activation. On DIANA
+        // these run in the accelerators' output pipelines concurrently with
+        // the MAC array, so they add no cycles of their own.
+        let mut out = acc;
+        if let Some(bias) = &desc.bias {
+            out = kernels::bias_add(&out, bias);
+        }
+        out = kernels::right_shift(&out, desc.shift);
+        out = kernels::clip(&out, -128, 127);
+        out = kernels::cast(&out, DType::I8);
+        if desc.relu {
+            out = kernels::relu(&out);
+        }
+        if let Some(pool) = &desc.pool {
+            // Fused output pooling (paper §III-C): runs in the output
+            // SIMD stage, one window element per SIMD beat.
+            out = kernels::pool2d(&out, pool.kind, pool.kernel, pool.strides, pool.padding);
+            let window = (pool.kernel.0 * pool.kernel.1) as u64;
+            let elems = out.shape().num_elements() as u64 * window;
+            let rate = match engine {
+                EngineKind::Digital => self.cfg.digital.add_elems_per_cycle,
+                _ => 16,
+            };
+            cycles.compute += elems.div_ceil(rate);
+        }
+
+        let profile = LayerProfile {
+            name: desc.name.clone(),
+            engine,
+            cycles,
+            macs: geom.macs(),
+            n_tiles,
+        };
+        (out, profile)
+    }
+
+    /// Runs the reference arithmetic for one tile instance.
+    fn exec_tile(
+        &self,
+        desc: &AccelLayerDesc,
+        input: &Tensor,
+        input2: Option<&Tensor>,
+        acc: &mut Tensor,
+        inst: &TileInstance,
+    ) {
+        let geom = &desc.geom;
+        match geom.kind {
+            LayerKind::Conv2d => {
+                let w = desc.weights.as_ref().expect("conv layers carry weights");
+                kernels::conv2d_accumulate(
+                    input,
+                    w,
+                    acc,
+                    geom.strides,
+                    geom.padding,
+                    inst.k.clone(),
+                    inst.oy.clone(),
+                    inst.ox.clone(),
+                    inst.c.clone(),
+                );
+            }
+            LayerKind::DepthwiseConv2d => {
+                let w = desc.weights.as_ref().expect("dw layers carry weights");
+                kernels::depthwise_conv2d_region(
+                    input,
+                    w,
+                    acc,
+                    geom.strides,
+                    geom.padding,
+                    inst.c.clone(),
+                    inst.oy.clone(),
+                    inst.ox.clone(),
+                );
+            }
+            LayerKind::Dense => {
+                let w = desc.weights.as_ref().expect("dense layers carry weights");
+                kernels::dense_accumulate(input, w, acc, inst.k.clone(), inst.c.clone());
+            }
+            LayerKind::Add => {
+                let b = input2.expect("add layers have two operands");
+                let (h, w) = (geom.iy, geom.ix);
+                for c in inst.k.clone() {
+                    for y in inst.oy.clone() {
+                        for x in inst.ox.clone() {
+                            let idx = [c, y, x];
+                            let v = input.get(&idx).wrapping_add(b.get(&idx));
+                            acc.set(&idx, v);
+                        }
+                    }
+                }
+                debug_assert!(h >= 1 && w >= 1);
+            }
+        }
+    }
+}
+
+fn take_ref(values: &[Option<Tensor>], id: BufferId) -> &Tensor {
+    values[id.0]
+        .as_ref()
+        .expect("schedule order guarantees producer ran before consumer")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BufferDecl, BufferKind};
+    use htvm_dory::{LayerGeometry, TileConfig};
+    use htvm_ir::Shape;
+
+    fn buffer(id: usize, name: &str, dims: &[usize], kind: BufferKind) -> BufferDecl {
+        BufferDecl {
+            id: BufferId(id),
+            name: name.into(),
+            shape: Shape::new(dims),
+            dtype: DType::I8,
+            offset: 0,
+            size: dims.iter().product(),
+            kind,
+        }
+    }
+
+    /// Hand-build a single-conv program and check tiled-accelerated output
+    /// against the reference kernels.
+    fn conv_program(tile: TileConfig, engine: EngineKind) -> (Program, Tensor, Tensor) {
+        let geom = LayerGeometry::conv2d(4, 6, 8, 8, 3, 3, (1, 1), (1, 1, 1, 1));
+        let mut weights = Tensor::zeros(DType::I8, &[6, 4, 3, 3]);
+        for (i, v) in weights.data_mut().iter_mut().enumerate() {
+            *v = (i as i32 % 7) - 3;
+        }
+        let mut bias_t = Tensor::zeros(DType::I32, &[6]);
+        for (i, v) in bias_t.data_mut().iter_mut().enumerate() {
+            *v = i as i32 * 10 - 30;
+        }
+        let mut input = Tensor::zeros(DType::I8, &[4, 8, 8]);
+        for (i, v) in input.data_mut().iter_mut().enumerate() {
+            *v = (i as i32 % 17) - 8;
+        }
+        // Reference: conv + bias + shift + clip + cast + relu.
+        let r = kernels::conv2d(&input, &weights, (1, 1), htvm_ir::Padding2d::same(1));
+        let r = kernels::bias_add(&r, &bias_t);
+        let r = kernels::right_shift(&r, 4);
+        let r = kernels::clip(&r, -128, 127);
+        let r = kernels::cast(&r, DType::I8);
+        let reference = kernels::relu(&r);
+
+        let program = Program {
+            buffers: vec![
+                buffer(0, "in", &[4, 8, 8], BufferKind::Input),
+                buffer(1, "out", &[6, 8, 8], BufferKind::Output),
+            ],
+            steps: vec![Step::Accel {
+                engine,
+                desc: AccelLayerDesc {
+                    name: "conv".into(),
+                    geom,
+                    tile,
+                    weights: Some(weights),
+                    bias: Some(bias_t),
+                    shift: 4,
+                    relu: true,
+                    pool: None,
+                },
+                input: BufferId(0),
+                input2: None,
+                output: BufferId(1),
+            }],
+            inputs: vec![BufferId(0)],
+            outputs: vec![BufferId(1)],
+            activation_peak: 4 * 64 + 6 * 64,
+        };
+        (program, input, reference)
+    }
+
+    #[test]
+    fn untiled_digital_matches_reference() {
+        let geom = LayerGeometry::conv2d(4, 6, 8, 8, 3, 3, (1, 1), (1, 1, 1, 1));
+        let (program, input, reference) =
+            conv_program(TileConfig::full(&geom), EngineKind::Digital);
+        let m = Machine::new(DianaConfig::default());
+        let report = m.run(&program, &[input]).unwrap();
+        assert_eq!(report.outputs[0], reference);
+        assert_eq!(report.layers.len(), 1);
+        assert!(report.total_cycles() > 0);
+    }
+
+    #[test]
+    fn tiled_execution_is_bit_exact() {
+        for tile in [
+            TileConfig {
+                c_t: 1,
+                k_t: 1,
+                oy_t: 1,
+                ox_t: 1,
+            },
+            TileConfig {
+                c_t: 3,
+                k_t: 2,
+                oy_t: 5,
+                ox_t: 8,
+            },
+            TileConfig {
+                c_t: 2,
+                k_t: 6,
+                oy_t: 8,
+                ox_t: 3,
+            },
+        ] {
+            let (program, input, reference) = conv_program(tile, EngineKind::Digital);
+            let m = Machine::new(DianaConfig::default());
+            let report = m.run(&program, &[input]).unwrap();
+            assert_eq!(report.outputs[0], reference, "tile {tile:?}");
+        }
+    }
+
+    #[test]
+    fn analog_and_digital_agree_functionally() {
+        let geom = LayerGeometry::conv2d(4, 6, 8, 8, 3, 3, (1, 1), (1, 1, 1, 1));
+        let tile = TileConfig::full(&geom);
+        let (pd, input, _) = conv_program(tile, EngineKind::Digital);
+        let (pa, _, _) = conv_program(tile, EngineKind::Analog);
+        let m = Machine::new(DianaConfig::default());
+        let rd = m.run(&pd, std::slice::from_ref(&input)).unwrap();
+        let ra = m.run(&pa, &[input]).unwrap();
+        assert_eq!(rd.outputs[0], ra.outputs[0]);
+        // But their cycle profiles differ (different engines).
+        assert_ne!(rd.layers[0].cycles.compute, ra.layers[0].cycles.compute);
+    }
+
+    #[test]
+    fn smaller_tiles_cost_more_cycles() {
+        let geom = LayerGeometry::conv2d(4, 6, 8, 8, 3, 3, (1, 1), (1, 1, 1, 1));
+        let (p_full, input, _) = conv_program(TileConfig::full(&geom), EngineKind::Digital);
+        let (p_tiny, _, _) = conv_program(
+            TileConfig {
+                c_t: 1,
+                k_t: 1,
+                oy_t: 2,
+                ox_t: 2,
+            },
+            EngineKind::Digital,
+        );
+        let m = Machine::new(DianaConfig::default());
+        let full = m
+            .run(&p_full, std::slice::from_ref(&input))
+            .unwrap()
+            .total_cycles();
+        let tiny = m.run(&p_tiny, &[input]).unwrap().total_cycles();
+        assert!(
+            tiny > full,
+            "tiny tiles ({tiny}) must cost more than full ({full})"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let geom = LayerGeometry::conv2d(4, 6, 8, 8, 3, 3, (1, 1), (1, 1, 1, 1));
+        let (program, _input, _) = conv_program(TileConfig::full(&geom), EngineKind::Digital);
+        let m = Machine::new(DianaConfig::default());
+        assert!(matches!(
+            m.run(&program, &[]),
+            Err(RunError::InputCountMismatch { .. })
+        ));
+        let wrong = Tensor::zeros(DType::I8, &[4, 8, 7]);
+        assert!(matches!(
+            m.run(&program, &[wrong]),
+            Err(RunError::InputTypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_tiles_rejected_at_runtime() {
+        // A machine with a tiny L1 must refuse a full-layer tile that the
+        // default platform would accept.
+        let geom = LayerGeometry::conv2d(4, 6, 8, 8, 3, 3, (1, 1), (1, 1, 1, 1));
+        let full = TileConfig::full(&geom);
+        let (program, input, _) = conv_program(full, EngineKind::Digital);
+        let tiny = DianaConfig {
+            l1_act_bytes: 64,
+            ..DianaConfig::default()
+        };
+        let m = Machine::new(tiny);
+        assert!(matches!(
+            m.run(&program, &[input]),
+            Err(RunError::L1Overflow { .. })
+        ));
+    }
+
+    #[test]
+    fn double_buffering_hides_dma_behind_compute() {
+        let _geom = LayerGeometry::conv2d(4, 6, 8, 8, 3, 3, (1, 1), (1, 1, 1, 1));
+        let tile = TileConfig {
+            c_t: 4,
+            k_t: 6,
+            oy_t: 2,
+            ox_t: 8,
+        };
+        let (program, input, reference) = conv_program(tile, EngineKind::Digital);
+        let serial = Machine::new(DianaConfig::default());
+        let mut cfg = DianaConfig::default();
+        cfg.dma.double_buffer = true;
+        let overlapped = Machine::new(cfg);
+        let rs = serial.run(&program, std::slice::from_ref(&input)).unwrap();
+        let ro = overlapped
+            .run(&program, std::slice::from_ref(&input))
+            .unwrap();
+        // Same bits, fewer exposed DMA cycles.
+        assert_eq!(rs.outputs[0], reference);
+        assert_eq!(ro.outputs[0], reference);
+        assert!(ro.layers[0].cycles.dma < rs.layers[0].cycles.dma);
+        assert!(ro.total_cycles() < rs.total_cycles());
+        // Compute and weight cycles are untouched.
+        assert_eq!(ro.layers[0].cycles.compute, rs.layers[0].cycles.compute);
+        assert_eq!(
+            ro.layers[0].cycles.weight_load,
+            rs.layers[0].cycles.weight_load
+        );
+    }
+
+    #[test]
+    fn analog_7bit_clamp_models_the_dac() {
+        let geom = LayerGeometry::conv2d(4, 6, 8, 8, 3, 3, (1, 1), (1, 1, 1, 1));
+        let tile = TileConfig::full(&geom);
+        let (program, _, _) = conv_program(tile, EngineKind::Analog);
+        // Input with values beyond the 7-bit DAC range.
+        let mut input = Tensor::zeros(DType::I8, &[4, 8, 8]);
+        for (i, v) in input.data_mut().iter_mut().enumerate() {
+            *v = if i % 2 == 0 { 100 } else { -100 };
+        }
+        let ideal = Machine::new(DianaConfig::default());
+        let mut cfg = DianaConfig::default();
+        cfg.analog.clamp_inputs_7bit = true;
+        let dac = Machine::new(cfg);
+        let a = ideal.run(&program, std::slice::from_ref(&input)).unwrap();
+        let b = dac.run(&program, std::slice::from_ref(&input)).unwrap();
+        assert_ne!(
+            a.outputs, b.outputs,
+            "clamping must change saturating inputs"
+        );
+        // In-range inputs are unaffected.
+        let small = Tensor::new(DType::I8, &[4, 8, 8], vec![5; 256]).unwrap();
+        let a = ideal.run(&program, std::slice::from_ref(&small)).unwrap();
+        let b = dac.run(&program, std::slice::from_ref(&small)).unwrap();
+        assert_eq!(a.outputs, b.outputs);
+    }
+
+    #[test]
+    fn weight_reload_charged_on_slice_change() {
+        // Spatial-only tiling: weight slice constant -> one load.
+        let (p_spatial, input, _) = conv_program(
+            TileConfig {
+                c_t: 4,
+                k_t: 6,
+                oy_t: 4,
+                ox_t: 8,
+            },
+            EngineKind::Analog,
+        );
+        // Channel tiling: slice changes each instance -> many loads.
+        let (p_channel, _, _) = conv_program(
+            TileConfig {
+                c_t: 2,
+                k_t: 3,
+                oy_t: 8,
+                ox_t: 8,
+            },
+            EngineKind::Analog,
+        );
+        let m = Machine::new(DianaConfig::default());
+        let ws = m
+            .run(&p_spatial, std::slice::from_ref(&input))
+            .unwrap()
+            .layers[0]
+            .cycles
+            .weight_load;
+        let wc = m.run(&p_channel, &[input]).unwrap().layers[0]
+            .cycles
+            .weight_load;
+        assert!(
+            wc > ws,
+            "channel-tiled loads ({wc}) must exceed spatial ({ws})"
+        );
+    }
+}

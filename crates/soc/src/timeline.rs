@@ -1,0 +1,180 @@
+//! Execution timeline rendering (the paper's Fig. 2).
+//!
+//! Fig. 2 of the paper shows the time diagram of a deployed network: one
+//! sequential stream of kernels, each bar on the engine that executes it,
+//! with DMA/setup fringes around the accelerator bursts. [`render_timeline`]
+//! reproduces that diagram as text from a [`RunReport`].
+
+use crate::{EngineKind, RunReport};
+
+/// Options for [`render_timeline`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelineOptions {
+    /// Total character width of the time axis.
+    pub width: usize,
+    /// Show the per-layer cycle annotations column.
+    pub annotate: bool,
+}
+
+impl Default for TimelineOptions {
+    fn default() -> Self {
+        TimelineOptions {
+            width: 72,
+            annotate: true,
+        }
+    }
+}
+
+/// Renders the run as an ASCII time diagram: one swim-lane per engine,
+/// kernels in execution order (the single sequential entry function of
+/// the paper's Fig. 2), `#` for engine-busy time and `.` for the
+/// DMA/overhead fringe around accelerator calls.
+///
+/// # Examples
+///
+/// Produced by `cargo run --release -p htvm-bench --bin fig2`.
+#[must_use]
+pub fn render_timeline(report: &RunReport, opts: &TimelineOptions) -> String {
+    use std::fmt::Write as _;
+    let total: u64 = report.total_cycles().max(1);
+    let width = opts.width.max(16);
+    let scale = |c: u64| -> usize { ((c as u128 * width as u128) / total as u128) as usize };
+
+    let lanes = [EngineKind::Cpu, EngineKind::Digital, EngineKind::Analog];
+    let mut rows: Vec<String> = lanes.iter().map(|_| String::new()).collect();
+    let mut cursor = 0usize;
+    let mut legend = String::new();
+
+    for (i, layer) in report.layers.iter().enumerate() {
+        let start = cursor;
+        let busy = scale(layer.cycles.compute + layer.cycles.weight_load);
+        let fringe = scale(layer.cycles.dma + layer.cycles.overhead);
+        let len = (busy + fringe).max(1);
+        let lane = lanes
+            .iter()
+            .position(|&e| e == layer.engine)
+            .expect("every engine has a lane");
+        for (l, row) in rows.iter_mut().enumerate() {
+            while row.len() < start {
+                row.push(' ');
+            }
+            if l == lane {
+                for j in 0..len {
+                    row.push(if j < busy { '#' } else { '.' });
+                }
+            } else {
+                for _ in 0..len {
+                    row.push(' ');
+                }
+            }
+        }
+        cursor = start + len;
+        if opts.annotate {
+            let _ = writeln!(
+                legend,
+                "  [{i:>2}] {:<28} {:<8} {:>9} cycles",
+                layer.name,
+                layer.engine.to_string(),
+                layer.cycles.total()
+            );
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "time -> ({} cycles total; '#' engine busy, '.' dma/overhead fringe)",
+        total
+    );
+    for (lane, row) in lanes.iter().zip(&rows) {
+        let _ = writeln!(out, "{:>8} |{row}", lane.to_string());
+    }
+    if opts.annotate {
+        out.push_str(&legend);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CycleBreakdown, LayerProfile};
+
+    fn layer(name: &str, engine: EngineKind, compute: u64, dma: u64) -> LayerProfile {
+        LayerProfile {
+            name: name.into(),
+            engine,
+            cycles: CycleBreakdown {
+                compute,
+                dma,
+                weight_load: 0,
+                overhead: 0,
+            },
+            macs: 0,
+            n_tiles: 1,
+        }
+    }
+
+    fn sample() -> RunReport {
+        RunReport {
+            outputs: vec![],
+            layers: vec![
+                layer("conv1", EngineKind::Digital, 600, 200),
+                layer("conv2", EngineKind::Analog, 400, 100),
+                layer("softmax", EngineKind::Cpu, 300, 0),
+            ],
+        }
+    }
+
+    #[test]
+    fn lanes_are_disjoint_and_sequential() {
+        let s = render_timeline(&sample(), &TimelineOptions::default());
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("time ->"));
+        let lanes: Vec<&str> = lines[1..4].iter().map(|l| &l[10..]).collect();
+        // At every column, at most one lane is non-blank (sequential
+        // execution: no engine overlap in the paper's Fig. 2).
+        let max_len = lanes.iter().map(|l| l.len()).max().unwrap();
+        for col in 0..max_len {
+            let busy = lanes
+                .iter()
+                .filter(|l| l.as_bytes().get(col).is_some_and(|&b| b != b' '))
+                .count();
+            assert!(busy <= 1, "column {col} has {busy} active lanes");
+        }
+    }
+
+    #[test]
+    fn annotations_list_every_layer() {
+        let s = render_timeline(&sample(), &TimelineOptions::default());
+        assert!(s.contains("conv1"));
+        assert!(s.contains("conv2"));
+        assert!(s.contains("softmax"));
+    }
+
+    #[test]
+    fn busy_marks_reflect_compute_share() {
+        let s = render_timeline(
+            &sample(),
+            &TimelineOptions {
+                width: 80,
+                annotate: false,
+            },
+        );
+        let digital_row = s.lines().nth(2).expect("digital lane");
+        let hashes = digital_row.matches('#').count();
+        let dots = digital_row.matches('.').count();
+        // conv1: 600 compute vs 200 dma -> roughly 3:1.
+        assert!(hashes > dots * 2, "hashes {hashes} vs dots {dots}");
+    }
+
+    #[test]
+    fn empty_report_renders() {
+        let r = RunReport {
+            outputs: vec![],
+            layers: vec![],
+        };
+        let s = render_timeline(&r, &TimelineOptions::default());
+        assert!(s.contains("time ->"));
+    }
+}

@@ -1,0 +1,90 @@
+//! Quickstart: compile a small quantized CNN for the simulated DIANA SoC
+//! and run it on all four deployment configurations.
+//!
+//! ```sh
+//! cargo run --release -p htvm --example quickstart
+//! ```
+
+use htvm::{Compiler, DeployConfig, Machine};
+use htvm_ir::{DType, GraphBuilder, Tensor};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build a quantized graph: two conv blocks and a tiny classifier.
+    //    (In a real deployment this comes from a TFLite/ONNX importer; the
+    //    builder plays that role here.)
+    let mut b = GraphBuilder::new();
+    let x = b.input("image", &[3, 32, 32], DType::I8);
+
+    let w1 = b.constant("w1", Tensor::zeros(DType::I8, &[16, 3, 3, 3]));
+    let b1 = b.constant("b1", Tensor::zeros(DType::I32, &[16]));
+    let c1 = b.conv2d(x, w1, (1, 1), (1, 1, 1, 1))?;
+    let c1 = b.bias_add(c1, b1)?;
+    let c1 = b.requantize(c1, 7, true)?;
+
+    // A ternary conv: dispatched to the analog IMC accelerator.
+    let w2 = b.constant("w2", Tensor::zeros(DType::Ternary, &[32, 16, 3, 3]));
+    let b2 = b.constant("b2", Tensor::zeros(DType::I32, &[32]));
+    let c2 = b.conv2d(c1, w2, (2, 2), (0, 1, 0, 1))?;
+    let c2 = b.bias_add(c2, b2)?;
+    let c2 = b.requantize(c2, 5, true)?;
+
+    let p = b.global_avg_pool(c2)?;
+    let f = b.flatten(p)?;
+    let wd = b.constant("wd", Tensor::zeros(DType::I8, &[10, 32]));
+    let d = b.dense(f, wd)?;
+    let d = b.requantize(d, 6, false)?;
+    let out = b.softmax(d)?;
+    let graph = b.finish(&[out])?;
+
+    println!(
+        "graph: {} nodes, {} MACs\n",
+        graph.len(),
+        graph.total_macs()
+    );
+
+    // 2. Compile for each DIANA configuration and compare.
+    let input = Tensor::zeros(DType::I8, &[3, 32, 32]);
+    println!(
+        "{:<12} {:>12} {:>12} {:>10} {:>8} {:>8} {:>8}",
+        "config", "cycles", "latency ms", "size kB", "cpu", "digital", "analog"
+    );
+    for deploy in [
+        DeployConfig::CpuTvm,
+        DeployConfig::Digital,
+        DeployConfig::Analog,
+        DeployConfig::Both,
+    ] {
+        let compiler = Compiler::new().with_deploy(deploy);
+        let artifact = compiler.compile(&graph)?;
+        let machine = Machine::new(*compiler.platform());
+        let report = machine.run(&artifact.program, std::slice::from_ref(&input))?;
+        println!(
+            "{:<12} {:>12} {:>12.3} {:>10} {:>8} {:>8} {:>8}",
+            format!("{deploy:?}"),
+            report.total_cycles(),
+            compiler.platform().cycles_to_ms(report.total_cycles()),
+            artifact.binary.total_kb(),
+            artifact.steps_on(htvm::EngineKind::Cpu),
+            artifact.steps_on(htvm::EngineKind::Digital),
+            artifact.steps_on(htvm::EngineKind::Analog),
+        );
+    }
+
+    // 3. Inspect the per-layer profile of the heterogeneous deployment.
+    let compiler = Compiler::new().with_deploy(DeployConfig::Both);
+    let artifact = compiler.compile(&graph)?;
+    let machine = Machine::new(*compiler.platform());
+    let report = machine.run(&artifact.program, &[input])?;
+    println!("\nper-layer profile (Both):");
+    for layer in &report.layers {
+        println!(
+            "  {:<28} {:<8} {:>9} cycles ({} tiles, {} MACs)",
+            layer.name,
+            layer.engine.to_string(),
+            layer.cycles.total(),
+            layer.n_tiles,
+            layer.macs
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Reproduce every artifact of the HTVM paper and the repo's own checks.
+# Usage: scripts/reproduce.sh [output-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+out="${1:-results}"
+mkdir -p "$out"
+
+echo "== tests =="
+cargo test --workspace --release 2>&1 | tee "$out/test_output.txt"
+
+echo "== paper artifacts =="
+for bin in table1 table2 fig2 fig4 fig5 ablation; do
+    echo "-- $bin --"
+    cargo run --release -p htvm-bench --bin "$bin" | tee "$out/$bin.txt"
+    cargo run --release -p htvm-bench --bin "$bin" -- --json > "$out/$bin.json" 2>/dev/null || true
+done
+
+echo "== criterion micro-benches =="
+cargo bench -p htvm-bench 2>&1 | tee "$out/bench_output.txt"
+
+echo "== examples =="
+for ex in quickstart keyword_spotting image_classification anomaly_detection tiling_explorer custom_platform; do
+    echo "-- $ex --"
+    cargo run --release -p htvm --example "$ex" | tee "$out/example_$ex.txt"
+done
+
+echo "all outputs in $out/"

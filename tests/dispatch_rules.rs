@@ -1,0 +1,175 @@
+//! Integration tests for the accelerator-aware dispatch layer: which
+//! engine each layer of the real MLPerf™ Tiny networks lands on under each
+//! deployment configuration (paper §III-A and §IV-C).
+
+use htvm::{Compiler, DeployConfig, EngineKind};
+use htvm_models::{ds_cnn, mobilenet_v1, resnet8, toyadmos_dae, QuantScheme};
+
+fn assignments(model: &htvm_models::Model, deploy: DeployConfig) -> Vec<htvm::LayerAssignment> {
+    Compiler::new()
+        .with_deploy(deploy)
+        .compile(&model.graph)
+        .expect("compiles")
+        .assignments
+}
+
+#[test]
+fn digital_config_takes_every_anchor_kind() {
+    // Paper: "all (DW)Conv2D, FC, and Add layers are offloaded to DIANA's
+    // 8-bit digital accelerator".
+    let a = assignments(&resnet8(QuantScheme::Int8), DeployConfig::Digital);
+    let digital: Vec<&str> = a
+        .iter()
+        .filter(|x| x.engine == EngineKind::Digital)
+        .filter_map(|x| x.pattern.as_deref())
+        .collect();
+    assert!(digital.iter().any(|p| p.starts_with("conv2d")));
+    assert!(digital.iter().any(|p| p.starts_with("dense")));
+    assert!(digital.iter().any(|p| p.starts_with("add")));
+    // 10 weighted layers + 3 residual adds.
+    assert_eq!(digital.len(), 13);
+    // Only pooling / softmax / reshape remain on the CPU.
+    for x in a.iter().filter(|x| x.engine == EngineKind::Cpu) {
+        assert_eq!(x.macs, 0, "CPU kernel {} should carry no MACs", x.name);
+    }
+}
+
+#[test]
+fn dscnn_digital_has_ten_offloaded_layers() {
+    let a = assignments(&ds_cnn(QuantScheme::Int8), DeployConfig::Digital);
+    assert_eq!(
+        a.iter().filter(|x| x.engine == EngineKind::Digital).count(),
+        10 // conv stem + 4x(dw + pw) + fc
+    );
+}
+
+#[test]
+fn analog_config_leaves_depthwise_on_cpu() {
+    // Paper: depthwise is unsupported on the analog array; those layers
+    // fall back to the RISC-V core in 8-bit.
+    let a = assignments(&ds_cnn(QuantScheme::Ternary), DeployConfig::Analog);
+    let analog = a.iter().filter(|x| x.engine == EngineKind::Analog).count();
+    assert_eq!(analog, 6); // stem + 4 pointwise + fc
+    let cpu_macs: u64 = a
+        .iter()
+        .filter(|x| x.engine == EngineKind::Cpu)
+        .map(|x| x.macs)
+        .sum();
+    assert!(cpu_macs > 0, "depthwise MACs must run on the CPU");
+    assert_eq!(
+        a.iter().filter(|x| x.engine == EngineKind::Digital).count(),
+        0
+    );
+}
+
+#[test]
+fn mixed_recipe_splits_by_bit_width() {
+    let a = assignments(&mobilenet_v1(QuantScheme::Mixed), DeployConfig::Both);
+    let dig = a.iter().filter(|x| x.engine == EngineKind::Digital).count();
+    let ana = a.iter().filter(|x| x.engine == EngineKind::Analog).count();
+    // 13 depthwise + stem + classifier are 8-bit; 13 pointwise are ternary.
+    assert_eq!(dig, 13 + 2);
+    assert_eq!(ana, 13);
+}
+
+#[test]
+fn mixed_first_and_last_layers_go_digital() {
+    let a = assignments(&resnet8(QuantScheme::Mixed), DeployConfig::Both);
+    let weighted: Vec<&htvm::LayerAssignment> = a
+        .iter()
+        .filter(|x| x.engine != EngineKind::Cpu)
+        .filter(|x| x.pattern.as_deref().is_some_and(|p| !p.starts_with("add")))
+        .collect();
+    assert_eq!(
+        weighted.first().expect("has layers").engine,
+        EngineKind::Digital,
+        "first eligible layer digital"
+    );
+    assert_eq!(
+        weighted.last().expect("has layers").engine,
+        EngineKind::Digital,
+        "last eligible layer digital"
+    );
+    assert!(
+        weighted[1..weighted.len() - 1]
+            .iter()
+            .all(|x| x.engine == EngineKind::Analog),
+        "middle layers analog"
+    );
+}
+
+#[test]
+fn toyadmos_dense_layers_map_to_analog_rows() {
+    // Ternary FC layers are deployed on the analog array ("implementing FC
+    // layers as Conv2Ds" in the paper; our array maps them directly).
+    let a = assignments(&toyadmos_dae(QuantScheme::Ternary), DeployConfig::Analog);
+    assert_eq!(
+        a.iter().filter(|x| x.engine == EngineKind::Analog).count(),
+        10
+    );
+}
+
+#[test]
+fn cpu_tvm_config_never_offloads() {
+    for deploy_model in [
+        ds_cnn(QuantScheme::Int8),
+        resnet8(QuantScheme::Int8),
+        toyadmos_dae(QuantScheme::Int8),
+    ] {
+        let a = assignments(&deploy_model, DeployConfig::CpuTvm);
+        assert!(a.iter().all(|x| x.engine == EngineKind::Cpu));
+    }
+}
+
+#[test]
+fn ternary_network_on_digital_only_falls_back_to_cpu() {
+    // The digital engine cannot execute ternary weights; with no analog
+    // engine enabled, everything lands on the CPU.
+    let a = assignments(&toyadmos_dae(QuantScheme::Ternary), DeployConfig::Digital);
+    assert!(a.iter().all(|x| x.engine == EngineKind::Cpu));
+}
+
+#[test]
+fn tile_counts_reflect_memory_pressure() {
+    // ToyAdmos's first dense layer (640x128 = 80 kB of weights) cannot fit
+    // the 64 kB digital weight memory untiled.
+    let a = assignments(&toyadmos_dae(QuantScheme::Int8), DeployConfig::Digital);
+    let first_dense = a
+        .iter()
+        .find(|x| x.engine == EngineKind::Digital)
+        .expect("dense layer offloaded");
+    assert!(
+        first_dense.n_tiles > 1,
+        "80 kB of weights must be tiled, got {} tiles",
+        first_dense.n_tiles
+    );
+}
+
+#[test]
+fn output_pooling_fuses_into_accelerator_regions() {
+    // Paper §III-C: the accelerators execute "some pooling operations at
+    // the output". The global average pool after DS-CNN's last pointwise
+    // conv (and after ResNet's final residual add) must fuse into the
+    // accelerator region: no CPU kernel may contain a pooling op.
+    for model in [ds_cnn(QuantScheme::Int8), resnet8(QuantScheme::Int8)] {
+        let artifact = Compiler::new()
+            .with_deploy(DeployConfig::Digital)
+            .compile(&model.graph)
+            .expect("compiles");
+        for step in &artifact.program.steps {
+            if let htvm_soc::Step::CpuFused { graph, name, .. } = step {
+                let has_pool = graph
+                    .nodes()
+                    .any(|(_, n)| matches!(n.op(), Some(htvm_ir::Op::Pool2d { .. })));
+                assert!(!has_pool, "{}: pool left on the CPU in {name}", model.name);
+            }
+        }
+        // The pooled region exists: one accel step outputs the pooled shape.
+        let pooled = artifact
+            .program
+            .steps
+            .iter()
+            .any(|s| matches!(s, htvm_soc::Step::Accel { desc, .. } if desc.pool.is_some()));
+        assert!(pooled, "{}: no fused pool found", model.name);
+    }
+}

@@ -1,0 +1,178 @@
+//! Property and integration tests for the L2 memory schedule — the
+//! "memory schedule for allocating and de-allocating intermediate
+//! activation tensors in main memory" HTVM emits (paper §III).
+
+use htvm::{Compiler, DeployConfig};
+use htvm_dory::memplan::{plan, BufferReq};
+use htvm_models::{all_models, mobilenet_v1, QuantScheme};
+use htvm_soc::Step;
+use proptest::prelude::*;
+
+fn req_strategy() -> impl Strategy<Value = BufferReq> {
+    (0usize..2048, 0usize..12, 0usize..12).prop_map(|(size, a, b)| BufferReq {
+        id: 0,
+        size,
+        first_use: a.min(b),
+        last_use: a.max(b),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// No two buffers with overlapping lifetimes share bytes, and the peak
+    /// is exactly the densest point of the packing.
+    #[test]
+    fn planner_never_overlaps_live_buffers(mut reqs in prop::collection::vec(req_strategy(), 1..24)) {
+        for (i, r) in reqs.iter_mut().enumerate() {
+            r.id = i;
+        }
+        let p = plan(&reqs, usize::MAX).expect("unbounded capacity");
+        for a in &reqs {
+            for b in &reqs {
+                if a.id >= b.id || a.size == 0 || b.size == 0 {
+                    continue;
+                }
+                let live = a.first_use <= b.last_use && b.first_use <= a.last_use;
+                if live {
+                    let (ao, bo) = (p.offset_of(a.id).unwrap(), p.offset_of(b.id).unwrap());
+                    prop_assert!(
+                        ao + a.size <= bo || bo + b.size <= ao,
+                        "buffers {} and {} overlap", a.id, b.id
+                    );
+                }
+            }
+        }
+        // Peak equals the highest end offset among placed buffers.
+        let max_end = reqs
+            .iter()
+            .map(|r| p.offset_of(r.id).unwrap() + r.size)
+            .max()
+            .unwrap_or(0);
+        prop_assert_eq!(p.peak, max_end);
+    }
+
+    /// The planner never does worse than no-reuse allocation.
+    #[test]
+    fn planner_beats_or_matches_naive(mut reqs in prop::collection::vec(req_strategy(), 1..24)) {
+        for (i, r) in reqs.iter_mut().enumerate() {
+            r.id = i;
+        }
+        let p = plan(&reqs, usize::MAX).expect("unbounded capacity");
+        let naive: usize = reqs.iter().map(|r| r.size).sum();
+        prop_assert!(p.peak <= naive);
+    }
+}
+
+/// Reconstruct per-buffer liveness from a compiled program's schedule and
+/// assert planned offsets never alias while live.
+fn assert_no_live_overlap(program: &htvm_soc::Program) {
+    let n = program.steps.len();
+    let mut live: Vec<(usize, usize)> = vec![(usize::MAX, 0); program.buffers.len()];
+    for &b in &program.inputs {
+        live[b.0].0 = 0;
+    }
+    for (i, s) in program.steps.iter().enumerate() {
+        let mut touch = |b: htvm_soc::BufferId| {
+            live[b.0].0 = live[b.0].0.min(i);
+            live[b.0].1 = live[b.0].1.max(i);
+        };
+        match s {
+            Step::Accel {
+                input,
+                input2,
+                output,
+                ..
+            } => {
+                touch(*input);
+                if let Some(i2) = input2 {
+                    touch(*i2);
+                }
+                touch(*output);
+            }
+            Step::CpuFused { inputs, output, .. } => {
+                for b in inputs {
+                    touch(*b);
+                }
+                touch(*output);
+            }
+        }
+    }
+    for &o in &program.outputs {
+        live[o.0].1 = n;
+    }
+    for a in &program.buffers {
+        for b in &program.buffers {
+            if a.id >= b.id || a.size == 0 || b.size == 0 {
+                continue;
+            }
+            let (af, al) = live[a.id.0];
+            let (bf, bl) = live[b.id.0];
+            if af <= bl && bf <= al {
+                assert!(
+                    a.offset + a.size <= b.offset || b.offset + b.size <= a.offset,
+                    "live buffers {} and {} overlap in L2",
+                    a.name,
+                    b.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn compiled_networks_have_sound_memory_schedules() {
+    for model in all_models(QuantScheme::Int8) {
+        let artifact = Compiler::new()
+            .with_deploy(DeployConfig::Digital)
+            .compile(&model.graph)
+            .expect("compiles");
+        assert_no_live_overlap(&artifact.program);
+        // Everything must fit L2 next to the binary image.
+        assert!(
+            artifact.program.activation_peak + artifact.binary.total() <= 512 * 1024,
+            "{}: peak {} + binary {}",
+            model.name,
+            artifact.program.activation_peak,
+            artifact.binary.total()
+        );
+    }
+}
+
+#[test]
+fn htvm_planning_beats_naive_allocation_on_mobilenet() {
+    let model = mobilenet_v1(QuantScheme::Int8);
+    let planned = Compiler::new()
+        .with_deploy(DeployConfig::Digital)
+        .compile(&model.graph)
+        .expect("planned deployment fits");
+    // The no-reuse footprint is the sum of all activation buffers.
+    let naive_sum: usize = planned.program.buffers.iter().map(|b| b.size).sum();
+    assert!(
+        planned.program.activation_peak * 3 < naive_sum,
+        "reuse should cut the footprint by >3x: peak {} vs sum {}",
+        planned.program.activation_peak,
+        naive_sum
+    );
+}
+
+#[test]
+fn buffer_offsets_respect_capacity() {
+    for model in all_models(QuantScheme::Mixed) {
+        let artifact = Compiler::new()
+            .with_deploy(DeployConfig::Both)
+            .compile(&model.graph)
+            .expect("compiles");
+        let capacity = 512 * 1024 - artifact.binary.total();
+        for b in &artifact.program.buffers {
+            assert!(
+                b.offset + b.size <= capacity,
+                "{}: buffer {} ends at {} beyond capacity {}",
+                model.name,
+                b.name,
+                b.offset + b.size,
+                capacity
+            );
+        }
+    }
+}

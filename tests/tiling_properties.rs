@@ -1,0 +1,245 @@
+//! Property-based tests for the DORY tiling substrate: Eq. 2 soundness,
+//! exact output coverage, and bit-exact tiled execution against the
+//! reference kernels for arbitrary geometries and tile choices.
+
+use htvm_dory::{
+    solve, tile_fits, tiles, LayerGeometry, MemoryBudget, TileConfig, TilingObjective,
+};
+use htvm_ir::{DType, Padding2d, Tensor};
+use proptest::prelude::*;
+
+/// Random but valid convolution geometries, kept small enough for the
+/// reference kernels.
+fn conv_geometry() -> impl Strategy<Value = LayerGeometry> {
+    (
+        1usize..=24, // c
+        1usize..=24, // k
+        3usize..=20, // iy
+        3usize..=20, // ix
+        1usize..=3,  // fy
+        1usize..=3,  // fx
+        1usize..=2,  // stride
+        0usize..=1,  // pad
+    )
+        .prop_map(|(c, k, iy, ix, fy, fx, s, p)| {
+            LayerGeometry::conv2d(
+                c,
+                k,
+                iy.max(fy),
+                ix.max(fx),
+                fy,
+                fx,
+                (s, s),
+                Padding2d::same(p),
+            )
+        })
+}
+
+/// A valid random tile for a geometry.
+fn tile_for(geom: &LayerGeometry) -> impl Strategy<Value = TileConfig> {
+    let (c, k, oy, ox) = (geom.c, geom.k, geom.oy(), geom.ox());
+    (1..=c, 1..=k, 1..=oy, 1..=ox).prop_map(|(c_t, k_t, oy_t, ox_t)| TileConfig {
+        c_t,
+        k_t,
+        oy_t,
+        ox_t,
+    })
+}
+
+fn patterned(dtype: DType, dims: &[usize], salt: i32) -> Tensor {
+    let mut t = Tensor::zeros(dtype, dims);
+    let (lo, hi) = dtype.range();
+    let span = (hi - lo + 1).min(13);
+    for (i, v) in t.data_mut().iter_mut().enumerate() {
+        *v = dtype.saturate((i as i32).wrapping_mul(31).wrapping_add(salt) % span + lo.max(-6));
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The tile loop touches every output element exactly once (on the
+    /// final reduction slice) and every reduction slice exactly once.
+    #[test]
+    fn coverage_is_exact((geom, seed) in conv_geometry().prop_flat_map(|g| {
+        let t = tile_for(&g);
+        (Just(g), t)
+    })) {
+        let (geom, tile) = (geom, seed);
+        let mut cover = vec![0u32; geom.k * geom.oy() * geom.ox()];
+        for inst in tiles(&geom, &tile) {
+            prop_assert!(inst.c.end <= geom.c);
+            prop_assert!(inst.k.end <= geom.k);
+            if inst.last_c {
+                for k in inst.k.clone() {
+                    for y in inst.oy.clone() {
+                        for x in inst.ox.clone() {
+                            cover[(k * geom.oy() + y) * geom.ox() + x] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        prop_assert!(cover.iter().all(|&v| v == 1));
+    }
+
+    /// Tiled accumulation reproduces the reference convolution bit-exactly
+    /// for any tile configuration.
+    #[test]
+    fn tiled_conv_is_bit_exact((geom, tile) in conv_geometry().prop_flat_map(|g| {
+        let t = tile_for(&g);
+        (Just(g), t)
+    })) {
+        let x = patterned(DType::I8, &[geom.c, geom.iy, geom.ix], 3);
+        let w = patterned(DType::I8, &[geom.k, geom.c, geom.fy, geom.fx], 7);
+        let reference = htvm_kernels::conv2d(&x, &w, geom.strides, geom.padding);
+        let mut acc = Tensor::zeros(DType::I32, reference.shape().dims());
+        for inst in tiles(&geom, &tile) {
+            htvm_kernels::conv2d_accumulate(
+                &x, &w, &mut acc,
+                geom.strides, geom.padding,
+                inst.k, inst.oy, inst.ox, inst.c,
+            );
+        }
+        prop_assert_eq!(acc, reference);
+    }
+
+    /// Any solver solution satisfies the Eq. 2 capacity constraint, and
+    /// its tile loop MAC total equals the layer MACs.
+    #[test]
+    fn solver_solutions_respect_eq2(
+        geom in conv_geometry(),
+        act_kb in 1usize..=64,
+        w_kb in 1usize..=64,
+    ) {
+        let budget = MemoryBudget {
+            act_bytes: act_kb * 1024,
+            weight_bytes: Some(w_kb * 1024),
+            array: None,
+        };
+        for objective in [
+            TilingObjective::memory_only(),
+            TilingObjective::diana_digital_pe_only(),
+            TilingObjective::diana_digital(),
+        ] {
+            if let Ok(sol) = solve(&geom, &budget, &objective) {
+                prop_assert!(tile_fits(&geom, &sol.tile, &budget));
+                let total: u64 = tiles(&geom, &sol.tile).iter().map(|i| i.macs(&geom)).sum();
+                prop_assert_eq!(total, geom.macs());
+            }
+        }
+    }
+
+    /// Under the heuristic objective, the heuristic solution's score
+    /// dominates the memory-only solution's score (the solver really
+    /// maximizes Eq. 1).
+    #[test]
+    fn heuristic_solution_dominates_in_score(
+        geom in conv_geometry(),
+        act_kb in 1usize..=32,
+    ) {
+        let budget = MemoryBudget {
+            act_bytes: act_kb * 1024,
+            weight_bytes: Some(32 * 1024),
+            array: None,
+        };
+        let obj = TilingObjective::diana_digital();
+        let (Ok(h), Ok(m)) = (
+            solve(&geom, &budget, &obj),
+            solve(&geom, &budget, &TilingObjective::memory_only()),
+        ) else {
+            return Ok(());
+        };
+        let hs = obj.score(&geom, &h.tile, &budget);
+        let ms = obj.score(&geom, &m.tile, &budget);
+        prop_assert!(hs >= ms - 1e-9, "heuristic {hs} vs memory-only {ms}");
+    }
+
+    /// Dense layers: tiled accumulation matches the reference for random
+    /// splits of both dimensions.
+    #[test]
+    fn tiled_dense_is_bit_exact(
+        c in 1usize..=64,
+        k in 1usize..=64,
+        c_t in 1usize..=64,
+        k_t in 1usize..=64,
+    ) {
+        let (c_t, k_t) = (c_t.min(c), k_t.min(k));
+        let geom = LayerGeometry::dense(c, k);
+        let tile = TileConfig { c_t, k_t, oy_t: 1, ox_t: 1 };
+        let x = patterned(DType::I8, &[c], 11);
+        let w = patterned(DType::I8, &[k, c], 13);
+        let reference = htvm_kernels::dense(&x, &w);
+        let mut acc = Tensor::zeros(DType::I32, &[k]);
+        for inst in tiles(&geom, &tile) {
+            htvm_kernels::dense_accumulate(&x, &w, &mut acc, inst.k, inst.c);
+        }
+        prop_assert_eq!(acc, reference);
+    }
+}
+
+#[test]
+fn solver_error_only_when_nothing_fits() {
+    // If solve() errors, even the minimal tile must violate the budget.
+    let geom = LayerGeometry::conv2d(8, 8, 8, 8, 3, 3, (1, 1), (1, 1, 1, 1));
+    // The minimal tile needs a 3x3 input halo (9 B) plus a 4 B partial-sum
+    // accumulator; 8 bytes can never fit it.
+    let budget = MemoryBudget {
+        act_bytes: 8,
+        weight_bytes: Some(8),
+        array: None,
+    };
+    assert!(solve(&geom, &budget, &TilingObjective::diana_digital()).is_err());
+    let minimal = TileConfig {
+        c_t: 1,
+        k_t: 1,
+        oy_t: 1,
+        ox_t: 1,
+    };
+    assert!(!tile_fits(&geom, &minimal, &budget));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Machine-level closure of the tiling story: for a random geometry,
+    /// solve under a random budget, run the single-layer program on the
+    /// simulator, and check the output against the reference kernels (the
+    /// requantization parameters match `single_layer_program`'s fixed
+    /// shift=5, relu=true epilogue).
+    #[test]
+    fn solved_tiles_execute_bit_exact_on_the_machine(
+        geom in conv_geometry(),
+        act_kb in 1usize..=16,
+    ) {
+        use htvm::{DianaConfig, EngineKind, Machine, single_layer_program};
+        let budget = MemoryBudget {
+            act_bytes: act_kb * 1024,
+            weight_bytes: Some(64 * 1024),
+            array: None,
+        };
+        let Ok(sol) = solve(&geom, &budget, &TilingObjective::diana_digital()) else {
+            return Ok(()); // nothing fits this budget
+        };
+        let program = single_layer_program(&geom, sol.tile, EngineKind::Digital);
+        let input = htvm_models::random_input(9, &[geom.c, geom.iy, geom.ix]);
+        let machine = Machine::new(DianaConfig::default());
+        let report = machine
+            .run(&program, std::slice::from_ref(&input))
+            .expect("solved tiles always satisfy the machine's L1 check");
+        // Rebuild the reference from the program's own weights/bias.
+        let htvm_soc::Step::Accel { desc, .. } = &program.steps[0] else {
+            unreachable!("single-layer programs have one accel step");
+        };
+        let w = desc.weights.as_ref().expect("conv has weights");
+        let conv = htvm_kernels::conv2d(&input, w, geom.strides, geom.padding);
+        let conv = htvm_kernels::bias_add(&conv, desc.bias.as_ref().expect("bias"));
+        let q = htvm_kernels::cast(
+            &htvm_kernels::clip(&htvm_kernels::right_shift(&conv, desc.shift), -128, 127),
+            htvm_ir::DType::I8,
+        );
+        let expected = htvm_kernels::relu(&q);
+        prop_assert_eq!(&report.outputs[0], &expected);
+    }
+}
