@@ -3,6 +3,33 @@
 use crate::binsize::BinarySize;
 use htvm_soc::{EngineKind, Program};
 use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Observability counters from one [`lower`](crate::lower) run: how much
+/// tiling-solver work the compile did, how much the [`TileCache`] absorbed,
+/// and how the wall time split between the parallel solve phase and the
+/// sequential emit phase.
+///
+/// Stats describe *how* the artifact was produced, not *what* was produced:
+/// they are excluded from `Artifact` equality and serialization, so a
+/// warm-cache recompile yields an artifact equal to the cold one even
+/// though its stats differ.
+///
+/// [`TileCache`]: htvm_dory::TileCache
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompileStats {
+    /// Accelerator regions lowered (one tiling solve each).
+    pub regions: usize,
+    /// Solver invocations actually performed (cache misses, or all regions
+    /// when no cache is installed).
+    pub solves_performed: u64,
+    /// Solves answered from the [`TileCache`](htvm_dory::TileCache).
+    pub cache_hits: u64,
+    /// Wall time of the solve phase (extraction + tiling, fanned out).
+    pub solve_time: Duration,
+    /// Wall time of the emit phase (buffers, steps, L2 planning).
+    pub emit_time: Duration,
+}
 
 /// Where one layer of the network ended up after dispatch — the report the
 /// `htvm` driver prints so users can audit offload decisions.
@@ -22,7 +49,11 @@ pub struct LayerAssignment {
 
 /// A compiled deployment: the device program, its modeled binary size, the
 /// L2 activation schedule summary and the per-layer engine assignment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Equality and serialization cover the *product* only; [`CompileStats`]
+/// (wall times, cache counters) is carried for observability but compares
+/// equal regardless and round-trips as `Default`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Artifact {
     /// The executable program (see [`htvm_soc::Machine`]).
     pub program: Program,
@@ -30,6 +61,17 @@ pub struct Artifact {
     pub binary: BinarySize,
     /// Per-step engine assignment, in execution order.
     pub assignments: Vec<LayerAssignment>,
+    /// How the compile went (solver work, cache hits, phase timings).
+    #[serde(skip)]
+    pub stats: CompileStats,
+}
+
+impl PartialEq for Artifact {
+    fn eq(&self, other: &Self) -> bool {
+        self.program == other.program
+            && self.binary == other.binary
+            && self.assignments == other.assignments
+    }
 }
 
 impl Artifact {
@@ -75,6 +117,7 @@ mod tests {
                 activation_peak: 0,
             },
             binary: BinarySize::default(),
+            stats: CompileStats::default(),
             assignments: vec![
                 LayerAssignment {
                     name: "conv".into(),
@@ -108,6 +151,7 @@ mod tests {
                 activation_peak: 0,
             },
             binary: BinarySize::default(),
+            stats: CompileStats::default(),
             assignments: vec![],
         };
         assert_eq!(artifact.offload_fraction(), 0.0);

@@ -33,7 +33,7 @@ mod fuse;
 mod lower;
 mod single;
 
-pub use artifact::{Artifact, LayerAssignment};
+pub use artifact::{Artifact, CompileStats, LayerAssignment};
 pub use error::LowerError;
 pub use extract::{extract, ExtractedLayer};
 pub use fuse::fuse_cpu_nodes;

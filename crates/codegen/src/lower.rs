@@ -1,15 +1,30 @@
 //! The main lowering pass: partitioned graph → device program.
+//!
+//! Lowering runs in two phases. The **solve phase** extracts every
+//! accelerator region and runs the DORY tiling solver for it — each
+//! region's solve is a pure function of `(geometry, budget, objective)`,
+//! so the phase fans out across threads and consults the optional
+//! [`TileCache`]. The **emit phase** then walks the execution units in
+//! their fixed topological order on one thread, declaring buffers,
+//! emitting steps and planning the L2 schedule from the pre-computed
+//! solutions. Only the embarrassingly parallel half is parallel; every
+//! ordering decision stays sequential, so the artifact is byte-identical
+//! with parallelism on or off.
 
 use crate::binsize::{binary_size, BinarySizeModel};
-use crate::{extract, fuse_cpu_nodes, Artifact, LayerAssignment, LowerError};
+use crate::{
+    extract, fuse_cpu_nodes, Artifact, CompileStats, ExtractedLayer, LayerAssignment, LowerError,
+};
 use htvm_dory::memplan::{plan, BufferReq, OutOfMemory};
-use htvm_dory::{solve, ArrayDims, MemoryBudget, TilingObjective};
+use htvm_dory::{solve, ArrayDims, MemoryBudget, TileCache, TileSolution, TilingObjective};
 use htvm_ir::{Graph, GraphBuilder, NodeId, NodeKind};
-use htvm_pattern::PartitionedGraph;
+use htvm_pattern::{PartitionedGraph, Region};
 use htvm_soc::{
     AccelLayerDesc, BufferDecl, BufferId, BufferKind, DianaConfig, EngineKind, Program, Step,
 };
+use rayon::prelude::*;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Knobs for lowering.
 #[derive(Debug, Clone)]
@@ -27,6 +42,20 @@ pub struct LowerOptions {
     pub l1_act_override: Option<usize>,
     /// Binary-size model constants.
     pub size_model: BinarySizeModel,
+    /// Memo table for tiling solves, shared across regions (and, via
+    /// [`Compiler`], across compiles). `None` solves every region
+    /// directly.
+    ///
+    /// [`Compiler`]: ../htvm/struct.Compiler.html
+    pub tile_cache: Option<TileCache>,
+    /// Fan the solve phase out across threads. Off, lowering is fully
+    /// sequential — same artifact, byte for byte; the determinism tests
+    /// and the `compile_time` bench baseline rely on that.
+    pub parallel: bool,
+    /// Layers already extracted upstream (the dispatch hook extracts to
+    /// see geometries), keyed by match root. Regions found here skip
+    /// re-extraction in the solve phase.
+    pub extracted: HashMap<NodeId, ExtractedLayer>,
 }
 
 impl Default for LowerOptions {
@@ -37,6 +66,9 @@ impl Default for LowerOptions {
             naive_l2: false,
             l1_act_override: None,
             size_model: BinarySizeModel::default(),
+            tile_cache: None,
+            parallel: true,
+            extracted: HashMap::new(),
         }
     }
 }
@@ -44,6 +76,13 @@ impl Default for LowerOptions {
 enum Unit {
     Region(usize),
     Cpu(Vec<NodeId>),
+}
+
+/// One region's solve-phase output, consumed once by the emit phase.
+struct RegionSolve {
+    layer: ExtractedLayer,
+    solution: TileSolution,
+    cache_hit: bool,
 }
 
 /// Lowers a partitioned graph into a runnable [`Artifact`] for the DIANA
@@ -97,7 +136,7 @@ pub fn lower(
         buffer_of.insert(input, id);
     }
 
-    // ---- Emit steps ----
+    // ---- Solve phase: extract + tile every region, possibly in parallel ----
     // DORY's double-buffering holds two tiles per operand in flight, so
     // the solver sees half the physical scratchpad when overlap is on.
     let l1_effective = if cfg.dma.double_buffer {
@@ -106,6 +145,73 @@ pub fn lower(
         cfg.l1_act_bytes
     };
     let l1_act = opts.l1_act_override.unwrap_or(l1_effective);
+    let solve_start = Instant::now();
+    let solve_one = |region: &Region<EngineKind>| -> Result<RegionSolve, LowerError> {
+        let e = match opts.extracted.get(&region.m.root) {
+            Some(done) => done.clone(),
+            None => extract(graph, &region.pattern, &region.m)?,
+        };
+        let (budget, objective) = match region.tag {
+            EngineKind::Digital => (
+                MemoryBudget {
+                    act_bytes: l1_act,
+                    weight_bytes: Some(cfg.digital.weight_bytes),
+                    array: None,
+                },
+                &opts.digital_objective,
+            ),
+            EngineKind::Analog => (
+                MemoryBudget {
+                    act_bytes: l1_act,
+                    weight_bytes: None,
+                    array: Some(ArrayDims {
+                        rows: cfg.analog.rows,
+                        cols: cfg.analog.cols,
+                    }),
+                },
+                &opts.analog_objective,
+            ),
+            EngineKind::Cpu => {
+                return Err(LowerError::UnsupportedGraph(
+                    "regions must target an accelerator".into(),
+                ));
+            }
+        };
+        let (solution, cache_hit) = match &opts.tile_cache {
+            Some(cache) => cache.solve_cached(&e.geom, &budget, objective),
+            None => (solve(&e.geom, &budget, objective), false),
+        };
+        Ok(RegionSolve {
+            layer: e,
+            solution: solution?,
+            cache_hit,
+        })
+    };
+    // Both branches preserve region order, and each solve is a pure
+    // function of its region, so the fan-out cannot change the artifact.
+    let solved: Result<Vec<RegionSolve>, LowerError> = if opts.parallel {
+        part.regions.par_iter().map(solve_one).collect()
+    } else {
+        part.regions.iter().map(solve_one).collect()
+    };
+    let mut solved: Vec<Option<RegionSolve>> = solved?.into_iter().map(Some).collect();
+    let mut stats = CompileStats {
+        regions: part.regions.len(),
+        solves_performed: 0,
+        cache_hits: 0,
+        solve_time: solve_start.elapsed(),
+        emit_time: std::time::Duration::ZERO,
+    };
+    for s in solved.iter().flatten() {
+        if s.cache_hit {
+            stats.cache_hits += 1;
+        } else {
+            stats.solves_performed += 1;
+        }
+    }
+
+    // ---- Emit phase: steps, buffers, then the L2 schedule (sequential) ----
+    let emit_start = Instant::now();
     let mut steps: Vec<Step> = Vec::new();
     let mut assignments: Vec<LayerAssignment> = Vec::new();
     let mut producer_step: HashMap<BufferId, usize> = HashMap::new();
@@ -129,34 +235,11 @@ pub fn lower(
             Unit::Region(ridx) => {
                 let region = &part.regions[ridx];
                 let engine = region.tag;
-                let e = extract(graph, &region.pattern, &region.m)?;
-                let (budget, objective) = match engine {
-                    EngineKind::Digital => (
-                        MemoryBudget {
-                            act_bytes: l1_act,
-                            weight_bytes: Some(cfg.digital.weight_bytes),
-                            array: None,
-                        },
-                        &opts.digital_objective,
-                    ),
-                    EngineKind::Analog => (
-                        MemoryBudget {
-                            act_bytes: l1_act,
-                            weight_bytes: None,
-                            array: Some(ArrayDims {
-                                rows: cfg.analog.rows,
-                                cols: cfg.analog.cols,
-                            }),
-                        },
-                        &opts.analog_objective,
-                    ),
-                    EngineKind::Cpu => {
-                        return Err(LowerError::UnsupportedGraph(
-                            "regions must target an accelerator".into(),
-                        ));
-                    }
-                };
-                let solution = solve(&e.geom, &budget, objective)?;
+                let RegionSolve {
+                    layer: e, solution, ..
+                } = solved[ridx]
+                    .take()
+                    .expect("each region is emitted exactly once");
                 let input = resolve(e.data_inputs[0])?;
                 let input2 = match e.data_inputs.get(1) {
                     Some(&n) => Some(resolve(n)?),
@@ -280,6 +363,7 @@ pub fn lower(
         memory_plan.peak
     };
 
+    stats.emit_time = emit_start.elapsed();
     Ok(Artifact {
         program: Program {
             buffers,
@@ -290,6 +374,7 @@ pub fn lower(
         },
         binary,
         assignments,
+        stats,
     })
 }
 

@@ -3,10 +3,12 @@
 use crate::dispatch::engine_feasible;
 use crate::{diana_patterns, dispatch_rule, DeployConfig};
 use htvm_codegen::{extract, lower, Artifact, LowerError, LowerOptions};
-use htvm_dory::LayerGeometry;
+use htvm_dory::{LayerGeometry, TileCache};
 use htvm_ir::{passes, Graph, IrError};
 use htvm_pattern::partition;
 use htvm_soc::{DianaConfig, EngineKind};
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
@@ -75,6 +77,11 @@ pub struct Compiler {
     deploy: DeployConfig,
     lower_opts: LowerOptions,
     dispatch_hook: Option<DispatchHook>,
+    /// Tiling-solve memo table shared by every [`Compiler::compile`] call
+    /// (clones of the compiler share it too): solves are pure functions of
+    /// `(geometry, budget, objective)`, so recompiles and repeated layer
+    /// geometries skip the solver entirely.
+    tile_cache: TileCache,
 }
 
 impl fmt::Debug for Compiler {
@@ -87,6 +94,7 @@ impl fmt::Debug for Compiler {
                 "dispatch_hook",
                 &self.dispatch_hook.as_ref().map(|_| "<hook>"),
             )
+            .field("tile_cache", &self.tile_cache)
             .finish()
     }
 }
@@ -107,7 +115,15 @@ impl Compiler {
             deploy: DeployConfig::Both,
             lower_opts: LowerOptions::default(),
             dispatch_hook: None,
+            tile_cache: TileCache::new(),
         }
+    }
+
+    /// The compiler's shared tiling-solve cache (counters and contents
+    /// accumulate across [`Compiler::compile`] calls).
+    #[must_use]
+    pub fn tile_cache(&self) -> &TileCache {
+        &self.tile_cache
     }
 
     /// Installs a user dispatch override (see [`DispatchHook`]).
@@ -177,12 +193,18 @@ impl Compiler {
         } else {
             diana_patterns()
         };
+        // The dispatch hook needs each candidate's geometry, which means a
+        // full extraction; keep those extractions (keyed by match root) so
+        // the lowering solve phase does not redo them.
+        let extracted = RefCell::new(HashMap::new());
         let part = partition(&graph, &patterns, |p, m| {
             let base = dispatch_rule(&self.platform, self.deploy, &graph, p, m);
             match &self.dispatch_hook {
                 None => base,
                 Some(hook) => {
-                    let geom = extract(&graph, &p.name, m).ok()?.geom;
+                    let layer = extract(&graph, &p.name, m).ok()?;
+                    let geom = layer.geom.clone();
+                    extracted.borrow_mut().insert(m.root, layer);
                     let chosen = hook(&geom, base)?;
                     if engine_feasible(&self.platform, &geom, chosen) {
                         Some(chosen)
@@ -192,7 +214,12 @@ impl Compiler {
                 }
             }
         });
-        let artifact = lower(&graph, &part, &self.platform, &self.lower_opts)?;
+        let mut opts = self.lower_opts.clone();
+        if opts.tile_cache.is_none() {
+            opts.tile_cache = Some(self.tile_cache.clone());
+        }
+        opts.extracted = extracted.into_inner();
+        let artifact = lower(&graph, &part, &self.platform, &opts)?;
         Ok(artifact)
     }
 }

@@ -58,8 +58,11 @@ pub use patterns::diana_patterns;
 // The public surface a downstream user needs, re-exported from the
 // substrate crates.
 pub use htvm_codegen::{
-    binsize, single_layer_program, Artifact, LayerAssignment, LowerError, LowerOptions,
+    binsize, single_layer_program, Artifact, CompileStats, LayerAssignment, LowerError,
+    LowerOptions,
 };
-pub use htvm_dory::{LayerGeometry, LayerKind, MemoryBudget, TileConfig, TilingObjective};
+pub use htvm_dory::{
+    LayerGeometry, LayerKind, MemoryBudget, TileCache, TileConfig, TilingObjective,
+};
 pub use htvm_ir::{DType, Graph, GraphBuilder, IrError, Tensor};
 pub use htvm_soc::{DianaConfig, EngineKind, LayerProfile, Machine, Program, RunError, RunReport};

@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 
 /// Geometry of a 2-D in-memory-compute weight array (DIANA's analog macro
 /// is 1152 rows × 512 columns of ternary SRAM cells).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ArrayDims {
     /// Array rows; a tile maps `Cᵗ·Fy·Fx` weight rows.
     pub rows: usize,
@@ -16,7 +16,7 @@ pub struct ArrayDims {
 
 /// The L1 capacity constraints a tile must satisfy (Eq. 2 of the paper,
 /// split per DIANA's physical memories).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct MemoryBudget {
     /// Shared input/output activation scratchpad in bytes (DIANA: 256 kB
     /// shared between both accelerators).

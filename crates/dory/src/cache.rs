@@ -1,0 +1,246 @@
+//! Cross-compile memoization of tiling solves.
+//!
+//! [`solve`] is a pure function of `(LayerGeometry, MemoryBudget,
+//! TilingObjective)`, and real networks repeat geometries heavily (every
+//! MobileNet block at a given resolution shares one pointwise geometry, a
+//! model recompiled under a second deployment configuration repeats them
+//! all). [`TileCache`] is a concurrent memo table over exactly that triple:
+//! cloning it is cheap (the table is behind an [`Arc`]) and every clone
+//! shares the same entries, so one cache can serve all regions of a
+//! lowering pass, all compiles of a [`Compiler`], and all threads of the
+//! parallel solve phase at once.
+//!
+//! Keying: geometries and budgets are hashed structurally. Objectives
+//! contain `f64` weights, which have no `Hash`/`Eq`; the key stores their
+//! IEEE-754 bit patterns instead ([`f64::to_bits`]). Bitwise keying is
+//! *stricter* than numeric equality — `0.0` and `-0.0` key differently —
+//! which is the safe direction for a memo table: distinct keys only cost a
+//! redundant solve, never a wrong reuse. Infeasibility is cached too
+//! (negative entries), so a layer that fits nowhere is proven once.
+//!
+//! There is no invalidation: a solve's output depends on nothing but its
+//! key, so entries never go stale. A cache only needs dropping to bound
+//! its footprint, for which [`TileCache::clear`] exists.
+//!
+//! [`Compiler`]: ../htvm/struct.Compiler.html
+
+use crate::{
+    solve, Heuristic, LayerGeometry, MemoryBudget, TileSolution, TilingError, TilingObjective,
+};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The full solve input, with objective weights keyed by bit pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    geom: LayerGeometry,
+    budget: MemoryBudget,
+    alpha_bits: u64,
+    terms: Vec<(Heuristic, u64)>,
+}
+
+impl CacheKey {
+    fn new(geom: &LayerGeometry, budget: &MemoryBudget, objective: &TilingObjective) -> Self {
+        CacheKey {
+            geom: geom.clone(),
+            budget: *budget,
+            alpha_bits: objective.alpha.to_bits(),
+            terms: objective
+                .terms
+                .iter()
+                .map(|(h, beta)| (*h, beta.to_bits()))
+                .collect(),
+        }
+    }
+}
+
+#[derive(Default)]
+struct CacheInner {
+    map: Mutex<HashMap<CacheKey, Result<TileSolution, TilingError>>>,
+    solves: AtomicU64,
+    hits: AtomicU64,
+}
+
+/// A concurrent, shareable memo table for [`solve`] (see the [module
+/// docs](self)).
+///
+/// Clones share storage and counters; [`TileCache::default`] starts empty.
+#[derive(Clone, Default)]
+pub struct TileCache {
+    inner: Arc<CacheInner>,
+}
+
+impl TileCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        TileCache::default()
+    }
+
+    /// [`solve`], memoized: returns the cached outcome (including cached
+    /// infeasibility) when this triple has been solved before, and solves
+    /// and records it otherwise. The boolean is `true` on a cache hit.
+    ///
+    /// Two threads racing on the same fresh key may both solve it; the
+    /// solver is pure, so both compute the identical entry and either
+    /// insert is fine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TilingError::DoesNotFit`] exactly when [`solve`] does.
+    pub fn solve_cached(
+        &self,
+        geom: &LayerGeometry,
+        budget: &MemoryBudget,
+        objective: &TilingObjective,
+    ) -> (Result<TileSolution, TilingError>, bool) {
+        let key = CacheKey::new(geom, budget, objective);
+        if let Some(cached) = self
+            .inner
+            .map
+            .lock()
+            .expect("tile cache poisoned")
+            .get(&key)
+        {
+            self.inner.hits.fetch_add(1, Ordering::Relaxed);
+            return (cached.clone(), true);
+        }
+        // Solve outside the lock: solves dominate, and holding the mutex
+        // across one would serialize the parallel solve phase.
+        let result = solve(geom, budget, objective);
+        self.inner.solves.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .map
+            .lock()
+            .expect("tile cache poisoned")
+            .insert(key, result.clone());
+        (result, false)
+    }
+
+    /// Solves performed through this cache (misses), over its lifetime.
+    #[must_use]
+    pub fn solves(&self) -> u64 {
+        self.inner.solves.load(Ordering::Relaxed)
+    }
+
+    /// Lookups answered from the table, over the cache's lifetime.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.inner.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct solve inputs currently stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.map.lock().expect("tile cache poisoned").len()
+    }
+
+    /// `true` if nothing has been cached yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all entries (counters are kept: they describe history, not
+    /// contents).
+    pub fn clear(&self) {
+        self.inner.map.lock().expect("tile cache poisoned").clear();
+    }
+}
+
+impl fmt::Debug for TileCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TileCache")
+            .field("entries", &self.len())
+            .field("solves", &self.solves())
+            .field("hits", &self.hits())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn budget() -> MemoryBudget {
+        MemoryBudget {
+            act_bytes: 32 * 1024,
+            weight_bytes: Some(64 * 1024),
+            array: None,
+        }
+    }
+
+    #[test]
+    fn repeat_solves_hit_and_match_direct_solve() {
+        let cache = TileCache::new();
+        let geom = LayerGeometry::conv2d(64, 64, 32, 32, 3, 3, (1, 1), (1, 1, 1, 1));
+        let obj = TilingObjective::diana_digital();
+        let (first, hit1) = cache.solve_cached(&geom, &budget(), &obj);
+        let (second, hit2) = cache.solve_cached(&geom, &budget(), &obj);
+        assert!(!hit1);
+        assert!(hit2);
+        assert_eq!(first.as_ref().unwrap(), second.as_ref().unwrap());
+        assert_eq!(first.unwrap(), solve(&geom, &budget(), &obj).unwrap());
+        assert_eq!((cache.solves(), cache.hits(), cache.len()), (1, 1, 1));
+    }
+
+    #[test]
+    fn infeasible_outcomes_are_cached_too() {
+        let cache = TileCache::new();
+        let geom = LayerGeometry::dense(4096, 4096);
+        let tiny = MemoryBudget::unified(4);
+        let obj = TilingObjective::memory_only();
+        let (r1, _) = cache.solve_cached(&geom, &tiny, &obj);
+        let (r2, hit) = cache.solve_cached(&geom, &tiny, &obj);
+        assert!(matches!(r1, Err(TilingError::DoesNotFit { .. })));
+        assert_eq!(r1, r2);
+        assert!(hit);
+        assert_eq!(cache.solves(), 1);
+    }
+
+    #[test]
+    fn distinct_objective_weights_do_not_collide() {
+        let cache = TileCache::new();
+        let geom = LayerGeometry::conv2d(64, 64, 32, 32, 3, 3, (1, 1), (1, 1, 1, 1));
+        let (a, _) = cache.solve_cached(&geom, &budget(), &TilingObjective::memory_only());
+        let (b, hit) = cache.solve_cached(&geom, &budget(), &TilingObjective::diana_digital());
+        assert!(!hit, "different weights must miss");
+        // Different objectives really do pick different tiles here.
+        assert_ne!(a.unwrap().tile, b.unwrap().tile);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn clones_share_entries_across_threads() {
+        let cache = TileCache::new();
+        let geom = LayerGeometry::conv2d(128, 128, 16, 16, 3, 3, (1, 1), (1, 1, 1, 1));
+        let obj = TilingObjective::diana_digital();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = cache.clone();
+                let (g, o) = (geom.clone(), obj.clone());
+                s.spawn(move || c.solve_cached(&g, &budget(), &o).0.unwrap());
+            }
+        });
+        // Racing threads may each solve the fresh key once, but the table
+        // converges to one entry and later lookups all hit.
+        assert_eq!(cache.len(), 1);
+        let (_, hit) = cache.solve_cached(&geom, &budget(), &obj);
+        assert!(hit);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_history() {
+        let cache = TileCache::new();
+        let geom = LayerGeometry::dense(640, 128);
+        let (first, _) = cache.solve_cached(&geom, &budget(), &TilingObjective::memory_only());
+        assert!(first.is_ok());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.solves(), 1);
+        let (_, hit) = cache.solve_cached(&geom, &budget(), &TilingObjective::memory_only());
+        assert!(!hit, "cleared entries are gone");
+    }
+}

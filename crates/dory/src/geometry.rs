@@ -19,7 +19,7 @@ pub enum LayerKind {
 /// Geometry of one layer as seen by the tiler: the dimensions of the
 /// paper's Eq. 1–5 (`C`, `K`, `i_x`, `i_y`, filter, strides, padding) plus
 /// the operand precisions that determine byte sizes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct LayerGeometry {
     /// Layer kind.
     pub kind: LayerKind,

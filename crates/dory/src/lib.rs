@@ -11,6 +11,9 @@
 //!   `α·(L1ʷ + L1ᵒᵘᵗ + L1ⁱⁿ) + Σᵢ βᵢ·Hᵢ` subject to the Eq. 2 capacity
 //!   constraint, with the DIANA heuristics of Eq. 3–5 available as
 //!   [`Heuristic`] terms,
+//! - [`TileCache`] memoizes [`solve`] outcomes across layers, threads and
+//!   compiles — the solver is a pure function of its inputs, and real
+//!   networks repeat layer geometries heavily,
 //! - [`tiles`] enumerates the tile loop with exact output coverage (the
 //!   contract the simulator's tile executor and the property tests rely on),
 //! - [`memplan`] assigns non-overlapping L2 offsets to intermediate
@@ -39,6 +42,7 @@
 #![warn(missing_docs)]
 
 mod budget;
+mod cache;
 mod error;
 mod geometry;
 pub mod memplan;
@@ -47,6 +51,7 @@ mod solver;
 mod tile;
 
 pub use budget::{tile_fits, tile_memory, ArrayDims, MemoryBudget, TileMemory};
+pub use cache::TileCache;
 pub use error::TilingError;
 pub use geometry::{LayerGeometry, LayerKind};
 pub use objective::{Heuristic, TilingObjective};

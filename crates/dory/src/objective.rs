@@ -8,7 +8,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// Each heuristic scores a candidate tile in `[0, 1]`; the solver maximizes
 /// `α·(memory utilization) + Σᵢ βᵢ·Hᵢ` (Eq. 1).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Heuristic {
     /// Eq. 3: `H = (Cᵗ − 1) mod m`, maximal when the input-channel tile is
     /// a multiple of the PE-array row count `m` (16 on DIANA's digital

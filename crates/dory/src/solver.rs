@@ -177,7 +177,15 @@ fn candidates(dim: usize) -> Vec<usize> {
     }
     let mut v: Vec<usize> = (1..=32).collect();
     v.extend((40..=dim).step_by(8));
-    v.extend((1..=dim).filter(|d| dim.is_multiple_of(*d)));
+    // Divisors in O(√dim): every divisor d <= √dim pairs with dim / d.
+    let mut d = 1;
+    while d * d <= dim {
+        if dim.is_multiple_of(d) {
+            v.push(d);
+            v.push(dim / d);
+        }
+        d += 1;
+    }
     v.push(dim);
     v.sort_unstable();
     v.dedup();
@@ -303,6 +311,23 @@ mod tests {
         assert!(c.contains(&128));
         assert!(c.contains(&16));
         assert!(c.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn candidates_match_naive_divisor_scan_on_large_dims() {
+        // The O(√dim) divisor enumeration must produce exactly the set the
+        // old O(dim) scan did, including primes, perfect squares and
+        // highly-composite sizes.
+        for dim in [97usize, 101, 128, 144, 169, 224, 360, 1009, 1024, 2520] {
+            let mut naive: Vec<usize> = (1..=32).collect();
+            naive.extend((40..=dim).step_by(8));
+            naive.extend((1..=dim).filter(|d| dim.is_multiple_of(*d)));
+            naive.push(dim);
+            naive.sort_unstable();
+            naive.dedup();
+            naive.retain(|&d| d <= dim);
+            assert_eq!(candidates(dim), naive, "candidate mismatch for dim {dim}");
+        }
     }
 
     #[test]

@@ -57,6 +57,59 @@ fn small_geometry() -> impl Strategy<Value = LayerGeometry> {
         })
 }
 
+/// The committed `solver_exhaustive.proptest-regressions` seed, pinned as
+/// an explicit deterministic case so it runs on every `cargo test`
+/// regardless of the proptest implementation's replay behavior:
+/// `Conv2d { c: 2, k: 3, ix/iy: 4x4, fx/fy: 1x1 }` with a 104-byte
+/// activation budget — small enough that the full output (48 B as i8, but
+/// 192 B as i32 partial sums under a channel split) straddles the budget
+/// edge, exercising the grey-region/feasibility boundary in
+/// `solve`/`tile_fits`/`max_feasible_oy`.
+#[test]
+fn regression_seed_small_budget_conv() {
+    let geom = LayerGeometry::conv2d(2, 3, 4, 4, 1, 1, (1, 1), (0, 0, 0, 0));
+    // The committed seed budget first, then a sweep across the whole
+    // small-budget edge for the same geometry: from "nothing fits" through
+    // "only channel-split tiles (i32 partial sums) fit" up to "fits
+    // untiled" (input 32 B + i8 output 48 B = 80 B).
+    for act_bytes in std::iter::once(104).chain(1..=192) {
+        let budget = MemoryBudget {
+            act_bytes,
+            weight_bytes: Some(1024),
+            array: None,
+        };
+        for objective in [
+            TilingObjective::memory_only(),
+            TilingObjective::diana_digital_pe_only(),
+            TilingObjective::diana_digital(),
+        ] {
+            let brute = brute_force_best(&geom, &budget, &objective);
+            let solved = solve(&geom, &budget, &objective);
+            match (brute, solved) {
+                (Some(best), Ok(sol)) => {
+                    assert!(
+                        tile_fits(&geom, &sol.tile, &budget),
+                        "solution {:?} violates the {act_bytes}-byte budget",
+                        sol.tile
+                    );
+                    if !sol.fits_untiled {
+                        assert!(
+                            sol.score >= best - 1e-9,
+                            "solver {} < brute force {best} at {act_bytes} B for {geom:?}",
+                            sol.score
+                        );
+                    }
+                }
+                (None, Err(_)) => {}
+                (b, s) => panic!(
+                    "feasibility disagreement at {act_bytes} B: brute {b:?} vs solver {:?}",
+                    s.map(|x| x.score)
+                ),
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
 

@@ -106,7 +106,10 @@ impl RunReport {
         let mut events = Vec::new();
         let mut cursor: u64 = 0;
         for layer in &self.layers {
-            let dur = layer.cycles.total();
+            // Zero-cycle layers are emitted with a 1-cycle floor so they
+            // stay visible in the viewer; the cursor must advance by the
+            // same emitted duration or they would overlap their successor.
+            let dur = layer.cycles.total().max(1);
             let tid = match layer.engine {
                 EngineKind::Cpu => 0,
                 EngineKind::Digital => 1,
@@ -116,7 +119,7 @@ impl RunReport {
                 "name": layer.name,
                 "ph": "X",
                 "ts": cursor,
-                "dur": dur.max(1),
+                "dur": dur,
                 "pid": 1,
                 "tid": tid,
                 "args": {
@@ -182,6 +185,25 @@ mod tests {
         assert_eq!(events[0]["dur"], 200);
         assert_eq!(events[1]["ts"], 200);
         assert_eq!(events[0]["args"]["dma_cycles"], 50);
+    }
+
+    #[test]
+    fn chrome_trace_zero_cycle_layers_do_not_overlap() {
+        // A zero-cost layer renders with a 1-cycle floor; its successor
+        // must start after it, not on top of it.
+        let report = RunReport {
+            outputs: vec![],
+            layers: vec![
+                profile(EngineKind::Cpu, 0, 0, 0, 0),
+                profile(EngineKind::Cpu, 100, 0, 0, 0),
+            ],
+        };
+        let trace = report.to_chrome_trace();
+        let v: serde_json::Value = serde_json::from_str(&trace).unwrap();
+        let events = v["traceEvents"].as_array().unwrap();
+        assert_eq!(events[0]["ts"], 0);
+        assert_eq!(events[0]["dur"], 1);
+        assert_eq!(events[1]["ts"], 1);
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //! partitioning, memory planning, simulation — must be bit-reproducible,
 //! since every benchmark number in EXPERIMENTS.md depends on it.
 
-use htvm::{Compiler, DeployConfig, Machine};
-use htvm_models::{ds_cnn, resnet8, toyadmos_dae, QuantScheme};
+use htvm::{Compiler, DeployConfig, LowerOptions, Machine};
+use htvm_models::{ds_cnn, mobilenet_v1, resnet8, toyadmos_dae, QuantScheme};
 
 #[test]
 fn model_generation_is_deterministic() {
@@ -85,6 +85,64 @@ fn different_inputs_same_cycles() {
     let o2 = machine.run(&artifact.program, &[i2]).expect("runs");
     assert_eq!(o1.outputs[0], i1, "identity conv passes data through");
     assert_ne!(o1.outputs, o2.outputs, "different inputs, different data");
+}
+
+#[test]
+fn parallel_solve_phase_matches_sequential_byte_for_byte() {
+    // The solve phase fans out across threads by default; with
+    // `parallel: false` the same lowering runs on one thread. The two
+    // artifacts must agree not just structurally but in serialized bytes —
+    // thread scheduling must have no observable effect on the output.
+    for model in [mobilenet_v1(QuantScheme::Mixed), resnet8(QuantScheme::Int8)] {
+        let parallel = Compiler::new()
+            .with_deploy(DeployConfig::Both)
+            .compile(&model.graph)
+            .expect("parallel compile");
+        let sequential = Compiler::new()
+            .with_deploy(DeployConfig::Both)
+            .with_lower_options(LowerOptions {
+                parallel: false,
+                ..LowerOptions::default()
+            })
+            .compile(&model.graph)
+            .expect("sequential compile");
+        assert_eq!(parallel, sequential, "{}", model.name);
+        assert_eq!(
+            serde_json::to_string(&parallel).expect("serializes"),
+            serde_json::to_string(&sequential).expect("serializes"),
+            "{} parallel vs sequential bytes",
+            model.name
+        );
+    }
+}
+
+#[test]
+fn warm_tile_cache_changes_stats_but_not_the_artifact() {
+    let model = mobilenet_v1(QuantScheme::Int8);
+    let compiler = Compiler::new().with_deploy(DeployConfig::Both);
+    let cold = compiler.compile(&model.graph).expect("cold compile");
+    let warm = compiler.compile(&model.graph).expect("warm compile");
+
+    // Identical product, byte for byte.
+    assert_eq!(cold, warm);
+    assert_eq!(
+        serde_json::to_string(&cold).expect("serializes"),
+        serde_json::to_string(&warm).expect("serializes"),
+    );
+
+    // MobileNet repeats block geometries, so even the cold compile hits
+    // the cache within itself...
+    assert!(cold.stats.regions > 0);
+    assert!(
+        cold.stats.cache_hits >= 1,
+        "repeated blocks should hit in-compile: {:?}",
+        cold.stats
+    );
+    assert!(cold.stats.solves_performed > 0);
+    // ...and the warm compile is answered entirely from the cache.
+    assert_eq!(warm.stats.solves_performed, 0, "{:?}", warm.stats);
+    assert_eq!(warm.stats.cache_hits, warm.stats.regions as u64);
+    assert_eq!(compiler.tile_cache().solves(), cold.stats.solves_performed);
 }
 
 #[test]

@@ -1,0 +1,154 @@
+//! A minimal, offline, API-compatible subset of `criterion`.
+//!
+//! Benchmarks register and run exactly like upstream (`criterion_group!` /
+//! `criterion_main!`, groups, `Bencher::iter`), but measurement is a
+//! simple warmup + timed-batch loop that prints mean wall time per
+//! iteration. No statistics, plots or baselines — enough to compare
+//! implementations on one machine, which is all this workspace's benches
+//! do.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; re-exported from `std::hint`.
+pub use std::hint::black_box;
+
+const WARMUP_ITERS: u64 = 3;
+const TARGET_TIME: Duration = Duration::from_millis(200);
+const MAX_ITERS: u64 = 1_000_000;
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Applies command-line arguments (`cargo bench -- <filter>`); flags
+    /// are accepted and ignored.
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        self.filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "bench");
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 0,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = name.into();
+        self.run_one(&name, f);
+        self
+    }
+
+    fn run_one(&self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            measured: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        if bencher.iters > 0 {
+            let per_iter = bencher.measured.as_nanos() / u128::from(bencher.iters);
+            println!(
+                "bench: {name:<50} {per_iter:>12} ns/iter ({} iters)",
+                bencher.iters
+            );
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub sizes runs by wall time.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.into());
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Times a closure over repeated iterations.
+#[derive(Debug)]
+pub struct Bencher {
+    measured: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly — a short warmup, then timed iterations until
+    /// the time budget is spent — and records mean time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(f());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < MAX_ITERS {
+            black_box(f());
+            iters += 1;
+            if start.elapsed() >= TARGET_TIME {
+                break;
+            }
+        }
+        self.measured = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+/// Declares a function running a list of benchmark functions, like
+/// upstream criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,163 @@
+//! A minimal, offline subset of `rayon`.
+//!
+//! Implements the one shape this workspace uses — `slice.par_iter()
+//! .map(f).collect()` — on top of `std::thread::scope`, preserving input
+//! order (results come back indexed by chunk, so a parallel map is
+//! byte-for-byte identical to the sequential one). Collecting into
+//! `Result<Vec<T>, E>` is supported for fallible maps.
+
+use std::num::NonZeroUsize;
+
+/// The traits user code imports.
+pub mod prelude {
+    pub use crate::{FromParallelIterator, IntoParallelRefIterator, ParallelMap};
+}
+
+/// Types whose references can be iterated in parallel.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type yielded by reference.
+    type Item: Sync + 'a;
+
+    /// Returns a parallel iterator over `&Self::Item`.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A borrowing parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each element through `f` (run on worker threads).
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel iterator, ready to collect.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+/// Sealed-ish marker so `prelude::*` can name the collect entry point.
+pub trait ParallelMap {
+    /// Result element type.
+    type Output;
+
+    /// Runs the map across threads and gathers results in input order.
+    fn collect<C: FromParallelIterator<Self::Output>>(self) -> C;
+}
+
+impl<'a, T, R, F> ParallelMap for ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    type Output = R;
+
+    fn collect<C: FromParallelIterator<R>>(self) -> C {
+        C::from_ordered_vec(run_ordered(self.items, &self.f))
+    }
+}
+
+fn run_ordered<'a, T, R, F>(items: &'a [T], f: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let n = items.len();
+    if n <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(n);
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let per_chunk: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| scope.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel map worker panicked"))
+            .collect()
+    });
+    per_chunk.into_iter().flatten().collect()
+}
+
+/// Collections buildable from an ordered parallel map.
+pub trait FromParallelIterator<T>: Sized {
+    /// Builds the collection from results already in input order.
+    fn from_ordered_vec(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// Short-circuit-style collection for fallible maps: the first `Err` in
+/// input order wins, mirroring rayon's `Result` collection semantics.
+impl<T, E> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_ordered_vec(items: Vec<Result<T, E>>) -> Self {
+        items.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = items.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn result_collection_returns_first_error() {
+        let items: Vec<usize> = (0..100).collect();
+        let out: Result<Vec<usize>, String> = items
+            .par_iter()
+            .map(|&x| {
+                if x == 40 {
+                    Err(format!("bad {x}"))
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert_eq!(out.unwrap_err(), "bad 40");
+    }
+}

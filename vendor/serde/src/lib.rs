@@ -1,0 +1,443 @@
+//! A minimal, offline, API-compatible subset of `serde`.
+//!
+//! The build environment for this workspace has no access to a crate
+//! registry, so the handful of external crates the project depends on are
+//! vendored as small stubs under `vendor/`. This crate provides the slice
+//! of serde the workspace actually uses: `#[derive(Serialize,
+//! Deserialize)]` on concrete (non-generic) types, plus enough of a data
+//! model for `serde_json` to serialize to/parse from JSON strings.
+//!
+//! Instead of serde's visitor architecture, serialization goes through a
+//! concrete [`Value`] tree (re-exported by `serde_json` as
+//! `serde_json::Value`). Object fields keep insertion order, so output is
+//! deterministic — a property the workspace's determinism tests rely on.
+
+/// Derive macros, re-exported like `serde` with the `derive` feature.
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// A JSON-shaped value tree: the data model both serialization directions
+/// pass through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (negative numbers).
+    Int(i64),
+    /// Unsigned integer (all non-negative integers parse as this).
+    UInt(u64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object; `Vec`-backed to preserve insertion order deterministically.
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Returns the elements if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Returns the string if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(u) => Some(u),
+            Value::Int(i) => u64::try_from(i).ok(),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `i64` if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(i) => Some(i),
+            Value::UInt(u) => i64::try_from(u).ok(),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `f64` if it is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::F64(f) => Some(f),
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Looks up an object entry by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+/// Numeric view used for mixed-representation comparisons.
+fn as_i128(v: &Value) -> Option<i128> {
+    match *v {
+        Value::Int(i) => Some(i128::from(i)),
+        Value::UInt(u) => Some(i128::from(u)),
+        _ => None,
+    }
+}
+
+macro_rules! int_partial_eq {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                as_i128(self) == Some(*other as i128)
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+int_partial_eq!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+/// Deserialization error: a message plus optionally the offending field.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Builds an error from a message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+
+    /// Builds a "missing field" error.
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        DeError {
+            msg: format!("missing field '{field}' for {ty}"),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_content(&self) -> Value;
+}
+
+/// Types that can be rebuilt from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    fn from_content(v: &Value) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Value {
+        (**self).to_content()
+    }
+}
+
+macro_rules! ser_de_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Value {
+                if *self < 0 {
+                    Value::Int(*self as i64)
+                } else {
+                    Value::UInt(*self as u64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(v: &Value) -> Result<Self, DeError> {
+                as_i128(v)
+                    .and_then(|i| <$t>::try_from(i).ok())
+                    .ok_or_else(|| {
+                        DeError::custom(concat!("expected ", stringify!($t)))
+                    })
+            }
+        }
+    )*};
+}
+ser_de_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(v: &Value) -> Result<Self, DeError> {
+                as_i128(v)
+                    .and_then(|i| <$t>::try_from(i).ok())
+                    .ok_or_else(|| {
+                        DeError::custom(concat!("expected ", stringify!($t)))
+                    })
+            }
+        }
+    )*};
+}
+ser_de_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::custom("expected f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| DeError::custom("expected f32"))
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::custom("expected bool"))
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::custom("expected array"))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+macro_rules! tuple_ser_de {
+    ($n:literal => $($name:ident . $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(v: &Value) -> Result<Self, DeError> {
+                let a = v
+                    .as_array()
+                    .ok_or_else(|| DeError::custom("expected tuple array"))?;
+                if a.len() != $n {
+                    return Err(DeError::custom(concat!(
+                        "expected array of length ",
+                        $n
+                    )));
+                }
+                Ok(($($name::from_content(&a[$idx])?,)+))
+            }
+        }
+    };
+}
+tuple_ser_de!(1 => A.0);
+tuple_ser_de!(2 => A.0, B.1);
+tuple_ser_de!(3 => A.0, B.1, C.2);
+tuple_ser_de!(4 => A.0, B.1, C.2, D.3);
+
+impl Serialize for Value {
+    fn to_content(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_content(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Helpers called by the code the derive macros generate.
+// ---------------------------------------------------------------------
+
+/// Views a value as object entries.
+#[doc(hidden)]
+pub fn __as_object(v: &Value) -> Option<&[(String, Value)]> {
+    match v {
+        Value::Object(entries) => Some(entries),
+        _ => None,
+    }
+}
+
+/// Views a value as array elements.
+#[doc(hidden)]
+pub fn __as_array(v: &Value) -> Option<&[Value]> {
+    match v {
+        Value::Array(a) => Some(a),
+        _ => None,
+    }
+}
+
+/// Looks up and deserializes one named field of a struct.
+#[doc(hidden)]
+pub fn __field<T: Deserialize>(obj: &[(String, Value)], key: &str, ty: &str) -> Result<T, DeError> {
+    let v = obj
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::missing_field(ty, key))?;
+    T::from_content(v)
+}
+
+/// Views a value as an externally-tagged enum variant: a single-entry
+/// object `{"Variant": payload}`.
+#[doc(hidden)]
+pub fn __variant(v: &Value) -> Option<(&str, &Value)> {
+    match v {
+        Value::Object(entries) if entries.len() == 1 => {
+            Some((entries[0].0.as_str(), &entries[0].1))
+        }
+        _ => None,
+    }
+}

@@ -1,0 +1,415 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stub.
+//!
+//! The build environment has no crate registry, so this derive is written
+//! against the compiler's own `proc_macro` API — no `syn`/`quote`. It
+//! hand-parses the item token stream (field names, tuple arities, enum
+//! variant shapes) and emits impls of the stub's `Serialize`/`Deserialize`
+//! traits as source text.
+//!
+//! Supported surface (everything this workspace derives on):
+//! - non-generic structs: unit, newtype/tuple, named fields
+//! - non-generic enums: unit, newtype, tuple and struct variants
+//! - `#[serde(skip)]` on named struct fields (skipped on serialize,
+//!   `Default::default()` on deserialize)
+//!
+//! JSON shape matches upstream serde's externally-tagged default.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum Item {
+    UnitStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+/// Derives the stub `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, item) = parse_item(input);
+    gen_serialize(&name, &item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives the stub `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, item) = parse_item(input);
+    gen_deserialize(&name, &item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+/// Consumes leading attributes (`#[...]`), returning whether any of them
+/// is `#[serde(skip)]`.
+fn skip_attrs(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    let mut has_skip = false;
+    while *pos < tokens.len() {
+        match &tokens[*pos] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos + 1) {
+                    if g.delimiter() == Delimiter::Bracket {
+                        has_skip |= attr_is_serde_skip(&g.stream());
+                        *pos += 2;
+                        continue;
+                    }
+                }
+                break;
+            }
+            _ => break,
+        }
+    }
+    has_skip
+}
+
+fn attr_is_serde_skip(stream: &TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            g.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, ...), if present.
+fn skip_vis(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(&tokens[*pos..], [TokenTree::Ident(id), ..] if id.to_string() == "pub") {
+        *pos += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                *pos += 1;
+            }
+        }
+    }
+}
+
+/// Consumes tokens of a type (or discriminant expression) up to a
+/// top-level `,`, tracking `<`/`>` nesting depth.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut depth = 0i32;
+    while *pos < tokens.len() {
+        match &tokens[*pos] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            _ => {}
+        }
+        *pos += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let skip = skip_attrs(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_vis(&tokens, &mut pos);
+        let name = match &tokens[pos] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, found {other}"),
+        };
+        pos += 1;
+        match &tokens[pos] {
+            TokenTree::Punct(p) if p.as_char() == ':' => pos += 1,
+            other => panic!("expected ':' after field name, found {other}"),
+        }
+        skip_type(&tokens, &mut pos);
+        pos += 1; // the ',' (or past the end)
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut count = 0;
+    while pos < tokens.len() {
+        skip_attrs(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_vis(&tokens, &mut pos);
+        skip_type(&tokens, &mut pos);
+        pos += 1;
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[pos] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, found {other}"),
+        };
+        pos += 1;
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantShape::Tuple(parse_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantShape::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip any discriminant and the trailing ','.
+        skip_type(&tokens, &mut pos);
+        pos += 1;
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> (String, Item) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs(&tokens, &mut pos);
+    skip_vis(&tokens, &mut pos);
+    let kind = match &tokens[pos] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected 'struct' or 'enum', found {other}"),
+    };
+    pos += 1;
+    let name = match &tokens[pos] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, found {other}"),
+    };
+    pos += 1;
+    if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("the vendored serde derive does not support generic type '{name}'");
+    }
+    let item = match kind.as_str() {
+        "struct" => match tokens.get(pos) {
+            None => Item::UnitStruct,
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct(parse_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(other) => panic!("unexpected token after struct name: {other}"),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("expected enum body for '{name}'"),
+        },
+        other => panic!("cannot derive for item kind '{other}'"),
+    };
+    (name, item)
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn ser_named_fields(fields: &[Field], access_prefix: &str) -> String {
+    let mut out = String::new();
+    out.push_str("{ let mut __fields: Vec<(String, serde::Value)> = Vec::new(); ");
+    for f in fields.iter().filter(|f| !f.skip) {
+        out.push_str(&format!(
+            "__fields.push((String::from(\"{n}\"), serde::Serialize::to_content({p}{n}))); ",
+            n = f.name,
+            p = access_prefix,
+        ));
+    }
+    out.push_str("serde::Value::Object(__fields) }");
+    out
+}
+
+fn de_named_fields(ty_label: &str, ctor: &str, fields: &[Field], obj_expr: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{ let __obj = serde::__as_object({obj_expr}).ok_or_else(|| \
+         serde::DeError::custom(\"expected object for {ty_label}\"))?; Ok({ctor} {{ "
+    ));
+    for f in fields {
+        if f.skip {
+            out.push_str(&format!("{}: Default::default(), ", f.name));
+        } else {
+            out.push_str(&format!(
+                "{n}: serde::__field(__obj, \"{n}\", \"{ty_label}\")?, ",
+                n = f.name
+            ));
+        }
+    }
+    out.push_str("}) }");
+    out
+}
+
+fn gen_serialize(name: &str, item: &Item) -> String {
+    let body = match item {
+        Item::UnitStruct => "serde::Value::Null".to_owned(),
+        Item::TupleStruct(1) => "serde::Serialize::to_content(&self.0)".to_owned(),
+        Item::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Item::NamedStruct(fields) => ser_named_fields(fields, "&self."),
+        Item::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => serde::Value::Str(String::from(\"{vn}\")), "
+                    )),
+                    VariantShape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => serde::Value::Object(vec![(String::from(\"{vn}\"), \
+                         serde::Serialize::to_content(__f0))]), "
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::Serialize::to_content(__f{i})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => serde::Value::Object(vec![(String::from(\"{vn}\"), \
+                             serde::Value::Array(vec![{}]))]), ",
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let inner = ser_named_fields(fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => serde::Value::Object(vec![(String::from(\"{vn}\"), {inner})]), ",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{ \
+         fn to_content(&self) -> serde::Value {{ {body} }} }}"
+    )
+}
+
+fn gen_deserialize(name: &str, item: &Item) -> String {
+    let body = match item {
+        Item::UnitStruct => format!(
+            "match __v {{ serde::Value::Null => Ok({name}), \
+             _ => Err(serde::DeError::custom(\"expected null for {name}\")) }}"
+        ),
+        Item::TupleStruct(1) => {
+            format!("Ok({name}(serde::Deserialize::from_content(__v)?))")
+        }
+        Item::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_content(&__arr[{i}])?"))
+                .collect();
+            format!(
+                "{{ let __arr = serde::__as_array(__v).ok_or_else(|| \
+                 serde::DeError::custom(\"expected array for {name}\"))?; \
+                 if __arr.len() != {n} {{ return Err(serde::DeError::custom(\
+                 \"wrong tuple arity for {name}\")); }} \
+                 Ok({name}({})) }}",
+                elems.join(", ")
+            )
+        }
+        Item::NamedStruct(fields) => de_named_fields(name, name, fields, "__v"),
+        Item::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => return Ok({name}::{vn}), "))
+                    }
+                    VariantShape::Tuple(1) => payload_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(serde::Deserialize::from_content(__inner)?)), "
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::Deserialize::from_content(&__arr[{i}])?"))
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __arr = serde::__as_array(__inner)\
+                             .ok_or_else(|| serde::DeError::custom(\
+                             \"expected array for {name}::{vn}\"))?; \
+                             if __arr.len() != {n} {{ return Err(serde::DeError::custom(\
+                             \"wrong arity for {name}::{vn}\")); }} \
+                             Ok({name}::{vn}({})) }}, ",
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let inner = de_named_fields(
+                            &format!("{name}::{vn}"),
+                            &format!("{name}::{vn}"),
+                            fields,
+                            "__inner",
+                        );
+                        payload_arms.push_str(&format!("\"{vn}\" => {inner}, "));
+                    }
+                }
+            }
+            format!(
+                "{{ if let serde::Value::Str(__s) = __v {{ \
+                 match __s.as_str() {{ {unit_arms} _ => return Err(\
+                 serde::DeError::custom(format!(\"unknown variant '{{}}' for {name}\", __s))) }} }} \
+                 if let Some((__tag, __inner)) = serde::__variant(__v) {{ \
+                 return match __tag {{ {payload_arms} _ => Err(\
+                 serde::DeError::custom(format!(\"unknown variant '{{}}' for {name}\", __tag))) }}; }} \
+                 Err(serde::DeError::custom(\"invalid enum value for {name}\")) }}"
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{ \
+         fn from_content(__v: &serde::Value) -> Result<Self, serde::DeError> {{ {body} }} }}"
+    )
+}

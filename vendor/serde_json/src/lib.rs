@@ -1,0 +1,527 @@
+//! A minimal, offline, API-compatible subset of `serde_json`.
+//!
+//! Backed by the vendored serde stub's [`Value`] tree. Provides
+//! `to_string`, `to_string_pretty`, `from_str`, the [`json!`] macro and
+//! `serde_json::Value`/`serde_json::Error` — the surface this workspace
+//! uses. Output is deterministic: object fields keep insertion order.
+
+pub use serde::Value;
+
+use serde::{DeError, Deserialize, Serialize};
+use std::fmt;
+
+/// Serialization/deserialization error.
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize>(value: T) -> Value {
+    value.to_content()
+}
+
+/// Serializes to a compact JSON string.
+///
+/// # Errors
+///
+/// Never fails for the stub's data model; the `Result` mirrors the real
+/// `serde_json` signature.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_compact(&value.to_content(), &mut out);
+    Ok(out)
+}
+
+/// Serializes to an indented JSON string.
+///
+/// # Errors
+///
+/// Never fails for the stub's data model.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&value.to_content(), &mut out, 0);
+    Ok(out)
+}
+
+/// Parses a JSON string and deserializes it into `T`.
+///
+/// # Errors
+///
+/// Returns an error for malformed JSON or a shape mismatch with `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(T::from_content(&v)?)
+}
+
+// ---------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(f: f64, out: &mut String) {
+    if f.is_finite() {
+        // `{:?}` keeps a trailing `.0` for integral floats, so the value
+        // re-parses as a float.
+        out.push_str(&format!("{f:?}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::F64(f) => write_f64(*f, out),
+        Value::Str(s) => write_escaped(s, out),
+        Value::Array(a) => {
+            out.push('[');
+            for (i, e) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(e, out);
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            out.push('{');
+            for (i, (k, e)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_compact(e, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(v: &Value, out: &mut String, indent: usize) {
+    match v {
+        Value::Array(a) if !a.is_empty() => {
+            out.push_str("[\n");
+            for (i, e) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&"  ".repeat(indent + 1));
+                write_pretty(e, out, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&"  ".repeat(indent));
+            out.push(']');
+        }
+        Value::Object(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, e)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&"  ".repeat(indent + 1));
+                write_escaped(k, out);
+                out.push_str(": ");
+                write_pretty(e, out, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&"  ".repeat(indent));
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(Error::new(format!("unexpected input at byte {}", self.pos))),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(Error::new(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            while self.pos < self.bytes.len()
+                && self.bytes[self.pos] != b'"'
+                && self.bytes[self.pos] != b'\\'
+            {
+                self.pos += 1;
+            }
+            s.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::new("invalid utf-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::new("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::new("bad \\u escape"))?;
+                            s.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("bad \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(Error::new("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number chars");
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|_| Error::new(format!("invalid number '{text}'")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| Error::new(format!("invalid number '{text}'")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .map_err(|_| Error::new(format!("invalid number '{text}'")))
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut elems = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(elems));
+        }
+        loop {
+            self.skip_ws();
+            elems.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(elems));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected ',' or ']' at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected ',' or '}}' at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The `json!` macro
+// ---------------------------------------------------------------------
+
+/// Builds a [`Value`] from JSON-like syntax, with Rust expressions allowed
+/// in value position.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ({}) => { $crate::Value::Object(::std::vec::Vec::new()) };
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ({ $($tt:tt)+ }) => { $crate::json_object_internal!([] $($tt)+) };
+    ([ $($tt:tt)+ ]) => { $crate::json_array_internal!([] $($tt)+) };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Implementation detail of [`json!`]: accumulates object entries.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_internal {
+    ([$($done:expr,)*]) => {
+        $crate::Value::Object(vec![$($done),*])
+    };
+    ([$($done:expr,)*] $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_object_internal!(
+            [$($done,)* (::std::string::String::from($key), $crate::json!({ $($inner)* })),]
+            $($($rest)*)?
+        )
+    };
+    ([$($done:expr,)*] $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_object_internal!(
+            [$($done,)* (::std::string::String::from($key), $crate::json!([ $($inner)* ])),]
+            $($($rest)*)?
+        )
+    };
+    ([$($done:expr,)*] $key:literal : null $(, $($rest:tt)*)?) => {
+        $crate::json_object_internal!(
+            [$($done,)* (::std::string::String::from($key), $crate::Value::Null),]
+            $($($rest)*)?
+        )
+    };
+    ([$($done:expr,)*] $key:literal : $val:expr , $($rest:tt)+) => {
+        $crate::json_object_internal!(
+            [$($done,)* (::std::string::String::from($key), $crate::to_value(&$val)),]
+            $($rest)+
+        )
+    };
+    ([$($done:expr,)*] $key:literal : $val:expr $(,)?) => {
+        $crate::json_object_internal!(
+            [$($done,)* (::std::string::String::from($key), $crate::to_value(&$val)),]
+        )
+    };
+}
+
+/// Implementation detail of [`json!`]: accumulates array elements.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_internal {
+    ([$($done:expr,)*]) => {
+        $crate::Value::Array(vec![$($done),*])
+    };
+    ([$($done:expr,)*] { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_array_internal!(
+            [$($done,)* $crate::json!({ $($inner)* }),]
+            $($($rest)*)?
+        )
+    };
+    ([$($done:expr,)*] [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_array_internal!(
+            [$($done,)* $crate::json!([ $($inner)* ]),]
+            $($($rest)*)?
+        )
+    };
+    ([$($done:expr,)*] null $(, $($rest:tt)*)?) => {
+        $crate::json_array_internal!(
+            [$($done,)* $crate::Value::Null,]
+            $($($rest)*)?
+        )
+    };
+    ([$($done:expr,)*] $val:expr , $($rest:tt)+) => {
+        $crate::json_array_internal!(
+            [$($done,)* $crate::to_value(&$val),]
+            $($rest)+
+        )
+    };
+    ([$($done:expr,)*] $val:expr $(,)?) => {
+        $crate::json_array_internal!(
+            [$($done,)* $crate::to_value(&$val),]
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_nested_values() {
+        let v = json!({
+            "a": 1,
+            "b": [1, 2.5, "x", null, true],
+            "c": { "d": -3 },
+        });
+        let s = to_string(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(v, back);
+        assert_eq!(v["a"], 1);
+        assert_eq!(v["b"][1], 2.5);
+        assert_eq!(v["c"]["d"], -3);
+        assert_eq!(v["b"][2], "x");
+    }
+
+    #[test]
+    fn compact_output_has_no_spaces() {
+        let s = to_string(&json!({"dims": [3, 2, 3]})).unwrap();
+        assert_eq!(s, "{\"dims\":[3,2,3]}");
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_str::<Value>("{not json").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("").is_err());
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_reparses() {
+        let v = json!({ "x": [1, 2], "y": {} });
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\n  \"x\""));
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(v, back);
+    }
+}
