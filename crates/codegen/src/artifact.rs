@@ -115,6 +115,7 @@ mod tests {
                 inputs: vec![],
                 outputs: vec![],
                 activation_peak: 0,
+                fallbacks: Default::default(),
             },
             binary: BinarySize::default(),
             stats: CompileStats::default(),
@@ -149,6 +150,7 @@ mod tests {
                 inputs: vec![],
                 outputs: vec![],
                 activation_peak: 0,
+                fallbacks: Default::default(),
             },
             binary: BinarySize::default(),
             stats: CompileStats::default(),

@@ -20,7 +20,8 @@ use htvm_dory::{solve, ArrayDims, MemoryBudget, TileCache, TileSolution, TilingO
 use htvm_ir::{Graph, GraphBuilder, NodeId, NodeKind};
 use htvm_pattern::{PartitionedGraph, Region};
 use htvm_soc::{
-    AccelLayerDesc, BufferDecl, BufferId, BufferKind, DianaConfig, EngineKind, Program, Step,
+    AccelLayerDesc, BufferDecl, BufferId, BufferKind, DianaConfig, EngineKind, FallbackTable,
+    Program, Step,
 };
 use rayon::prelude::*;
 use std::collections::HashMap;
@@ -56,6 +57,12 @@ pub struct LowerOptions {
     /// see geometries), keyed by match root. Regions found here skip
     /// re-extraction in the solve phase.
     pub extracted: HashMap<NodeId, ExtractedLayer>,
+    /// Compile a CPU fallback kernel for every accelerator step, so the
+    /// simulator can degrade gracefully when a fault plan takes an engine
+    /// offline mid-run (see `docs/FAULTS.md`). On by default; turn off to
+    /// measure the binary-size cost of carrying the fallbacks or to force
+    /// `RunError::EngineUnavailable` in fault experiments.
+    pub emit_fallbacks: bool,
 }
 
 impl Default for LowerOptions {
@@ -69,6 +76,7 @@ impl Default for LowerOptions {
             tile_cache: None,
             parallel: true,
             extracted: HashMap::new(),
+            emit_fallbacks: true,
         }
     }
 }
@@ -213,6 +221,7 @@ pub fn lower(
     // ---- Emit phase: steps, buffers, then the L2 schedule (sequential) ----
     let emit_start = Instant::now();
     let mut steps: Vec<Step> = Vec::new();
+    let mut fallbacks = FallbackTable::new();
     let mut assignments: Vec<LayerAssignment> = Vec::new();
     let mut producer_step: HashMap<BufferId, usize> = HashMap::new();
     let mut last_consumer: HashMap<BufferId, usize> = HashMap::new();
@@ -260,18 +269,24 @@ pub fn lower(
                     last_consumer.insert(i2, step_idx);
                 }
                 producer_step.insert(output, step_idx);
+                let desc = AccelLayerDesc {
+                    name,
+                    geom: e.geom,
+                    tile: solution.tile,
+                    weights: e.weights,
+                    bias: e.bias,
+                    shift: e.shift,
+                    relu: e.relu,
+                    pool: e.pool,
+                };
+                if opts.emit_fallbacks {
+                    if let Some(kernel) = crate::fallback::cpu_fallback(&desc) {
+                        fallbacks.insert(step_idx, kernel);
+                    }
+                }
                 steps.push(Step::Accel {
                     engine,
-                    desc: AccelLayerDesc {
-                        name,
-                        geom: e.geom,
-                        tile: solution.tile,
-                        weights: e.weights,
-                        bias: e.bias,
-                        shift: e.shift,
-                        relu: e.relu,
-                        pool: e.pool,
-                    },
+                    desc,
                     input,
                     input2,
                     output,
@@ -371,6 +386,7 @@ pub fn lower(
             inputs,
             outputs,
             activation_peak,
+            fallbacks,
         },
         binary,
         assignments,
@@ -477,6 +493,27 @@ mod tests {
         assert_eq!(artifact.program.inputs.len(), 1);
         assert_eq!(artifact.program.outputs.len(), 1);
         assert!(artifact.binary.total() > 0);
+        // Every accelerator step carries a pre-compiled CPU fallback.
+        assert_eq!(artifact.program.fallbacks.len(), 2);
+        for (step_idx, kernel) in artifact.program.fallbacks.iter() {
+            assert!(matches!(
+                artifact.program.steps[step_idx],
+                Step::Accel { .. }
+            ));
+            assert!(kernel.name.ends_with("_cpu_fallback"));
+        }
+    }
+
+    #[test]
+    fn fallback_emission_can_be_disabled() {
+        let g = sample_graph();
+        let part = partition(&g, &[conv_pattern()], |_, _| Some(EngineKind::Digital));
+        let opts = LowerOptions {
+            emit_fallbacks: false,
+            ..LowerOptions::default()
+        };
+        let artifact = lower(&g, &part, &DianaConfig::default(), &opts).unwrap();
+        assert!(artifact.program.fallbacks.is_empty());
     }
 
     #[test]

@@ -1,8 +1,11 @@
 //! One-layer programs for the characterization benchmarks.
 
+use crate::fallback::cpu_fallback;
 use htvm_dory::{LayerGeometry, LayerKind, TileConfig};
 use htvm_ir::{DType, Shape, Tensor};
-use htvm_soc::{AccelLayerDesc, BufferDecl, BufferId, BufferKind, EngineKind, Program, Step};
+use htvm_soc::{
+    AccelLayerDesc, BufferDecl, BufferId, BufferKind, EngineKind, FallbackTable, Program, Step,
+};
 
 /// Builds a program that runs exactly one accelerator layer with an
 /// explicit tile configuration — the harness behind the paper's Fig. 4
@@ -77,19 +80,24 @@ pub fn single_layer_program(geom: &LayerGeometry, tile: TileConfig, engine: Engi
         inputs.push(i2);
     }
     let activation_peak = out_offset + out_size;
+    let desc = AccelLayerDesc {
+        name: format!("{:?}", geom.kind).to_lowercase(),
+        geom: geom.clone(),
+        tile,
+        weights,
+        bias,
+        shift: 5,
+        relu: true,
+        pool: None,
+    };
+    let mut fallbacks = FallbackTable::new();
+    if let Some(kernel) = cpu_fallback(&desc) {
+        fallbacks.insert(0, kernel);
+    }
     Program {
         steps: vec![Step::Accel {
             engine,
-            desc: AccelLayerDesc {
-                name: format!("{:?}", geom.kind).to_lowercase(),
-                geom: geom.clone(),
-                tile,
-                weights,
-                bias,
-                shift: 5,
-                relu: true,
-                pool: None,
-            },
+            desc,
             input: BufferId(0),
             input2,
             output: out_id,
@@ -98,6 +106,7 @@ pub fn single_layer_program(geom: &LayerGeometry, tile: TileConfig, engine: Engi
         inputs,
         outputs: vec![out_id],
         activation_peak,
+        fallbacks,
     }
 }
 

@@ -65,4 +65,7 @@ pub use htvm_dory::{
     LayerGeometry, LayerKind, MemoryBudget, TileCache, TileConfig, TilingObjective,
 };
 pub use htvm_ir::{DType, Graph, GraphBuilder, IrError, Tensor};
-pub use htvm_soc::{DianaConfig, EngineKind, LayerProfile, Machine, Program, RunError, RunReport};
+pub use htvm_soc::{
+    DianaConfig, EngineKind, FallbackKernel, FallbackTable, FaultEvent, FaultPlan, LayerProfile,
+    Machine, PerfCounters, Program, RetryPolicy, RunError, RunReport,
+};

@@ -63,8 +63,8 @@ struct CacheInner {
     hits: AtomicU64,
 }
 
-/// A concurrent, shareable memo table for [`solve`] (see the [module
-/// docs](self)).
+/// A concurrent, shareable memo table for [`solve`] (see the module
+/// docs above).
 ///
 /// Clones share storage and counters; [`TileCache::default`] starts empty.
 #[derive(Clone, Default)]

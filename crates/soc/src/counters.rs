@@ -17,14 +17,20 @@ pub struct CycleBreakdown {
     pub weight_load: u64,
     /// Host overhead: kernel calls, per-tile configuration/handshake.
     pub overhead: u64,
+    /// Cycles lost to injected faults: DMA stalls, retry re-issues and
+    /// backoff waits, L1 allocation denials, engine-offline detection
+    /// timeouts. Always 0 on a fault-free run. Kept separate from `dma`
+    /// so the double-buffering adjustment can never hide a fault.
+    #[serde(default)]
+    pub stall: u64,
 }
 
 impl CycleBreakdown {
     /// All cycles: what the host observes between kernel call and return
-    /// (the paper's "full kernel" measurement).
+    /// (the paper's "full kernel" measurement), fault stalls included.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.compute + self.dma + self.weight_load + self.overhead
+        self.compute + self.dma + self.weight_load + self.overhead + self.stall
     }
 
     /// Accelerator-only cycles: trigger to completion, weight transfer
@@ -48,6 +54,43 @@ pub struct LayerProfile {
     pub macs: u64,
     /// Accelerator invocations (tile count); 1 for CPU kernels.
     pub n_tiles: usize,
+    /// Fault-recovery retries attributed to this layer (DMA re-issues and
+    /// L1 allocation re-requests). Always 0 on a fault-free run.
+    #[serde(default)]
+    pub retries: u64,
+}
+
+/// Run-level fault and recovery counters, accumulated across all layers
+/// of one [`Machine::run_with_faults`](crate::Machine::run_with_faults)
+/// invocation. All zero on a fault-free run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PerfCounters {
+    /// Cycles lost on the DMA path: scheduled bus stalls plus failed
+    /// transfer re-issues and their backoff waits.
+    pub dma_stall_cycles: u64,
+    /// DMA transfer re-issues after injected failures.
+    pub dma_retries: u64,
+    /// Backoff cycles waited out on denied L1 allocations.
+    pub l1_stall_cycles: u64,
+    /// L1 allocation re-requests after injected denials.
+    pub l1_retries: u64,
+    /// Accelerator steps degraded to their pre-compiled CPU fallback
+    /// because the target engine was offline.
+    pub engine_fallbacks: u64,
+}
+
+impl PerfCounters {
+    /// All fault-induced stall cycles (DMA path + L1 arbitration).
+    #[must_use]
+    pub fn total_stall_cycles(&self) -> u64 {
+        self.dma_stall_cycles + self.l1_stall_cycles
+    }
+
+    /// `true` if any fault fired during the run.
+    #[must_use]
+    pub fn any_faults(&self) -> bool {
+        *self != PerfCounters::default()
+    }
 }
 
 /// The result of running a program on the simulated SoC.
@@ -57,6 +100,8 @@ pub struct RunReport {
     pub outputs: Vec<Tensor>,
     /// Per-layer profiles, in execution order.
     pub layers: Vec<LayerProfile>,
+    /// Run-level fault/recovery counters (all zero when fault-free).
+    pub counters: PerfCounters,
 }
 
 impl RunReport {
@@ -100,10 +145,14 @@ impl RunReport {
     /// Exports the run as Chrome trace-event JSON (load it in
     /// `chrome://tracing` or Perfetto): one duration event per layer on
     /// its engine's row, with cycle counts as microsecond timestamps and
-    /// the breakdown attached as event arguments.
+    /// the breakdown attached as event arguments. Layers that suffered
+    /// injected faults additionally emit a stall span on a dedicated
+    /// "faults" row (contained within the layer's span), so recovery cost
+    /// is visible at a glance; the row only appears when a fault fired.
     #[must_use]
     pub fn to_chrome_trace(&self) -> String {
         let mut events = Vec::new();
+        let mut fault_spans = 0usize;
         let mut cursor: u64 = 0;
         for layer in &self.layers {
             // Zero-cycle layers are emitted with a 1-cycle floor so they
@@ -128,10 +177,30 @@ impl RunReport {
                     "dma_cycles": layer.cycles.dma,
                     "weight_load_cycles": layer.cycles.weight_load,
                     "overhead_cycles": layer.cycles.overhead,
+                    "stall_cycles": layer.cycles.stall,
+                    "retries": layer.retries,
                     "macs": layer.macs,
                     "tiles": layer.n_tiles,
                 },
             }));
+            if layer.cycles.stall > 0 || layer.retries > 0 {
+                fault_spans += 1;
+                // The stall span starts at the layer's start and is at
+                // most the layer's duration, so it nests inside it and
+                // cannot overlap the next layer's stall span.
+                events.push(serde_json::json!({
+                    "name": format!("stall:{}", layer.name),
+                    "ph": "X",
+                    "ts": cursor,
+                    "dur": layer.cycles.stall.max(1),
+                    "pid": 1,
+                    "tid": 3,
+                    "args": {
+                        "stall_cycles": layer.cycles.stall,
+                        "retries": layer.retries,
+                    },
+                }));
+            }
             cursor += dur;
         }
         for (tid, name) in [(0, "cpu"), (1, "digital"), (2, "analog")] {
@@ -141,6 +210,15 @@ impl RunReport {
                 "pid": 1,
                 "tid": tid,
                 "args": { "name": name },
+            }));
+        }
+        if fault_spans > 0 {
+            events.push(serde_json::json!({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": 3,
+                "args": { "name": "faults" },
             }));
         }
         serde_json::to_string(&serde_json::json!({ "traceEvents": events }))
@@ -161,25 +239,33 @@ mod tests {
                 dma,
                 weight_load: wl,
                 overhead: ovh,
+                stall: 0,
             },
             macs: 100,
             n_tiles: 1,
+            retries: 0,
+        }
+    }
+
+    fn report(layers: Vec<LayerProfile>) -> RunReport {
+        RunReport {
+            outputs: vec![],
+            layers,
+            counters: PerfCounters::default(),
         }
     }
 
     #[test]
     fn chrome_trace_is_valid_json_with_sequential_events() {
-        let report = RunReport {
-            outputs: vec![],
-            layers: vec![
-                profile(EngineKind::Digital, 100, 50, 20, 30),
-                profile(EngineKind::Cpu, 1000, 0, 0, 10),
-            ],
-        };
+        let report = report(vec![
+            profile(EngineKind::Digital, 100, 50, 20, 30),
+            profile(EngineKind::Cpu, 1000, 0, 0, 10),
+        ]);
         let trace = report.to_chrome_trace();
         let v: serde_json::Value = serde_json::from_str(&trace).unwrap();
         let events = v["traceEvents"].as_array().unwrap();
-        // 2 duration events + 3 thread-name metadata events.
+        // 2 duration events + 3 thread-name metadata events; no faults
+        // fired, so no stall spans and no "faults" row.
         assert_eq!(events.len(), 5);
         assert_eq!(events[0]["ts"], 0);
         assert_eq!(events[0]["dur"], 200);
@@ -191,13 +277,10 @@ mod tests {
     fn chrome_trace_zero_cycle_layers_do_not_overlap() {
         // A zero-cost layer renders with a 1-cycle floor; its successor
         // must start after it, not on top of it.
-        let report = RunReport {
-            outputs: vec![],
-            layers: vec![
-                profile(EngineKind::Cpu, 0, 0, 0, 0),
-                profile(EngineKind::Cpu, 100, 0, 0, 0),
-            ],
-        };
+        let report = report(vec![
+            profile(EngineKind::Cpu, 0, 0, 0, 0),
+            profile(EngineKind::Cpu, 100, 0, 0, 0),
+        ]);
         let trace = report.to_chrome_trace();
         let v: serde_json::Value = serde_json::from_str(&trace).unwrap();
         let events = v["traceEvents"].as_array().unwrap();
@@ -207,18 +290,109 @@ mod tests {
     }
 
     #[test]
-    fn peak_excludes_dma_and_overhead_for_accels_only() {
-        let report = RunReport {
-            outputs: vec![],
-            layers: vec![
-                profile(EngineKind::Digital, 100, 50, 20, 30),
-                profile(EngineKind::Cpu, 1000, 0, 0, 10),
-            ],
-        };
-        assert_eq!(report.total_cycles(), 200 + 1010);
-        assert_eq!(report.peak_cycles(), 120 + 1010);
-        assert_eq!(report.engine_cycles(EngineKind::Digital), 200);
+    fn chrome_trace_stall_spans_nest_and_cursor_strictly_advances() {
+        let mut stalled = profile(EngineKind::Digital, 100, 50, 20, 30);
+        stalled.cycles.stall = 40;
+        stalled.retries = 2;
+        let clean = profile(EngineKind::Cpu, 1000, 0, 0, 10);
+        let report = report(vec![stalled, clean]);
+        let trace = report.to_chrome_trace();
+        let v: serde_json::Value = serde_json::from_str(&trace).unwrap();
+        let events = v["traceEvents"].as_array().unwrap();
+        // 2 layer events + 1 stall span + 3 engine rows + the faults row.
+        assert_eq!(events.len(), 7);
+
+        // Layer 0 spans [0, 240): total now includes the stall.
+        assert_eq!(events[0]["ts"], 0);
+        assert_eq!(events[0]["dur"], 240);
+        assert_eq!(events[0]["args"]["stall_cycles"], 40);
+        assert_eq!(events[0]["args"]["retries"], 2);
+
+        // Its stall span sits on the faults row, nested inside the layer.
+        assert_eq!(events[1]["name"], "stall:l");
+        assert_eq!(events[1]["tid"], 3);
+        assert_eq!(events[1]["ts"], 0);
+        assert_eq!(events[1]["dur"], 40);
+        assert_eq!(events[1]["args"]["retries"], 2);
+
+        // The next layer starts strictly after the previous one ends.
+        assert_eq!(events[2]["ts"], 240);
+
+        // The faults thread-name row is present exactly once.
+        let fault_rows: Vec<_> = events
+            .iter()
+            .filter(|e| e["ph"] == "M" && e["args"]["name"] == "faults")
+            .collect();
+        assert_eq!(fault_rows.len(), 1);
+        assert_eq!(fault_rows[0]["tid"], 3);
+    }
+
+    #[test]
+    fn chrome_trace_events_never_overlap_within_a_row() {
+        // Mixed zero-cycle, stalled and plain layers: on every row, events
+        // must be disjoint and the timeline cursor strictly advances.
+        let mut stalled = profile(EngineKind::Analog, 10, 5, 0, 1);
+        stalled.cycles.stall = 7;
+        stalled.retries = 1;
+        let mut retry_only = profile(EngineKind::Digital, 20, 0, 0, 0);
+        retry_only.retries = 3; // retries but zero stall: still gets a span
+        let report = report(vec![
+            profile(EngineKind::Cpu, 0, 0, 0, 0),
+            stalled,
+            retry_only,
+            profile(EngineKind::Cpu, 0, 0, 0, 0),
+        ]);
+        let v: serde_json::Value = serde_json::from_str(&report.to_chrome_trace()).unwrap();
+        let events = v["traceEvents"].as_array().unwrap();
+        let mut rows: std::collections::HashMap<u64, Vec<(u64, u64)>> =
+            std::collections::HashMap::new();
+        let mut last_end = 0u64;
+        for e in events.iter().filter(|e| e["ph"] == "X") {
+            let (ts, dur) = (e["ts"].as_u64().unwrap(), e["dur"].as_u64().unwrap());
+            assert!(dur >= 1, "every span has visible width");
+            rows.entry(e["tid"].as_u64().unwrap())
+                .or_default()
+                .push((ts, dur));
+            last_end = last_end.max(ts + dur);
+        }
+        for spans in rows.values_mut() {
+            spans.sort_unstable();
+            for pair in spans.windows(2) {
+                assert!(
+                    pair[0].0 + pair[0].1 <= pair[1].0,
+                    "spans overlap within a row: {pair:?}"
+                );
+            }
+        }
+        // Cursor advanced strictly: total timeline is at least one cycle
+        // per layer.
+        assert!(last_end >= report.layers.len() as u64);
+    }
+
+    #[test]
+    fn peak_excludes_dma_overhead_and_stall_for_accels_only() {
+        let mut digital = profile(EngineKind::Digital, 100, 50, 20, 30);
+        digital.cycles.stall = 5;
+        let report = report(vec![digital, profile(EngineKind::Cpu, 1000, 0, 0, 10)]);
+        assert_eq!(report.total_cycles(), 205 + 1010);
+        assert_eq!(report.peak_cycles(), 120 + 1010, "peak ignores stalls");
+        assert_eq!(report.engine_cycles(EngineKind::Digital), 205);
         assert_eq!(report.engine_cycles(EngineKind::Analog), 0);
         assert_eq!(report.total_macs(), 200);
+    }
+
+    #[test]
+    fn perf_counters_report_faults() {
+        let quiet = PerfCounters::default();
+        assert!(!quiet.any_faults());
+        assert_eq!(quiet.total_stall_cycles(), 0);
+        let busy = PerfCounters {
+            dma_stall_cycles: 10,
+            l1_stall_cycles: 3,
+            engine_fallbacks: 1,
+            ..PerfCounters::default()
+        };
+        assert!(busy.any_faults());
+        assert_eq!(busy.total_stall_cycles(), 13);
     }
 }

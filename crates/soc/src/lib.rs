@@ -45,6 +45,7 @@ mod cpu;
 mod digital;
 mod dma;
 mod energy;
+mod faults;
 mod listing;
 mod machine;
 pub mod platforms;
@@ -53,14 +54,16 @@ mod timeline;
 
 pub use analog::analog_tile_cycles;
 pub use config::{AnalogConfig, CpuConfig, DianaConfig, DigitalConfig, DmaConfig};
-pub use counters::{CycleBreakdown, LayerProfile, RunReport};
+pub use counters::{CycleBreakdown, LayerProfile, PerfCounters, RunReport};
 pub use cpu::cpu_graph_cycles;
 pub use digital::digital_tile_cycles;
 pub use dma::dma_cycles;
 pub use energy::EnergyConfig;
+pub use faults::{FaultEvent, FaultPlan, RetryPolicy};
 pub use listing::render_listing;
 pub use machine::{Machine, RunError};
 pub use program::{
-    AccelLayerDesc, BufferDecl, BufferId, BufferKind, EngineKind, FusedPool, Program, Step,
+    AccelLayerDesc, BufferDecl, BufferId, BufferKind, EngineKind, FallbackKernel, FallbackTable,
+    FusedPool, Program, Step,
 };
 pub use timeline::{render_timeline, TimelineOptions};

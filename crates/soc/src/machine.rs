@@ -1,8 +1,9 @@
 //! The program executor: functional semantics + cycle accounting.
 
+use crate::faults::{DmaAbort, FaultCtx};
 use crate::{
     analog, cpu, digital, dma, AccelLayerDesc, BufferId, CycleBreakdown, DianaConfig, EngineKind,
-    LayerProfile, Program, RunReport, Step,
+    FallbackKernel, FaultPlan, LayerProfile, Program, RunReport, Step,
 };
 use htvm_dory::{tiles, LayerKind, TileInstance};
 use htvm_ir::{DType, Tensor};
@@ -12,6 +13,10 @@ use std::fmt;
 use std::ops::Range;
 
 /// Errors produced while running a program.
+///
+/// Every per-layer variant carries the failing step index, layer name and
+/// engine as structured fields, so degradation decisions and test
+/// assertions never have to string-match error messages.
 #[derive(Debug)]
 #[non_exhaustive]
 pub enum RunError {
@@ -30,16 +35,61 @@ pub enum RunError {
         detail: String,
     },
     /// A fused CPU kernel failed to evaluate (malformed segment graph).
-    Eval(kernels::EvalError),
+    Eval {
+        /// Failing step index into [`Program::steps`].
+        layer_index: usize,
+        /// The offending kernel's name.
+        layer: String,
+        /// The underlying evaluation error.
+        source: kernels::EvalError,
+    },
     /// An accelerator step's tile exceeds a physical memory: the program
     /// violates the Eq. 2 constraint the tiler was supposed to enforce.
     L1Overflow {
+        /// Failing step index into [`Program::steps`].
+        layer_index: usize,
         /// The offending layer.
         layer: String,
+        /// Engine whose memory was exceeded.
+        engine: EngineKind,
         /// Bytes the tile needs in the violated memory.
         needed: usize,
         /// The memory's capacity in bytes.
         capacity: usize,
+    },
+    /// An injected DMA failure persisted beyond the retry budget.
+    DmaFailed {
+        /// Failing step index into [`Program::steps`].
+        layer_index: usize,
+        /// The layer whose transfer failed.
+        layer: String,
+        /// Engine the layer was dispatched to.
+        engine: EngineKind,
+        /// Global DMA transaction index of the failed transfer.
+        transfer: u64,
+        /// Failures observed (exceeds the retry budget).
+        attempts: u32,
+    },
+    /// An engine was offline at this step and the program carries no CPU
+    /// fallback for it (compiled with fallbacks disabled).
+    EngineUnavailable {
+        /// Failing step index into [`Program::steps`].
+        layer_index: usize,
+        /// The stranded layer.
+        layer: String,
+        /// The offline engine.
+        engine: EngineKind,
+    },
+    /// An injected L1 allocation denial persisted beyond the retry budget.
+    L1Denied {
+        /// Failing step index into [`Program::steps`].
+        layer_index: usize,
+        /// The layer whose allocation was denied.
+        layer: String,
+        /// Engine the layer was dispatched to.
+        engine: EngineKind,
+        /// Denials observed (exceeds the retry budget).
+        attempts: u32,
     },
 }
 
@@ -50,14 +100,50 @@ impl fmt::Display for RunError {
                 write!(f, "program expects {expected} inputs, got {got}")
             }
             RunError::InputTypeMismatch { index, detail } => write!(f, "input {index}: {detail}"),
-            RunError::Eval(e) => write!(f, "cpu kernel evaluation failed: {e}"),
-            RunError::L1Overflow {
+            RunError::Eval {
+                layer_index,
                 layer,
+                source,
+            } => write!(
+                f,
+                "step {layer_index} ('{layer}'): cpu kernel evaluation failed: {source}"
+            ),
+            RunError::L1Overflow {
+                layer_index,
+                layer,
+                engine,
                 needed,
                 capacity,
             } => write!(
                 f,
-                "layer '{layer}' tile needs {needed} bytes, exceeding the {capacity} byte scratchpad"
+                "step {layer_index} ('{layer}', {engine}) tile needs {needed} bytes, exceeding the {capacity} byte scratchpad"
+            ),
+            RunError::DmaFailed {
+                layer_index,
+                layer,
+                engine,
+                transfer,
+                attempts,
+            } => write!(
+                f,
+                "step {layer_index} ('{layer}', {engine}): DMA transfer #{transfer} failed {attempts} times, retry budget exhausted"
+            ),
+            RunError::EngineUnavailable {
+                layer_index,
+                layer,
+                engine,
+            } => write!(
+                f,
+                "step {layer_index} ('{layer}'): engine {engine} is offline and no CPU fallback was compiled"
+            ),
+            RunError::L1Denied {
+                layer_index,
+                layer,
+                engine,
+                attempts,
+            } => write!(
+                f,
+                "step {layer_index} ('{layer}', {engine}): L1 allocation denied {attempts} times, retry budget exhausted"
             ),
         }
     }
@@ -66,15 +152,37 @@ impl fmt::Display for RunError {
 impl Error for RunError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            RunError::Eval(e) => Some(e),
+            RunError::Eval { source, .. } => Some(source),
             _ => None,
         }
     }
 }
 
-impl From<kernels::EvalError> for RunError {
-    fn from(e: kernels::EvalError) -> Self {
-        RunError::Eval(e)
+impl RunError {
+    /// The failing step index, for errors scoped to one layer.
+    #[must_use]
+    pub fn layer_index(&self) -> Option<usize> {
+        match self {
+            RunError::Eval { layer_index, .. }
+            | RunError::L1Overflow { layer_index, .. }
+            | RunError::DmaFailed { layer_index, .. }
+            | RunError::EngineUnavailable { layer_index, .. }
+            | RunError::L1Denied { layer_index, .. } => Some(*layer_index),
+            _ => None,
+        }
+    }
+
+    /// The engine involved in the failure, when one is.
+    #[must_use]
+    pub fn engine(&self) -> Option<EngineKind> {
+        match self {
+            RunError::L1Overflow { engine, .. }
+            | RunError::DmaFailed { engine, .. }
+            | RunError::EngineUnavailable { engine, .. }
+            | RunError::L1Denied { engine, .. } => Some(*engine),
+            RunError::Eval { .. } => Some(EngineKind::Cpu),
+            _ => None,
+        }
     }
 }
 
@@ -105,11 +213,41 @@ impl Machine {
 
     /// Runs a program on concrete inputs.
     ///
+    /// Equivalent to [`Machine::run_with_faults`] with
+    /// [`FaultPlan::none`]: same outputs, same cycle counts.
+    ///
     /// # Errors
     ///
     /// Returns [`RunError`] if the inputs do not match the program
     /// signature or a CPU segment fails to evaluate.
     pub fn run(&self, program: &Program, inputs: &[Tensor]) -> Result<RunReport, RunError> {
+        self.run_with_faults(program, inputs, &FaultPlan::none())
+    }
+
+    /// Runs a program under an injected [`FaultPlan`].
+    ///
+    /// Transient faults (DMA stalls/failures, L1 allocation denials) are
+    /// retried with the plan's bounded backoff; the recovery cost lands in
+    /// each layer's `stall` cycles, its `retries` count and the report's
+    /// [`PerfCounters`](crate::PerfCounters). Permanent engine-off faults
+    /// degrade the affected steps to the program's pre-compiled CPU
+    /// fallbacks. Faults never change the computed bits: a recoverable
+    /// plan yields outputs bit-exact with the fault-free run, at equal or
+    /// higher cycle cost. An empty plan reproduces [`Machine::run`]
+    /// exactly, cycle for cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError`] on signature mismatch, on transient faults
+    /// that exhaust the retry budget ([`RunError::DmaFailed`],
+    /// [`RunError::L1Denied`]), and on an offline engine with no compiled
+    /// fallback ([`RunError::EngineUnavailable`]).
+    pub fn run_with_faults(
+        &self,
+        program: &Program,
+        inputs: &[Tensor],
+        plan: &FaultPlan,
+    ) -> Result<RunReport, RunError> {
         if inputs.len() != program.inputs.len() {
             return Err(RunError::InputCountMismatch {
                 expected: program.inputs.len(),
@@ -134,8 +272,9 @@ impl Machine {
             values[id.0] = Some(t.clone());
         }
 
+        let mut faults = FaultCtx::from_plan(plan);
         let mut layers = Vec::with_capacity(program.steps.len());
-        for step in &program.steps {
+        for (step_idx, step) in program.steps.iter().enumerate() {
             let profile = match step {
                 Step::Accel {
                     engine,
@@ -144,10 +283,36 @@ impl Machine {
                     input2,
                     output,
                 } => {
-                    self.check_tile_fits(*engine, desc)?;
                     let a = take_ref(&values, *input);
                     let b = input2.map(|id| take_ref(&values, id).clone());
-                    let (tensor, profile) = self.exec_accel(*engine, desc, a, b.as_ref());
+                    let (tensor, profile) = if faults.engine_offline(*engine, step_idx) {
+                        let Some(kernel) = program.fallbacks.get(step_idx) else {
+                            return Err(RunError::EngineUnavailable {
+                                layer_index: step_idx,
+                                layer: desc.name.clone(),
+                                engine: *engine,
+                            });
+                        };
+                        self.exec_fallback(
+                            step_idx,
+                            *engine,
+                            desc,
+                            kernel,
+                            (a, b.as_ref()),
+                            &mut faults,
+                        )?
+                    } else {
+                        self.check_tile_fits(step_idx, *engine, desc)?;
+                        faults
+                            .l1_allocation(step_idx)
+                            .map_err(|attempts| RunError::L1Denied {
+                                layer_index: step_idx,
+                                layer: desc.name.clone(),
+                                engine: *engine,
+                                attempts,
+                            })?;
+                        self.exec_accel(step_idx, *engine, desc, a, b.as_ref(), &mut faults)?
+                    };
                     values[output.0] = Some(tensor);
                     profile
                 }
@@ -161,7 +326,11 @@ impl Machine {
                         .iter()
                         .map(|&id| take_ref(&values, id).clone())
                         .collect();
-                    let mut out = kernels::evaluate(graph, &args)?;
+                    let mut out = kernels::evaluate(graph, &args).map_err(|e| RunError::Eval {
+                        layer_index: step_idx,
+                        layer: name.clone(),
+                        source: e,
+                    })?;
                     let cycles = cpu::cpu_graph_cycles(&self.cfg.cpu, graph);
                     values[output.0] = Some(out.remove(0));
                     LayerProfile {
@@ -173,6 +342,7 @@ impl Machine {
                         },
                         macs: graph.total_macs(),
                         n_tiles: 1,
+                        retries: 0,
                     }
                 }
             };
@@ -184,18 +354,29 @@ impl Machine {
             .iter()
             .map(|&id| take_ref(&values, id).clone())
             .collect();
-        Ok(RunReport { outputs, layers })
+        Ok(RunReport {
+            outputs,
+            layers,
+            counters: faults.counters,
+        })
     }
 
     /// Enforces the Eq. 2 capacity constraint at execution time: a
     /// program whose tiles physically overflow the shared L1 or the
     /// engine's weight store is rejected, whatever the compiler claimed.
-    fn check_tile_fits(&self, engine: EngineKind, desc: &AccelLayerDesc) -> Result<(), RunError> {
+    fn check_tile_fits(
+        &self,
+        step_idx: usize,
+        engine: EngineKind,
+        desc: &AccelLayerDesc,
+    ) -> Result<(), RunError> {
         let mem = htvm_dory::tile_memory(&desc.geom, &desc.tile);
         let act = mem.input + mem.output;
         if act > self.cfg.l1_act_bytes {
             return Err(RunError::L1Overflow {
+                layer_index: step_idx,
                 layer: desc.name.clone(),
+                engine,
                 needed: act,
                 capacity: self.cfg.l1_act_bytes,
             });
@@ -204,7 +385,9 @@ impl Machine {
             EngineKind::Digital => {
                 if mem.weight > self.cfg.digital.weight_bytes {
                     return Err(RunError::L1Overflow {
+                        layer_index: step_idx,
                         layer: desc.name.clone(),
+                        engine,
                         needed: mem.weight,
                         capacity: self.cfg.digital.weight_bytes,
                     });
@@ -217,7 +400,9 @@ impl Machine {
                 };
                 if rows_needed > self.cfg.analog.rows || desc.tile.k_t > self.cfg.analog.cols {
                     return Err(RunError::L1Overflow {
+                        layer_index: step_idx,
                         layer: desc.name.clone(),
+                        engine,
                         needed: rows_needed.max(desc.tile.k_t),
                         capacity: self.cfg.analog.rows,
                     });
@@ -228,15 +413,155 @@ impl Machine {
         Ok(())
     }
 
+    /// The temporal model of one accelerator layer: the DORY tile loop
+    /// with DMA, weight staging and compute costs. Every DMA transaction
+    /// is routed through the fault context, which accounts injected
+    /// stalls and retries into its per-layer scratch (never into `dma`,
+    /// so the double-buffering adjustment can never hide a fault). Purely
+    /// timing — no tensor data is touched — so the fallback path can
+    /// price the fault-free layer without executing it.
+    fn accel_timing(
+        &self,
+        engine: EngineKind,
+        desc: &AccelLayerDesc,
+        instances: &[TileInstance],
+        faults: &mut FaultCtx,
+    ) -> Result<CycleBreakdown, DmaAbort> {
+        let geom = &desc.geom;
+        let mut cycles = CycleBreakdown::default();
+        cycles.overhead += match engine {
+            EngineKind::Digital => self.cfg.digital.kernel_call_overhead,
+            EngineKind::Analog => self.cfg.analog.kernel_call_overhead,
+            EngineKind::Cpu => unreachable!("accel steps never target the cpu"),
+        };
+
+        let n_tiles = instances.len();
+        let mut prev_weights: Option<(Range<usize>, Range<usize>)> = None;
+        let mut prev_input: Option<(Range<usize>, Range<usize>, Range<usize>)> = None;
+        for inst in instances {
+            cycles.overhead += match engine {
+                EngineKind::Digital => self.cfg.digital.tile_overhead,
+                EngineKind::Analog => self.cfg.analog.tile_overhead,
+                EngineKind::Cpu => unreachable!(),
+            };
+            // Activation DMA in (two operands for element-wise add). The
+            // L1 input buffer is single-buffered per layer, so consecutive
+            // instances over the same (c, oy, ox) slice — e.g. successive
+            // output-channel blocks of an untiled-input layer — reuse the
+            // resident tile without a new transfer.
+            let input_slice = (inst.c.clone(), inst.oy.clone(), inst.ox.clone());
+            if prev_input.as_ref() != Some(&input_slice) {
+                let operand_count = if geom.kind == LayerKind::Add { 2 } else { 1 };
+                let per_operand = dma::dma_cycles(
+                    &self.cfg.dma,
+                    inst.input_bytes(geom),
+                    inst.input_chunks(geom),
+                );
+                for _ in 0..operand_count {
+                    cycles.dma += per_operand;
+                    faults.dma_transfer(per_operand)?;
+                }
+                prev_input = Some(input_slice);
+            }
+            // Weight staging when the (k, c) slice changes.
+            if geom.kind != LayerKind::Add {
+                let slice = (inst.k.clone(), inst.c.clone());
+                if prev_weights.as_ref() != Some(&slice) {
+                    cycles.weight_load += match engine {
+                        EngineKind::Digital => {
+                            let elems = match geom.kind {
+                                LayerKind::Conv2d => {
+                                    inst.k.len() * inst.c.len() * geom.fy * geom.fx
+                                }
+                                LayerKind::DepthwiseConv2d => inst.c.len() * geom.fy * geom.fx,
+                                LayerKind::Dense => inst.k.len() * inst.c.len(),
+                                LayerKind::Add => 0,
+                            };
+                            let load = dma::dma_cycles(
+                                &self.cfg.dma,
+                                geom.w_dtype.storage_bytes(elems),
+                                1,
+                            );
+                            // Digital weight staging rides the DMA, so it
+                            // is a faultable transaction; analog macro row
+                            // programming below is not.
+                            faults.dma_transfer(load)?;
+                            load
+                        }
+                        EngineKind::Analog => {
+                            analog::analog_weight_load_cycles(&self.cfg.analog, geom, inst)
+                        }
+                        EngineKind::Cpu => unreachable!(),
+                    };
+                    prev_weights = Some(slice);
+                }
+            }
+            // Compute.
+            cycles.compute += match engine {
+                EngineKind::Digital => digital::digital_tile_cycles(&self.cfg.digital, geom, inst),
+                EngineKind::Analog => analog::analog_tile_cycles(&self.cfg.analog, geom, inst),
+                EngineKind::Cpu => unreachable!(),
+            };
+            // Output DMA (final reduction slice only).
+            let store = dma::dma_cycles(
+                &self.cfg.dma,
+                inst.output_bytes(geom),
+                inst.output_chunks(geom),
+            );
+            cycles.dma += store;
+            faults.dma_transfer(store)?;
+        }
+
+        // DORY double-buffering (optional): activation DMA of tile i+1
+        // overlaps compute of tile i, leaving only the first-tile fill and
+        // whatever DMA exceeds the compute time exposed. Weight staging is
+        // part of the accelerator instruction and never overlaps. Fault
+        // stalls live in their own bucket and are never overlapped.
+        if self.cfg.dma.double_buffer && n_tiles > 1 {
+            let fill = cycles.dma / n_tiles as u64;
+            cycles.dma = cycles.dma.saturating_sub(cycles.compute).max(fill);
+        }
+
+        if let Some(pool) = &desc.pool {
+            // Fused output pooling (paper §III-C): runs in the output
+            // SIMD stage, one window element per SIMD beat. Cost follows
+            // from the geometry alone (pool output dims match
+            // `kernels::pool2d`).
+            let oy = pooled_dim(
+                geom.oy(),
+                pool.kernel.0,
+                pool.strides.0,
+                pool.padding.top + pool.padding.bottom,
+            );
+            let ox = pooled_dim(
+                geom.ox(),
+                pool.kernel.1,
+                pool.strides.1,
+                pool.padding.left + pool.padding.right,
+            );
+            let window = (pool.kernel.0 * pool.kernel.1) as u64;
+            let elems = (geom.k * oy * ox) as u64 * window;
+            let rate = match engine {
+                EngineKind::Digital => self.cfg.digital.add_elems_per_cycle,
+                _ => 16,
+            };
+            cycles.compute += elems.div_ceil(rate);
+        }
+
+        Ok(cycles)
+    }
+
     /// Executes one accelerator layer: the DORY tile loop with DMA, weight
     /// staging and compute costs, accumulating functionally per tile.
     fn exec_accel(
         &self,
+        step_idx: usize,
         engine: EngineKind,
         desc: &AccelLayerDesc,
         input: &Tensor,
         input2: Option<&Tensor>,
-    ) -> (Tensor, LayerProfile) {
+        faults: &mut FaultCtx,
+    ) -> Result<(Tensor, LayerProfile), RunError> {
         let geom = &desc.geom;
         // Optional 7-bit DAC clamp on the analog input path.
         let clamped;
@@ -255,87 +580,25 @@ impl Machine {
         };
         let mut acc = Tensor::zeros(DType::I32, &out_shape);
 
-        let mut cycles = CycleBreakdown::default();
-        cycles.overhead += match engine {
-            EngineKind::Digital => self.cfg.digital.kernel_call_overhead,
-            EngineKind::Analog => self.cfg.analog.kernel_call_overhead,
-            EngineKind::Cpu => unreachable!("accel steps never target the cpu"),
-        };
-
         let instances = tiles(geom, &desc.tile);
         let n_tiles = instances.len();
-        let mut prev_weights: Option<(Range<usize>, Range<usize>)> = None;
-        let mut prev_input: Option<(Range<usize>, Range<usize>, Range<usize>)> = None;
+        let mut cycles = self
+            .accel_timing(engine, desc, &instances, faults)
+            .map_err(|abort| RunError::DmaFailed {
+                layer_index: step_idx,
+                layer: desc.name.clone(),
+                engine,
+                transfer: abort.transfer,
+                attempts: abort.attempts,
+            })?;
+        // Collect this layer's injected stalls/retries (includes any L1
+        // denial backoff charged before dispatch).
+        let (stall, retries) = faults.take_layer_faults();
+        cycles.stall += stall;
+
+        // Functional execution of exactly each tile's work.
         for inst in &instances {
-            cycles.overhead += match engine {
-                EngineKind::Digital => self.cfg.digital.tile_overhead,
-                EngineKind::Analog => self.cfg.analog.tile_overhead,
-                EngineKind::Cpu => unreachable!(),
-            };
-            // Activation DMA in (two operands for element-wise add). The
-            // L1 input buffer is single-buffered per layer, so consecutive
-            // instances over the same (c, oy, ox) slice — e.g. successive
-            // output-channel blocks of an untiled-input layer — reuse the
-            // resident tile without a new transfer.
-            let input_slice = (inst.c.clone(), inst.oy.clone(), inst.ox.clone());
-            if prev_input.as_ref() != Some(&input_slice) {
-                let operand_count = if geom.kind == LayerKind::Add { 2 } else { 1 };
-                cycles.dma += operand_count
-                    * dma::dma_cycles(
-                        &self.cfg.dma,
-                        inst.input_bytes(geom),
-                        inst.input_chunks(geom),
-                    );
-                prev_input = Some(input_slice);
-            }
-            // Weight staging when the (k, c) slice changes.
-            if geom.kind != LayerKind::Add {
-                let slice = (inst.k.clone(), inst.c.clone());
-                if prev_weights.as_ref() != Some(&slice) {
-                    cycles.weight_load += match engine {
-                        EngineKind::Digital => {
-                            let elems = match geom.kind {
-                                LayerKind::Conv2d => {
-                                    inst.k.len() * inst.c.len() * geom.fy * geom.fx
-                                }
-                                LayerKind::DepthwiseConv2d => inst.c.len() * geom.fy * geom.fx,
-                                LayerKind::Dense => inst.k.len() * inst.c.len(),
-                                LayerKind::Add => 0,
-                            };
-                            dma::dma_cycles(&self.cfg.dma, geom.w_dtype.storage_bytes(elems), 1)
-                        }
-                        EngineKind::Analog => {
-                            analog::analog_weight_load_cycles(&self.cfg.analog, geom, inst)
-                        }
-                        EngineKind::Cpu => unreachable!(),
-                    };
-                    prev_weights = Some(slice);
-                }
-            }
-            // Compute.
-            cycles.compute += match engine {
-                EngineKind::Digital => digital::digital_tile_cycles(&self.cfg.digital, geom, inst),
-                EngineKind::Analog => analog::analog_tile_cycles(&self.cfg.analog, geom, inst),
-                EngineKind::Cpu => unreachable!(),
-            };
-            // Output DMA (final reduction slice only).
-            cycles.dma += dma::dma_cycles(
-                &self.cfg.dma,
-                inst.output_bytes(geom),
-                inst.output_chunks(geom),
-            );
-
-            // Functional execution of exactly this tile's work.
             self.exec_tile(desc, input, input2, &mut acc, inst);
-        }
-
-        // DORY double-buffering (optional): activation DMA of tile i+1
-        // overlaps compute of tile i, leaving only the first-tile fill and
-        // whatever DMA exceeds the compute time exposed. Weight staging is
-        // part of the accelerator instruction and never overlaps.
-        if self.cfg.dma.double_buffer && n_tiles > 1 {
-            let fill = cycles.dma / n_tiles as u64;
-            cycles.dma = cycles.dma.saturating_sub(cycles.compute).max(fill);
         }
 
         // Fused output path: bias, requantization, activation. On DIANA
@@ -352,16 +615,7 @@ impl Machine {
             out = kernels::relu(&out);
         }
         if let Some(pool) = &desc.pool {
-            // Fused output pooling (paper §III-C): runs in the output
-            // SIMD stage, one window element per SIMD beat.
             out = kernels::pool2d(&out, pool.kind, pool.kernel, pool.strides, pool.padding);
-            let window = (pool.kernel.0 * pool.kernel.1) as u64;
-            let elems = out.shape().num_elements() as u64 * window;
-            let rate = match engine {
-                EngineKind::Digital => self.cfg.digital.add_elems_per_cycle,
-                _ => 16,
-            };
-            cycles.compute += elems.div_ceil(rate);
         }
 
         let profile = LayerProfile {
@@ -370,8 +624,70 @@ impl Machine {
             cycles,
             macs: geom.macs(),
             n_tiles,
+            retries,
         };
-        (out, profile)
+        Ok((out, profile))
+    }
+
+    /// Graceful degradation: executes an accelerator step's pre-compiled
+    /// CPU fallback because its engine is offline. The host only learns
+    /// the engine is gone by timing out the kernel call, so the degraded
+    /// layer is charged the full fault-free accelerator cost as stall
+    /// before the CPU cost — a faulted run is never cheaper than the
+    /// fault-free one. The fallback graph reproduces the accelerator's
+    /// fused output path (including the analog DAC clamp) bit for bit.
+    fn exec_fallback(
+        &self,
+        step_idx: usize,
+        engine: EngineKind,
+        desc: &AccelLayerDesc,
+        kernel: &FallbackKernel,
+        (input, input2): (&Tensor, Option<&Tensor>),
+        faults: &mut FaultCtx,
+    ) -> Result<(Tensor, LayerProfile), RunError> {
+        let instances = tiles(&desc.geom, &desc.tile);
+        let timeout = self
+            .accel_timing(engine, desc, &instances, &mut FaultCtx::inert())
+            .expect("inert fault context cannot abort")
+            .total();
+
+        // Mirror the analog input DAC clamp so the fallback sees exactly
+        // the bits the accelerator would have.
+        let clamped;
+        let (input, input2) = if engine == EngineKind::Analog && self.cfg.analog.clamp_inputs_7bit {
+            clamped = (
+                kernels::clip(input, -63, 63),
+                input2.map(|t| kernels::clip(t, -63, 63)),
+            );
+            (&clamped.0, clamped.1.as_ref())
+        } else {
+            (input, input2)
+        };
+        let mut args = vec![input.clone()];
+        if let Some(second) = input2 {
+            args.push(second.clone());
+        }
+        let mut out = kernels::evaluate(&kernel.graph, &args).map_err(|e| RunError::Eval {
+            layer_index: step_idx,
+            layer: kernel.name.clone(),
+            source: e,
+        })?;
+        let compute = cpu::cpu_graph_cycles(&self.cfg.cpu, &kernel.graph);
+        faults.counters.engine_fallbacks += 1;
+        let (extra_stall, retries) = faults.take_layer_faults();
+        let profile = LayerProfile {
+            name: kernel.name.clone(),
+            engine: EngineKind::Cpu,
+            cycles: CycleBreakdown {
+                compute,
+                stall: timeout + extra_stall,
+                ..CycleBreakdown::default()
+            },
+            macs: desc.geom.macs(),
+            n_tiles: 1,
+            retries,
+        };
+        Ok((out.remove(0), profile))
     }
 
     /// Runs the reference arithmetic for one tile instance.
@@ -438,6 +754,13 @@ fn take_ref(values: &[Option<Tensor>], id: BufferId) -> &Tensor {
     values[id.0]
         .as_ref()
         .expect("schedule order guarantees producer ran before consumer")
+}
+
+/// Pooling output dimension — must match `kernels::pool2d`'s shape rule
+/// (`(padded - kernel) / stride + 1`) so geometry-priced pool cycles equal
+/// the tensor-derived count.
+fn pooled_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    (input + pad - kernel) / stride + 1
 }
 
 #[cfg(test)]
@@ -507,8 +830,28 @@ mod tests {
             inputs: vec![BufferId(0)],
             outputs: vec![BufferId(1)],
             activation_peak: 4 * 64 + 6 * 64,
+            fallbacks: crate::FallbackTable::default(),
         };
         (program, input, reference)
+    }
+
+    /// Hand-build the CPU fallback graph matching `conv_program`'s fused
+    /// accelerator layer: conv + bias + shift + clip + cast + relu.
+    fn conv_fallback(program: &Program) -> crate::FallbackKernel {
+        let Step::Accel { desc, .. } = &program.steps[0] else {
+            panic!("conv_program starts with an accel step");
+        };
+        let mut b = htvm_ir::GraphBuilder::new();
+        let x = b.input("x", &[4, 8, 8], DType::I8);
+        let w = b.constant("w", desc.weights.clone().unwrap());
+        let c = b.conv2d(x, w, (1, 1), (1, 1, 1, 1)).unwrap();
+        let bias = b.constant("bias", desc.bias.clone().unwrap());
+        let c = b.bias_add(c, bias).unwrap();
+        let c = b.requantize(c, desc.shift, desc.relu).unwrap();
+        crate::FallbackKernel {
+            name: format!("{}_cpu_fallback", desc.name),
+            graph: b.finish(&[c]).unwrap(),
+        }
     }
 
     #[test]
@@ -681,6 +1024,257 @@ mod tests {
         let a = ideal.run(&program, std::slice::from_ref(&small)).unwrap();
         let b = dac.run(&program, std::slice::from_ref(&small)).unwrap();
         assert_eq!(a.outputs, b.outputs);
+    }
+
+    #[test]
+    fn empty_fault_plan_reproduces_run_exactly() {
+        // The zero-cost-when-unused guarantee: an inert fault context must
+        // not perturb a single cycle anywhere in the timing model.
+        let geom = LayerGeometry::conv2d(4, 6, 8, 8, 3, 3, (1, 1), (1, 1, 1, 1));
+        for tile in [
+            TileConfig::full(&geom),
+            TileConfig {
+                c_t: 2,
+                k_t: 3,
+                oy_t: 4,
+                ox_t: 8,
+            },
+        ] {
+            let (program, input, _) = conv_program(tile, EngineKind::Digital);
+            let m = Machine::new(DianaConfig::default());
+            let plain = m.run(&program, std::slice::from_ref(&input)).unwrap();
+            let faulted = m
+                .run_with_faults(&program, &[input], &crate::FaultPlan::none())
+                .unwrap();
+            assert_eq!(plain, faulted);
+            assert!(!faulted.counters.any_faults());
+        }
+    }
+
+    #[test]
+    fn dma_stall_adds_cycles_but_not_bits() {
+        let geom = LayerGeometry::conv2d(4, 6, 8, 8, 3, 3, (1, 1), (1, 1, 1, 1));
+        let (program, input, reference) =
+            conv_program(TileConfig::full(&geom), EngineKind::Digital);
+        let m = Machine::new(DianaConfig::default());
+        let clean = m.run(&program, std::slice::from_ref(&input)).unwrap();
+        let plan = crate::FaultPlan::none().with_event(crate::FaultEvent::DmaStall {
+            transfer: 0,
+            cycles: 777,
+        });
+        let faulted = m.run_with_faults(&program, &[input], &plan).unwrap();
+        assert_eq!(faulted.outputs[0], reference);
+        assert_eq!(faulted.layers[0].cycles.stall, 777);
+        assert_eq!(faulted.total_cycles(), clean.total_cycles() + 777);
+        assert_eq!(faulted.counters.dma_stall_cycles, 777);
+        assert_eq!(faulted.layers[0].retries, 0);
+        // The stall is visible in the chrome trace on the faults row.
+        let trace = faulted.to_chrome_trace();
+        assert!(trace.contains("\"faults\""));
+        assert!(trace.contains("stall:conv"));
+    }
+
+    #[test]
+    fn dma_stall_survives_double_buffering() {
+        // Double-buffering hides nominal DMA behind compute; injected
+        // stalls live in their own bucket and must remain fully exposed.
+        let tile = TileConfig {
+            c_t: 4,
+            k_t: 6,
+            oy_t: 2,
+            ox_t: 8,
+        };
+        let (program, input, _) = conv_program(tile, EngineKind::Digital);
+        let mut cfg = DianaConfig::default();
+        cfg.dma.double_buffer = true;
+        let m = Machine::new(cfg);
+        let clean = m.run(&program, std::slice::from_ref(&input)).unwrap();
+        let plan = crate::FaultPlan::none().with_event(crate::FaultEvent::DmaStall {
+            transfer: 1,
+            cycles: 123_456,
+        });
+        let faulted = m.run_with_faults(&program, &[input], &plan).unwrap();
+        assert_eq!(
+            faulted.total_cycles(),
+            clean.total_cycles() + 123_456,
+            "the stall must not be absorbed by DMA/compute overlap"
+        );
+    }
+
+    #[test]
+    fn dma_failures_retry_with_backoff_then_abort() {
+        let geom = LayerGeometry::conv2d(4, 6, 8, 8, 3, 3, (1, 1), (1, 1, 1, 1));
+        let (program, input, reference) =
+            conv_program(TileConfig::full(&geom), EngineKind::Digital);
+        let m = Machine::new(DianaConfig::default());
+
+        // Within the retry budget: recovered, accounted, bit-exact.
+        let plan = crate::FaultPlan::none().with_event(crate::FaultEvent::DmaFail {
+            transfer: 0,
+            attempts: 2,
+        });
+        let clean = m.run(&program, std::slice::from_ref(&input)).unwrap();
+        let faulted = m
+            .run_with_faults(&program, std::slice::from_ref(&input), &plan)
+            .unwrap();
+        assert_eq!(faulted.outputs[0], reference);
+        assert_eq!(faulted.layers[0].retries, 2);
+        assert_eq!(faulted.counters.dma_retries, 2);
+        assert!(faulted.counters.dma_stall_cycles > 0);
+        assert!(faulted.total_cycles() > clean.total_cycles());
+
+        // Beyond the budget: a structured abort naming layer and engine.
+        let plan = crate::FaultPlan::none().with_event(crate::FaultEvent::DmaFail {
+            transfer: 0,
+            attempts: 99,
+        });
+        let err = m.run_with_faults(&program, &[input], &plan).unwrap_err();
+        assert_eq!(err.layer_index(), Some(0));
+        assert_eq!(err.engine(), Some(EngineKind::Digital));
+        match err {
+            RunError::DmaFailed {
+                layer_index,
+                layer,
+                engine,
+                transfer,
+                attempts,
+            } => {
+                assert_eq!(layer_index, 0);
+                assert_eq!(layer, "conv");
+                assert_eq!(engine, EngineKind::Digital);
+                assert_eq!(transfer, 0);
+                assert_eq!(attempts, 99);
+            }
+            other => panic!("expected DmaFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn l1_denials_wait_out_backoff_then_abort() {
+        let geom = LayerGeometry::conv2d(4, 6, 8, 8, 3, 3, (1, 1), (1, 1, 1, 1));
+        let (program, input, reference) =
+            conv_program(TileConfig::full(&geom), EngineKind::Digital);
+        let m = Machine::new(DianaConfig::default());
+        let plan = crate::FaultPlan::none().with_event(crate::FaultEvent::L1Deny {
+            layer: 0,
+            attempts: 2,
+        });
+        let clean = m.run(&program, std::slice::from_ref(&input)).unwrap();
+        let faulted = m
+            .run_with_faults(&program, std::slice::from_ref(&input), &plan)
+            .unwrap();
+        assert_eq!(faulted.outputs[0], reference);
+        // Backoff waits: 64 + 128 with the default policy.
+        let expected = {
+            let retry = crate::RetryPolicy::default();
+            retry.backoff_cycles(1) + retry.backoff_cycles(2)
+        };
+        assert_eq!(faulted.layers[0].cycles.stall, expected);
+        assert_eq!(faulted.counters.l1_stall_cycles, expected);
+        assert_eq!(faulted.counters.l1_retries, 2);
+        assert_eq!(faulted.total_cycles(), clean.total_cycles() + expected);
+
+        let plan = crate::FaultPlan::none().with_event(crate::FaultEvent::L1Deny {
+            layer: 0,
+            attempts: 50,
+        });
+        let err = m.run_with_faults(&program, &[input], &plan).unwrap_err();
+        assert!(matches!(
+            err,
+            RunError::L1Denied {
+                layer_index: 0,
+                attempts: 50,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn engine_off_without_fallback_is_a_structured_error() {
+        let geom = LayerGeometry::conv2d(4, 6, 8, 8, 3, 3, (1, 1), (1, 1, 1, 1));
+        let (program, input, _) = conv_program(TileConfig::full(&geom), EngineKind::Digital);
+        let m = Machine::new(DianaConfig::default());
+        let plan = crate::FaultPlan::none().with_event(crate::FaultEvent::EngineOffline {
+            engine: EngineKind::Digital,
+            layer: 0,
+        });
+        let err = m.run_with_faults(&program, &[input], &plan).unwrap_err();
+        match err {
+            RunError::EngineUnavailable {
+                layer_index,
+                layer,
+                engine,
+            } => {
+                assert_eq!(layer_index, 0);
+                assert_eq!(layer, "conv");
+                assert_eq!(engine, EngineKind::Digital);
+            }
+            other => panic!("expected EngineUnavailable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn engine_off_with_fallback_degrades_bit_exactly() {
+        let geom = LayerGeometry::conv2d(4, 6, 8, 8, 3, 3, (1, 1), (1, 1, 1, 1));
+        let (mut program, input, reference) =
+            conv_program(TileConfig::full(&geom), EngineKind::Digital);
+        program.fallbacks.insert(0, conv_fallback(&program));
+        let m = Machine::new(DianaConfig::default());
+        let clean = m.run(&program, std::slice::from_ref(&input)).unwrap();
+        let plan = crate::FaultPlan::none().with_event(crate::FaultEvent::EngineOffline {
+            engine: EngineKind::Digital,
+            layer: 0,
+        });
+        let faulted = m.run_with_faults(&program, &[input], &plan).unwrap();
+        assert_eq!(faulted.outputs[0], reference, "fallback must be bit-exact");
+        assert_eq!(faulted.layers[0].engine, EngineKind::Cpu);
+        assert_eq!(faulted.counters.engine_fallbacks, 1);
+        // Timeout charge: the degraded layer pays the full fault-free
+        // accelerator cost as stall, plus the CPU compute on top.
+        assert_eq!(faulted.layers[0].cycles.stall, clean.total_cycles());
+        assert!(faulted.total_cycles() > clean.total_cycles());
+    }
+
+    #[test]
+    fn offline_engine_leaves_other_engine_untouched() {
+        // Taking the analog engine offline must not affect a digital
+        // program: no fallback taken, cycles identical.
+        let geom = LayerGeometry::conv2d(4, 6, 8, 8, 3, 3, (1, 1), (1, 1, 1, 1));
+        let (program, input, _) = conv_program(TileConfig::full(&geom), EngineKind::Digital);
+        let m = Machine::new(DianaConfig::default());
+        let clean = m.run(&program, std::slice::from_ref(&input)).unwrap();
+        let plan = crate::FaultPlan::none().with_event(crate::FaultEvent::EngineOffline {
+            engine: EngineKind::Analog,
+            layer: 0,
+        });
+        let faulted = m.run_with_faults(&program, &[input], &plan).unwrap();
+        assert_eq!(clean, faulted);
+    }
+
+    #[test]
+    fn analog_fallback_replicates_dac_clamp() {
+        let geom = LayerGeometry::conv2d(4, 6, 8, 8, 3, 3, (1, 1), (1, 1, 1, 1));
+        let (mut program, _, _) = conv_program(TileConfig::full(&geom), EngineKind::Analog);
+        program.fallbacks.insert(0, conv_fallback(&program));
+        let mut cfg = DianaConfig::default();
+        cfg.analog.clamp_inputs_7bit = true;
+        let m = Machine::new(cfg);
+        // Inputs beyond the 7-bit DAC range exercise the clamp.
+        let mut input = Tensor::zeros(DType::I8, &[4, 8, 8]);
+        for (i, v) in input.data_mut().iter_mut().enumerate() {
+            *v = if i % 2 == 0 { 100 } else { -100 };
+        }
+        let clean = m.run(&program, std::slice::from_ref(&input)).unwrap();
+        let plan = crate::FaultPlan::none().with_event(crate::FaultEvent::EngineOffline {
+            engine: EngineKind::Analog,
+            layer: 0,
+        });
+        let faulted = m.run_with_faults(&program, &[input], &plan).unwrap();
+        assert_eq!(
+            clean.outputs, faulted.outputs,
+            "fallback must clamp like the analog input DAC"
+        );
+        assert_eq!(faulted.counters.engine_fallbacks, 1);
     }
 
     #[test]

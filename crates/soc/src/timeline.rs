@@ -49,7 +49,8 @@ pub fn render_timeline(report: &RunReport, opts: &TimelineOptions) -> String {
         let start = cursor;
         let busy = scale(layer.cycles.compute + layer.cycles.weight_load);
         let fringe = scale(layer.cycles.dma + layer.cycles.overhead);
-        let len = (busy + fringe).max(1);
+        let stall = scale(layer.cycles.stall);
+        let len = (busy + fringe + stall).max(1);
         let lane = lanes
             .iter()
             .position(|&e| e == layer.engine)
@@ -60,7 +61,13 @@ pub fn render_timeline(report: &RunReport, opts: &TimelineOptions) -> String {
             }
             if l == lane {
                 for j in 0..len {
-                    row.push(if j < busy { '#' } else { '.' });
+                    row.push(if j < busy {
+                        '#'
+                    } else if j < busy + fringe {
+                        '.'
+                    } else {
+                        '!'
+                    });
                 }
             } else {
                 for _ in 0..len {
@@ -83,7 +90,7 @@ pub fn render_timeline(report: &RunReport, opts: &TimelineOptions) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "time -> ({} cycles total; '#' engine busy, '.' dma/overhead fringe)",
+        "time -> ({} cycles total; '#' engine busy, '.' dma/overhead fringe, '!' fault stall)",
         total
     );
     for (lane, row) in lanes.iter().zip(&rows) {
@@ -107,11 +114,11 @@ mod tests {
             cycles: CycleBreakdown {
                 compute,
                 dma,
-                weight_load: 0,
-                overhead: 0,
+                ..CycleBreakdown::default()
             },
             macs: 0,
             n_tiles: 1,
+            retries: 0,
         }
     }
 
@@ -123,6 +130,7 @@ mod tests {
                 layer("conv2", EngineKind::Analog, 400, 100),
                 layer("softmax", EngineKind::Cpu, 300, 0),
             ],
+            counters: crate::PerfCounters::default(),
         }
     }
 
@@ -173,8 +181,33 @@ mod tests {
         let r = RunReport {
             outputs: vec![],
             layers: vec![],
+            counters: crate::PerfCounters::default(),
         };
         let s = render_timeline(&r, &TimelineOptions::default());
         assert!(s.contains("time ->"));
+    }
+
+    #[test]
+    fn fault_stalls_render_as_bangs() {
+        let mut stalled = layer("conv1", EngineKind::Digital, 300, 100);
+        stalled.cycles.stall = 400;
+        let r = RunReport {
+            outputs: vec![],
+            layers: vec![stalled],
+            counters: crate::PerfCounters::default(),
+        };
+        let s = render_timeline(
+            &r,
+            &TimelineOptions {
+                width: 80,
+                annotate: false,
+            },
+        );
+        let digital_row = s.lines().nth(2).expect("digital lane");
+        assert!(digital_row.contains('!'), "stall fringe missing: {s}");
+        // Stall takes half the layer: roughly as many bangs as everything
+        // else combined.
+        let bangs = digital_row.matches('!').count();
+        assert!(bangs >= 30, "expected a wide stall fringe, got {bangs}");
     }
 }

@@ -146,6 +146,35 @@ fn warm_tile_cache_changes_stats_but_not_the_artifact() {
 }
 
 #[test]
+fn tile_cache_memoizes_infeasible_solves() {
+    // Negative results are cached too: a geometry that cannot fit the
+    // budget costs one solver invocation, and every later ask for the
+    // same (geometry, budget, objective) triple is answered from the
+    // cache — same error, no re-solve.
+    use htvm::{LayerGeometry, MemoryBudget, TileCache, TilingObjective};
+    let cache = TileCache::new();
+    let geom = LayerGeometry::dense(4096, 4096);
+    let budget = MemoryBudget::unified(4);
+    let objective = TilingObjective::memory_only();
+
+    let (first, hit) = cache.solve_cached(&geom, &budget, &objective);
+    assert!(first.is_err(), "a 16 MB dense layer cannot tile into 4 B");
+    assert!(!hit, "first solve is a miss");
+    assert_eq!(cache.solves(), 1);
+    assert_eq!(cache.hits(), 0);
+
+    let (second, hit) = cache.solve_cached(&geom, &budget, &objective);
+    assert!(hit, "second solve must be served from the negative entry");
+    assert_eq!(cache.solves(), 1, "the solver must not run again");
+    assert_eq!(cache.hits(), 1);
+    assert_eq!(
+        format!("{:?}", first.unwrap_err()),
+        format!("{:?}", second.unwrap_err()),
+        "cached error matches the original"
+    );
+}
+
+#[test]
 fn artifact_serialization_round_trips() {
     // Artifacts are serde-serializable (bench output, caching); a JSON
     // round trip must preserve the program exactly.
