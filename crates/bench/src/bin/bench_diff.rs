@@ -1,0 +1,89 @@
+//! Compares two `BENCH.json` reports — the CI benchmark-regression gate.
+//!
+//! ```text
+//! cargo run --release -p htvm-bench --bin bench-diff -- \
+//!     BENCH_BASELINE.json BENCH.json [--cycle-tol PCT] [--wall-tol PCT] [--wall-hard]
+//! ```
+//!
+//! Exit codes: 0 — no hard regression; 1 — at least one gate-breaking
+//! regression (simulated cycles/energy beyond tolerance, lost coverage,
+//! status change, schema mismatch); 2 — usage or I/O/parse error.
+//! Wall-time drift only warns unless `--wall-hard` is given.
+
+use htvm_bench::report::{diff, BenchReport, DiffConfig};
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e:?}"))
+}
+
+fn parse_pct(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<f64, String> {
+    let v = args.next().ok_or_else(|| format!("{flag} needs a value"))?;
+    v.parse::<f64>()
+        .map_err(|_| format!("{flag} needs a number, got {v:?}"))
+}
+
+fn main() -> ExitCode {
+    let mut cfg = DiffConfig::default();
+    let mut paths = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let parsed = match arg.as_str() {
+            "--cycle-tol" => parse_pct(&mut args, "--cycle-tol").map(|v| cfg.cycle_tol_pct = v),
+            "--wall-tol" => parse_pct(&mut args, "--wall-tol").map(|v| cfg.wall_tol_pct = v),
+            "--wall-hard" => {
+                cfg.wall_hard = true;
+                Ok(())
+            }
+            _ => {
+                paths.push(arg);
+                Ok(())
+            }
+        };
+        if let Err(e) = parsed {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    let [base_path, new_path] = &paths[..] else {
+        eprintln!(
+            "usage: bench-diff BASELINE.json NEW.json [--cycle-tol PCT] [--wall-tol PCT] [--wall-hard]"
+        );
+        return ExitCode::from(2);
+    };
+
+    let (base, new) = match (load(base_path), load(new_path)) {
+        (Ok(b), Ok(n)) => (b, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let d = diff(&base, &new, &cfg);
+    for f in &d.failures {
+        println!("FAIL  {f}");
+    }
+    for w in &d.warnings {
+        println!("warn  {w}");
+    }
+    for i in &d.improvements {
+        println!("good  {i}");
+    }
+    if d.ok() {
+        println!(
+            "bench-diff: OK — {} baseline entries compared, cycle tolerance {}%",
+            base.entries.len(),
+            cfg.cycle_tol_pct
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "bench-diff: {} regression(s) against {base_path} (cycle tolerance {}%)",
+            d.failures.len(),
+            cfg.cycle_tol_pct
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,76 @@
+//! Emits the machine-readable benchmark report (`BENCH.json`).
+//!
+//! ```text
+//! cargo run --release -p htvm-bench --bin report [-- --out PATH] [--quiet]
+//! ```
+//!
+//! Sweeps every zoo model under every deployment configuration, collecting
+//! per-phase compile times, tile-cache behaviour and per-layer simulated
+//! cycle/energy breakdowns into one versioned JSON document (schema in
+//! `docs/OBSERVABILITY.md`). CI runs this on every PR and diffs the result
+//! against `BENCH_BASELINE.json` with `--bin bench-diff`.
+
+use htvm_bench::report::collect;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut out = String::from("BENCH.json");
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(path) => out = path,
+                None => {
+                    eprintln!("error: --out needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--quiet" => quiet = true,
+            other => {
+                eprintln!("usage: report [--out PATH] [--quiet] (unknown arg {other:?})");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = collect();
+    if !quiet {
+        println!(
+            "{:<14} {:<8} {:>7} {:>12} {:>10} {:>11} {:>6}",
+            "model", "deploy", "status", "cycles", "energy_uJ", "compile_us", "hits"
+        );
+        for e in &report.entries {
+            let (cycles, energy) = e
+                .run
+                .as_ref()
+                .map_or((String::from("-"), String::from("-")), |r| {
+                    (r.total_cycles.to_string(), format!("{:.2}", r.energy_uj))
+                });
+            println!(
+                "{:<14} {:<8} {:>7} {:>12} {:>10} {:>11} {:>6}",
+                e.model,
+                e.deploy,
+                e.status,
+                cycles,
+                energy,
+                e.compile.wall_us,
+                e.compile.cache_hits
+            );
+        }
+    }
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    if let Err(e) = std::fs::write(&out, json + "\n") {
+        eprintln!("error: cannot write {out}: {e}");
+        return ExitCode::from(2);
+    }
+    if !quiet {
+        println!(
+            "wrote {out} (schema v{}, {} entries)",
+            report.schema_version,
+            report.entries.len()
+        );
+    }
+    ExitCode::SUCCESS
+}

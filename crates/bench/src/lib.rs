@@ -11,8 +11,15 @@
 //! | `cargo run -p htvm-bench --bin table2` | Table II — cross-platform comparison |
 //!
 //! Pass `--json` to any binary for machine-readable output.
+//!
+//! Beyond the paper artifacts, `--bin report` sweeps the zoo into a
+//! versioned machine-readable `BENCH.json` and `--bin bench-diff`
+//! compares two such reports — the CI benchmark-regression gate (see
+//! [`report`] and `docs/OBSERVABILITY.md`).
 
 #![forbid(unsafe_code)]
+
+pub mod report;
 
 use htvm::{Artifact, CompileError, Compiler, DeployConfig, Machine, RunReport};
 use htvm_models::{Model, QuantScheme};

@@ -1,0 +1,580 @@
+//! The machine-readable performance report (`BENCH.json`) and its diff.
+//!
+//! `cargo run --release -p htvm-bench --bin report` sweeps the MLPerf™
+//! Tiny zoo across every deployment configuration and emits one
+//! [`BenchReport`]: per-phase compile wall times (from the `htvm-trace`
+//! spans), tiling-solver work vs [`TileCache`] hits, and per-layer
+//! simulated cycle/energy breakdowns. `bench-diff` compares two reports
+//! and fails on regressions — simulated cycles and energy are
+//! deterministic, so those gates are hard; wall times are noisy, so that
+//! gate warns unless asked to fail. The schema is documented in
+//! `docs/OBSERVABILITY.md`; CI regenerates the report on every PR and
+//! diffs it against the committed `BENCH_BASELINE.json`.
+//!
+//! [`TileCache`]: htvm::TileCache
+
+use htvm::{
+    tracks, CompileError, Compiler, DeployConfig, EnergyConfig, LowerError, Machine, TimeDomain,
+};
+use htvm_models::{all_models, Model};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+use crate::scheme_for;
+
+/// Version of the `BENCH.json` schema. Bump when fields are added,
+/// removed or change meaning — `bench-diff` refuses to compare across
+/// versions, and the golden-file test pins the committed fixtures to the
+/// current one so a bump cannot land silently.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// A full benchmark report: every zoo model × deployment configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Schema version ([`BENCH_SCHEMA_VERSION`] at write time).
+    pub schema_version: u32,
+    /// One entry per (model, deploy) pair, in sweep order.
+    pub entries: Vec<BenchEntry>,
+}
+
+/// One model under one deployment configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchEntry {
+    /// Model name (`ds_cnn`, `mobilenet_v1`, `resnet8`, `toyadmos_dae`).
+    pub model: String,
+    /// Deployment configuration id (`cpu_tvm`, `digital`, `analog`,
+    /// `both`).
+    pub deploy: String,
+    /// Quantization scheme the configuration deploys (`Int8`, `Ternary`,
+    /// `Mixed`).
+    pub scheme: String,
+    /// `ok`, or `oom` for the paper's expected plain-TVM MobileNet
+    /// out-of-memory failure.
+    pub status: String,
+    /// Compile-side observability.
+    pub compile: CompileReport,
+    /// Simulated run (absent when compilation failed).
+    pub run: Option<RunSummary>,
+}
+
+/// Compile-side measurements for one entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompileReport {
+    /// End-to-end compile wall time in microseconds (noisy; `bench-diff`
+    /// warns rather than fails on it by default).
+    pub wall_us: u64,
+    /// Per-phase wall times from the compile trace, in phase order.
+    pub phases: Vec<PhaseTime>,
+    /// Accelerator regions lowered.
+    pub regions: u64,
+    /// Tiling-solver invocations actually performed.
+    pub solves: u64,
+    /// Solves answered from the tile cache.
+    pub cache_hits: u64,
+    /// Infeasible (negative) solver outcomes recorded.
+    pub cache_negatives: u64,
+    /// Modeled deployed binary size in bytes (0 when compilation failed).
+    pub binary_bytes: u64,
+    /// Fraction of MACs offloaded to accelerators (0 when compilation
+    /// failed).
+    pub offload_fraction: f64,
+}
+
+/// Wall time of one compiler phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseTime {
+    /// Phase name (`verify`, `fold_constants`, `partition`, `solve`,
+    /// `emit`, `l2_plan`).
+    pub phase: String,
+    /// Wall time in microseconds.
+    pub us: u64,
+}
+
+/// Simulated-run measurements for one entry. Everything here is
+/// deterministic: same artifact, same numbers, bit for bit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// End-to-end latency in cycles (the "full kernel" measurement).
+    pub total_cycles: u64,
+    /// Latency with accelerator layers at peak (trigger → completion).
+    pub peak_cycles: u64,
+    /// First-order energy estimate in microjoules.
+    pub energy_uj: f64,
+    /// Total multiply-accumulates executed.
+    pub macs: u64,
+    /// Per-layer cycle/energy breakdown, in execution order.
+    pub layers: Vec<LayerReport>,
+}
+
+/// Per-layer breakdown (the report-side mirror of the simulator's
+/// `LayerProfile`, plus energy).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerReport {
+    /// Layer or kernel name.
+    pub name: String,
+    /// Engine that executed it (`cpu`, `digital`, `analog`).
+    pub engine: String,
+    /// Datapath-busy cycles.
+    pub compute: u64,
+    /// Activation DMA cycles.
+    pub dma: u64,
+    /// Weight transfer cycles.
+    pub weight_load: u64,
+    /// Host overhead cycles.
+    pub overhead: u64,
+    /// Fault-stall cycles (0 on the fault-free report runs).
+    pub stall: u64,
+    /// Multiply-accumulates.
+    pub macs: u64,
+    /// Accelerator invocations (tile count).
+    pub tiles: u64,
+    /// Modeled energy in femtojoules.
+    pub energy_fj: u64,
+}
+
+/// Stable id for a deployment configuration.
+#[must_use]
+pub fn deploy_id(deploy: DeployConfig) -> &'static str {
+    match deploy {
+        DeployConfig::CpuTvm => "cpu_tvm",
+        DeployConfig::Digital => "digital",
+        DeployConfig::Analog => "analog",
+        DeployConfig::Both => "both",
+    }
+}
+
+/// The four deployment configurations, in report order.
+#[must_use]
+pub fn all_deploys() -> [DeployConfig; 4] {
+    [
+        DeployConfig::CpuTvm,
+        DeployConfig::Digital,
+        DeployConfig::Analog,
+        DeployConfig::Both,
+    ]
+}
+
+/// Measures one (model, deploy) pair: traced compile, then a simulated
+/// run under the default energy model.
+///
+/// # Panics
+///
+/// Panics on compile errors other than the expected plain-TVM
+/// out-of-memory case, and if the compiled program rejects the model's
+/// own input.
+#[must_use]
+pub fn collect_entry(model: &Model, deploy: DeployConfig) -> BenchEntry {
+    let tracer = htvm::Tracer::new();
+    let compiler = Compiler::new()
+        .with_deploy(deploy)
+        .with_tracer(tracer.clone());
+    let t0 = Instant::now();
+    let compiled = compiler.compile(&model.graph);
+    let wall_us = t0.elapsed().as_micros() as u64;
+    let trace = tracer.take(TimeDomain::WallMicros, tracks::compile());
+
+    let phases = [
+        "verify",
+        "fold_constants",
+        "partition",
+        "solve",
+        "emit",
+        "l2_plan",
+    ]
+    .iter()
+    .filter_map(|p| {
+        trace.dur_of(p).map(|us| PhaseTime {
+            phase: (*p).to_owned(),
+            us,
+        })
+    })
+    .collect();
+
+    // The compiler's cache is fresh per entry, so its lifetime counters
+    // are exactly this compile's — available even when lowering failed.
+    let cache = compiler.tile_cache();
+    let regions = match &compiled {
+        Ok(a) => a.stats.regions as u64,
+        Err(_) => trace
+            .span("partition")
+            .and_then(|s| s.arg_u64("regions"))
+            .unwrap_or(0),
+    };
+    let mut compile = CompileReport {
+        wall_us,
+        phases,
+        regions,
+        solves: cache.solves(),
+        cache_hits: cache.hits(),
+        cache_negatives: cache.negatives(),
+        binary_bytes: 0,
+        offload_fraction: 0.0,
+    };
+
+    let (status, run) = match compiled {
+        Ok(artifact) => {
+            compile.binary_bytes = artifact.binary.total() as u64;
+            compile.offload_fraction = artifact.offload_fraction();
+            let machine = Machine::new(*compiler.platform());
+            let report = machine
+                .run(&artifact.program, &[model.input(7)])
+                .expect("compiled program accepts the model input");
+            let energy = EnergyConfig::default();
+            let layers = report
+                .layers
+                .iter()
+                .map(|l| LayerReport {
+                    name: l.name.clone(),
+                    engine: l.engine.to_string(),
+                    compute: l.cycles.compute,
+                    dma: l.cycles.dma,
+                    weight_load: l.cycles.weight_load,
+                    overhead: l.cycles.overhead,
+                    stall: l.cycles.stall,
+                    macs: l.macs,
+                    tiles: l.n_tiles as u64,
+                    energy_fj: energy.layer_fj(l),
+                })
+                .collect();
+            (
+                "ok".to_owned(),
+                Some(RunSummary {
+                    total_cycles: report.total_cycles(),
+                    peak_cycles: report.peak_cycles(),
+                    energy_uj: energy.run_uj(&report),
+                    macs: report.total_macs(),
+                    layers,
+                }),
+            )
+        }
+        Err(CompileError::Lower(LowerError::OutOfMemory(_))) => ("oom".to_owned(), None),
+        Err(e) => panic!("unexpected compile failure for {}: {e}", model.name),
+    };
+
+    BenchEntry {
+        model: model.name.to_owned(),
+        deploy: deploy_id(deploy).to_owned(),
+        scheme: format!("{:?}", model.scheme),
+        status,
+        compile,
+        run,
+    }
+}
+
+/// Sweeps the full zoo × configuration matrix into a report.
+#[must_use]
+pub fn collect() -> BenchReport {
+    let mut entries = Vec::new();
+    for deploy in all_deploys() {
+        for model in all_models(scheme_for(deploy)) {
+            entries.push(collect_entry(&model, deploy));
+        }
+    }
+    BenchReport {
+        schema_version: BENCH_SCHEMA_VERSION,
+        entries,
+    }
+}
+
+/// Tolerances for [`diff`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffConfig {
+    /// Hard-fail when simulated total cycles or energy regress by more
+    /// than this percentage. Cycles are deterministic, so the CI default
+    /// of 2% already includes generous headroom.
+    pub cycle_tol_pct: f64,
+    /// Flag compile wall-time regressions beyond this percentage.
+    pub wall_tol_pct: f64,
+    /// Treat wall-time regressions as failures instead of warnings.
+    pub wall_hard: bool,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig {
+            cycle_tol_pct: 2.0,
+            wall_tol_pct: 50.0,
+            wall_hard: false,
+        }
+    }
+}
+
+/// The outcome of comparing two reports.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Diff {
+    /// Gate-breaking regressions (non-empty → `bench-diff` exits 1).
+    pub failures: Vec<String>,
+    /// Noisy or advisory findings (wall-time drift, new entries).
+    pub warnings: Vec<String>,
+    /// Measured improvements, for the PR log.
+    pub improvements: Vec<String>,
+}
+
+impl Diff {
+    /// `true` when no hard regression was found.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+fn pct_change(base: f64, new: f64) -> f64 {
+    if base == 0.0 {
+        if new == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (new - base) / base * 100.0
+    }
+}
+
+/// Compares `new` against `base` under the given tolerances.
+///
+/// Hard failures: schema version mismatch, lost coverage (a baseline
+/// entry missing from the new report), a changed compile status, and
+/// simulated cycle or energy regressions beyond the tolerance. Wall-time
+/// regressions warn unless [`DiffConfig::wall_hard`] is set.
+#[must_use]
+pub fn diff(base: &BenchReport, new: &BenchReport, cfg: &DiffConfig) -> Diff {
+    let mut out = Diff::default();
+    if base.schema_version != new.schema_version {
+        out.failures.push(format!(
+            "schema version changed: baseline v{} vs new v{} — regenerate BENCH_BASELINE.json \
+             in the same change that bumps BENCH_SCHEMA_VERSION",
+            base.schema_version, new.schema_version
+        ));
+        return out;
+    }
+    for b in &base.entries {
+        let key = format!("{}/{}", b.model, b.deploy);
+        let Some(n) = new
+            .entries
+            .iter()
+            .find(|n| n.model == b.model && n.deploy == b.deploy)
+        else {
+            out.failures.push(format!(
+                "{key}: entry missing from the new report (coverage lost)"
+            ));
+            continue;
+        };
+        if b.status != n.status {
+            out.failures.push(format!(
+                "{key}: status changed {} -> {}",
+                b.status, n.status
+            ));
+            continue;
+        }
+        if let (Some(br), Some(nr)) = (&b.run, &n.run) {
+            let cyc = pct_change(br.total_cycles as f64, nr.total_cycles as f64);
+            if cyc > cfg.cycle_tol_pct {
+                out.failures.push(format!(
+                    "{key}: total cycles regressed {:+.2}% ({} -> {}, tolerance {}%)",
+                    cyc, br.total_cycles, nr.total_cycles, cfg.cycle_tol_pct
+                ));
+            } else if nr.total_cycles < br.total_cycles {
+                out.improvements.push(format!(
+                    "{key}: total cycles improved {:+.2}% ({} -> {})",
+                    cyc, br.total_cycles, nr.total_cycles
+                ));
+            }
+            let en = pct_change(br.energy_uj, nr.energy_uj);
+            if en > cfg.cycle_tol_pct {
+                out.failures.push(format!(
+                    "{key}: energy regressed {:+.2}% ({:.3} uJ -> {:.3} uJ, tolerance {}%)",
+                    en, br.energy_uj, nr.energy_uj, cfg.cycle_tol_pct
+                ));
+            } else if nr.energy_uj < br.energy_uj {
+                out.improvements.push(format!(
+                    "{key}: energy improved {:+.2}% ({:.3} uJ -> {:.3} uJ)",
+                    en, br.energy_uj, nr.energy_uj
+                ));
+            }
+        }
+        let wall = pct_change(b.compile.wall_us as f64, n.compile.wall_us as f64);
+        if wall > cfg.wall_tol_pct {
+            let msg = format!(
+                "{key}: compile wall time regressed {:+.1}% ({} us -> {} us, tolerance {}%)",
+                wall, b.compile.wall_us, n.compile.wall_us, cfg.wall_tol_pct
+            );
+            if cfg.wall_hard {
+                out.failures.push(msg);
+            } else {
+                out.warnings.push(msg);
+            }
+        }
+    }
+    for n in &new.entries {
+        if !base
+            .entries
+            .iter()
+            .any(|b| b.model == n.model && b.deploy == n.deploy)
+        {
+            out.warnings.push(format!(
+                "{}/{}: new entry not in the baseline (extend BENCH_BASELINE.json)",
+                n.model, n.deploy
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htvm_models::QuantScheme;
+
+    fn tiny_report(cycles: u64) -> BenchReport {
+        BenchReport {
+            schema_version: BENCH_SCHEMA_VERSION,
+            entries: vec![BenchEntry {
+                model: "toyadmos_dae".into(),
+                deploy: "digital".into(),
+                scheme: "Int8".into(),
+                status: "ok".into(),
+                compile: CompileReport {
+                    wall_us: 1000,
+                    phases: vec![PhaseTime {
+                        phase: "solve".into(),
+                        us: 700,
+                    }],
+                    regions: 4,
+                    solves: 4,
+                    cache_hits: 0,
+                    cache_negatives: 0,
+                    binary_bytes: 100_000,
+                    offload_fraction: 0.95,
+                },
+                run: Some(RunSummary {
+                    total_cycles: cycles,
+                    peak_cycles: cycles / 2,
+                    energy_uj: cycles as f64 / 1000.0,
+                    macs: 250_000,
+                    layers: vec![],
+                }),
+            }],
+        }
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = tiny_report(100_000);
+        let d = diff(&r, &r.clone(), &DiffConfig::default());
+        assert!(d.ok(), "{:?}", d.failures);
+        assert!(d.warnings.is_empty());
+    }
+
+    #[test]
+    fn cycle_regression_beyond_tolerance_fails() {
+        let base = tiny_report(100_000);
+        let new = tiny_report(105_000); // +5% > 2%
+        let d = diff(&base, &new, &DiffConfig::default());
+        assert!(!d.ok());
+        assert!(
+            d.failures.iter().any(|f| f.contains("total cycles")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn cycle_noise_within_tolerance_passes_and_improvements_are_noted() {
+        let base = tiny_report(100_000);
+        let within = tiny_report(101_000); // +1% < 2%
+        assert!(diff(&base, &within, &DiffConfig::default()).ok());
+        let faster = tiny_report(90_000);
+        let d = diff(&base, &faster, &DiffConfig::default());
+        assert!(d.ok());
+        assert!(!d.improvements.is_empty());
+    }
+
+    #[test]
+    fn schema_version_mismatch_fails_closed() {
+        let base = tiny_report(100_000);
+        let mut new = tiny_report(100_000);
+        new.schema_version += 1;
+        let d = diff(&base, &new, &DiffConfig::default());
+        assert!(!d.ok());
+        assert!(d.failures[0].contains("schema version"));
+    }
+
+    #[test]
+    fn lost_coverage_and_status_changes_fail() {
+        let base = tiny_report(100_000);
+        let empty = BenchReport {
+            schema_version: BENCH_SCHEMA_VERSION,
+            entries: vec![],
+        };
+        assert!(!diff(&base, &empty, &DiffConfig::default()).ok());
+        let mut broken = tiny_report(100_000);
+        broken.entries[0].status = "oom".into();
+        let d = diff(&base, &broken, &DiffConfig::default());
+        assert!(d.failures.iter().any(|f| f.contains("status")), "{d:?}");
+    }
+
+    #[test]
+    fn wall_time_regressions_warn_by_default_and_fail_when_hard() {
+        let base = tiny_report(100_000);
+        let mut slow = tiny_report(100_000);
+        slow.entries[0].compile.wall_us = 10_000; // 10x
+        let soft = diff(&base, &slow, &DiffConfig::default());
+        assert!(soft.ok(), "{:?}", soft.failures);
+        assert!(soft.warnings.iter().any(|w| w.contains("wall time")));
+        let hard = diff(
+            &base,
+            &slow,
+            &DiffConfig {
+                wall_hard: true,
+                ..DiffConfig::default()
+            },
+        );
+        assert!(!hard.ok());
+    }
+
+    #[test]
+    fn collect_entry_fills_phases_counters_and_layers() {
+        let model = htvm_models::toyadmos_dae(QuantScheme::Int8);
+        let entry = collect_entry(&model, DeployConfig::Digital);
+        assert_eq!(entry.status, "ok");
+        assert_eq!(entry.deploy, "digital");
+        let run = entry.run.as_ref().expect("runs");
+        assert!(run.total_cycles > 0);
+        assert!(run.energy_uj > 0.0);
+        assert!(!run.layers.is_empty());
+        assert_eq!(
+            run.total_cycles,
+            run.layers
+                .iter()
+                .map(|l| l.compute + l.dma + l.weight_load + l.overhead + l.stall)
+                .sum::<u64>(),
+            "layer breakdown sums to the total"
+        );
+        assert!(entry.compile.regions > 0);
+        assert_eq!(
+            entry.compile.solves + entry.compile.cache_hits,
+            entry.compile.regions,
+            "every region is either solved or answered from the cache"
+        );
+        for phase in ["verify", "partition", "solve", "emit", "l2_plan"] {
+            assert!(
+                entry.compile.phases.iter().any(|p| p.phase == phase),
+                "missing phase {phase}: {:?}",
+                entry.compile.phases
+            );
+        }
+        assert!(entry.compile.binary_bytes > 0);
+    }
+
+    #[test]
+    fn oom_entries_keep_compile_observability() {
+        let model = htvm_models::mobilenet_v1(QuantScheme::Int8);
+        let entry = collect_entry(&model, DeployConfig::CpuTvm);
+        assert_eq!(entry.status, "oom");
+        assert!(entry.run.is_none());
+        assert!(
+            entry.compile.phases.iter().any(|p| p.phase == "partition"),
+            "phases survive a failed lowering: {:?}",
+            entry.compile.phases
+        );
+    }
+}

@@ -23,6 +23,7 @@ use htvm_soc::{
     AccelLayerDesc, BufferDecl, BufferId, BufferKind, DianaConfig, EngineKind, FallbackTable,
     Program, Step,
 };
+use htvm_trace::{tracks, Span, Tracer};
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::time::Instant;
@@ -63,6 +64,13 @@ pub struct LowerOptions {
     /// measure the binary-size cost of carrying the fallbacks or to force
     /// `RunError::EngineUnavailable` in fault experiments.
     pub emit_fallbacks: bool,
+    /// Span collector for compile-phase observability (see
+    /// `docs/OBSERVABILITY.md`). Disabled by default; when enabled,
+    /// lowering records a phase span for the solve, emit and L2-planning
+    /// stages, one span per region solve, and a `tile_cache` counter
+    /// snapshot. Tracing only observes: the produced artifact is
+    /// byte-identical either way.
+    pub tracer: Tracer,
 }
 
 impl Default for LowerOptions {
@@ -77,6 +85,7 @@ impl Default for LowerOptions {
             parallel: true,
             extracted: HashMap::new(),
             emit_fallbacks: true,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -153,8 +162,10 @@ pub fn lower(
         cfg.l1_act_bytes
     };
     let l1_act = opts.l1_act_override.unwrap_or(l1_effective);
+    let tracer = &opts.tracer;
+    let solve_t0 = tracer.elapsed_us();
     let solve_start = Instant::now();
-    let solve_one = |region: &Region<EngineKind>| -> Result<RegionSolve, LowerError> {
+    let solve_inner = |region: &Region<EngineKind>| -> Result<RegionSolve, LowerError> {
         let e = match opts.extracted.get(&region.m.root) {
             Some(done) => done.clone(),
             None => extract(graph, &region.pattern, &region.m)?,
@@ -195,6 +206,36 @@ pub fn lower(
             cache_hit,
         })
     };
+    // Per-region spans land on the `regions` track; they overlap in wall
+    // time when the fan-out is on, which is exactly what the trace viewer
+    // should show. With the tracer disabled this wrapper reads no clock.
+    let solve_one = |region: &Region<EngineKind>| -> Result<RegionSolve, LowerError> {
+        let started = tracer
+            .is_enabled()
+            .then(|| (tracer.elapsed_us(), Instant::now()));
+        let result = solve_inner(region);
+        if let Some((start, opened)) = started {
+            let name = format!("{}_{}", region.pattern, region.m.root.index());
+            let mut span = Span::new(
+                &name,
+                tracks::REGIONS,
+                start,
+                opened.elapsed().as_micros() as u64,
+            )
+            .with_arg("engine", region.tag.to_string());
+            match &result {
+                Ok(s) => {
+                    span = span
+                        .with_arg("cache_hit", s.cache_hit)
+                        .with_arg("n_tiles", s.solution.n_tiles)
+                        .with_arg("macs", s.layer.geom.macs());
+                }
+                Err(_) => span = span.with_arg("infeasible", true),
+            }
+            tracer.record(span);
+        }
+        result
+    };
     // Both branches preserve region order, and each solve is a pure
     // function of its region, so the fan-out cannot change the artifact.
     let solved: Result<Vec<RegionSolve>, LowerError> = if opts.parallel {
@@ -217,8 +258,36 @@ pub fn lower(
             stats.solves_performed += 1;
         }
     }
+    if tracer.is_enabled() {
+        tracer.record(
+            Span::new(
+                "solve",
+                tracks::PHASES,
+                solve_t0,
+                stats.solve_time.as_micros() as u64,
+            )
+            .with_arg("regions", stats.regions)
+            .with_arg("solves_performed", stats.solves_performed)
+            .with_arg("cache_hits", stats.cache_hits)
+            .with_arg("parallel", opts.parallel),
+        );
+        if let Some(cache) = &opts.tile_cache {
+            tracer.counter(
+                tracks::PHASES,
+                "tile_cache",
+                vec![
+                    ("entries".into(), cache.len().into()),
+                    ("solves".into(), cache.solves().into()),
+                    ("hits".into(), cache.hits().into()),
+                    ("negatives".into(), cache.negatives().into()),
+                    ("negative_hits".into(), cache.negative_hits().into()),
+                ],
+            );
+        }
+    }
 
     // ---- Emit phase: steps, buffers, then the L2 schedule (sequential) ----
+    let emit_t0 = tracer.elapsed_us();
     let emit_start = Instant::now();
     let mut steps: Vec<Step> = Vec::new();
     let mut fallbacks = FallbackTable::new();
@@ -321,6 +390,20 @@ pub fn lower(
         }
     }
 
+    if tracer.is_enabled() {
+        tracer.record(
+            Span::new(
+                "emit",
+                tracks::PHASES,
+                emit_t0,
+                emit_start.elapsed().as_micros() as u64,
+            )
+            .with_arg("steps", steps.len())
+            .with_arg("buffers", buffers.len())
+            .with_arg("fallbacks", fallbacks.len()),
+        );
+    }
+
     // ---- Program outputs ----
     let mut outputs = Vec::with_capacity(graph.outputs().len());
     for &o in graph.outputs() {
@@ -332,6 +415,8 @@ pub fn lower(
     let inputs: Vec<BufferId> = graph.inputs().iter().map(|i| buffer_of[i]).collect();
 
     // ---- Binary size, then the L2 activation schedule ----
+    let plan_t0 = tracer.elapsed_us();
+    let plan_start = Instant::now();
     let binary = binary_size(&opts.size_model, &steps);
     let capacity = cfg.l2_bytes.saturating_sub(binary.total());
     let n_steps = steps.len();
@@ -377,6 +462,20 @@ pub fn lower(
         }
         memory_plan.peak
     };
+    if tracer.is_enabled() {
+        tracer.record(
+            Span::new(
+                "l2_plan",
+                tracks::PHASES,
+                plan_t0,
+                plan_start.elapsed().as_micros() as u64,
+            )
+            .with_arg("activation_peak", activation_peak)
+            .with_arg("capacity", capacity)
+            .with_arg("naive", opts.naive_l2)
+            .with_arg("binary_bytes", binary.total()),
+        );
+    }
 
     stats.emit_time = emit_start.elapsed();
     Ok(Artifact {

@@ -7,6 +7,7 @@ use htvm_dory::{LayerGeometry, TileCache};
 use htvm_ir::{passes, Graph, IrError};
 use htvm_pattern::partition;
 use htvm_soc::{DianaConfig, EngineKind};
+use htvm_trace::{tracks, Tracer};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::error::Error;
@@ -82,6 +83,9 @@ pub struct Compiler {
     /// `(geometry, budget, objective)`, so recompiles and repeated layer
     /// geometries skip the solver entirely.
     tile_cache: TileCache,
+    /// Span collector threaded through every compile (disabled by
+    /// default). See [`Compiler::with_tracer`].
+    tracer: Tracer,
 }
 
 impl fmt::Debug for Compiler {
@@ -95,6 +99,7 @@ impl fmt::Debug for Compiler {
                 &self.dispatch_hook.as_ref().map(|_| "<hook>"),
             )
             .field("tile_cache", &self.tile_cache)
+            .field("tracer", &self.tracer)
             .finish()
     }
 }
@@ -116,7 +121,30 @@ impl Compiler {
             lower_opts: LowerOptions::default(),
             dispatch_hook: None,
             tile_cache: TileCache::new(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs a span collector: every subsequent [`Compiler::compile`]
+    /// records a wall-time span per phase (verify, constant folding,
+    /// pattern matching/partitioning, tiling solve, emit, L2 planning),
+    /// one span per region solve, and a [`TileCache`] counter snapshot
+    /// (hits, misses, negative entries). Collect the result with
+    /// [`Tracer::take`]; see `docs/OBSERVABILITY.md`.
+    ///
+    /// Tracing is observational only: artifacts are byte-identical with
+    /// it on or off.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The installed span collector (disabled unless
+    /// [`Compiler::with_tracer`] was called).
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The compiler's shared tiling-solve cache (counters and contents
@@ -193,15 +221,27 @@ impl Compiler {
     /// [`CompileError::Lower`] when tiling or L2 planning fails (including
     /// the out-of-memory case for oversized CPU-only deployments).
     pub fn compile(&self, graph: &Graph) -> Result<Artifact, CompileError> {
-        passes::verify(graph)?;
-        let (graph, _) = passes::fold_constants(graph);
-        passes::verify(&graph)?;
+        {
+            let mut span = self.tracer.scope(tracks::PHASES, "verify");
+            span.arg("nodes", graph.len());
+            passes::verify(graph)?;
+        }
+        let graph = {
+            let _span = self.tracer.scope(tracks::PHASES, "fold_constants");
+            let (graph, _) = passes::fold_constants(graph);
+            passes::verify(&graph)?;
+            graph
+        };
 
         let patterns = if self.deploy == DeployConfig::CpuTvm {
             Vec::new()
         } else {
             diana_patterns()
         };
+        let partition_span = self
+            .tracer
+            .is_enabled()
+            .then(|| (self.tracer.elapsed_us(), std::time::Instant::now()));
         // The dispatch hook needs each candidate's geometry, which means a
         // full extraction; keep those extractions (keyed by match root) so
         // the lowering solve phase does not redo them.
@@ -223,9 +263,24 @@ impl Compiler {
                 }
             }
         });
+        if let Some((start, opened)) = partition_span {
+            self.tracer.record(
+                htvm_trace::Span::new(
+                    "partition",
+                    tracks::PHASES,
+                    start,
+                    opened.elapsed().as_micros() as u64,
+                )
+                .with_arg("patterns", patterns.len())
+                .with_arg("regions", part.regions.len()),
+            );
+        }
         let mut opts = self.lower_opts.clone();
         if opts.tile_cache.is_none() {
             opts.tile_cache = Some(self.tile_cache.clone());
+        }
+        if !opts.tracer.is_enabled() {
+            opts.tracer = self.tracer.clone();
         }
         opts.extracted = extracted.into_inner();
         let artifact = lower(&graph, &part, &self.platform, &opts)?;

@@ -66,6 +66,7 @@ pub use htvm_dory::{
 };
 pub use htvm_ir::{DType, Graph, GraphBuilder, IrError, Tensor};
 pub use htvm_soc::{
-    DianaConfig, EngineKind, FallbackKernel, FallbackTable, FaultEvent, FaultPlan, LayerProfile,
-    Machine, PerfCounters, Program, RetryPolicy, RunError, RunReport,
+    DianaConfig, EnergyConfig, EngineKind, FallbackKernel, FallbackTable, FaultEvent, FaultPlan,
+    LayerProfile, Machine, PerfCounters, Program, RetryPolicy, RunError, RunReport,
 };
+pub use htvm_trace::{tracks, ArgValue, Span, TimeDomain, Trace, Tracer, Track};

@@ -61,6 +61,8 @@ struct CacheInner {
     map: Mutex<HashMap<CacheKey, Result<TileSolution, TilingError>>>,
     solves: AtomicU64,
     hits: AtomicU64,
+    negatives: AtomicU64,
+    negative_hits: AtomicU64,
 }
 
 /// A concurrent, shareable memo table for [`solve`] (see the module
@@ -105,12 +107,18 @@ impl TileCache {
             .get(&key)
         {
             self.inner.hits.fetch_add(1, Ordering::Relaxed);
+            if cached.is_err() {
+                self.inner.negative_hits.fetch_add(1, Ordering::Relaxed);
+            }
             return (cached.clone(), true);
         }
         // Solve outside the lock: solves dominate, and holding the mutex
         // across one would serialize the parallel solve phase.
         let result = solve(geom, budget, objective);
         self.inner.solves.fetch_add(1, Ordering::Relaxed);
+        if result.is_err() {
+            self.inner.negatives.fetch_add(1, Ordering::Relaxed);
+        }
         self.inner
             .map
             .lock()
@@ -129,6 +137,21 @@ impl TileCache {
     #[must_use]
     pub fn hits(&self) -> u64 {
         self.inner.hits.load(Ordering::Relaxed)
+    }
+
+    /// Infeasible (negative) outcomes recorded by the solver — layers
+    /// proven not to fit their budget, each proven exactly once.
+    #[must_use]
+    pub fn negatives(&self) -> u64 {
+        self.inner.negatives.load(Ordering::Relaxed)
+    }
+
+    /// Lookups answered from a negative entry (a subset of
+    /// [`TileCache::hits`]): re-asked infeasibilities that skipped the
+    /// solver.
+    #[must_use]
+    pub fn negative_hits(&self) -> u64 {
+        self.inner.negative_hits.load(Ordering::Relaxed)
     }
 
     /// Number of distinct solve inputs currently stored.
@@ -156,6 +179,8 @@ impl fmt::Debug for TileCache {
             .field("entries", &self.len())
             .field("solves", &self.solves())
             .field("hits", &self.hits())
+            .field("negatives", &self.negatives())
+            .field("negative_hits", &self.negative_hits())
             .finish()
     }
 }
@@ -198,6 +223,23 @@ mod tests {
         assert_eq!(r1, r2);
         assert!(hit);
         assert_eq!(cache.solves(), 1);
+        assert_eq!(
+            (cache.negatives(), cache.negative_hits()),
+            (1, 1),
+            "one infeasibility proven, one answered from the negative entry"
+        );
+    }
+
+    #[test]
+    fn feasible_solves_leave_negative_counters_untouched() {
+        let cache = TileCache::new();
+        let geom = LayerGeometry::conv2d(64, 64, 32, 32, 3, 3, (1, 1), (1, 1, 1, 1));
+        let obj = TilingObjective::diana_digital();
+        let (ok, _) = cache.solve_cached(&geom, &budget(), &obj);
+        assert!(ok.is_ok());
+        let (_, hit) = cache.solve_cached(&geom, &budget(), &obj);
+        assert!(hit);
+        assert_eq!((cache.negatives(), cache.negative_hits()), (0, 0));
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Performance counters and run reports.
 
-use crate::EngineKind;
+use crate::{EnergyConfig, EngineKind};
 use htvm_ir::Tensor;
+use htvm_trace::{Span, TimeDomain, Trace, Track};
 use serde::{Deserialize, Serialize};
 
 /// Cycle breakdown for one layer/kernel, mirroring DIANA's hardware
@@ -142,16 +143,27 @@ impl RunReport {
         self.layers.iter().map(|l| l.macs).sum()
     }
 
-    /// Exports the run as Chrome trace-event JSON (load it in
-    /// `chrome://tracing` or Perfetto): one duration event per layer on
-    /// its engine's row, with cycle counts as microsecond timestamps and
-    /// the breakdown attached as event arguments. Layers that suffered
-    /// injected faults additionally emit a stall span on a dedicated
-    /// "faults" row (contained within the layer's span), so recovery cost
-    /// is visible at a glance; the row only appears when a fault fired.
+    /// Rebuilds the run as a cycles-domain [`Trace`] in the unified
+    /// `htvm-trace` event model: one span per layer on its engine's
+    /// track, with the full cycle breakdown (and per-layer energy, when a
+    /// model is given) attached as arguments. Layers that suffered
+    /// injected faults additionally get a stall span on a dedicated
+    /// `faults` track (nested within the layer's span), so recovery cost
+    /// is visible at a glance; the track only appears when a fault fired.
+    ///
+    /// Track ids follow [`RunReport::track_of`]: cpu 0, digital 1,
+    /// analog 2, faults 3 — the same rows the compile trace never uses,
+    /// so compile and run traces can be inspected with one mental model.
     #[must_use]
-    pub fn to_chrome_trace(&self) -> String {
-        let mut events = Vec::new();
+    pub fn to_trace(&self, energy: Option<&EnergyConfig>) -> Trace {
+        let mut trace = Trace::new(
+            TimeDomain::Cycles,
+            vec![
+                Track::new(0, "cpu"),
+                Track::new(1, "digital"),
+                Track::new(2, "analog"),
+            ],
+        );
         let mut fault_spans = 0usize;
         let mut cursor: u64 = 0;
         for layer in &self.layers {
@@ -159,70 +171,62 @@ impl RunReport {
             // stay visible in the viewer; the cursor must advance by the
             // same emitted duration or they would overlap their successor.
             let dur = layer.cycles.total().max(1);
-            let tid = match layer.engine {
-                EngineKind::Cpu => 0,
-                EngineKind::Digital => 1,
-                EngineKind::Analog => 2,
-            };
-            events.push(serde_json::json!({
-                "name": layer.name,
-                "ph": "X",
-                "ts": cursor,
-                "dur": dur,
-                "pid": 1,
-                "tid": tid,
-                "args": {
-                    "engine": layer.engine.to_string(),
-                    "compute_cycles": layer.cycles.compute,
-                    "dma_cycles": layer.cycles.dma,
-                    "weight_load_cycles": layer.cycles.weight_load,
-                    "overhead_cycles": layer.cycles.overhead,
-                    "stall_cycles": layer.cycles.stall,
-                    "retries": layer.retries,
-                    "macs": layer.macs,
-                    "tiles": layer.n_tiles,
-                },
-            }));
+            let mut span = Span::new(&layer.name, Self::track_of(layer.engine), cursor, dur)
+                .with_arg("engine", layer.engine.to_string())
+                .with_arg("compute_cycles", layer.cycles.compute)
+                .with_arg("dma_cycles", layer.cycles.dma)
+                .with_arg("weight_load_cycles", layer.cycles.weight_load)
+                .with_arg("overhead_cycles", layer.cycles.overhead)
+                .with_arg("stall_cycles", layer.cycles.stall)
+                .with_arg("retries", layer.retries)
+                .with_arg("macs", layer.macs)
+                .with_arg("tiles", layer.n_tiles);
+            if let Some(cfg) = energy {
+                span = span.with_arg("energy_fj", cfg.layer_fj(layer));
+            }
+            trace.spans.push(span);
             if layer.cycles.stall > 0 || layer.retries > 0 {
                 fault_spans += 1;
                 // The stall span starts at the layer's start and is at
                 // most the layer's duration, so it nests inside it and
                 // cannot overlap the next layer's stall span.
-                events.push(serde_json::json!({
-                    "name": format!("stall:{}", layer.name),
-                    "ph": "X",
-                    "ts": cursor,
-                    "dur": layer.cycles.stall.max(1),
-                    "pid": 1,
-                    "tid": 3,
-                    "args": {
-                        "stall_cycles": layer.cycles.stall,
-                        "retries": layer.retries,
-                    },
-                }));
+                trace.spans.push(
+                    Span::new(
+                        &format!("stall:{}", layer.name),
+                        3,
+                        cursor,
+                        layer.cycles.stall.max(1),
+                    )
+                    .with_arg("stall_cycles", layer.cycles.stall)
+                    .with_arg("retries", layer.retries),
+                );
             }
             cursor += dur;
         }
-        for (tid, name) in [(0, "cpu"), (1, "digital"), (2, "analog")] {
-            events.push(serde_json::json!({
-                "name": "thread_name",
-                "ph": "M",
-                "pid": 1,
-                "tid": tid,
-                "args": { "name": name },
-            }));
-        }
         if fault_spans > 0 {
-            events.push(serde_json::json!({
-                "name": "thread_name",
-                "ph": "M",
-                "pid": 1,
-                "tid": 3,
-                "args": { "name": "faults" },
-            }));
+            trace.tracks.push(Track::new(3, "faults"));
         }
-        serde_json::to_string(&serde_json::json!({ "traceEvents": events }))
-            .expect("trace events are serializable")
+        trace
+    }
+
+    /// Trace track id for an engine (cpu 0, digital 1, analog 2; the
+    /// faults track is 3).
+    #[must_use]
+    pub fn track_of(engine: EngineKind) -> u32 {
+        match engine {
+            EngineKind::Cpu => 0,
+            EngineKind::Digital => 1,
+            EngineKind::Analog => 2,
+        }
+    }
+
+    /// Exports the run as Chrome trace-event JSON (load it in
+    /// `chrome://tracing` or Perfetto). Shorthand for
+    /// [`RunReport::to_trace`] without an energy model, rendered through
+    /// the shared [`Trace::to_chrome_trace`] writer.
+    #[must_use]
+    pub fn to_chrome_trace(&self) -> String {
+        self.to_trace(None).to_chrome_trace()
     }
 }
 

@@ -9,6 +9,23 @@ mkdir -p "$out"
 echo "== tests =="
 cargo test --workspace --release 2>&1 | tee "$out/test_output.txt"
 
+echo "== fault-injection sweep (matches the CI faults jobs) =="
+for base in 0 1000 2000; do
+    echo "-- seed base $base (debug) --"
+    HTVM_FAULT_SEED_BASE="$base" cargo test -p htvm --test fault_injection \
+        2>&1 | tee "$out/faults_seed$base.txt"
+done
+echo "-- seed base 0 (release) --"
+HTVM_FAULT_SEED_BASE=0 cargo test -p htvm --release --test fault_injection \
+    2>&1 | tee "$out/faults_release.txt"
+
+echo "== benchmark report + regression gate (matches the CI bench-report job) =="
+cargo run --release -p htvm-bench --bin report -- --out "$out/BENCH.json" \
+    | tee "$out/bench_report.txt"
+cargo run --release -p htvm-bench --bin bench-diff -- \
+    BENCH_BASELINE.json "$out/BENCH.json" --cycle-tol 2 \
+    | tee "$out/bench_diff.txt"
+
 echo "== paper artifacts =="
 for bin in table1 table2 fig2 fig4 fig5 ablation; do
     echo "-- $bin --"

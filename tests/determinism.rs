@@ -175,6 +175,68 @@ fn tile_cache_memoizes_infeasible_solves() {
 }
 
 #[test]
+fn tracing_is_observation_only() {
+    // The tracer may watch the pipeline but never steer it: compiling
+    // with tracing enabled must produce an artifact byte-identical to
+    // the untraced one, and the simulated cycle counts must match — the
+    // zero-cost-when-disabled guarantee from docs/OBSERVABILITY.md, read
+    // in both directions.
+    let model = resnet8(QuantScheme::Mixed);
+    let plain = Compiler::new().with_deploy(DeployConfig::Both);
+    let tracer = htvm::Tracer::new();
+    let traced = Compiler::new()
+        .with_deploy(DeployConfig::Both)
+        .with_tracer(tracer.clone());
+
+    let a = plain.compile(&model.graph).expect("untraced compile");
+    let b = traced.compile(&model.graph).expect("traced compile");
+    assert_eq!(a, b);
+    assert_eq!(
+        serde_json::to_string(&a).expect("serializes"),
+        serde_json::to_string(&b).expect("serializes"),
+        "artifacts are byte-identical with tracing on vs off"
+    );
+
+    let machine = Machine::new(*plain.platform());
+    let ra = machine.run(&a.program, &[model.input(3)]).expect("runs");
+    let rb = machine.run(&b.program, &[model.input(3)]).expect("runs");
+    assert_eq!(ra.outputs, rb.outputs);
+    assert_eq!(ra.total_cycles(), rb.total_cycles());
+    assert_eq!(ra.layers, rb.layers);
+
+    // And the trace actually observed the compile: every phase span is
+    // present, on the phases track, with a parseable chrome export.
+    let trace = tracer.take(htvm::TimeDomain::WallMicros, htvm::tracks::compile());
+    for phase in [
+        "verify",
+        "fold_constants",
+        "partition",
+        "solve",
+        "emit",
+        "l2_plan",
+    ] {
+        assert!(
+            trace.span(phase).is_some(),
+            "missing {phase} span in {:?}",
+            trace.spans.iter().map(|s| &s.name).collect::<Vec<_>>()
+        );
+    }
+    let solve = trace.span("solve").expect("solve span");
+    assert_eq!(
+        solve.arg_u64("regions"),
+        Some(b.stats.regions as u64),
+        "span args mirror CompileStats"
+    );
+    assert!(
+        trace.on_track(htvm::tracks::REGIONS).count() >= b.stats.regions,
+        "every region solve gets its own span"
+    );
+    let chrome: serde_json::Value =
+        serde_json::from_str(&trace.to_chrome_trace()).expect("chrome export is valid JSON");
+    assert!(!chrome["traceEvents"].as_array().expect("array").is_empty());
+}
+
+#[test]
 fn artifact_serialization_round_trips() {
     // Artifacts are serde-serializable (bench output, caching); a JSON
     // round trip must preserve the program exactly.
