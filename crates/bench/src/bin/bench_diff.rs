@@ -2,18 +2,28 @@
 //!
 //! ```text
 //! cargo run --release -p htvm-bench --bin bench-diff -- \
-//!     BENCH_BASELINE.json BENCH.json [--cycle-tol PCT] [--wall-tol PCT] [--wall-hard]
+//!     BENCH_BASELINE.json BENCH.json [--cycle-tol PCT] [--wall-tol PCT] [--wall-hard] \
+//!     [--kernels KBASE.json KNEW.json]
 //! ```
 //!
 //! Exit codes: 0 — no hard regression; 1 — at least one gate-breaking
 //! regression (simulated cycles/energy beyond tolerance, lost coverage,
 //! status change, schema mismatch); 2 — usage or I/O/parse error.
 //! Wall-time drift only warns unless `--wall-hard` is given.
+//! `--kernels` additionally compares two `KERNELS_BENCH.json` kernel
+//! microbenchmark reports; those deltas are always warn-only (kernel
+//! wall time is host-dependent) and never affect the exit code.
 
+use htvm_bench::kernels_bench::{diff_kernels, KernelsReport};
 use htvm_bench::report::{diff, BenchReport, DiffConfig};
 use std::process::ExitCode;
 
 fn load(path: &str) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e:?}"))
+}
+
+fn load_kernels(path: &str) -> Result<KernelsReport, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e:?}"))
 }
@@ -27,6 +37,7 @@ fn parse_pct(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<f64,
 fn main() -> ExitCode {
     let mut cfg = DiffConfig::default();
     let mut paths = Vec::new();
+    let mut kernel_paths: Option<(String, String)> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let parsed = match arg.as_str() {
@@ -36,6 +47,13 @@ fn main() -> ExitCode {
                 cfg.wall_hard = true;
                 Ok(())
             }
+            "--kernels" => match (args.next(), args.next()) {
+                (Some(b), Some(n)) => {
+                    kernel_paths = Some((b, n));
+                    Ok(())
+                }
+                _ => Err(String::from("--kernels needs two paths: BASE NEW")),
+            },
             _ => {
                 paths.push(arg);
                 Ok(())
@@ -48,7 +66,7 @@ fn main() -> ExitCode {
     }
     let [base_path, new_path] = &paths[..] else {
         eprintln!(
-            "usage: bench-diff BASELINE.json NEW.json [--cycle-tol PCT] [--wall-tol PCT] [--wall-hard]"
+            "usage: bench-diff BASELINE.json NEW.json [--cycle-tol PCT] [--wall-tol PCT] [--wall-hard] [--kernels KBASE.json KNEW.json]"
         );
         return ExitCode::from(2);
     };
@@ -70,6 +88,29 @@ fn main() -> ExitCode {
     }
     for i in &d.improvements {
         println!("good  {i}");
+    }
+
+    if let Some((kb_path, kn_path)) = &kernel_paths {
+        match (load_kernels(kb_path), load_kernels(kn_path)) {
+            (Ok(kb), Ok(kn)) => {
+                let (warnings, improvements) = diff_kernels(&kb, &kn, cfg.wall_tol_pct);
+                for w in &warnings {
+                    println!("warn  {w}");
+                }
+                for i in &improvements {
+                    println!("good  {i}");
+                }
+                println!(
+                    "bench-diff: {} kernel timings compared (warn-only, wall tolerance {}%)",
+                    kb.kernels.len(),
+                    cfg.wall_tol_pct
+                );
+            }
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
     }
     if d.ok() {
         println!(

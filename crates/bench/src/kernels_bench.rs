@@ -1,0 +1,298 @@
+//! The kernel microbenchmark: per-kernel, per-tier wall time over
+//! paper-representative layer shapes.
+//!
+//! Complements `BENCH.json` (whole-network sweeps) with a focused view of
+//! the `htvm-kernels` tiers so a kernel regression is visible as *which
+//! kernel/tier slowed down*, not just "the sweep got slower". Emitted as
+//! `KERNELS_BENCH.json` — a separate document with its own schema so the
+//! pinned `BENCH.json` schema stays untouched — and compared warn-only by
+//! `bench-diff --kernels` (wall time is hardware-dependent; it never
+//! gates).
+
+use htvm_ir::{DType, Padding2d, Tensor};
+use htvm_kernels::{
+    conv2d_accumulate_with, dense_accumulate, dense_accumulate_ref, depthwise_conv2d_region,
+    depthwise_conv2d_region_ref, KernelPolicy, KernelScratch, KernelTier,
+};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Schema version of `KERNELS_BENCH.json`.
+pub const KERNELS_SCHEMA_VERSION: u32 = 1;
+
+/// One timed kernel/tier combination.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelEntry {
+    /// Shape label, e.g. `conv3x3_c64_k64_16x16`.
+    pub name: String,
+    /// Implementation tier (`reference`, `direct`, `gemm`, `auto`).
+    pub tier: String,
+    /// Median wall time of one kernel invocation, in microseconds.
+    pub wall_us: f64,
+}
+
+/// The full microbenchmark report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelsReport {
+    /// Schema version ([`KERNELS_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// All timed kernel/tier combinations.
+    pub kernels: Vec<KernelEntry>,
+}
+
+/// Deterministic pseudo-random tensor in the i8 value range.
+fn tensor(dims: &[usize], seed: i32) -> Tensor {
+    let len: usize = dims.iter().product();
+    let data = (0..len as i32)
+        .map(|i| (i.wrapping_mul(2654435761_u32 as i32).wrapping_add(seed)) % 127 - 63)
+        .collect();
+    Tensor::new(DType::I32, dims, data).expect("values fit i32")
+}
+
+/// Median wall time of `f` over a few repetitions, after one warmup.
+fn time_us(mut f: impl FnMut()) -> f64 {
+    const REPS: usize = 5;
+    f(); // warmup: page in buffers, settle the branch predictor
+    let mut samples: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[REPS / 2]
+}
+
+fn tier_label(tier: KernelTier) -> &'static str {
+    match tier {
+        KernelTier::Reference => "reference",
+        KernelTier::Direct => "direct",
+        KernelTier::Im2colGemm => "gemm",
+    }
+}
+
+/// Runs the microbenchmark: conv, depthwise conv and dense kernels over
+/// shapes representative of the paper's MLPerf-Tiny workloads (ResNet
+/// blocks, MobileNet pointwise/depthwise pairs, DS-CNN, classifier
+/// heads), each timed at every applicable tier.
+#[must_use]
+pub fn collect() -> KernelsReport {
+    let mut kernels = Vec::new();
+
+    // Standard convolutions: (label, C, K, H/W, Fy/Fx, stride, pad).
+    let convs = [
+        ("conv3x3_c16_k16_32x32", 16, 16, 32, 3, 1, 1), // ResNet-8 body
+        ("conv3x3_c64_k64_8x8", 64, 64, 8, 3, 1, 1),    // ResNet-8 deep stage
+        ("conv1x1_c64_k128_16x16", 64, 128, 16, 1, 1, 0), // MobileNet pointwise
+        ("conv3x3_s2_c3_k16_32x32", 3, 16, 32, 3, 2, 1), // strided stem
+    ];
+    for (name, c, k, hw, f, s, p) in convs {
+        let x = tensor(&[c, hw, hw], 3);
+        let w = tensor(&[k, c, f, f], 17);
+        let oy = (hw + 2 * p - f) / s + 1;
+        for tier in [
+            KernelTier::Reference,
+            KernelTier::Direct,
+            KernelTier::Im2colGemm,
+        ] {
+            let policy = KernelPolicy::sequential(tier);
+            let mut scratch = KernelScratch::new();
+            let mut out = Tensor::zeros(DType::I32, &[k, oy, oy]);
+            let wall_us = time_us(|| {
+                conv2d_accumulate_with(
+                    &policy,
+                    &mut scratch,
+                    &x,
+                    &w,
+                    &mut out,
+                    (s, s),
+                    Padding2d::same(p),
+                    0..k,
+                    0..oy,
+                    0..oy,
+                    0..c,
+                );
+            });
+            kernels.push(KernelEntry {
+                name: name.to_string(),
+                tier: tier_label(tier).to_string(),
+                wall_us,
+            });
+        }
+    }
+
+    // Depthwise convolutions: (label, C, H/W, F, stride).
+    let dwconvs = [
+        ("dwconv3x3_c64_16x16", 64, 16, 3, 1), // MobileNet depthwise
+        ("dwconv3x3_s2_c128_8x8", 128, 8, 3, 2),
+    ];
+    for (name, c, hw, f, s) in dwconvs {
+        let x = tensor(&[c, hw, hw], 5);
+        let w = tensor(&[c, f, f], 23);
+        let oy = (hw + 2 - f) / s + 1;
+        for (label, reference) in [("reference", true), ("direct", false)] {
+            let mut out = Tensor::zeros(DType::I32, &[c, oy, oy]);
+            let wall_us = time_us(|| {
+                if reference {
+                    depthwise_conv2d_region_ref(
+                        &x,
+                        &w,
+                        &mut out,
+                        (s, s),
+                        Padding2d::same(1),
+                        0..c,
+                        0..oy,
+                        0..oy,
+                    );
+                } else {
+                    depthwise_conv2d_region(
+                        &x,
+                        &w,
+                        &mut out,
+                        (s, s),
+                        Padding2d::same(1),
+                        0..c,
+                        0..oy,
+                        0..oy,
+                    );
+                }
+            });
+            kernels.push(KernelEntry {
+                name: name.to_string(),
+                tier: label.to_string(),
+                wall_us,
+            });
+        }
+    }
+
+    // Dense layers: (label, K, C).
+    let denses = [
+        ("dense_k12_c64", 12, 64),     // DS-CNN classifier head
+        ("dense_k256_c640", 256, 640), // ToyADMOS autoencoder bottleneck
+    ];
+    for (name, k, c) in denses {
+        let x = tensor(&[c], 7);
+        let w = tensor(&[k, c], 29);
+        for (label, reference) in [("reference", true), ("auto", false)] {
+            let mut out = Tensor::zeros(DType::I32, &[k]);
+            let wall_us = time_us(|| {
+                if reference {
+                    dense_accumulate_ref(&x, &w, &mut out, 0..k, 0..c);
+                } else {
+                    dense_accumulate(&x, &w, &mut out, 0..k, 0..c);
+                }
+            });
+            kernels.push(KernelEntry {
+                name: name.to_string(),
+                tier: label.to_string(),
+                wall_us,
+            });
+        }
+    }
+
+    KernelsReport {
+        schema_version: KERNELS_SCHEMA_VERSION,
+        kernels,
+    }
+}
+
+/// Compares two kernel microbenchmark reports. Purely informational:
+/// returns `(warnings, improvements)` strings and never gates — kernel
+/// wall time depends on the host CPU, so `bench-diff` prints these
+/// warn-only, mirroring its existing wall-time fields.
+#[must_use]
+pub fn diff_kernels(
+    base: &KernelsReport,
+    new: &KernelsReport,
+    tol_pct: f64,
+) -> (Vec<String>, Vec<String>) {
+    let mut warnings = Vec::new();
+    let mut improvements = Vec::new();
+    if base.schema_version != new.schema_version {
+        warnings.push(format!(
+            "kernel bench schema changed: v{} -> v{}",
+            base.schema_version, new.schema_version
+        ));
+        return (warnings, improvements);
+    }
+    for b in &base.kernels {
+        let Some(n) = new
+            .kernels
+            .iter()
+            .find(|n| n.name == b.name && n.tier == b.tier)
+        else {
+            warnings.push(format!("{}/{}: missing from new report", b.name, b.tier));
+            continue;
+        };
+        if b.wall_us <= 0.0 {
+            continue;
+        }
+        let delta_pct = (n.wall_us - b.wall_us) / b.wall_us * 100.0;
+        if delta_pct > tol_pct {
+            warnings.push(format!(
+                "{}/{}: kernel wall time regressed {:+.1}% ({:.1} us -> {:.1} us)",
+                b.name, b.tier, delta_pct, b.wall_us, n.wall_us
+            ));
+        } else if delta_pct < -tol_pct {
+            improvements.push(format!(
+                "{}/{}: kernel wall time improved {:+.1}% ({:.1} us -> {:.1} us)",
+                b.name, b.tier, delta_pct, b.wall_us, n.wall_us
+            ));
+        }
+    }
+    (warnings, improvements)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_times_every_tier() {
+        let r = collect();
+        assert_eq!(r.schema_version, KERNELS_SCHEMA_VERSION);
+        assert!(r.kernels.iter().all(|k| k.wall_us > 0.0));
+        // Every conv shape carries all three tiers.
+        for tier in ["reference", "direct", "gemm"] {
+            assert!(
+                r.kernels
+                    .iter()
+                    .any(|k| k.name.starts_with("conv") && k.tier == tier),
+                "missing conv tier {tier}"
+            );
+        }
+        assert!(r.kernels.iter().any(|k| k.name.starts_with("dwconv")));
+        assert!(r.kernels.iter().any(|k| k.name.starts_with("dense")));
+    }
+
+    #[test]
+    fn diff_flags_regressions_and_improvements_only() {
+        let base = KernelsReport {
+            schema_version: KERNELS_SCHEMA_VERSION,
+            kernels: vec![
+                KernelEntry {
+                    name: "a".into(),
+                    tier: "direct".into(),
+                    wall_us: 100.0,
+                },
+                KernelEntry {
+                    name: "b".into(),
+                    tier: "gemm".into(),
+                    wall_us: 100.0,
+                },
+            ],
+        };
+        let mut new = base.clone();
+        new.kernels[0].wall_us = 300.0; // regression
+        new.kernels[1].wall_us = 10.0; // improvement
+        let (warn, good) = diff_kernels(&base, &new, 50.0);
+        assert_eq!(warn.len(), 1);
+        assert!(warn[0].contains("a/direct"));
+        assert_eq!(good.len(), 1);
+        assert!(good[0].contains("b/gemm"));
+        // Within tolerance: silent.
+        let (warn, good) = diff_kernels(&base, &base, 50.0);
+        assert!(warn.is_empty() && good.is_empty());
+    }
+}

@@ -15,10 +15,15 @@
 //! Beyond the paper artifacts, `--bin report` sweeps the zoo into a
 //! versioned machine-readable `BENCH.json` and `--bin bench-diff`
 //! compares two such reports — the CI benchmark-regression gate (see
-//! [`report`] and `docs/OBSERVABILITY.md`).
+//! [`report`] and `docs/OBSERVABILITY.md`). `--bin kernels` times the
+//! `htvm-kernels` implementation tiers over paper-representative shapes
+//! into `KERNELS_BENCH.json` (see [`kernels_bench`] and
+//! `docs/KERNELS.md`); `bench-diff --kernels BASE NEW` prints its deltas
+//! warn-only.
 
 #![forbid(unsafe_code)]
 
+pub mod kernels_bench;
 pub mod report;
 
 use htvm::{Artifact, CompileError, Compiler, DeployConfig, Machine, RunReport};

@@ -1,11 +1,297 @@
 //! Convolution kernels (standard and depthwise), with sub-range variants
 //! used by the tiled executor.
+//!
+//! Each entry point dispatches through [`KernelPolicy`] to one of three
+//! implementation tiers (see `docs/KERNELS.md`):
+//!
+//! * **reference** — the original scalar loops with per-element padding
+//!   checks ([`conv2d_accumulate_ref`], [`depthwise_conv2d_region_ref`]),
+//!   kept as the oracle the faster tiers are differentially tested
+//!   against;
+//! * **direct** — the same loop nest restructured so each `(ky, kx)` tap
+//!   contributes a precomputed in-bounds output span, turning the inner
+//!   loop into a flat slice zip with no bounds checks;
+//! * **im2col + GEMM** — patch-matrix materialization into a reusable
+//!   scratch arena followed by the blocked [`gemm_accumulate`]
+//!   microkernel.
+//!
+//! All tiers compute the identical multiset of `i32` products and combine
+//! them with `wrapping_add` (associative, commutative), so tier choice
+//! and thread count are invisible in the output bits.
 
+use crate::gemm::gemm_accumulate;
+use crate::policy::{KernelPolicy, KernelTier};
+use crate::scratch::{with_thread_scratch, KernelScratch};
 use htvm_ir::{DType, Padding2d, Tensor};
+use rayon::prelude::*;
 use std::ops::Range;
 
+/// Internal convolution geometry shared by the fast tiers and the im2col
+/// patch filler: input dims, filter dims, strides, and the top/left
+/// padding as signed offsets.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ConvShape {
+    pub c: usize,
+    pub h: usize,
+    pub iw: usize,
+    pub fy: usize,
+    pub fx: usize,
+    pub sy: usize,
+    pub sx: usize,
+    pub pt: isize,
+    pub pl: isize,
+}
+
+/// A mutable window into an output buffer: channel-major rows of
+/// `ox_len` contiguous elements at arbitrary channel/row strides. Covers
+/// both a sub-block of a full `[K, OY, OX]` tensor and a dense
+/// per-thread partial buffer with one addressing scheme.
+struct OutView<'a> {
+    data: &'a mut [i32],
+    base: usize,
+    k_stride: usize,
+    y_stride: usize,
+    ox_len: usize,
+}
+
+impl OutView<'_> {
+    fn row(&mut self, k_rel: usize, oy_rel: usize) -> &mut [i32] {
+        let start = self.base + k_rel * self.k_stride + oy_rel * self.y_stride;
+        &mut self.data[start..start + self.ox_len]
+    }
+
+    /// `true` when the viewed rows tile the buffer densely (row-major
+    /// `[k, oy_len, ox_len]` starting at `base`), so a GEMM can write
+    /// straight into it.
+    fn is_dense(&self, oy_len: usize) -> bool {
+        self.y_stride == self.ox_len && self.k_stride == oy_len * self.ox_len
+    }
+}
+
+/// The in-bounds output-x span for filter tap `kx`, clipped to
+/// `ox_range`: returns `(ox_lo, ox_hi, x_start)` such that every
+/// `ox ∈ [ox_lo, ox_hi)` reads input column `x_start + (ox - ox_lo)·sx`,
+/// all in `[0, iw)`. `None` when no output position of the range sees an
+/// in-bounds input for this tap (it contributes only zero padding).
+pub(crate) fn ox_span(
+    iw: usize,
+    sx: usize,
+    pl: isize,
+    kx: usize,
+    ox_range: &Range<usize>,
+) -> Option<(usize, usize, usize)> {
+    let lo_num = pl - kx as isize;
+    let ox_lo = if lo_num > 0 {
+        (lo_num as usize).div_ceil(sx)
+    } else {
+        0
+    };
+    let hi_num = iw as isize - 1 + pl - kx as isize;
+    if hi_num < 0 {
+        return None;
+    }
+    let ox_hi = hi_num as usize / sx + 1;
+    let lo = ox_lo.max(ox_range.start);
+    let hi = ox_hi.min(ox_range.end);
+    if lo >= hi {
+        return None;
+    }
+    let x0 = (lo * sx + kx) as isize - pl;
+    debug_assert!(x0 >= 0);
+    Some((lo, hi, x0 as usize))
+}
+
+/// Adds `wv · x` over the span into `dst`, striding the input by `sx`.
+#[inline]
+fn axpy_strided(dst: &mut [i32], xs: &[i32], wv: i32, sx: usize) {
+    if sx == 1 {
+        for (o, &xv) in dst.iter_mut().zip(xs) {
+            *o = o.wrapping_add(wv.wrapping_mul(xv));
+        }
+    } else {
+        for (o, &xv) in dst.iter_mut().zip(xs.iter().step_by(sx)) {
+            *o = o.wrapping_add(wv.wrapping_mul(xv));
+        }
+    }
+}
+
+/// Splits `range` into at most `parts` contiguous, near-even sub-ranges.
+fn split_range(range: &Range<usize>, parts: usize) -> Vec<Range<usize>> {
+    let len = range.len();
+    let parts = parts.min(len).max(1);
+    let chunk = len.div_ceil(parts);
+    (0..parts)
+        .map(|i| {
+            let lo = range.start + i * chunk;
+            let hi = (lo + chunk).min(range.end);
+            lo..hi
+        })
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// The direct tier for one output-channel block: padding-free interior
+/// spans, flat-slice inner loops.
+#[allow(clippy::too_many_arguments)]
+fn conv_block_direct(
+    s: &ConvShape,
+    xd: &[i32],
+    wd: &[i32],
+    view: &mut OutView<'_>,
+    k_range: &Range<usize>,
+    oy_range: &Range<usize>,
+    ox_range: &Range<usize>,
+    c_range: &Range<usize>,
+) {
+    for (k_rel, ko) in k_range.clone().enumerate() {
+        for (oy_rel, oy) in oy_range.clone().enumerate() {
+            let row_start = view.base + k_rel * view.k_stride + oy_rel * view.y_stride;
+            let row = &mut view.data[row_start..row_start + view.ox_len];
+            for ci in c_range.clone() {
+                for ky in 0..s.fy {
+                    let iy = (oy * s.sy + ky) as isize - s.pt;
+                    if iy < 0 || iy as usize >= s.h {
+                        continue;
+                    }
+                    let xrow = &xd[(ci * s.h + iy as usize) * s.iw..][..s.iw];
+                    let wbase = ((ko * s.c + ci) * s.fy + ky) * s.fx;
+                    for kx in 0..s.fx {
+                        let wv = wd[wbase + kx];
+                        if wv == 0 {
+                            continue;
+                        }
+                        let Some((lo, hi, x0)) = ox_span(s.iw, s.sx, s.pl, kx, ox_range) else {
+                            continue;
+                        };
+                        let dst = &mut row[lo - ox_range.start..hi - ox_range.start];
+                        axpy_strided(dst, &xrow[x0..], wv, s.sx);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The im2col + GEMM tier for one output-channel block.
+#[allow(clippy::too_many_arguments)]
+fn conv_block_gemm(
+    s: &ConvShape,
+    xd: &[i32],
+    wd: &[i32],
+    view: &mut OutView<'_>,
+    k_range: &Range<usize>,
+    oy_range: &Range<usize>,
+    ox_range: &Range<usize>,
+    c_range: &Range<usize>,
+    scratch: &mut KernelScratch,
+) {
+    let (k_len, c_len) = (k_range.len(), c_range.len());
+    let (oy_len, ox_len) = (oy_range.len(), ox_range.len());
+    if k_len == 0 || oy_len == 0 || ox_len == 0 || c_len == 0 {
+        return;
+    }
+    let cols = oy_len * ox_len;
+    let fyfx = s.fy * s.fx;
+    let kk = c_len * fyfx;
+    let a = &wd[(k_range.start * s.c + c_range.start) * fyfx..];
+    let a_stride = s.c * fyfx;
+
+    // A 1×1 stride-1 unpadded convolution over the full spatial range is
+    // a pure GEMM on the activation slab — no patch matrix needed.
+    let borrow_b = s.fy == 1
+        && s.fx == 1
+        && s.sy == 1
+        && s.sx == 1
+        && s.pt == 0
+        && s.pl == 0
+        && *oy_range == (0..s.h)
+        && *ox_range == (0..s.iw);
+
+    if view.is_dense(oy_len) {
+        let dst = &mut view.data[view.base..view.base + k_len * cols];
+        if borrow_b {
+            let b = &xd[c_range.start * s.h * s.iw..c_range.end * s.h * s.iw];
+            gemm_accumulate(k_len, cols, kk, a, a_stride, b, dst);
+        } else {
+            let buf = scratch.im2col_raw(kk * cols);
+            crate::im2col::fill_patches(s, xd, oy_range, ox_range, c_range, buf);
+            gemm_accumulate(k_len, cols, kk, a, a_stride, buf, dst);
+        }
+    } else {
+        // Strided destination: GEMM into a dense accumulator, then
+        // scatter-add rows into place (exact: i32 addition).
+        let (buf, acc) = scratch.pair(if borrow_b { 0 } else { kk * cols }, k_len * cols);
+        if borrow_b {
+            let b = &xd[c_range.start * s.h * s.iw..c_range.end * s.h * s.iw];
+            gemm_accumulate(k_len, cols, kk, a, a_stride, b, acc);
+        } else {
+            crate::im2col::fill_patches(s, xd, oy_range, ox_range, c_range, buf);
+            gemm_accumulate(k_len, cols, kk, a, a_stride, buf, acc);
+        }
+        for k_rel in 0..k_len {
+            for oy_rel in 0..oy_len {
+                let src = &acc[(k_rel * oy_len + oy_rel) * ox_len..][..ox_len];
+                let dst = view.row(k_rel, oy_rel);
+                for (o, &v) in dst.iter_mut().zip(src) {
+                    *o = o.wrapping_add(v);
+                }
+            }
+        }
+    }
+}
+
+fn validate_conv(
+    x: &Tensor,
+    w: &Tensor,
+    out: &Tensor,
+    k_range: &Range<usize>,
+    oy_range: &Range<usize>,
+    ox_range: &Range<usize>,
+    c_range: &Range<usize>,
+) -> (ConvShape, usize, usize) {
+    assert_eq!(x.shape().rank(), 3, "conv2d input must be [C,H,W]");
+    assert_eq!(w.shape().rank(), 4, "conv2d weights must be [K,C,Fy,Fx]");
+    assert_eq!(out.dtype(), DType::I32, "conv2d accumulator must be i32");
+    let [c, h, iw] = [
+        x.shape().dims()[0],
+        x.shape().dims()[1],
+        x.shape().dims()[2],
+    ];
+    let [k, wc, fy, fx] = [
+        w.shape().dims()[0],
+        w.shape().dims()[1],
+        w.shape().dims()[2],
+        w.shape().dims()[3],
+    ];
+    assert_eq!(wc, c, "weight input channels must match input");
+    let [ok, ooy, oox] = [
+        out.shape().dims()[0],
+        out.shape().dims()[1],
+        out.shape().dims()[2],
+    ];
+    assert_eq!(ok, k, "output channels must match weights");
+    assert!(k_range.end <= k && oy_range.end <= ooy && ox_range.end <= oox);
+    assert!(c_range.end <= c, "channel range exceeds input channels");
+    (
+        ConvShape {
+            c,
+            h,
+            iw,
+            fy,
+            fx,
+            sy: 0, // filled by the caller from `strides`
+            sx: 0,
+            pt: 0,
+            pl: 0,
+        },
+        ooy,
+        oox,
+    )
+}
+
 /// Accumulates a 2-D convolution over sub-ranges of the output and input
-/// channels into an `i32` output tensor.
+/// channels into an `i32` output tensor, dispatching to the fastest
+/// applicable tier (see the [module docs](self)).
 ///
 /// This is the building block for tiled execution: the SoC simulator calls
 /// it once per tile with the tile's `k`/`oy`/`ox`/`c` ranges, and summing
@@ -34,30 +320,152 @@ pub fn conv2d_accumulate(
     ox_range: Range<usize>,
     c_range: Range<usize>,
 ) {
-    assert_eq!(x.shape().rank(), 3, "conv2d input must be [C,H,W]");
-    assert_eq!(w.shape().rank(), 4, "conv2d weights must be [K,C,Fy,Fx]");
-    assert_eq!(out.dtype(), DType::I32, "conv2d accumulator must be i32");
-    let [c, h, iw] = [
-        x.shape().dims()[0],
-        x.shape().dims()[1],
-        x.shape().dims()[2],
-    ];
-    let [k, wc, fy, fx] = [
-        w.shape().dims()[0],
-        w.shape().dims()[1],
-        w.shape().dims()[2],
-        w.shape().dims()[3],
-    ];
-    assert_eq!(wc, c, "weight input channels must match input");
-    let [ok, ooy, oox] = [
-        out.shape().dims()[0],
-        out.shape().dims()[1],
-        out.shape().dims()[2],
-    ];
-    assert_eq!(ok, k, "output channels must match weights");
-    assert!(k_range.end <= k && oy_range.end <= ooy && ox_range.end <= oox);
-    assert!(c_range.end <= c, "channel range exceeds input channels");
+    let (fy, fx) = (w.shape().dims()[2], w.shape().dims()[3]);
+    let policy = KernelPolicy::for_conv(
+        k_range.len(),
+        c_range.len(),
+        fy,
+        fx,
+        oy_range.len() * ox_range.len(),
+    );
+    with_thread_scratch(|scratch| {
+        conv2d_accumulate_with(
+            &policy, scratch, x, w, out, strides, padding, k_range, oy_range, ox_range, c_range,
+        );
+    });
+}
 
+/// [`conv2d_accumulate`] with an explicit [`KernelPolicy`] and scratch
+/// arena — the entry point for callers that pin a tier (differential
+/// tests, the microbenchmark) or reuse one arena across many tiles (the
+/// SoC simulator).
+///
+/// # Panics
+///
+/// As [`conv2d_accumulate`].
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_accumulate_with(
+    policy: &KernelPolicy,
+    scratch: &mut KernelScratch,
+    x: &Tensor,
+    w: &Tensor,
+    out: &mut Tensor,
+    strides: (usize, usize),
+    padding: Padding2d,
+    k_range: Range<usize>,
+    oy_range: Range<usize>,
+    ox_range: Range<usize>,
+    c_range: Range<usize>,
+) {
+    if policy.tier == KernelTier::Reference {
+        conv2d_accumulate_ref(
+            x, w, out, strides, padding, k_range, oy_range, ox_range, c_range,
+        );
+        return;
+    }
+    let (mut s, ooy, oox) = validate_conv(x, w, out, &k_range, &oy_range, &ox_range, &c_range);
+    s.sy = strides.0;
+    s.sx = strides.1;
+    s.pt = padding.top as isize;
+    s.pl = padding.left as isize;
+    let (oy_len, ox_len) = (oy_range.len(), ox_range.len());
+    if k_range.is_empty() || oy_len == 0 || ox_len == 0 {
+        return;
+    }
+    let xd = x.data();
+    let wd = w.data();
+
+    if policy.threads > 1 && k_range.len() >= 2 {
+        // Fan output-channel blocks across threads. Each worker fills a
+        // private dense buffer; the ordered scatter-add below makes the
+        // result independent of scheduling (and i32 addition makes it
+        // bit-identical to the sequential path).
+        let blocks = split_range(&k_range, policy.threads);
+        let tier = policy.tier;
+        let partials: Vec<Vec<i32>> = blocks
+            .par_iter()
+            .map(|blk| {
+                let mut buf = vec![0i32; blk.len() * oy_len * ox_len];
+                let mut view = OutView {
+                    data: &mut buf,
+                    base: 0,
+                    k_stride: oy_len * ox_len,
+                    y_stride: ox_len,
+                    ox_len,
+                };
+                match tier {
+                    KernelTier::Direct => {
+                        conv_block_direct(
+                            &s, xd, wd, &mut view, blk, &oy_range, &ox_range, &c_range,
+                        );
+                    }
+                    _ => {
+                        let mut local = KernelScratch::new();
+                        conv_block_gemm(
+                            &s, xd, wd, &mut view, blk, &oy_range, &ox_range, &c_range, &mut local,
+                        );
+                    }
+                }
+                buf
+            })
+            .collect();
+        let od = out.data_mut();
+        for (blk, part) in blocks.iter().zip(&partials) {
+            for (k_rel, ko) in blk.clone().enumerate() {
+                for (oy_rel, oy) in oy_range.clone().enumerate() {
+                    let dst = &mut od[(ko * ooy + oy) * oox + ox_range.start..][..ox_len];
+                    let src = &part[(k_rel * oy_len + oy_rel) * ox_len..][..ox_len];
+                    for (o, &v) in dst.iter_mut().zip(src) {
+                        *o = o.wrapping_add(v);
+                    }
+                }
+            }
+        }
+        return;
+    }
+
+    let base = (k_range.start * ooy + oy_range.start) * oox + ox_range.start;
+    let mut view = OutView {
+        data: out.data_mut(),
+        base,
+        k_stride: ooy * oox,
+        y_stride: oox,
+        ox_len,
+    };
+    match policy.tier {
+        KernelTier::Direct => {
+            conv_block_direct(
+                &s, xd, wd, &mut view, &k_range, &oy_range, &ox_range, &c_range,
+            );
+        }
+        _ => conv_block_gemm(
+            &s, xd, wd, &mut view, &k_range, &oy_range, &ox_range, &c_range, scratch,
+        ),
+    }
+}
+
+/// The reference scalar implementation of [`conv2d_accumulate`]: plain
+/// nested loops with per-element padding checks. Slow, obviously correct,
+/// and the oracle every faster tier is differentially tested against.
+///
+/// # Panics
+///
+/// As [`conv2d_accumulate`].
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_accumulate_ref(
+    x: &Tensor,
+    w: &Tensor,
+    out: &mut Tensor,
+    strides: (usize, usize),
+    padding: Padding2d,
+    k_range: Range<usize>,
+    oy_range: Range<usize>,
+    ox_range: Range<usize>,
+    c_range: Range<usize>,
+) {
+    let (s, ooy, oox) = validate_conv(x, w, out, &k_range, &oy_range, &ox_range, &c_range);
+    let (c, h, iw) = (s.c, s.h, s.iw);
+    let (fy, fx) = (s.fy, s.fx);
     let (sy, sx) = strides;
     let xd = x.data();
     let wd = w.data();
@@ -113,9 +521,52 @@ pub fn conv2d(x: &Tensor, w: &Tensor, strides: (usize, usize), padding: Padding2
     out
 }
 
+/// The direct tier for one depthwise channel block. Reproduces the
+/// reference's *assignment* semantics by zeroing each output row before
+/// accumulating the taps into it.
+#[allow(clippy::too_many_arguments)]
+fn dw_block_direct(
+    s: &ConvShape,
+    xd: &[i32],
+    wd: &[i32],
+    view: &mut OutView<'_>,
+    c_range: &Range<usize>,
+    oy_range: &Range<usize>,
+    ox_range: &Range<usize>,
+) {
+    for (c_rel, ci) in c_range.clone().enumerate() {
+        for (oy_rel, oy) in oy_range.clone().enumerate() {
+            let row_start = view.base + c_rel * view.k_stride + oy_rel * view.y_stride;
+            let row = &mut view.data[row_start..row_start + view.ox_len];
+            row.fill(0);
+            for ky in 0..s.fy {
+                let iy = (oy * s.sy + ky) as isize - s.pt;
+                if iy < 0 || iy as usize >= s.h {
+                    continue;
+                }
+                let xrow = &xd[(ci * s.h + iy as usize) * s.iw..][..s.iw];
+                let wbase = (ci * s.fy + ky) * s.fx;
+                for kx in 0..s.fx {
+                    let wv = wd[wbase + kx];
+                    if wv == 0 {
+                        continue;
+                    }
+                    let Some((lo, hi, x0)) = ox_span(s.iw, s.sx, s.pl, kx, ox_range) else {
+                        continue;
+                    };
+                    let dst = &mut row[lo - ox_range.start..hi - ox_range.start];
+                    axpy_strided(dst, &xrow[x0..], wv, s.sx);
+                }
+            }
+        }
+    }
+}
+
 /// Computes a depthwise convolution over an output sub-block (channels and
-/// spatial ranges). Depthwise has no cross-channel reduction, so there is no
-/// partial-sum range; each call fully computes its output elements.
+/// spatial ranges), dispatching to the direct tier and fanning large
+/// blocks across threads. Depthwise has no cross-channel reduction, so
+/// there is no partial-sum range; each call fully computes its output
+/// elements.
 ///
 /// * `x`: input `[C, H, W]`,
 /// * `w`: weights `[C, Fy, Fx]`,
@@ -126,6 +577,101 @@ pub fn conv2d(x: &Tensor, w: &Tensor, strides: (usize, usize), padding: Padding2
 /// Panics on inconsistent shapes or out-of-range sub-blocks.
 #[allow(clippy::too_many_arguments)]
 pub fn depthwise_conv2d_region(
+    x: &Tensor,
+    w: &Tensor,
+    out: &mut Tensor,
+    strides: (usize, usize),
+    padding: Padding2d,
+    c_range: Range<usize>,
+    oy_range: Range<usize>,
+    ox_range: Range<usize>,
+) {
+    let (fy, fx) = (w.shape().dims()[1], w.shape().dims()[2]);
+    let policy =
+        KernelPolicy::for_depthwise(c_range.len(), fy, fx, oy_range.len() * ox_range.len());
+    if policy.tier == KernelTier::Reference {
+        depthwise_conv2d_region_ref(x, w, out, strides, padding, c_range, oy_range, ox_range);
+        return;
+    }
+
+    assert_eq!(x.shape().rank(), 3, "dwconv input must be [C,H,W]");
+    assert_eq!(w.shape().rank(), 3, "dwconv weights must be [C,Fy,Fx]");
+    assert_eq!(out.dtype(), DType::I32, "dwconv accumulator must be i32");
+    let [c, h, iw] = [
+        x.shape().dims()[0],
+        x.shape().dims()[1],
+        x.shape().dims()[2],
+    ];
+    assert_eq!(w.shape().dims()[0], c);
+    let (ooy, oox) = (out.shape().dims()[1], out.shape().dims()[2]);
+    assert!(c_range.end <= c && oy_range.end <= ooy && ox_range.end <= oox);
+    let s = ConvShape {
+        c,
+        h,
+        iw,
+        fy,
+        fx,
+        sy: strides.0,
+        sx: strides.1,
+        pt: padding.top as isize,
+        pl: padding.left as isize,
+    };
+    let (oy_len, ox_len) = (oy_range.len(), ox_range.len());
+    if c_range.is_empty() || oy_len == 0 || ox_len == 0 {
+        return;
+    }
+    let xd = x.data();
+    let wd = w.data();
+
+    if policy.threads > 1 && c_range.len() >= 2 {
+        let blocks = split_range(&c_range, policy.threads);
+        let partials: Vec<Vec<i32>> = blocks
+            .par_iter()
+            .map(|blk| {
+                let mut buf = vec![0i32; blk.len() * oy_len * ox_len];
+                let mut view = OutView {
+                    data: &mut buf,
+                    base: 0,
+                    k_stride: oy_len * ox_len,
+                    y_stride: ox_len,
+                    ox_len,
+                };
+                dw_block_direct(&s, xd, wd, &mut view, blk, &oy_range, &ox_range);
+                buf
+            })
+            .collect();
+        let od = out.data_mut();
+        for (blk, part) in blocks.iter().zip(&partials) {
+            for (c_rel, ci) in blk.clone().enumerate() {
+                for (oy_rel, oy) in oy_range.clone().enumerate() {
+                    let dst = &mut od[(ci * ooy + oy) * oox + ox_range.start..][..ox_len];
+                    let src = &part[(c_rel * oy_len + oy_rel) * ox_len..][..ox_len];
+                    dst.copy_from_slice(src);
+                }
+            }
+        }
+        return;
+    }
+
+    let base = (c_range.start * ooy + oy_range.start) * oox + ox_range.start;
+    let mut view = OutView {
+        data: out.data_mut(),
+        base,
+        k_stride: ooy * oox,
+        y_stride: oox,
+        ox_len,
+    };
+    dw_block_direct(&s, xd, wd, &mut view, &c_range, &oy_range, &ox_range);
+}
+
+/// The reference scalar implementation of [`depthwise_conv2d_region`]:
+/// the oracle for the direct tier.
+///
+/// # Panics
+///
+/// As [`depthwise_conv2d_region`].
+#[allow(clippy::too_many_arguments)]
+pub fn depthwise_conv2d_region_ref(
     x: &Tensor,
     w: &Tensor,
     out: &mut Tensor,
@@ -285,6 +831,64 @@ mod tests {
     }
 
     #[test]
+    fn every_tier_matches_the_reference() {
+        let x = t(&[3, 9, 7], (0..189).map(|v| v % 17 - 8).collect());
+        let w = t(&[5, 3, 3, 3], (0..135).map(|v| v % 7 - 3).collect());
+        for (strides, pad) in [((1, 1), 1), ((2, 2), 1), ((1, 2), 0), ((2, 1), 2)] {
+            let pad = Padding2d::same(pad);
+            let mut want = Tensor::zeros(DType::I32, &[5, 9, 9]);
+            // Reference over a sub-block (partial ranges exercise the
+            // strided-destination paths).
+            let (kr, oyr, oxr, cr) = (1..4usize, 1..6usize, 0..5usize, 0..3usize);
+            conv2d_accumulate_ref(
+                &x,
+                &w,
+                &mut want,
+                strides,
+                pad,
+                kr.clone(),
+                oyr.clone(),
+                oxr.clone(),
+                cr.clone(),
+            );
+            for tier in [KernelTier::Direct, KernelTier::Im2colGemm] {
+                let mut got = Tensor::zeros(DType::I32, &[5, 9, 9]);
+                let mut scratch = KernelScratch::new();
+                conv2d_accumulate_with(
+                    &KernelPolicy { tier, threads: 1 },
+                    &mut scratch,
+                    &x,
+                    &w,
+                    &mut got,
+                    strides,
+                    pad,
+                    kr.clone(),
+                    oyr.clone(),
+                    oxr.clone(),
+                    cr.clone(),
+                );
+                assert_eq!(got, want, "tier {tier:?} strides {strides:?}");
+                // And across threads.
+                let mut par = Tensor::zeros(DType::I32, &[5, 9, 9]);
+                conv2d_accumulate_with(
+                    &KernelPolicy { tier, threads: 3 },
+                    &mut scratch,
+                    &x,
+                    &w,
+                    &mut par,
+                    strides,
+                    pad,
+                    kr.clone(),
+                    oyr.clone(),
+                    oxr.clone(),
+                    cr.clone(),
+                );
+                assert_eq!(par, want, "tier {tier:?} threads=3");
+            }
+        }
+    }
+
+    #[test]
     fn depthwise_is_per_channel() {
         // Channel 0 scaled by 1, channel 1 scaled by -1 (1x1 kernels).
         let x = t(&[2, 2, 2], vec![1, 2, 3, 4, 5, 6, 7, 8]);
@@ -314,6 +918,37 @@ mod tests {
             }
         }
         assert_eq!(tiled, full);
+    }
+
+    #[test]
+    fn depthwise_fast_matches_reference_region() {
+        let x = t(&[4, 7, 6], (0..168).map(|v| v % 13 - 6).collect());
+        let w = t(&[4, 3, 3], (0..36).map(|v| v % 5 - 2).collect());
+        for strides in [(1, 1), (2, 2), (2, 1)] {
+            let mut want = Tensor::zeros(DType::I32, &[4, 7, 6]);
+            depthwise_conv2d_region_ref(
+                &x,
+                &w,
+                &mut want,
+                strides,
+                Padding2d::same(1),
+                1..4,
+                0..3,
+                1..5,
+            );
+            let mut got = Tensor::zeros(DType::I32, &[4, 7, 6]);
+            depthwise_conv2d_region(
+                &x,
+                &w,
+                &mut got,
+                strides,
+                Padding2d::same(1),
+                1..4,
+                0..3,
+                1..5,
+            );
+            assert_eq!(got, want, "strides {strides:?}");
+        }
     }
 
     #[test]

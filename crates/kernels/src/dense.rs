@@ -1,7 +1,35 @@
 //! Fully-connected (dense) kernels.
+//!
+//! Dense layers share the blocked GEMM microkernel with the convolution
+//! path: a matvec is a GEMM with one output column, and the `MR`-row
+//! register tile turns it into four dot products advancing in lockstep
+//! over one streamed input read. Small blocks use a plain slice-zip dot
+//! product instead; [`dense_accumulate_ref`] keeps the original indexed
+//! loops as the oracle. All paths accumulate in the same ascending-index
+//! order with wrapping `i32` adds, so they are bit-identical.
 
+use crate::gemm::gemm_accumulate;
+use crate::policy::{KernelPolicy, KernelTier};
 use htvm_ir::{DType, Tensor};
 use std::ops::Range;
+
+fn validate_dense(
+    x: &Tensor,
+    w: &Tensor,
+    out: &Tensor,
+    k_range: &Range<usize>,
+    c_range: &Range<usize>,
+) -> usize {
+    assert_eq!(x.shape().rank(), 1, "dense input must be [C]");
+    assert_eq!(w.shape().rank(), 2, "dense weights must be [K,C]");
+    assert_eq!(out.dtype(), DType::I32, "dense accumulator must be i32");
+    let c = x.shape().dims()[0];
+    let (k, wc) = (w.shape().dims()[0], w.shape().dims()[1]);
+    assert_eq!(wc, c, "weight columns must match input length");
+    assert_eq!(out.shape().dims(), &[k], "accumulator must be [K]");
+    assert!(k_range.end <= k && c_range.end <= c);
+    c
+}
 
 /// Accumulates `out[k] += Σ_{c ∈ c_range} w[k, c] · x[c]` for
 /// `k ∈ k_range`, the tiled-execution building block for dense layers
@@ -23,15 +51,50 @@ pub fn dense_accumulate(
     k_range: Range<usize>,
     c_range: Range<usize>,
 ) {
-    assert_eq!(x.shape().rank(), 1, "dense input must be [C]");
-    assert_eq!(w.shape().rank(), 2, "dense weights must be [K,C]");
-    assert_eq!(out.dtype(), DType::I32, "dense accumulator must be i32");
-    let c = x.shape().dims()[0];
-    let (k, wc) = (w.shape().dims()[0], w.shape().dims()[1]);
-    assert_eq!(wc, c, "weight columns must match input length");
-    assert_eq!(out.shape().dims(), &[k], "accumulator must be [K]");
-    assert!(k_range.end <= k && c_range.end <= c);
+    let policy = KernelPolicy::for_dense(k_range.len(), c_range.len());
+    if policy.tier == KernelTier::Reference {
+        dense_accumulate_ref(x, w, out, k_range, c_range);
+        return;
+    }
+    let c = validate_dense(x, w, out, &k_range, &c_range);
+    if k_range.is_empty() || c_range.is_empty() {
+        return;
+    }
+    let xd = x.data();
+    let wd = w.data();
+    let xs = &xd[c_range.clone()];
+    if policy.tier == KernelTier::Im2colGemm {
+        // Matvec as a one-column GEMM over the strided weight sub-matrix;
+        // the output sub-range is contiguous, so accumulate in place.
+        let a = &wd[k_range.start * c + c_range.start..];
+        let od = &mut out.data_mut()[k_range];
+        gemm_accumulate(od.len(), 1, xs.len(), a, c, xs, od);
+    } else {
+        let od = out.data_mut();
+        for ko in k_range {
+            let row = &wd[ko * c + c_range.start..ko * c + c_range.end];
+            let acc = row.iter().zip(xs).fold(0i32, |acc, (&wv, &xv)| {
+                acc.wrapping_add(wv.wrapping_mul(xv))
+            });
+            od[ko] = od[ko].wrapping_add(acc);
+        }
+    }
+}
 
+/// The reference indexed-loop implementation of [`dense_accumulate`]:
+/// the oracle the fast paths are differentially tested against.
+///
+/// # Panics
+///
+/// As [`dense_accumulate`].
+pub fn dense_accumulate_ref(
+    x: &Tensor,
+    w: &Tensor,
+    out: &mut Tensor,
+    k_range: Range<usize>,
+    c_range: Range<usize>,
+) {
+    let c = validate_dense(x, w, out, &k_range, &c_range);
     let xd = x.data();
     let wd = w.data();
     let od = out.data_mut();
@@ -86,6 +149,18 @@ mod tests {
             }
         }
         assert_eq!(tiled, full);
+    }
+
+    #[test]
+    fn gemm_path_matches_reference() {
+        // Large enough that `for_dense` picks the GEMM tier.
+        let x = t(&[64], (0..64).map(|v| v % 17 - 8).collect());
+        let w = t(&[12, 64], (0..768).map(|v| v % 13 - 6).collect());
+        let mut want = Tensor::zeros(DType::I32, &[12]);
+        dense_accumulate_ref(&x, &w, &mut want, 1..11, 3..61);
+        let mut got = Tensor::zeros(DType::I32, &[12]);
+        dense_accumulate(&x, &w, &mut got, 1..11, 3..61);
+        assert_eq!(got, want);
     }
 
     #[test]

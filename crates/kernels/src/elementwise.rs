@@ -19,13 +19,62 @@ pub fn bias_add(x: &Tensor, bias: &Tensor) -> Tensor {
         x.shape().rank() >= 1 && x.shape().dims()[0] == k,
         "leading dim of input must equal bias length"
     );
-    let inner: usize = x.shape().dims()[1..].iter().product();
+    let inner: usize = x.shape().dims()[1..].iter().product::<usize>().max(1);
     let mut out = x.clone();
     let bd = bias.data();
-    for (i, v) in out.data_mut().iter_mut().enumerate() {
-        *v = v.wrapping_add(bd[i / inner.max(1)]);
+    for (chunk, &bv) in out.data_mut().chunks_exact_mut(inner).zip(bd) {
+        for v in chunk {
+            *v = v.wrapping_add(bv);
+        }
     }
     out
+}
+
+/// The fused accelerator output pipeline: per-channel bias, arithmetic
+/// right shift, clamp into `[-128, 127]`, cast to `I8`, and optional
+/// ReLU — one in-place pass over the accumulator instead of five
+/// tensor-sized temporaries. Bit-identical to composing [`bias_add`],
+/// [`right_shift`], [`clip`], [`cast`] and [`relu`] in that order, which
+/// is exactly the Listing-1 requantization chain the DIANA epilogue runs.
+///
+/// # Panics
+///
+/// Panics if `acc` is not `I32` or the bias does not match the leading
+/// dimension.
+#[must_use]
+pub fn accel_epilogue(acc: Tensor, bias: Option<&Tensor>, shift: u32, apply_relu: bool) -> Tensor {
+    assert_eq!(acc.dtype(), DType::I32, "epilogue input must be i32");
+    let dims = acc.shape().dims().to_vec();
+    let inner: usize = dims[1..].iter().product::<usize>().max(1);
+    let mut data = acc.into_data();
+    let requant = |v: i32, bv: i32| -> i32 {
+        let v = (v.wrapping_add(bv) >> shift).clamp(-128, 127);
+        if apply_relu {
+            v.max(0)
+        } else {
+            v
+        }
+    };
+    match bias {
+        Some(b) => {
+            assert_eq!(b.shape().rank(), 1, "bias must be rank-1");
+            assert!(
+                !dims.is_empty() && dims[0] == b.shape().dims()[0],
+                "leading dim of input must equal bias length"
+            );
+            for (chunk, &bv) in data.chunks_exact_mut(inner).zip(b.data()) {
+                for v in chunk {
+                    *v = requant(*v, bv);
+                }
+            }
+        }
+        None => {
+            for v in &mut data {
+                *v = requant(*v, 0);
+            }
+        }
+    }
+    Tensor::new(DType::I8, &dims, data).expect("epilogue clamps into the i8 range")
 }
 
 /// Arithmetic right shift of every element (the requantization scale step).
@@ -137,6 +186,30 @@ mod tests {
     fn relu_zeroes_negatives() {
         let x = t(&[4], vec![-2, -1, 0, 3]);
         assert_eq!(relu(&x).data(), &[0, 0, 0, 3]);
+    }
+
+    #[test]
+    fn epilogue_matches_unfused_chain() {
+        let acc = t(&[3, 2, 2], (0..12).map(|v| v * 97 - 500).collect());
+        let b = t(&[3], vec![40, -260, 1000]);
+        for (shift, act) in [(0u32, false), (2, true), (5, false), (5, true)] {
+            let mut want = bias_add(&acc, &b);
+            want = right_shift(&want, shift);
+            want = cast(&clip(&want, -128, 127), DType::I8);
+            if act {
+                want = relu(&want);
+            }
+            let got = accel_epilogue(acc.clone(), Some(&b), shift, act);
+            assert_eq!(got, want, "shift {shift} relu {act}");
+        }
+    }
+
+    #[test]
+    fn epilogue_without_bias() {
+        let acc = t(&[2, 2], vec![300, -300, 64, -64]);
+        let got = accel_epilogue(acc.clone(), None, 1, false);
+        let want = cast(&clip(&right_shift(&acc, 1), -128, 127), DType::I8);
+        assert_eq!(got, want);
     }
 
     #[test]

@@ -1,13 +1,73 @@
-//! An independent im2col + GEMM convolution.
+//! im2col patch-matrix lowering.
 //!
-//! Algorithmic diversity for the correctness story: this formulation
-//! lowers the convolution to an explicit patch matrix and a matrix
-//! multiply — the classic CPU-library approach (CMSIS-NN and TVM's
-//! default conv schedules do exactly this) — and must agree bit-for-bit
-//! with the direct nested-loop [`conv2d`](crate::conv2d) on every input.
-//! The differential property test in `tests/properties.rs` enforces that.
+//! The classic CPU-library convolution formulation (CMSIS-NN and TVM's
+//! default conv schedules do exactly this): lower the input into an
+//! explicit patch matrix, then run a matrix multiply. The fast conv tier
+//! fills patches directly into a reusable scratch arena via
+//! [`fill_patches`]; the public [`im2col`]/[`conv2d_im2col`] entry points
+//! keep the standalone formulation alive as algorithmic diversity for the
+//! correctness story — they must agree bit-for-bit with the direct
+//! nested-loop [`conv2d`](crate::conv2d) on every input, which the
+//! differential property tests in `tests/properties.rs` enforce.
 
+use crate::conv::{ox_span, ConvShape};
+use crate::gemm::gemm_accumulate;
 use htvm_ir::{DType, Padding2d, Tensor};
+use std::ops::Range;
+
+/// Fills `buf` with the `[c_len·Fy·Fx, oy_len·ox_len]` patch matrix for
+/// the given output sub-block: row `(ci_rel·Fy + ky)·Fx + kx`, column
+/// `oy_rel·ox_len + ox_rel` holds the input value that filter tap
+/// `(ky, kx)` of channel `ci` sees at output position `(oy, ox)`, with
+/// zero padding materialized explicitly.
+///
+/// Padded positions are written by span (`fill(0)` head/tail around one
+/// contiguous copy per row) rather than tested per element.
+pub(crate) fn fill_patches(
+    s: &ConvShape,
+    xd: &[i32],
+    oy_range: &Range<usize>,
+    ox_range: &Range<usize>,
+    c_range: &Range<usize>,
+    buf: &mut [i32],
+) {
+    let (oy_len, ox_len) = (oy_range.len(), ox_range.len());
+    let cols = oy_len * ox_len;
+    for (c_rel, ci) in c_range.clone().enumerate() {
+        for ky in 0..s.fy {
+            for kx in 0..s.fx {
+                let row = ((c_rel * s.fy + ky) * s.fx + kx) * cols;
+                let span = ox_span(s.iw, s.sx, s.pl, kx, ox_range);
+                for (oy_rel, oy) in oy_range.clone().enumerate() {
+                    let dst = &mut buf[row + oy_rel * ox_len..][..ox_len];
+                    let iy = (oy * s.sy + ky) as isize - s.pt;
+                    if iy < 0 || iy as usize >= s.h {
+                        dst.fill(0);
+                        continue;
+                    }
+                    let Some((lo, hi, x0)) = span else {
+                        dst.fill(0);
+                        continue;
+                    };
+                    let (lo_rel, hi_rel) = (lo - ox_range.start, hi - ox_range.start);
+                    dst[..lo_rel].fill(0);
+                    dst[hi_rel..].fill(0);
+                    let xrow = &xd[(ci * s.h + iy as usize) * s.iw..][..s.iw];
+                    if s.sx == 1 {
+                        dst[lo_rel..hi_rel].copy_from_slice(&xrow[x0..x0 + (hi - lo)]);
+                    } else {
+                        for (o, &xv) in dst[lo_rel..hi_rel]
+                            .iter_mut()
+                            .zip(xrow[x0..].iter().step_by(s.sx))
+                        {
+                            *o = xv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
 
 /// Lowers the input into the im2col patch matrix of shape
 /// `[C·Fy·Fx, OY·OX]`: column `j` holds the receptive field of output
@@ -42,33 +102,25 @@ pub fn im2col(
     let rows = c * fy * fx;
     let cols = oy * ox;
     let mut out = Tensor::zeros(DType::I32, &[rows, cols]);
-    let xd = x.data();
-    let od = out.data_mut();
-    for ci in 0..c {
-        for ky in 0..fy {
-            for kx in 0..fx {
-                let row = (ci * fy + ky) * fx + kx;
-                for yo in 0..oy {
-                    let iy = (yo * sy + ky) as isize - padding.top as isize;
-                    for xo in 0..ox {
-                        let ix = (xo * sx + kx) as isize - padding.left as isize;
-                        let v = if iy < 0 || iy as usize >= h || ix < 0 || ix as usize >= w {
-                            0
-                        } else {
-                            xd[(ci * h + iy as usize) * w + ix as usize]
-                        };
-                        od[row * cols + yo * ox + xo] = v;
-                    }
-                }
-            }
-        }
-    }
+    let s = ConvShape {
+        c,
+        h,
+        iw: w,
+        fy,
+        fx,
+        sy,
+        sx,
+        pt: padding.top as isize,
+        pl: padding.left as isize,
+    };
+    fill_patches(&s, x.data(), &(0..oy), &(0..ox), &(0..c), out.data_mut());
     out
 }
 
 /// Convolution via im2col + GEMM: reshapes the weights to
-/// `[K, C·Fy·Fx]`, multiplies by the patch matrix, and reshapes the
-/// product to `[K, OY, OX]`. Bit-identical to [`conv2d`](crate::conv2d).
+/// `[K, C·Fy·Fx]`, multiplies by the patch matrix with the blocked
+/// [`gemm_accumulate`] microkernel, and reshapes the product to
+/// `[K, OY, OX]`. Bit-identical to [`conv2d`](crate::conv2d).
 ///
 /// # Panics
 ///
@@ -97,21 +149,7 @@ pub fn conv2d_im2col(
     let cols = patches.shape().dims()[1];
     // GEMM: [K, rows] x [rows, cols] -> [K, cols].
     let mut out_flat = vec![0i32; k * cols];
-    let wd = w.data();
-    let pd = patches.data();
-    for ko in 0..k {
-        for r in 0..rows {
-            let wv = wd[ko * rows + r];
-            if wv == 0 {
-                continue;
-            }
-            let prow = &pd[r * cols..(r + 1) * cols];
-            let orow = &mut out_flat[ko * cols..(ko + 1) * cols];
-            for (o, &p) in orow.iter_mut().zip(prow) {
-                *o = o.wrapping_add(wv.wrapping_mul(p));
-            }
-        }
-    }
+    gemm_accumulate(k, cols, rows, w.data(), rows, patches.data(), &mut out_flat);
     // Recover output spatial dims from the patch-column count.
     let (h, ww) = (x.shape().dims()[1], x.shape().dims()[2]);
     let oy = (h + padding.top + padding.bottom - fy) / strides.0 + 1;
@@ -146,6 +184,40 @@ mod tests {
         // The single real value sits at the window center.
         let expected: Vec<i32> = (0..9).map(|i| if i == 4 { 9 } else { 0 }).collect();
         assert_eq!(p.data(), &expected[..]);
+    }
+
+    #[test]
+    fn im2col_strided_with_asymmetric_padding() {
+        let x = t(&[2, 4, 5], (0..40).collect());
+        let pad = Padding2d {
+            top: 1,
+            bottom: 0,
+            left: 2,
+            right: 1,
+        };
+        let p = im2col(&x, (3, 3), (2, 2), pad);
+        // Cross-check every patch element against the definition.
+        let (oy, ox) = (1usize + 1, 2usize + 1);
+        assert_eq!(p.shape().dims(), &[2 * 9, oy * ox]);
+        for ci in 0..2usize {
+            for ky in 0..3usize {
+                for kx in 0..3usize {
+                    for yo in 0..oy {
+                        for xo in 0..ox {
+                            let iy = (yo * 2 + ky) as isize - 1;
+                            let ix = (xo * 2 + kx) as isize - 2;
+                            let want = if !(0..4).contains(&iy) || !(0..5).contains(&ix) {
+                                0
+                            } else {
+                                x.data()[(ci * 4 + iy as usize) * 5 + ix as usize]
+                            };
+                            let row = (ci * 3 + ky) * 3 + kx;
+                            assert_eq!(p.data()[row * (oy * ox) + yo * ox + xo], want);
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

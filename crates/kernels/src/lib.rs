@@ -37,17 +37,26 @@ mod dense;
 mod elementwise;
 mod error;
 mod exec;
+mod gemm;
 mod im2col;
+mod policy;
 mod pool;
+mod scratch;
 mod softmax;
 
-pub use conv::{conv2d, conv2d_accumulate, depthwise_conv2d, depthwise_conv2d_region};
-pub use dense::{dense, dense_accumulate};
-pub use elementwise::{add, bias_add, cast, clip, relu, right_shift};
+pub use conv::{
+    conv2d, conv2d_accumulate, conv2d_accumulate_ref, conv2d_accumulate_with, depthwise_conv2d,
+    depthwise_conv2d_region, depthwise_conv2d_region_ref,
+};
+pub use dense::{dense, dense_accumulate, dense_accumulate_ref};
+pub use elementwise::{accel_epilogue, add, bias_add, cast, clip, relu, right_shift};
 pub use error::EvalError;
 pub use exec::evaluate;
+pub use gemm::{gemm_accumulate, MR};
 pub use im2col::{conv2d_im2col, im2col};
+pub use policy::{num_threads, KernelPolicy, KernelTier};
 pub use pool::pool2d;
+pub use scratch::KernelScratch;
 pub use softmax::softmax;
 
 /// Integer division rounding half away from zero; used by average pooling.

@@ -1,0 +1,164 @@
+//! Shape-based kernel dispatch: which implementation tier runs a given
+//! convolution or dense call, and across how many threads.
+//!
+//! Every tier computes the *same multiset of `i32` products* and combines
+//! them with `wrapping_add`, which is associative and commutative, so the
+//! choice (and the thread count) can never change a single output bit —
+//! only the wall time. The differential proptests in `tests/properties.rs`
+//! enforce this across random shapes, strides, paddings and dtypes.
+
+use std::num::NonZeroUsize;
+
+/// An implementation tier for the conv/dense kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelTier {
+    /// The original scalar loops with per-element bounds checks. Kept as
+    /// the oracle every faster tier is differentially tested against.
+    Reference,
+    /// Padding-free interior spans: per-`(ky, kx)` valid output ranges are
+    /// precomputed so the inner loop is a flat slice zip with no bounds
+    /// checks (it autovectorizes), and padded positions are skipped rather
+    /// than tested element by element.
+    Direct,
+    /// im2col patch materialization + the cache-blocked, register-tiled
+    /// GEMM in [`crate::gemm_accumulate`]. 1×1/stride-1/unpadded
+    /// convolutions skip the materialization and feed the activation
+    /// slab to the GEMM directly.
+    Im2colGemm,
+}
+
+/// A dispatch decision: the tier to run and how many worker threads to
+/// fan the output-channel range across.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelPolicy {
+    /// Implementation tier.
+    pub tier: KernelTier,
+    /// Worker threads for output-channel blocks (1 = run inline).
+    pub threads: usize,
+}
+
+/// Minimum multiply-accumulates before fanning a single kernel call out
+/// across threads. The vendored `rayon` spawns scoped OS threads per
+/// call (no pool), so parallelism must buy noticeably more than thread
+/// startup; small DORY tiles always stay inline.
+const PAR_MIN_MACS: usize = 2 << 20;
+
+/// Below this many GEMM reduction elements (`c·fy·fx`) or output columns
+/// the im2col detour costs more than it saves and the direct tier wins.
+const GEMM_MIN_ROWS: usize = 8;
+const GEMM_MIN_COLS: usize = 32;
+const GEMM_MIN_K: usize = 4;
+
+impl KernelPolicy {
+    /// Runs everything inline with the given tier.
+    #[must_use]
+    pub fn sequential(tier: KernelTier) -> Self {
+        KernelPolicy { tier, threads: 1 }
+    }
+
+    /// Chooses the tier and thread count for a convolution call over a
+    /// `k_len × (oy_len·ox_len)` output block reducing `c_len·fy·fx`
+    /// inputs per element.
+    #[must_use]
+    pub fn for_conv(k_len: usize, c_len: usize, fy: usize, fx: usize, cols: usize) -> Self {
+        let rows = c_len * fy * fx;
+        let tier = match tier_override() {
+            Some(t) => t,
+            None if k_len >= GEMM_MIN_K && rows >= GEMM_MIN_ROWS && cols >= GEMM_MIN_COLS => {
+                KernelTier::Im2colGemm
+            }
+            None => KernelTier::Direct,
+        };
+        let macs = k_len * rows * cols;
+        let threads = if macs >= PAR_MIN_MACS {
+            num_threads().min(k_len).max(1)
+        } else {
+            1
+        };
+        KernelPolicy { tier, threads }
+    }
+
+    /// Chooses the tier for a dense (matvec) block of `k_len` output
+    /// neurons reducing `c_len` features each. Always inline: dense
+    /// layers in the zoo are far below the parallelism threshold.
+    #[must_use]
+    pub fn for_dense(k_len: usize, c_len: usize) -> Self {
+        let tier = match tier_override() {
+            Some(t) => t,
+            None if k_len >= GEMM_MIN_K && c_len >= GEMM_MIN_ROWS => KernelTier::Im2colGemm,
+            None => KernelTier::Direct,
+        };
+        KernelPolicy { tier, threads: 1 }
+    }
+
+    /// Chooses the policy for a depthwise convolution over `c_len`
+    /// channels (no cross-channel reduction, so the GEMM tier never
+    /// applies).
+    #[must_use]
+    pub fn for_depthwise(c_len: usize, fy: usize, fx: usize, cols: usize) -> Self {
+        let tier = match tier_override() {
+            Some(KernelTier::Reference) => KernelTier::Reference,
+            _ => KernelTier::Direct,
+        };
+        let macs = c_len * fy * fx * cols;
+        let threads = if macs >= PAR_MIN_MACS {
+            num_threads().min(c_len).max(1)
+        } else {
+            1
+        };
+        KernelPolicy { tier, threads }
+    }
+}
+
+/// Worker threads available to the kernels: `HTVM_NUM_THREADS` when set
+/// (clamped to at least 1), otherwise the machine's logical CPU count.
+///
+/// Read per call rather than cached so tests can flip the variable
+/// mid-process; the kernels' outputs are bit-identical at any thread
+/// count, so the setting is purely a performance knob.
+#[must_use]
+pub fn num_threads() -> usize {
+    match std::env::var("HTVM_NUM_THREADS") {
+        Ok(v) => v.trim().parse::<usize>().unwrap_or(1).max(1),
+        Err(_) => std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1),
+    }
+}
+
+/// `HTVM_KERNEL_TIER` override (`reference`, `direct`, `gemm`); anything
+/// else — including unset — means automatic shape-based selection. Used
+/// by the kernel microbenchmark to time tiers in isolation.
+fn tier_override() -> Option<KernelTier> {
+    match std::env::var("HTVM_KERNEL_TIER").ok()?.trim() {
+        "reference" => Some(KernelTier::Reference),
+        "direct" => Some(KernelTier::Direct),
+        "gemm" => Some(KernelTier::Im2colGemm),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn large_convs_pick_gemm_small_pick_direct() {
+        let big = KernelPolicy::for_conv(64, 64, 3, 3, 32 * 32);
+        assert_eq!(big.tier, KernelTier::Im2colGemm);
+        let tiny = KernelPolicy::for_conv(2, 1, 3, 3, 4);
+        assert_eq!(tiny.tier, KernelTier::Direct);
+        assert_eq!(tiny.threads, 1, "tiny tiles never pay thread startup");
+    }
+
+    #[test]
+    fn depthwise_never_uses_gemm() {
+        let p = KernelPolicy::for_depthwise(512, 3, 3, 64 * 64);
+        assert_eq!(p.tier, KernelTier::Direct);
+    }
+
+    #[test]
+    fn num_threads_is_at_least_one() {
+        assert!(num_threads() >= 1);
+    }
+}

@@ -39,9 +39,17 @@ pub fn pool2d(
     let ox = (padded_w - kx) / sx + 1;
     let mut out = Tensor::zeros(x.dtype(), &[c, oy, ox]);
     let xd = x.data();
+    let od = out.data_mut();
     for ci in 0..c {
+        let chan = &xd[ci * h * w..][..h * w];
         for yo in 0..oy {
-            for xo in 0..ox {
+            let orow = &mut od[(ci * oy + yo) * ox..][..ox];
+            for (xo, o) in orow.iter_mut().enumerate() {
+                // The window's in-bounds column span: one contiguous
+                // segment per row instead of a per-element bounds check.
+                let x_lo = (xo * sx) as isize - padding.left as isize;
+                let ix0 = x_lo.clamp(0, w as isize) as usize;
+                let ix1 = (x_lo + kx as isize).clamp(0, w as isize) as usize;
                 let mut acc: i64 = 0;
                 let mut max_v = i32::MIN;
                 let mut count: i64 = 0;
@@ -50,18 +58,14 @@ pub fn pool2d(
                     if iy < 0 || iy as usize >= h {
                         continue;
                     }
-                    for dx in 0..kx {
-                        let ix = (xo * sx + dx) as isize - padding.left as isize;
-                        if ix < 0 || ix as usize >= w {
-                            continue;
-                        }
-                        let v = xd[(ci * h + iy as usize) * w + ix as usize];
+                    let seg = &chan[iy as usize * w + ix0..iy as usize * w + ix1];
+                    for &v in seg {
                         acc += i64::from(v);
                         max_v = max_v.max(v);
-                        count += 1;
                     }
+                    count += seg.len() as i64;
                 }
-                let v = match kind {
+                *o = match kind {
                     PoolKind::Avg => {
                         if count == 0 {
                             0
@@ -77,7 +81,6 @@ pub fn pool2d(
                         }
                     }
                 };
-                out.set(&[ci, yo, xo], v);
             }
         }
     }

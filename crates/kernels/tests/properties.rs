@@ -185,3 +185,153 @@ proptest! {
         prop_assert_eq!(direct, gemm);
     }
 }
+
+/// Deterministic value stream for the tier-differential tests (the shapes
+/// are the random search space; the data just needs to be varied).
+fn fill(seed: u64, n: usize) -> Vec<i32> {
+    let mut s = seed | 1;
+    (0..n)
+        .map(|_| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 33) as i32).rem_euclid(17) - 8
+        })
+        .collect()
+}
+
+/// Splits `0..n` at `at % (n + 1)` into two (possibly empty) halves.
+fn halves(n: usize, at: usize) -> [std::ops::Range<usize>; 2] {
+    let mid = at % (n + 1);
+    [0..mid, mid..n]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Bit-exactness of the fast conv tiers: direct, im2col+GEMM, the
+    /// auto dispatcher, multi-threaded execution, and tiled partial sums
+    /// must all reproduce the reference scalar loops exactly, across
+    /// random shapes, strides, asymmetric paddings and dtypes.
+    #[test]
+    fn conv_tiers_threads_and_tilings_are_bit_exact(
+        (c, h, iw) in (1usize..=4, 3usize..=8, 3usize..=8),
+        (kc, fy, fx) in (1usize..=6, 1usize..=3, 1usize..=3),
+        (sy, sx) in (1usize..=2, 1usize..=2),
+        (pt, pb, pl, pr) in (0usize..=2, 0usize..=2, 0usize..=2, 0usize..=2),
+        seed in any::<u64>(),
+        as_i8 in any::<bool>(),
+        splits in (0usize..=64, 0usize..=64, 0usize..=64, 0usize..=64),
+    ) {
+        let padding = Padding2d { top: pt, bottom: pb, left: pl, right: pr };
+        let oy = (h + pt + pb - fy) / sy + 1;
+        let ox = (iw + pl + pr - fx) / sx + 1;
+        let dtype = if as_i8 { DType::I8 } else { DType::I32 };
+        let x = Tensor::new(dtype, &[c, h, iw], fill(seed, c * h * iw)).unwrap();
+        let w = Tensor::new(dtype, &[kc, c, fy, fx], fill(seed ^ 0xABCD, kc * c * fy * fx)).unwrap();
+
+        let mut want = Tensor::zeros(DType::I32, &[kc, oy, ox]);
+        k::conv2d_accumulate_ref(
+            &x, &w, &mut want, (sy, sx), padding, 0..kc, 0..oy, 0..ox, 0..c,
+        );
+
+        let mut scratch = k::KernelScratch::new();
+        for tier in [k::KernelTier::Direct, k::KernelTier::Im2colGemm] {
+            for threads in [1usize, 3] {
+                let mut got = Tensor::zeros(DType::I32, &[kc, oy, ox]);
+                k::conv2d_accumulate_with(
+                    &k::KernelPolicy { tier, threads },
+                    &mut scratch,
+                    &x, &w, &mut got, (sy, sx), padding, 0..kc, 0..oy, 0..ox, 0..c,
+                );
+                prop_assert_eq!(&got, &want, "tier {:?} threads {}", tier, threads);
+            }
+        }
+
+        // The auto dispatcher over a 2x2x2x2 tiling of the output and
+        // channel ranges: partial sums over disjoint sub-blocks must
+        // reassemble the full result exactly.
+        let mut tiled = Tensor::zeros(DType::I32, &[kc, oy, ox]);
+        for kr in halves(kc, splits.0) {
+            for oyr in halves(oy, splits.1) {
+                for oxr in halves(ox, splits.2) {
+                    for cr in halves(c, splits.3) {
+                        k::conv2d_accumulate(
+                            &x, &w, &mut tiled, (sy, sx), padding,
+                            kr.clone(), oyr.clone(), oxr.clone(), cr.clone(),
+                        );
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(&tiled, &want);
+    }
+
+    /// Bit-exactness of the fast depthwise tier (sequential and threaded,
+    /// full and tiled) against the reference region kernel.
+    #[test]
+    fn depthwise_tiers_and_tilings_are_bit_exact(
+        (c, h, iw) in (1usize..=5, 3usize..=8, 3usize..=8),
+        (fy, fx) in (1usize..=3, 1usize..=3),
+        (sy, sx) in (1usize..=2, 1usize..=2),
+        (pt, pb, pl, pr) in (0usize..=2, 0usize..=2, 0usize..=2, 0usize..=2),
+        seed in any::<u64>(),
+        splits in (0usize..=64, 0usize..=64, 0usize..=64),
+    ) {
+        let padding = Padding2d { top: pt, bottom: pb, left: pl, right: pr };
+        let oy = (h + pt + pb - fy) / sy + 1;
+        let ox = (iw + pl + pr - fx) / sx + 1;
+        let x = Tensor::new(DType::I8, &[c, h, iw], fill(seed, c * h * iw)).unwrap();
+        let w = Tensor::new(DType::I8, &[c, fy, fx], fill(seed ^ 0x1234, c * fy * fx)).unwrap();
+
+        let mut want = Tensor::zeros(DType::I32, &[c, oy, ox]);
+        k::depthwise_conv2d_region_ref(
+            &x, &w, &mut want, (sy, sx), padding, 0..c, 0..oy, 0..ox,
+        );
+
+        let mut got = Tensor::zeros(DType::I32, &[c, oy, ox]);
+        k::depthwise_conv2d_region(&x, &w, &mut got, (sy, sx), padding, 0..c, 0..oy, 0..ox);
+        prop_assert_eq!(&got, &want);
+
+        // Depthwise writes (not accumulates), so disjoint tiles assemble
+        // the same tensor.
+        let mut tiled = Tensor::zeros(DType::I32, &[c, oy, ox]);
+        for cr in halves(c, splits.0) {
+            for oyr in halves(oy, splits.1) {
+                for oxr in halves(ox, splits.2) {
+                    k::depthwise_conv2d_region(
+                        &x, &w, &mut tiled, (sy, sx), padding,
+                        cr.clone(), oyr.clone(), oxr.clone(),
+                    );
+                }
+            }
+        }
+        prop_assert_eq!(&tiled, &want);
+    }
+
+    /// Bit-exactness of the fast dense paths (slice-zip and one-column
+    /// GEMM) against the reference indexed loops, full and tiled.
+    #[test]
+    fn dense_tiers_and_tilings_are_bit_exact(
+        (kc, c) in (1usize..=24, 1usize..=48),
+        seed in any::<u64>(),
+        splits in (0usize..=64, 0usize..=64),
+    ) {
+        let x = Tensor::new(DType::I32, &[c], fill(seed, c)).unwrap();
+        let w = Tensor::new(DType::I32, &[kc, c], fill(seed ^ 0x77, kc * c)).unwrap();
+        let mut want = Tensor::zeros(DType::I32, &[kc]);
+        k::dense_accumulate_ref(&x, &w, &mut want, 0..kc, 0..c);
+
+        let mut got = Tensor::zeros(DType::I32, &[kc]);
+        k::dense_accumulate(&x, &w, &mut got, 0..kc, 0..c);
+        prop_assert_eq!(&got, &want);
+
+        let mut tiled = Tensor::zeros(DType::I32, &[kc]);
+        for kr in halves(kc, splits.0) {
+            for cr in halves(c, splits.1) {
+                k::dense_accumulate(&x, &w, &mut tiled, kr.clone(), cr.clone());
+            }
+        }
+        prop_assert_eq!(&tiled, &want);
+    }
+}

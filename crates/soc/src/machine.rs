@@ -273,6 +273,25 @@ impl Machine {
         }
 
         let mut faults = FaultCtx::from_plan(plan);
+        // One kernel scratch arena for the whole run, sized once for the
+        // largest tile any accelerator step executes, so the tile loop
+        // never allocates im2col or accumulator buffers per call.
+        let mut scratch = kernels::KernelScratch::new();
+        {
+            let (mut im2col_max, mut acc_max) = (0usize, 0usize);
+            for step in &program.steps {
+                if let Step::Accel { desc, .. } = step {
+                    let g = &desc.geom;
+                    let t = &desc.tile;
+                    let cols = t.oy_t * t.ox_t;
+                    if g.kind == LayerKind::Conv2d {
+                        im2col_max = im2col_max.max(t.c_t * g.fy * g.fx * cols);
+                    }
+                    acc_max = acc_max.max(t.k_t * cols);
+                }
+            }
+            scratch.reserve(im2col_max, acc_max);
+        }
         let mut layers = Vec::with_capacity(program.steps.len());
         for (step_idx, step) in program.steps.iter().enumerate() {
             let profile = match step {
@@ -311,7 +330,15 @@ impl Machine {
                                 engine: *engine,
                                 attempts,
                             })?;
-                        self.exec_accel(step_idx, *engine, desc, a, b.as_ref(), &mut faults)?
+                        self.exec_accel(
+                            step_idx,
+                            *engine,
+                            desc,
+                            a,
+                            b.as_ref(),
+                            &mut faults,
+                            &mut scratch,
+                        )?
                     };
                     values[output.0] = Some(tensor);
                     profile
@@ -553,6 +580,7 @@ impl Machine {
 
     /// Executes one accelerator layer: the DORY tile loop with DMA, weight
     /// staging and compute costs, accumulating functionally per tile.
+    #[allow(clippy::too_many_arguments)]
     fn exec_accel(
         &self,
         step_idx: usize,
@@ -561,6 +589,7 @@ impl Machine {
         input: &Tensor,
         input2: Option<&Tensor>,
         faults: &mut FaultCtx,
+        scratch: &mut kernels::KernelScratch,
     ) -> Result<(Tensor, LayerProfile), RunError> {
         let geom = &desc.geom;
         // Optional 7-bit DAC clamp on the analog input path.
@@ -598,22 +627,14 @@ impl Machine {
 
         // Functional execution of exactly each tile's work.
         for inst in &instances {
-            self.exec_tile(desc, input, input2, &mut acc, inst);
+            self.exec_tile(desc, input, input2, &mut acc, inst, scratch);
         }
 
         // Fused output path: bias, requantization, activation. On DIANA
         // these run in the accelerators' output pipelines concurrently with
-        // the MAC array, so they add no cycles of their own.
-        let mut out = acc;
-        if let Some(bias) = &desc.bias {
-            out = kernels::bias_add(&out, bias);
-        }
-        out = kernels::right_shift(&out, desc.shift);
-        out = kernels::clip(&out, -128, 127);
-        out = kernels::cast(&out, DType::I8);
-        if desc.relu {
-            out = kernels::relu(&out);
-        }
+        // the MAC array, so they add no cycles of their own. One in-place
+        // pass, bit-identical to the unfused chain.
+        let mut out = kernels::accel_epilogue(acc, desc.bias.as_ref(), desc.shift, desc.relu);
         if let Some(pool) = &desc.pool {
             out = kernels::pool2d(&out, pool.kind, pool.kernel, pool.strides, pool.padding);
         }
@@ -690,7 +711,8 @@ impl Machine {
         Ok((out.remove(0), profile))
     }
 
-    /// Runs the reference arithmetic for one tile instance.
+    /// Runs the tile's arithmetic through the fast kernel tiers (bit-exact
+    /// with the reference kernels by construction).
     fn exec_tile(
         &self,
         desc: &AccelLayerDesc,
@@ -698,12 +720,22 @@ impl Machine {
         input2: Option<&Tensor>,
         acc: &mut Tensor,
         inst: &TileInstance,
+        scratch: &mut kernels::KernelScratch,
     ) {
         let geom = &desc.geom;
         match geom.kind {
             LayerKind::Conv2d => {
                 let w = desc.weights.as_ref().expect("conv layers carry weights");
-                kernels::conv2d_accumulate(
+                let policy = kernels::KernelPolicy::for_conv(
+                    inst.k.len(),
+                    inst.c.len(),
+                    geom.fy,
+                    geom.fx,
+                    inst.oy.len() * inst.ox.len(),
+                );
+                kernels::conv2d_accumulate_with(
+                    &policy,
+                    scratch,
                     input,
                     w,
                     acc,
@@ -734,17 +766,23 @@ impl Machine {
             }
             LayerKind::Add => {
                 let b = input2.expect("add layers have two operands");
-                let (h, w) = (geom.iy, geom.ix);
+                debug_assert_eq!(input.shape(), acc.shape());
+                debug_assert_eq!(b.shape(), acc.shape());
+                let (oy, ox) = (geom.oy(), geom.ox());
+                let ad = input.data();
+                let bd = b.data();
+                let od = acc.data_mut();
                 for c in inst.k.clone() {
                     for y in inst.oy.clone() {
-                        for x in inst.ox.clone() {
-                            let idx = [c, y, x];
-                            let v = input.get(&idx).wrapping_add(b.get(&idx));
-                            acc.set(&idx, v);
+                        let row = (c * oy + y) * ox;
+                        let span = row + inst.ox.start..row + inst.ox.end;
+                        let dst = &mut od[span.clone()];
+                        for ((o, &va), &vb) in dst.iter_mut().zip(&ad[span.clone()]).zip(&bd[span])
+                        {
+                            *o = va.wrapping_add(vb);
                         }
                     }
                 }
-                debug_assert!(h >= 1 && w >= 1);
             }
         }
     }
