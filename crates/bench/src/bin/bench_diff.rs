@@ -13,9 +13,12 @@
 //! `--kernels` additionally compares two `KERNELS_BENCH.json` kernel
 //! microbenchmark reports; those deltas are always warn-only (kernel
 //! wall time is host-dependent) and never affect the exit code.
+//! `--serve` does the same for two `SERVE_BENCH.json` serving-soak
+//! reports (throughput, cache speedup, p99 latency), also warn-only.
 
 use htvm_bench::kernels_bench::{diff_kernels, KernelsReport};
 use htvm_bench::report::{diff, BenchReport, DiffConfig};
+use htvm_bench::serve_bench::{diff_serve, ServeReport};
 use std::process::ExitCode;
 
 fn load(path: &str) -> Result<BenchReport, String> {
@@ -24,6 +27,11 @@ fn load(path: &str) -> Result<BenchReport, String> {
 }
 
 fn load_kernels(path: &str) -> Result<KernelsReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e:?}"))
+}
+
+fn load_serve(path: &str) -> Result<ServeReport, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e:?}"))
 }
@@ -38,6 +46,7 @@ fn main() -> ExitCode {
     let mut cfg = DiffConfig::default();
     let mut paths = Vec::new();
     let mut kernel_paths: Option<(String, String)> = None;
+    let mut serve_paths: Option<(String, String)> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let parsed = match arg.as_str() {
@@ -54,6 +63,13 @@ fn main() -> ExitCode {
                 }
                 _ => Err(String::from("--kernels needs two paths: BASE NEW")),
             },
+            "--serve" => match (args.next(), args.next()) {
+                (Some(b), Some(n)) => {
+                    serve_paths = Some((b, n));
+                    Ok(())
+                }
+                _ => Err(String::from("--serve needs two paths: BASE NEW")),
+            },
             _ => {
                 paths.push(arg);
                 Ok(())
@@ -66,7 +82,7 @@ fn main() -> ExitCode {
     }
     let [base_path, new_path] = &paths[..] else {
         eprintln!(
-            "usage: bench-diff BASELINE.json NEW.json [--cycle-tol PCT] [--wall-tol PCT] [--wall-hard] [--kernels KBASE.json KNEW.json]"
+            "usage: bench-diff BASELINE.json NEW.json [--cycle-tol PCT] [--wall-tol PCT] [--wall-hard] [--kernels KBASE.json KNEW.json] [--serve SBASE.json SNEW.json]"
         );
         return ExitCode::from(2);
     };
@@ -103,6 +119,27 @@ fn main() -> ExitCode {
                 println!(
                     "bench-diff: {} kernel timings compared (warn-only, wall tolerance {}%)",
                     kb.kernels.len(),
+                    cfg.wall_tol_pct
+                );
+            }
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some((sb_path, sn_path)) = &serve_paths {
+        match (load_serve(sb_path), load_serve(sn_path)) {
+            (Ok(sb), Ok(sn)) => {
+                let (warnings, improvements) = diff_serve(&sb, &sn, cfg.wall_tol_pct);
+                for w in &warnings {
+                    println!("warn  {w}");
+                }
+                for i in &improvements {
+                    println!("good  {i}");
+                }
+                println!(
+                    "bench-diff: serve soak compared (warn-only, wall tolerance {}%)",
                     cfg.wall_tol_pct
                 );
             }

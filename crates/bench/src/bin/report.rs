@@ -34,7 +34,13 @@ fn main() -> ExitCode {
         }
     }
 
-    let report = collect();
+    let report = match collect() {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
     if !quiet {
         println!(
             "{:<14} {:<8} {:>7} {:>12} {:>10} {:>11} {:>6}",

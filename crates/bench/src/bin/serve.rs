@@ -1,0 +1,98 @@
+//! The serving soak binary: runs the repeat-heavy zoo mix through the
+//! `htvm-serve` compile service with and without the artifact cache and
+//! writes `SERVE_BENCH.json`.
+//!
+//! ```text
+//! cargo run --release -p htvm-bench --bin serve -- \
+//!     [--jobs N] [--workers N] [--out PATH] [--min-speedup X]
+//! ```
+//!
+//! Exit codes: 0 — soak completed and the cache speedup met the floor;
+//! 1 — speedup below `--min-speedup` (default 5.0; pass 0 to disable);
+//! 2 — usage error.
+
+use htvm_bench::serve_bench::{collect, ServeBenchConfig};
+use std::process::ExitCode;
+
+fn parse<T: std::str::FromStr>(
+    args: &mut impl Iterator<Item = String>,
+    flag: &str,
+) -> Result<T, String> {
+    let v = args.next().ok_or_else(|| format!("{flag} needs a value"))?;
+    v.parse::<T>()
+        .map_err(|_| format!("{flag} needs a number, got {v:?}"))
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut config = ServeBenchConfig::default();
+    let mut out = String::from("SERVE_BENCH.json");
+    let mut min_speedup = 5.0_f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--jobs" => config.jobs = parse(&mut args, "--jobs")?,
+            "--workers" => config.workers = parse(&mut args, "--workers")?,
+            "--out" => out = args.next().ok_or("--out needs a path")?,
+            "--min-speedup" => min_speedup = parse(&mut args, "--min-speedup")?,
+            other => {
+                return Err(format!(
+                    "unknown flag {other:?}; usage: serve [--jobs N] [--workers N] [--out PATH] [--min-speedup X]"
+                ))
+            }
+        }
+    }
+    if config.jobs == 0 || config.workers == 0 {
+        return Err(String::from("--jobs and --workers must be positive"));
+    }
+
+    let report = collect(config);
+    let json = serde_json::to_string_pretty(&report).map_err(|e| format!("serialize: {e:?}"))?;
+    std::fs::write(&out, &json).map_err(|e| format!("cannot write {out}: {e}"))?;
+
+    println!(
+        "serve soak: {} jobs ({} distinct keys) on {} workers",
+        report.jobs, report.distinct_keys, report.workers
+    );
+    println!(
+        "  cached:   {:8.1} jobs/s  p50 {:6} us  p99 {:6} us  (wall {:.1} ms)",
+        report.cached.throughput_jobs_per_s,
+        report.cached.p50_us,
+        report.cached.p99_us,
+        report.cached.wall_ms
+    );
+    println!(
+        "  uncached: {:8.1} jobs/s  p50 {:6} us  p99 {:6} us  (wall {:.1} ms)",
+        report.uncached.throughput_jobs_per_s,
+        report.uncached.p50_us,
+        report.uncached.p99_us,
+        report.uncached.wall_ms
+    );
+    println!(
+        "  speedup {:.1}x — artifact cache {} hits / {} misses / {} evictions; tile cache {} hits",
+        report.speedup,
+        report.stats.artifact_cache.hits,
+        report.stats.artifact_cache.misses,
+        report.stats.artifact_cache.evictions,
+        report.stats.tile_cache.hits
+    );
+    println!("  wrote {out}");
+
+    if min_speedup > 0.0 && report.speedup < min_speedup {
+        eprintln!(
+            "serve soak: FAIL — cache speedup {:.1}x below the {min_speedup:.1}x floor",
+            report.speedup
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

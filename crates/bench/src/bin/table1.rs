@@ -19,18 +19,18 @@ struct Cell {
     oom: bool,
 }
 
-fn measure(deploy: DeployConfig, name: &str) -> Cell {
+fn measure(deploy: DeployConfig, name: &str) -> Result<Cell, String> {
     let model = all_models(scheme_for(deploy))
         .into_iter()
         .find(|m| m.name == name)
-        .expect("model exists");
+        .ok_or_else(|| format!("no zoo model named {name:?}"))?;
     match deploy_and_run(&model, deploy) {
-        Ok((artifact, report)) => Cell {
+        Ok((artifact, report)) => Ok(Cell {
             peak_ms: Some(ms(report.peak_cycles())),
             full_ms: Some(ms(report.total_cycles())),
             size_kb: Some(artifact.binary.total_kb()),
             oom: false,
-        },
+        }),
         Err(CompileError::Lower(htvm::LowerError::OutOfMemory(_))) => {
             // The paper still reports the (link-time) binary size for the
             // MobileNet deployment that fails at runtime allocation;
@@ -45,14 +45,14 @@ fn measure(deploy: DeployConfig, name: &str) -> Cell {
                 .compile(&model.graph)
                 .ok()
                 .map(|a| a.binary.total_kb());
-            Cell {
+            Ok(Cell {
                 peak_ms: None,
                 full_ms: None,
                 size_kb,
                 oom: true,
-            }
+            })
         }
-        Err(e) => panic!("unexpected compile failure for {name}: {e}"),
+        Err(e) => Err(format!("unexpected compile failure for {name}: {e}")),
     }
 }
 
@@ -64,7 +64,17 @@ fn fmt_ms(v: Option<f64>, oom: bool) -> String {
     }
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
     let configs = [
         DeployConfig::CpuTvm,
         DeployConfig::Digital,
@@ -79,8 +89,10 @@ fn main() {
     }
     let mut json_rows = Vec::new();
     for name in networks {
-        let cells: Vec<(DeployConfig, Cell)> =
-            configs.iter().map(|&d| (d, measure(d, name))).collect();
+        let mut cells: Vec<(DeployConfig, Cell)> = Vec::new();
+        for &d in &configs {
+            cells.push((d, measure(d, name)?));
+        }
         if json {
             for (d, c) in &cells {
                 json_rows.push(serde_json::json!({
@@ -127,12 +139,12 @@ fn main() {
     }
     if json {
         println!("{}", serde_json::to_string_pretty(&json_rows).unwrap());
-        return;
+        return Ok(());
     }
     // Headline ratios the paper calls out.
-    let tvm = measure(DeployConfig::CpuTvm, "resnet8");
-    let dig = measure(DeployConfig::Digital, "resnet8");
-    let both = measure(DeployConfig::Both, "resnet8");
+    let tvm = measure(DeployConfig::CpuTvm, "resnet8")?;
+    let dig = measure(DeployConfig::Digital, "resnet8")?;
+    let both = measure(DeployConfig::Both, "resnet8")?;
     if let (Some(t), Some(d), Some(b)) = (tvm.full_ms, dig.full_ms, both.full_ms) {
         println!(
             "ResNet speedup over plain TVM: digital {:.0}x, mixed {:.0}x (paper: 112x / 120x)",
@@ -146,8 +158,8 @@ fn main() {
             100.0 * (t as f64 - d as f64) / t as f64
         );
     }
-    let ana = measure(DeployConfig::Analog, "ds_cnn");
-    let mixed = measure(DeployConfig::Both, "ds_cnn");
+    let ana = measure(DeployConfig::Analog, "ds_cnn")?;
+    let mixed = measure(DeployConfig::Both, "ds_cnn")?;
     if let (Some(a), Some(m)) = (ana.full_ms, mixed.full_ms) {
         println!(
             "DS-CNN mixed vs analog-only: {:.1}x faster (paper: 8x)",
@@ -155,4 +167,5 @@ fn main() {
         );
     }
     let _ = EngineKind::Digital; // silence unused import on some cfgs
+    Ok(())
 }

@@ -19,12 +19,16 @@
 //! `htvm-kernels` implementation tiers over paper-representative shapes
 //! into `KERNELS_BENCH.json` (see [`kernels_bench`] and
 //! `docs/KERNELS.md`); `bench-diff --kernels BASE NEW` prints its deltas
-//! warn-only.
+//! warn-only. `--bin serve` soaks the `htvm-serve` compile service over
+//! a repeat-heavy zoo mix into `SERVE_BENCH.json` (see [`serve_bench`]
+//! and `docs/SERVING.md`); `bench-diff --serve BASE NEW` prints its
+//! deltas warn-only too.
 
 #![forbid(unsafe_code)]
 
 pub mod kernels_bench;
 pub mod report;
+pub mod serve_bench;
 
 use htvm::{Artifact, CompileError, Compiler, DeployConfig, Machine, RunReport};
 use htvm_models::{Model, QuantScheme};

@@ -14,13 +14,85 @@
 //! [`TileCache`]: htvm::TileCache
 
 use htvm::{
-    tracks, CompileError, Compiler, DeployConfig, EnergyConfig, LowerError, Machine, TimeDomain,
+    tracks, CompileError, Compiler, DeployConfig, EnergyConfig, LowerError, Machine, RunError,
+    TimeDomain,
 };
-use htvm_models::{all_models, Model};
+use htvm_models::{all_models, Model, ModelError};
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use std::time::Instant;
 
 use crate::scheme_for;
+
+/// An entry could not be measured. The expected plain-TVM MobileNet
+/// out-of-memory failure is *not* an error — it is recorded as a normal
+/// entry with status `oom` — so any of these aborts the sweep with a
+/// value callers can print, instead of a library `panic!` inside a bin.
+#[derive(Debug)]
+pub enum ReportError {
+    /// The zoo model failed IR verification before compilation.
+    Model(ModelError),
+    /// Compilation failed for a reason other than the expected OOM.
+    Compile {
+        /// Model name.
+        model: String,
+        /// Deployment configuration id.
+        deploy: &'static str,
+        /// The underlying compiler error.
+        error: CompileError,
+    },
+    /// The compiled program rejected the model's own input. Boxed: the
+    /// simulator error carries per-layer context and would otherwise
+    /// dominate the size of every `Result` on the collect path.
+    Run {
+        /// Model name.
+        model: String,
+        /// Deployment configuration id.
+        deploy: &'static str,
+        /// The underlying simulator error.
+        error: Box<RunError>,
+    },
+}
+
+impl fmt::Display for ReportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReportError::Model(e) => write!(f, "{e}"),
+            ReportError::Compile {
+                model,
+                deploy,
+                error,
+            } => write!(
+                f,
+                "unexpected compile failure for {model}/{deploy}: {error}"
+            ),
+            ReportError::Run {
+                model,
+                deploy,
+                error,
+            } => write!(
+                f,
+                "compiled program for {model}/{deploy} rejected its own input: {error}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReportError::Model(e) => Some(e),
+            ReportError::Compile { error, .. } => Some(error),
+            ReportError::Run { error, .. } => Some(error),
+        }
+    }
+}
+
+impl From<ModelError> for ReportError {
+    fn from(e: ModelError) -> Self {
+        ReportError::Model(e)
+    }
+}
 
 /// Version of the `BENCH.json` schema. Bump when fields are added,
 /// removed or change meaning — `bench-diff` refuses to compare across
@@ -157,13 +229,14 @@ pub fn all_deploys() -> [DeployConfig; 4] {
 /// Measures one (model, deploy) pair: traced compile, then a simulated
 /// run under the default energy model.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on compile errors other than the expected plain-TVM
-/// out-of-memory case, and if the compiled program rejects the model's
-/// own input.
-#[must_use]
-pub fn collect_entry(model: &Model, deploy: DeployConfig) -> BenchEntry {
+/// Returns a [`ReportError`] when the model fails verification, when
+/// compilation fails for any reason other than the expected plain-TVM
+/// out-of-memory case (which becomes a normal `oom` entry), or when the
+/// compiled program rejects the model's own input.
+pub fn collect_entry(model: &Model, deploy: DeployConfig) -> Result<BenchEntry, ReportError> {
+    model.verify()?;
     let tracer = htvm::Tracer::new();
     let compiler = Compiler::new()
         .with_deploy(deploy)
@@ -218,7 +291,11 @@ pub fn collect_entry(model: &Model, deploy: DeployConfig) -> BenchEntry {
             let machine = Machine::new(*compiler.platform());
             let report = machine
                 .run(&artifact.program, &[model.input(7)])
-                .expect("compiled program accepts the model input");
+                .map_err(|error| ReportError::Run {
+                    model: model.name.to_owned(),
+                    deploy: deploy_id(deploy),
+                    error: Box::new(error),
+                })?;
             let energy = EnergyConfig::default();
             let layers = report
                 .layers
@@ -248,32 +325,41 @@ pub fn collect_entry(model: &Model, deploy: DeployConfig) -> BenchEntry {
             )
         }
         Err(CompileError::Lower(LowerError::OutOfMemory(_))) => ("oom".to_owned(), None),
-        Err(e) => panic!("unexpected compile failure for {}: {e}", model.name),
+        Err(error) => {
+            return Err(ReportError::Compile {
+                model: model.name.to_owned(),
+                deploy: deploy_id(deploy),
+                error,
+            })
+        }
     };
 
-    BenchEntry {
+    Ok(BenchEntry {
         model: model.name.to_owned(),
         deploy: deploy_id(deploy).to_owned(),
         scheme: format!("{:?}", model.scheme),
         status,
         compile,
         run,
-    }
+    })
 }
 
 /// Sweeps the full zoo × configuration matrix into a report.
-#[must_use]
-pub fn collect() -> BenchReport {
+///
+/// # Errors
+///
+/// Propagates the first [`ReportError`] from [`collect_entry`].
+pub fn collect() -> Result<BenchReport, ReportError> {
     let mut entries = Vec::new();
     for deploy in all_deploys() {
         for model in all_models(scheme_for(deploy)) {
-            entries.push(collect_entry(&model, deploy));
+            entries.push(collect_entry(&model, deploy)?);
         }
     }
-    BenchReport {
+    Ok(BenchReport {
         schema_version: BENCH_SCHEMA_VERSION,
         entries,
-    }
+    })
 }
 
 /// Tolerances for [`diff`].
@@ -534,7 +620,7 @@ mod tests {
     #[test]
     fn collect_entry_fills_phases_counters_and_layers() {
         let model = htvm_models::toyadmos_dae(QuantScheme::Int8);
-        let entry = collect_entry(&model, DeployConfig::Digital);
+        let entry = collect_entry(&model, DeployConfig::Digital).expect("healthy model measures");
         assert_eq!(entry.status, "ok");
         assert_eq!(entry.deploy, "digital");
         let run = entry.run.as_ref().expect("runs");
@@ -568,7 +654,7 @@ mod tests {
     #[test]
     fn oom_entries_keep_compile_observability() {
         let model = htvm_models::mobilenet_v1(QuantScheme::Int8);
-        let entry = collect_entry(&model, DeployConfig::CpuTvm);
+        let entry = collect_entry(&model, DeployConfig::CpuTvm).expect("oom is a normal entry");
         assert_eq!(entry.status, "oom");
         assert!(entry.run.is_none());
         assert!(
@@ -576,5 +662,22 @@ mod tests {
             "phases survive a failed lowering: {:?}",
             entry.compile.phases
         );
+    }
+
+    #[test]
+    fn broken_models_surface_as_typed_errors_not_panics() {
+        // Corrupt the graph through the serde round trip — the builder
+        // cannot produce an invalid graph, but a deserialized request
+        // (exactly what the serving path accepts) can carry one.
+        let mut model = htvm_models::toyadmos_dae(QuantScheme::Int8);
+        let mut text = serde_json::to_string(&model.graph).unwrap();
+        let needle = "\"inputs\":[";
+        let at = text.find(needle).unwrap() + needle.len();
+        let end = text[at..].find(']').unwrap() + at;
+        text.replace_range(at..end, "0,99999");
+        model.graph = serde_json::from_str(&text).unwrap();
+        let err = collect_entry(&model, DeployConfig::Digital).unwrap_err();
+        assert!(matches!(err, ReportError::Model(_)), "{err}");
+        assert!(err.to_string().contains("toyadmos_dae"), "{err}");
     }
 }

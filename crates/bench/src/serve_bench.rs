@@ -1,0 +1,298 @@
+//! The serving soak benchmark: throughput and latency of the
+//! `htvm-serve` compile service over a zoo-derived, repeat-heavy
+//! request mix, with and without the content-addressed artifact cache.
+//!
+//! Emitted as `SERVE_BENCH.json` — its own document with its own schema,
+//! like `KERNELS_BENCH.json` — and compared warn-only by
+//! `bench-diff --serve` (service throughput is host wall time; it never
+//! gates). The headline number is `speedup`: cached throughput over the
+//! no-cache baseline on the same mix, which the `serve` bin can enforce
+//! a floor on (`--min-speedup`).
+
+use htvm::DeployConfig;
+use htvm_models::all_models;
+use htvm_serve::{CompileService, JobRequest, ServeConfig, ServiceStats};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Schema version of `SERVE_BENCH.json`.
+pub const SERVE_SCHEMA_VERSION: u32 = 1;
+
+/// Knobs for one soak run.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeBenchConfig {
+    /// Total jobs in the mix (cycled over the distinct keys, so larger
+    /// values make the mix more repeat-heavy).
+    pub jobs: usize,
+    /// Worker threads in the service pool.
+    pub workers: usize,
+}
+
+impl Default for ServeBenchConfig {
+    fn default() -> Self {
+        ServeBenchConfig {
+            jobs: 60,
+            workers: 4,
+        }
+    }
+}
+
+/// Wall-clock measurements of one pass of the mix through a service.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ServeRunStats {
+    /// End-to-end wall time of the batch, in milliseconds.
+    pub wall_ms: f64,
+    /// Jobs per second over the batch.
+    pub throughput_jobs_per_s: f64,
+    /// Median per-job latency (queue wait + service time), microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile per-job latency, microseconds.
+    pub p99_us: u64,
+    /// 99th-percentile queue wait alone, microseconds.
+    pub queue_p99_us: u64,
+}
+
+/// The full soak report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Schema version ([`SERVE_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Jobs in the mix.
+    pub jobs: u64,
+    /// Worker threads used.
+    pub workers: u64,
+    /// Distinct `(model, deploy)` keys in the mix.
+    pub distinct_keys: u64,
+    /// The mix through a service with the artifact cache enabled.
+    pub cached: ServeRunStats,
+    /// The same mix through a zero-budget (never-admitting) cache.
+    pub uncached: ServeRunStats,
+    /// Cached throughput over uncached throughput.
+    pub speedup: f64,
+    /// Service counters from the cached run (artifact-cache hit/miss/
+    /// eviction counts, shared tile-cache counters).
+    pub stats: ServiceStats,
+}
+
+/// The zoo-derived request mix: every zoo model under the combined and
+/// digital-only deployments (with the Table I quantization recipe for
+/// each), cycled until `jobs` requests — so past the first cycle every
+/// request repeats an earlier key.
+#[must_use]
+pub fn request_mix(jobs: usize) -> Vec<JobRequest> {
+    let deploys = [DeployConfig::Both, DeployConfig::Digital];
+    let mut distinct = Vec::new();
+    for deploy in deploys {
+        for model in all_models(crate::scheme_for(deploy)) {
+            distinct.push((model, deploy));
+        }
+    }
+    (0..jobs)
+        .map(|i| {
+            let (model, deploy) = &distinct[i % distinct.len()];
+            JobRequest::compile_only(
+                &format!("{}/{:?}#{}", model.name, deploy, i / distinct.len()),
+                model.graph.clone(),
+                *deploy,
+            )
+        })
+        .collect()
+}
+
+/// Number of distinct keys [`request_mix`] draws from.
+#[must_use]
+pub fn distinct_keys() -> usize {
+    2 * all_models(htvm_models::QuantScheme::Mixed).len()
+}
+
+fn percentile(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (pct / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn run_mix(config: ServeBenchConfig, cache_budget_bytes: usize) -> (ServeRunStats, ServiceStats) {
+    let service = CompileService::new(ServeConfig {
+        workers: config.workers,
+        cache_budget_bytes,
+        tracer: htvm::Tracer::disabled(),
+    });
+    let jobs = request_mix(config.jobs);
+    let t0 = Instant::now();
+    let results = service.submit_batch(jobs);
+    let wall = t0.elapsed();
+
+    let mut latencies: Vec<u64> = Vec::with_capacity(results.len());
+    let mut queues: Vec<u64> = Vec::with_capacity(results.len());
+    for result in results {
+        let result = result.expect("zoo mix compiles");
+        latencies.push(result.queue_us + result.service_us);
+        queues.push(result.queue_us);
+    }
+    latencies.sort_unstable();
+    queues.sort_unstable();
+
+    let wall_s = wall.as_secs_f64();
+    let stats = ServeRunStats {
+        wall_ms: wall_s * 1e3,
+        throughput_jobs_per_s: config.jobs as f64 / wall_s.max(1e-9),
+        p50_us: percentile(&latencies, 50.0),
+        p99_us: percentile(&latencies, 99.0),
+        queue_p99_us: percentile(&queues, 99.0),
+    };
+    (stats, service.stats())
+}
+
+/// Runs the soak: the same repeat-heavy mix through a cached service and
+/// through a zero-budget (no-cache) service, on the same worker count.
+#[must_use]
+pub fn collect(config: ServeBenchConfig) -> ServeReport {
+    let (uncached, _) = run_mix(config, 0);
+    let (cached, stats) = run_mix(config, 256 << 20);
+    ServeReport {
+        schema_version: SERVE_SCHEMA_VERSION,
+        jobs: config.jobs as u64,
+        workers: config.workers as u64,
+        distinct_keys: distinct_keys() as u64,
+        speedup: cached.throughput_jobs_per_s / uncached.throughput_jobs_per_s.max(1e-9),
+        cached,
+        uncached,
+        stats,
+    }
+}
+
+/// Compares two soak reports. Purely informational — service throughput
+/// is host wall time, so `bench-diff --serve` prints these warn-only and
+/// they never affect the exit code.
+#[must_use]
+pub fn diff_serve(
+    base: &ServeReport,
+    new: &ServeReport,
+    tol_pct: f64,
+) -> (Vec<String>, Vec<String>) {
+    let mut warnings = Vec::new();
+    let mut improvements = Vec::new();
+    if base.schema_version != new.schema_version {
+        warnings.push(format!(
+            "serve bench schema changed: v{} -> v{}",
+            base.schema_version, new.schema_version
+        ));
+        return (warnings, improvements);
+    }
+    let metrics = [
+        (
+            "serve: cached throughput",
+            base.cached.throughput_jobs_per_s,
+            new.cached.throughput_jobs_per_s,
+            // Higher is better.
+            true,
+        ),
+        ("serve: cache speedup", base.speedup, new.speedup, true),
+        (
+            "serve: cached p99 latency",
+            base.cached.p99_us as f64,
+            new.cached.p99_us as f64,
+            false,
+        ),
+    ];
+    for (label, b, n, higher_is_better) in metrics {
+        if b <= 0.0 {
+            continue;
+        }
+        let delta_pct = (n - b) / b * 100.0;
+        let regressed = if higher_is_better {
+            delta_pct < -tol_pct
+        } else {
+            delta_pct > tol_pct
+        };
+        let improved = if higher_is_better {
+            delta_pct > tol_pct
+        } else {
+            delta_pct < -tol_pct
+        };
+        if regressed {
+            warnings.push(format!(
+                "{label} regressed {delta_pct:+.1}% ({b:.1} -> {n:.1})"
+            ));
+        } else if improved {
+            improvements.push(format!(
+                "{label} improved {delta_pct:+.1}% ({b:.1} -> {n:.1})"
+            ));
+        }
+    }
+    (warnings, improvements)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_repeat_heavy_and_labeled() {
+        let jobs = request_mix(2 * distinct_keys() + 3);
+        assert_eq!(jobs.len(), 2 * distinct_keys() + 3);
+        // The first cycle is all-distinct, later cycles repeat it.
+        assert!(jobs[0].name.ends_with("#0"));
+        assert!(jobs[distinct_keys()].name.ends_with("#1"));
+    }
+
+    #[test]
+    fn soak_small_mix_reports_hits_and_speedup() {
+        let report = collect(ServeBenchConfig {
+            jobs: distinct_keys() * 3,
+            workers: 2,
+        });
+        assert_eq!(report.schema_version, SERVE_SCHEMA_VERSION);
+        assert_eq!(report.stats.artifact_cache.misses, report.distinct_keys);
+        assert_eq!(
+            report.stats.artifact_cache.hits,
+            report.jobs - report.distinct_keys
+        );
+        assert!(report.cached.throughput_jobs_per_s > 0.0);
+        assert!(report.speedup > 1.0, "cache must help: {:#?}", report);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: ServeReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.jobs, report.jobs);
+    }
+
+    #[test]
+    fn diff_serve_warns_on_regression_and_praises_improvement() {
+        let report = ServeReport {
+            schema_version: SERVE_SCHEMA_VERSION,
+            jobs: 10,
+            workers: 2,
+            distinct_keys: 5,
+            cached: ServeRunStats {
+                wall_ms: 100.0,
+                throughput_jobs_per_s: 100.0,
+                p50_us: 50,
+                p99_us: 500,
+                queue_p99_us: 10,
+            },
+            uncached: ServeRunStats {
+                wall_ms: 1000.0,
+                throughput_jobs_per_s: 10.0,
+                p50_us: 500,
+                p99_us: 5000,
+                queue_p99_us: 10,
+            },
+            speedup: 10.0,
+            stats: Default::default(),
+        };
+        let mut slower = report.clone();
+        slower.cached.throughput_jobs_per_s = 10.0;
+        slower.speedup = 1.0;
+        slower.cached.p99_us = 5000;
+        let (warn, good) = diff_serve(&report, &slower, 20.0);
+        assert_eq!(warn.len(), 3, "{warn:?}");
+        assert!(good.is_empty());
+        let (warn, good) = diff_serve(&slower, &report, 20.0);
+        assert!(warn.is_empty());
+        assert_eq!(good.len(), 3, "{good:?}");
+        // Identical reports are silent.
+        let (warn, good) = diff_serve(&report, &report, 20.0);
+        assert!(warn.is_empty() && good.is_empty());
+    }
+}

@@ -209,6 +209,15 @@ impl Compiler {
         self.deploy
     }
 
+    /// The lowering options this compiler passes to the DORY backend —
+    /// the part of the compiler's configuration (beyond platform and
+    /// deployment) that determines artifact bytes, which cache keys must
+    /// therefore cover.
+    #[must_use]
+    pub fn lower_options(&self) -> &LowerOptions {
+        &self.lower_opts
+    }
+
     /// Compiles a graph to a deployment artifact.
     ///
     /// Pipeline (paper Fig. 1): verify → constant-fold / DCE → pattern

@@ -62,7 +62,7 @@ pub use htvm_codegen::{
     LowerOptions,
 };
 pub use htvm_dory::{
-    LayerGeometry, LayerKind, MemoryBudget, TileCache, TileConfig, TilingObjective,
+    LayerGeometry, LayerKind, MemoryBudget, TileCache, TileCacheStats, TileConfig, TilingObjective,
 };
 pub use htvm_ir::{DType, Graph, GraphBuilder, IrError, Tensor};
 pub use htvm_soc::{

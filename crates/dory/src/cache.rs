@@ -171,6 +171,35 @@ impl TileCache {
     pub fn clear(&self) {
         self.inner.map.lock().expect("tile cache poisoned").clear();
     }
+
+    /// A point-in-time snapshot of the cache's counters, in a plain
+    /// serializable struct — service stats endpoints and bench reports
+    /// embed this rather than holding the live cache.
+    #[must_use]
+    pub fn stats(&self) -> TileCacheStats {
+        TileCacheStats {
+            entries: self.len() as u64,
+            solves: self.solves(),
+            hits: self.hits(),
+            negatives: self.negatives(),
+            negative_hits: self.negative_hits(),
+        }
+    }
+}
+
+/// Snapshot of a [`TileCache`]'s counters (see [`TileCache::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TileCacheStats {
+    /// Distinct solve inputs currently stored.
+    pub entries: u64,
+    /// Solves performed (misses) over the cache's lifetime.
+    pub solves: u64,
+    /// Lookups answered from the table.
+    pub hits: u64,
+    /// Infeasible outcomes recorded.
+    pub negatives: u64,
+    /// Lookups answered from a negative entry.
+    pub negative_hits: u64,
 }
 
 impl fmt::Debug for TileCache {

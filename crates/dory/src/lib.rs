@@ -51,7 +51,7 @@ mod solver;
 mod tile;
 
 pub use budget::{tile_fits, tile_memory, ArrayDims, MemoryBudget, TileMemory};
-pub use cache::TileCache;
+pub use cache::{TileCache, TileCacheStats};
 pub use error::TilingError;
 pub use geometry::{LayerGeometry, LayerKind};
 pub use objective::{Heuristic, TilingObjective};

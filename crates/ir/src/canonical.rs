@@ -1,0 +1,262 @@
+//! Canonical structural encoding and hashing of graphs.
+//!
+//! A [`Graph`]'s node ids are construction-order indices: two programs
+//! that build the *same* network but interleave their `constant` /
+//! `input` / op calls differently produce permuted node tables. Anything
+//! that wants to recognize "the same graph" across such permutations — a
+//! compile-artifact cache keyed by graph content, a deduplicating model
+//! registry — needs an encoding that depends only on structure.
+//!
+//! [`canonical_form`] produces exactly that: nodes are renumbered by a
+//! deterministic depth-first walk from the graph outputs (operands before
+//! users, outputs in declaration order), so any two graphs that are
+//! isomorphic under a node-id permutation encode to identical bytes, and
+//! any structural difference — operator, attribute, shape, dtype, wiring,
+//! constant payload, node or input *names* (names flow into emitted
+//! program steps, so they are part of the product) — changes the bytes.
+//! Constant payloads enter the encoding as a 128-bit FNV-1a digest rather
+//! than verbatim, keeping the form cheap to build for weight-heavy
+//! graphs (one pass over the data, a few hundred bytes per node).
+//!
+//! [`canonical_hash`] is the FNV-1a 128 digest of the form — the
+//! content-address used by `htvm-serve`'s artifact cache.
+
+use crate::{Graph, NodeId, NodeKind};
+use std::fmt::Write as _;
+
+const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV128_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// FNV-1a 128-bit digest of a byte string. Deterministic across runs,
+/// platforms and Rust versions (unlike `DefaultHasher`), which is what a
+/// persistent or cross-process content address requires.
+#[must_use]
+pub fn fnv128(bytes: &[u8]) -> u128 {
+    let mut h = FNV128_OFFSET;
+    for &b in bytes {
+        h ^= u128::from(b);
+        h = h.wrapping_mul(FNV128_PRIME);
+    }
+    h
+}
+
+/// Canonical byte encoding of a graph (see the module docs).
+///
+/// Properties:
+/// - **Permutation-stable**: renumbering nodes in any valid topological
+///   order leaves the encoding unchanged.
+/// - **Structure-complete**: operators with all attributes, dtypes,
+///   shapes, wiring (by canonical index, so DAG sharing is preserved —
+///   `add(x, x)` and `add(x, y)` encode differently even when `x` and
+///   `y` hold identical values), node names, input/output signatures and
+///   constant payload digests all participate.
+#[must_use]
+pub fn canonical_form(graph: &Graph) -> Vec<u8> {
+    // Deterministic DFS post-order from the outputs: canonical index =
+    // first-completion order. A Vec keyed by raw id (graphs are dense)
+    // keeps the walk allocation-cheap and iteration-order-free.
+    let mut canon: Vec<Option<usize>> = vec![None; graph.len()];
+    let mut order: Vec<NodeId> = Vec::with_capacity(graph.len());
+    let visit = |root: NodeId, canon: &mut Vec<Option<usize>>, order: &mut Vec<NodeId>| {
+        if canon[root.index()].is_some() {
+            return;
+        }
+        // Explicit stack: zoo graphs are chains hundreds of nodes deep.
+        let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
+        while let Some(&mut (id, ref mut next)) = stack.last_mut() {
+            let inputs = graph.node(id).inputs();
+            if *next < inputs.len() {
+                let child = inputs[*next];
+                *next += 1;
+                if canon[child.index()].is_none() {
+                    stack.push((child, 0));
+                }
+            } else {
+                stack.pop();
+                if canon[id.index()].is_none() {
+                    canon[id.index()] = Some(order.len());
+                    order.push(id);
+                }
+            }
+        }
+    };
+    for &out in graph.outputs() {
+        visit(out, &mut canon, &mut order);
+    }
+    // Nodes unreachable from any output (dead ops, unused inputs) still
+    // affect program signatures and buffer tables: append them in their
+    // relative original order, which is itself structural (the order of
+    // the graph's input/constant declarations).
+    for (id, _) in graph.nodes() {
+        visit(id, &mut canon, &mut order);
+    }
+
+    let mut s = String::with_capacity(graph.len() * 48);
+    for (idx, &id) in order.iter().enumerate() {
+        let n = graph.node(id);
+        let _ = write!(s, "%{idx}={}:{}{};", n.name, n.dtype, n.shape);
+        match &n.kind {
+            NodeKind::Input => s.push_str("input\n"),
+            NodeKind::Constant(t) => {
+                let mut bytes = Vec::with_capacity(t.data().len() * 4);
+                for v in t.data() {
+                    bytes.extend_from_slice(&v.to_le_bytes());
+                }
+                let _ = writeln!(s, "const#{:032x}", fnv128(&bytes));
+            }
+            NodeKind::Op { op, inputs } => {
+                let attrs = serde_json::to_string(op).expect("ops are serializable");
+                let args: Vec<String> = inputs
+                    .iter()
+                    .map(|i| format!("%{}", canon[i.index()].expect("operand visited first")))
+                    .collect();
+                let _ = writeln!(s, "{}({})", attrs, args.join(","));
+            }
+        }
+    }
+    let sig = |ids: &[NodeId]| -> Vec<String> {
+        ids.iter()
+            .map(|i| format!("%{}", canon[i.index()].expect("all nodes numbered")))
+            .collect()
+    };
+    let _ = writeln!(s, "inputs({})", sig(graph.inputs()).join(","));
+    let _ = writeln!(s, "outputs({})", sig(graph.outputs()).join(","));
+    s.into_bytes()
+}
+
+/// The 128-bit content address of a graph: [`fnv128`] over
+/// [`canonical_form`]. Equal for node-id-permuted builds of the same
+/// network, different for any structural change.
+#[must_use]
+pub fn canonical_hash(graph: &Graph) -> u128 {
+    fnv128(&canonical_form(graph))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DType, GraphBuilder, Tensor};
+
+    /// conv(+bias) built with operands declared in the given order.
+    fn conv_graph(weights_first: bool) -> Graph {
+        let mut b = GraphBuilder::new();
+        let (x, w, bias) = if weights_first {
+            let w = b.constant("w", Tensor::zeros(DType::I8, &[4, 3, 3, 3]));
+            let bias = b.constant("b", Tensor::zeros(DType::I32, &[4]));
+            let x = b.input("x", &[3, 8, 8], DType::I8);
+            (x, w, bias)
+        } else {
+            let x = b.input("x", &[3, 8, 8], DType::I8);
+            let w = b.constant("w", Tensor::zeros(DType::I8, &[4, 3, 3, 3]));
+            let bias = b.constant("b", Tensor::zeros(DType::I32, &[4]));
+            (x, w, bias)
+        };
+        let c = b.conv2d(x, w, (1, 1), (1, 1, 1, 1)).unwrap();
+        let c = b.bias_add(c, bias).unwrap();
+        let q = b.requantize(c, 7, true).unwrap();
+        b.finish(&[q]).unwrap()
+    }
+
+    #[test]
+    fn hash_is_stable_under_node_id_permutation() {
+        let a = conv_graph(false);
+        let b = conv_graph(true);
+        assert_ne!(
+            a.nodes().map(|(_, n)| n.name.clone()).collect::<Vec<_>>(),
+            b.nodes().map(|(_, n)| n.name.clone()).collect::<Vec<_>>(),
+            "the two builds really do permute the node table"
+        );
+        assert_eq!(canonical_form(&a), canonical_form(&b));
+        assert_eq!(canonical_hash(&a), canonical_hash(&b));
+    }
+
+    #[test]
+    fn hash_is_deterministic_across_calls() {
+        let g = conv_graph(false);
+        assert_eq!(canonical_hash(&g), canonical_hash(&g));
+    }
+
+    #[test]
+    fn attributes_payloads_and_names_all_matter() {
+        let base = conv_graph(false);
+        // Different stride.
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", &[3, 8, 8], DType::I8);
+        let w = b.constant("w", Tensor::zeros(DType::I8, &[4, 3, 3, 3]));
+        let bias = b.constant("b", Tensor::zeros(DType::I32, &[4]));
+        let c = b.conv2d(x, w, (2, 2), (1, 1, 1, 1)).unwrap();
+        let c = b.bias_add(c, bias).unwrap();
+        let q = b.requantize(c, 7, true).unwrap();
+        let strided = b.finish(&[q]).unwrap();
+        assert_ne!(canonical_hash(&base), canonical_hash(&strided));
+
+        // Different constant payload, same shape/dtype.
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", &[3, 8, 8], DType::I8);
+        let mut wt = Tensor::zeros(DType::I8, &[4, 3, 3, 3]);
+        wt.data_mut()[0] = 1;
+        let w = b.constant("w", wt);
+        let bias = b.constant("b", Tensor::zeros(DType::I32, &[4]));
+        let c = b.conv2d(x, w, (1, 1), (1, 1, 1, 1)).unwrap();
+        let c = b.bias_add(c, bias).unwrap();
+        let q = b.requantize(c, 7, true).unwrap();
+        let payload = b.finish(&[q]).unwrap();
+        assert_ne!(canonical_hash(&base), canonical_hash(&payload));
+
+        // Different input name (names become program step/buffer names).
+        let mut b = GraphBuilder::new();
+        let x = b.input("mfcc", &[3, 8, 8], DType::I8);
+        let w = b.constant("w", Tensor::zeros(DType::I8, &[4, 3, 3, 3]));
+        let bias = b.constant("b", Tensor::zeros(DType::I32, &[4]));
+        let c = b.conv2d(x, w, (1, 1), (1, 1, 1, 1)).unwrap();
+        let c = b.bias_add(c, bias).unwrap();
+        let q = b.requantize(c, 7, true).unwrap();
+        let renamed = b.finish(&[q]).unwrap();
+        assert_ne!(canonical_hash(&base), canonical_hash(&renamed));
+    }
+
+    #[test]
+    fn dag_sharing_is_distinguished_from_duplication() {
+        // add(c, c): one shared constant.
+        let mut b = GraphBuilder::new();
+        let c = b.constant("c", Tensor::zeros(DType::I32, &[4]));
+        let s = b.add(c, c).unwrap();
+        let shared = b.finish(&[s]).unwrap();
+        // add(c, c'): two identical-content constants.
+        let mut b = GraphBuilder::new();
+        let c1 = b.constant("c", Tensor::zeros(DType::I32, &[4]));
+        let c2 = b.constant("c", Tensor::zeros(DType::I32, &[4]));
+        let s = b.add(c1, c2).unwrap();
+        let duplicated = b.finish(&[s]).unwrap();
+        assert_ne!(canonical_hash(&shared), canonical_hash(&duplicated));
+    }
+
+    #[test]
+    fn unreachable_inputs_still_participate() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", &[4], DType::I8);
+        let _unused = b.input("extra", &[2], DType::I8);
+        let r = b.relu(x).unwrap();
+        let with_extra = b.finish(&[r]).unwrap();
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", &[4], DType::I8);
+        let r = b.relu(x).unwrap();
+        let without = b.finish(&[r]).unwrap();
+        assert_ne!(canonical_hash(&with_extra), canonical_hash(&without));
+    }
+
+    #[test]
+    fn zoo_scale_graphs_hash_quickly_and_distinctly() {
+        // A moderately deep chain exercises the iterative DFS.
+        let mut b = GraphBuilder::new();
+        let mut y = b.input("x", &[640], DType::I8);
+        for i in 0..64 {
+            let w = b.constant("w", Tensor::zeros(DType::I8, &[640, 640]));
+            y = b.dense(y, w).unwrap();
+            y = b.requantize(y, 10 + (i % 3) as u32, true).unwrap();
+        }
+        let g = b.finish(&[y]).unwrap();
+        let h = canonical_hash(&g);
+        assert_ne!(h, 0);
+    }
+}

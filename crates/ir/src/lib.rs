@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 mod builder;
+pub mod canonical;
 mod dot;
 mod dtype;
 mod error;
@@ -53,6 +54,7 @@ mod shape;
 mod tensor;
 
 pub use builder::GraphBuilder;
+pub use canonical::{canonical_form, canonical_hash, fnv128};
 pub use dtype::DType;
 pub use error::IrError;
 pub use graph::{Graph, Node, NodeId, NodeKind};

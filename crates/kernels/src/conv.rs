@@ -291,7 +291,7 @@ fn validate_conv(
 
 /// Accumulates a 2-D convolution over sub-ranges of the output and input
 /// channels into an `i32` output tensor, dispatching to the fastest
-/// applicable tier (see the [module docs](self)).
+/// applicable tier (see the [crate docs](crate)).
 ///
 /// This is the building block for tiled execution: the SoC simulator calls
 /// it once per tile with the tile's `k`/`oy`/`ox`/`c` ranges, and summing

@@ -54,7 +54,7 @@ pub use error::EvalError;
 pub use exec::evaluate;
 pub use gemm::{gemm_accumulate, MR};
 pub use im2col::{conv2d_im2col, im2col};
-pub use policy::{num_threads, KernelPolicy, KernelTier};
+pub use policy::{num_threads, parse_num_threads, parse_tier, KernelPolicy, KernelTier};
 pub use pool::pool2d;
 pub use scratch::KernelScratch;
 pub use softmax::softmax;

@@ -110,8 +110,79 @@ impl KernelPolicy {
     }
 }
 
+/// The machine's logical CPU count — the documented default when
+/// `HTVM_NUM_THREADS` is unset or invalid.
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Parses an `HTVM_NUM_THREADS` value. Pure so the rejection rules are
+/// unit-testable without touching the process environment.
+///
+/// # Errors
+///
+/// Anything that is not a positive integer — `0`, negatives, non-numeric
+/// strings, empty — is an error carrying a human-readable reason.
+pub fn parse_num_threads(raw: &str) -> Result<usize, String> {
+    let trimmed = raw.trim();
+    match trimmed.parse::<usize>() {
+        Ok(0) => Err(format!(
+            "HTVM_NUM_THREADS={trimmed:?} is zero; need a positive thread count"
+        )),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "HTVM_NUM_THREADS={trimmed:?} is not a positive integer"
+        )),
+    }
+}
+
+/// Parses an `HTVM_KERNEL_TIER` value (case-insensitive). Pure for the
+/// same reason as [`parse_num_threads`].
+///
+/// `auto` (or empty) explicitly requests automatic shape-based
+/// selection, same as leaving the variable unset.
+///
+/// # Errors
+///
+/// Unknown tier names are errors listing the accepted values.
+pub fn parse_tier(raw: &str) -> Result<Option<KernelTier>, String> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "reference" => Ok(Some(KernelTier::Reference)),
+        "direct" => Ok(Some(KernelTier::Direct)),
+        "gemm" => Ok(Some(KernelTier::Im2colGemm)),
+        "auto" | "" => Ok(None),
+        other => Err(format!(
+            "HTVM_KERNEL_TIER={other:?} is not a known tier \
+             (expected reference, direct, gemm or auto)"
+        )),
+    }
+}
+
+/// Prints `warning` to stderr the first time each distinct message is
+/// seen. The kernels re-read the environment on every dispatch (so tests
+/// can flip the variables mid-process), but a long-lived serving process
+/// with a misconfigured environment must not log on every layer of every
+/// job.
+fn warn_once(warning: &str) {
+    use std::collections::BTreeSet;
+    use std::sync::{Mutex, OnceLock};
+    static SEEN: OnceLock<Mutex<BTreeSet<String>>> = OnceLock::new();
+    let mut seen = SEEN
+        .get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if seen.insert(warning.to_owned()) {
+        eprintln!("htvm-kernels: warning: {warning}");
+    }
+}
+
 /// Worker threads available to the kernels: `HTVM_NUM_THREADS` when set
-/// (clamped to at least 1), otherwise the machine's logical CPU count.
+/// to a positive integer, otherwise the machine's logical CPU count.
+/// Invalid values (zero, negative, non-numeric) warn once on stderr and
+/// fall back to the CPU-count default instead of being silently
+/// swallowed.
 ///
 /// Read per call rather than cached so tests can flip the variable
 /// mid-process; the kernels' outputs are bit-identical at any thread
@@ -119,23 +190,25 @@ impl KernelPolicy {
 #[must_use]
 pub fn num_threads() -> usize {
     match std::env::var("HTVM_NUM_THREADS") {
-        Ok(v) => v.trim().parse::<usize>().unwrap_or(1).max(1),
-        Err(_) => std::thread::available_parallelism()
-            .map(NonZeroUsize::get)
-            .unwrap_or(1),
+        Ok(v) => parse_num_threads(&v).unwrap_or_else(|warning| {
+            let fallback = default_threads();
+            warn_once(&format!("{warning}; using {fallback} (logical CPU count)"));
+            fallback
+        }),
+        Err(_) => default_threads(),
     }
 }
 
-/// `HTVM_KERNEL_TIER` override (`reference`, `direct`, `gemm`); anything
-/// else — including unset — means automatic shape-based selection. Used
-/// by the kernel microbenchmark to time tiers in isolation.
+/// `HTVM_KERNEL_TIER` override (`reference`, `direct`, `gemm`; `auto` or
+/// unset means automatic shape-based selection). Unknown values warn
+/// once on stderr and fall back to automatic selection. Used by the
+/// kernel microbenchmark to time tiers in isolation.
 fn tier_override() -> Option<KernelTier> {
-    match std::env::var("HTVM_KERNEL_TIER").ok()?.trim() {
-        "reference" => Some(KernelTier::Reference),
-        "direct" => Some(KernelTier::Direct),
-        "gemm" => Some(KernelTier::Im2colGemm),
-        _ => None,
-    }
+    let raw = std::env::var("HTVM_KERNEL_TIER").ok()?;
+    parse_tier(&raw).unwrap_or_else(|warning| {
+        warn_once(&format!("{warning}; using automatic selection"));
+        None
+    })
 }
 
 #[cfg(test)]
@@ -160,5 +233,46 @@ mod tests {
     #[test]
     fn num_threads_is_at_least_one() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn parse_num_threads_accepts_positive_integers() {
+        assert_eq!(parse_num_threads("1"), Ok(1));
+        assert_eq!(parse_num_threads(" 8 "), Ok(8));
+        assert_eq!(parse_num_threads("128"), Ok(128));
+    }
+
+    #[test]
+    fn parse_num_threads_rejects_everything_else() {
+        for bad in ["0", "-2", "", "  ", "four", "2.5", "1e3", "+-1"] {
+            let err = parse_num_threads(bad).unwrap_err();
+            assert!(
+                err.contains("HTVM_NUM_THREADS"),
+                "warning should name the variable: {err}"
+            );
+        }
+        // Zero gets the specific "need a positive" message.
+        assert!(parse_num_threads("0").unwrap_err().contains("zero"));
+    }
+
+    #[test]
+    fn parse_tier_accepts_known_names_case_insensitively() {
+        assert_eq!(parse_tier("reference"), Ok(Some(KernelTier::Reference)));
+        assert_eq!(parse_tier("Direct"), Ok(Some(KernelTier::Direct)));
+        assert_eq!(parse_tier(" GEMM "), Ok(Some(KernelTier::Im2colGemm)));
+        assert_eq!(parse_tier("auto"), Ok(None));
+        assert_eq!(parse_tier(""), Ok(None));
+    }
+
+    #[test]
+    fn parse_tier_rejects_unknown_names_with_the_menu() {
+        for bad in ["fast", "im2col", "gem", "0"] {
+            let err = parse_tier(bad).unwrap_err();
+            assert!(err.contains("HTVM_KERNEL_TIER"), "{err}");
+            assert!(
+                err.contains("reference") && err.contains("gemm"),
+                "warning should list accepted values: {err}"
+            );
+        }
     }
 }

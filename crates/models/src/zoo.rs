@@ -43,6 +43,50 @@ impl Model {
     pub fn input(&self, seed: u64) -> Tensor {
         random_input(seed, &self.input_dims)
     }
+
+    /// Runs the IR verifier over the model's graph, reporting which model
+    /// failed. Library callers (bench bins, the serving path) get a
+    /// `Result` they can surface instead of a process abort.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`htvm_ir::IrError`] annotated with the model name
+    /// when the graph fails verification.
+    pub fn verify(&self) -> Result<(), ModelError> {
+        htvm_ir::passes::verify(&self.graph).map_err(|error| ModelError {
+            model: self.name,
+            scheme: self.scheme,
+            error,
+        })
+    }
+}
+
+/// A zoo model failed verification: the underlying IR error plus which
+/// model/scheme produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelError {
+    /// The failing model's stable name.
+    pub model: &'static str,
+    /// The scheme the model was built with.
+    pub scheme: QuantScheme,
+    /// The underlying verifier error.
+    pub error: htvm_ir::IrError,
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "model {} ({:?}) failed verification: {}",
+            self.model, self.scheme, self.error
+        )
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
 }
 
 /// Builder tracking the accelerator-eligible layer index for the mixed
@@ -348,15 +392,31 @@ pub fn all_models(scheme: QuantScheme) -> Vec<Model> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use htvm_ir::passes::verify;
 
     #[test]
     fn all_models_verify() {
         for scheme in [QuantScheme::Int8, QuantScheme::Ternary, QuantScheme::Mixed] {
             for m in all_models(scheme) {
-                verify(&m.graph).unwrap_or_else(|e| panic!("{} ({scheme:?}): {e}", m.name));
+                assert_eq!(m.verify(), Ok(()));
             }
         }
+    }
+
+    #[test]
+    fn model_verify_reports_the_failing_model() {
+        // Corrupt a model's graph through the serde round trip (the
+        // builder cannot produce an invalid graph directly).
+        let mut m = ds_cnn(QuantScheme::Int8);
+        let mut text = serde_json::to_string(&m.graph).unwrap();
+        // Point the first conv's second operand at a dangling node id.
+        let needle = "\"inputs\":[";
+        let at = text.find(needle).unwrap() + needle.len();
+        let end = text[at..].find(']').unwrap() + at;
+        text.replace_range(at..end, "0,99999");
+        m.graph = serde_json::from_str(&text).unwrap();
+        let err = m.verify().unwrap_err();
+        assert_eq!(err.model, "ds_cnn");
+        assert!(err.to_string().contains("ds_cnn"), "{err}");
     }
 
     #[test]

@@ -17,16 +17,19 @@
 //! The paper's Listing 1, transcribed:
 //!
 //! ```
-//! use htvm_pattern::{is_constant, is_op, wildcard};
+//! use htvm_pattern::{is_constant, is_op, wildcard, PatternError};
 //! use htvm_ir::AttrValue;
 //!
+//! # fn main() -> Result<(), PatternError> {
 //! let conv2d = is_op("nn.conv2d", vec![wildcard(), is_constant()]);
 //! let bias_add = is_op("nn.bias_add", vec![conv2d, is_constant()]);
 //! let right_shift = is_op("right_shift", vec![bias_add]);
 //! let clip = is_op("clip", vec![right_shift]);
-//! let cast = is_op("cast", vec![clip]).has_attr("dtype", AttrValue::Str("i8".into()));
+//! let cast = is_op("cast", vec![clip]).has_attr("dtype", AttrValue::Str("i8".into()))?;
 //! let act_or_cast = cast.optional("nn.relu");
 //! assert!(act_or_cast.to_string().starts_with("optional(nn.relu)"));
+//! # Ok(())
+//! # }
 //! ```
 
 #![forbid(unsafe_code)]
@@ -38,4 +41,4 @@ mod pattern;
 
 pub use matcher::{match_at, Match};
 pub use partition::{partition, PartitionedGraph, Region};
-pub use pattern::{is_constant, is_op, wildcard, NamedPattern, Pattern};
+pub use pattern::{is_constant, is_op, wildcard, NamedPattern, Pattern, PatternError};

@@ -157,7 +157,9 @@ mod tests {
         let bias_add = is_op("nn.bias_add", vec![conv2d, is_constant()]);
         let right_shift = is_op("right_shift", vec![bias_add]);
         let clip = is_op("clip", vec![right_shift]);
-        let cast = is_op("cast", vec![clip]).has_attr("dtype", AttrValue::Str("i8".into()));
+        let cast = is_op("cast", vec![clip])
+            .has_attr("dtype", AttrValue::Str("i8".into()))
+            .unwrap();
         cast.optional("nn.relu")
     }
 
@@ -185,7 +187,9 @@ mod tests {
         let bias_add = is_op("nn.bias_add", vec![conv2d, is_constant()]);
         let right_shift = is_op("right_shift", vec![bias_add]);
         let clip = is_op("clip", vec![right_shift]);
-        let cast = is_op("cast", vec![clip]).has_attr("dtype", AttrValue::Str("i32".into()));
+        let cast = is_op("cast", vec![clip])
+            .has_attr("dtype", AttrValue::Str("i32".into()))
+            .unwrap();
         assert!(match_at(&g, &cast, root).is_none());
     }
 

@@ -79,21 +79,56 @@ pub fn is_op(name: &str, args: Vec<Pattern>) -> Pattern {
     }
 }
 
+/// Errors raised while *constructing* patterns.
+///
+/// Dispatch rules are caller-supplied (accelerator tables, service
+/// requests), so a malformed pattern must surface as a value the caller
+/// can report, not abort the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternError {
+    /// `has_attr` was applied to a pattern that is not an `is_op`
+    /// application — wildcards, constants and combinators have no
+    /// attribute table to constrain.
+    AttrOnNonOp {
+        /// Display form of the offending pattern.
+        pattern: String,
+        /// The attribute name that was being attached.
+        attr: String,
+    },
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternError::AttrOnNonOp { pattern, attr } => write!(
+                f,
+                "has_attr(\"{attr}\") can only be applied to is_op patterns, \
+                 not to `{pattern}`"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PatternError {}
+
 impl Pattern {
     /// Adds an attribute equality predicate to an op pattern.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if applied to a non-op pattern (a usage bug caught at pattern
-    /// construction time).
-    #[must_use]
-    pub fn has_attr(mut self, name: &str, value: AttrValue) -> Pattern {
+    /// Returns [`PatternError::AttrOnNonOp`] if applied to anything other
+    /// than an [`is_op`] pattern — the predicate would have nothing to
+    /// constrain.
+    pub fn has_attr(mut self, name: &str, value: AttrValue) -> Result<Pattern, PatternError> {
         match &mut self {
             Pattern::Op { attrs, .. } => {
                 attrs.push((name.to_owned(), value));
-                self
+                Ok(self)
             }
-            _ => panic!("has_attr can only be applied to is_op patterns"),
+            _ => Err(PatternError::AttrOnNonOp {
+                pattern: self.to_string(),
+                attr: name.to_owned(),
+            }),
         }
     }
 
@@ -225,8 +260,35 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "has_attr can only be applied")]
-    fn has_attr_on_wildcard_panics() {
-        let _ = wildcard().has_attr("dtype", AttrValue::Int(1));
+    fn has_attr_on_op_accumulates() {
+        let p = is_op("cast", vec![wildcard()])
+            .has_attr("dtype", AttrValue::Str("i8".into()))
+            .unwrap();
+        match &p {
+            Pattern::Op { attrs, .. } => assert_eq!(attrs.len(), 1),
+            other => panic!("expected op pattern, got {other}"),
+        }
+    }
+
+    #[test]
+    fn has_attr_on_non_op_is_a_typed_error() {
+        for bad in [
+            wildcard(),
+            is_constant(),
+            is_op("nn.relu", vec![wildcard()]).optional("clip"),
+            wildcard().or(is_constant()),
+        ] {
+            let display = bad.to_string();
+            let err = bad.has_attr("dtype", AttrValue::Int(1)).unwrap_err();
+            assert_eq!(
+                err,
+                PatternError::AttrOnNonOp {
+                    pattern: display,
+                    attr: "dtype".to_owned(),
+                }
+            );
+            let msg = err.to_string();
+            assert!(msg.contains("is_op"), "unhelpful message: {msg}");
+        }
     }
 }

@@ -1,0 +1,272 @@
+//! The content-addressed artifact cache.
+//!
+//! Maps [`ArtifactKey`] → [`Artifact`] under a byte budget with
+//! least-recently-used eviction. Sizes are measured as the serialized
+//! length of the artifact — the same serde encoding the byte-identity
+//! tests compare — so the budget bounds what a client would actually
+//! receive over the wire, not Rust in-memory overhead.
+//!
+//! The cache is internally synchronized: one instance is shared by every
+//! worker thread of a [`CompileService`](crate::CompileService). All
+//! operations take the lock once and do O(entries) work at worst (the
+//! LRU victim scan), which is fine at the few-hundred-entry scale a
+//! byte-budgeted artifact cache reaches.
+
+use crate::key::ArtifactKey;
+use htvm::Artifact;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Counters and occupancy of an [`ArtifactCache`], serializable for
+/// bench reports and service stats.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArtifactCacheStats {
+    /// Artifacts currently resident.
+    pub entries: u64,
+    /// Serialized bytes currently resident.
+    pub bytes: u64,
+    /// The configured byte budget.
+    pub budget_bytes: u64,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Artifacts admitted.
+    pub insertions: u64,
+    /// Artifacts evicted to make room.
+    pub evictions: u64,
+    /// Artifacts refused admission because they alone exceed the budget.
+    pub oversized: u64,
+}
+
+struct Entry {
+    artifact: Artifact,
+    bytes: usize,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    entries: HashMap<ArtifactKey, Entry>,
+    bytes: usize,
+    /// Monotonic access clock; strictly increasing, so LRU victims are
+    /// unique and eviction order is deterministic.
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    evictions: u64,
+    oversized: u64,
+}
+
+/// A thread-safe LRU artifact cache bounded by serialized size.
+pub struct ArtifactCache {
+    budget_bytes: usize,
+    inner: Mutex<Inner>,
+}
+
+impl ArtifactCache {
+    /// An empty cache that will hold at most `budget_bytes` of
+    /// serialized artifacts. A zero budget admits nothing — useful as
+    /// the "cold every time" baseline in benchmarks.
+    #[must_use]
+    pub fn new(budget_bytes: usize) -> Self {
+        ArtifactCache {
+            budget_bytes,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Looks up a key, refreshing its recency on hit. Returns a clone of
+    /// the cached artifact — by construction byte-identical (under serde)
+    /// to what a cold compile of the same key produces.
+    #[must_use]
+    pub fn get(&self, key: &ArtifactKey) -> Option<Artifact> {
+        let mut inner = self.inner.lock().expect("artifact cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.entries.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                let artifact = entry.artifact.clone();
+                inner.hits += 1;
+                Some(artifact)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Admits an artifact, evicting least-recently-used entries until it
+    /// fits. Returns `false` when the artifact alone exceeds the budget
+    /// (it is not admitted, and nothing is evicted for it). Re-inserting
+    /// an existing key refreshes the entry in place.
+    pub fn insert(&self, key: ArtifactKey, artifact: &Artifact) -> bool {
+        let bytes = serde_json::to_string(artifact)
+            .expect("artifacts serialize infallibly")
+            .len();
+        let mut inner = self.inner.lock().expect("artifact cache poisoned");
+        if bytes > self.budget_bytes {
+            inner.oversized += 1;
+            return false;
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(old) = inner.entries.remove(&key) {
+            inner.bytes -= old.bytes;
+        }
+        while inner.bytes + bytes > self.budget_bytes {
+            let victim = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("over budget implies a resident entry");
+            let evicted = inner.entries.remove(&victim).expect("victim is resident");
+            inner.bytes -= evicted.bytes;
+            inner.evictions += 1;
+        }
+        inner.bytes += bytes;
+        inner.insertions += 1;
+        inner.entries.insert(
+            key,
+            Entry {
+                artifact: artifact.clone(),
+                bytes,
+                last_used: tick,
+            },
+        );
+        true
+    }
+
+    /// A snapshot of the counters and occupancy.
+    #[must_use]
+    pub fn stats(&self) -> ArtifactCacheStats {
+        let inner = self.inner.lock().expect("artifact cache poisoned");
+        ArtifactCacheStats {
+            entries: inner.entries.len() as u64,
+            bytes: inner.bytes as u64,
+            budget_bytes: self.budget_bytes as u64,
+            hits: inner.hits,
+            misses: inner.misses,
+            insertions: inner.insertions,
+            evictions: inner.evictions,
+            oversized: inner.oversized,
+        }
+    }
+}
+
+impl std::fmt::Debug for ArtifactCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArtifactCache")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htvm::{DeployConfig, DianaConfig, LowerOptions};
+    use htvm_ir::{DType, Graph, GraphBuilder};
+    use htvm_soc::Program;
+
+    fn graph(tag: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", &[tag, 4, 4], DType::I8);
+        let y = b.relu(x).unwrap();
+        b.finish(&[y]).unwrap()
+    }
+
+    fn key(tag: usize) -> ArtifactKey {
+        ArtifactKey::new(
+            &graph(tag),
+            DeployConfig::Both,
+            &DianaConfig::default(),
+            &LowerOptions::default(),
+        )
+    }
+
+    fn artifact() -> Artifact {
+        Artifact {
+            program: Program {
+                buffers: vec![],
+                steps: vec![],
+                inputs: vec![],
+                outputs: vec![],
+                activation_peak: 0,
+                fallbacks: Default::default(),
+            },
+            binary: Default::default(),
+            assignments: vec![],
+            stats: Default::default(),
+        }
+    }
+
+    fn entry_bytes() -> usize {
+        serde_json::to_string(&artifact()).unwrap().len()
+    }
+
+    #[test]
+    fn hit_returns_equal_artifact_and_counts() {
+        let cache = ArtifactCache::new(1 << 20);
+        assert!(cache.get(&key(1)).is_none());
+        assert!(cache.insert(key(1), &artifact()));
+        let back = cache.get(&key(1)).expect("resident");
+        assert_eq!(
+            serde_json::to_string(&back).unwrap(),
+            serde_json::to_string(&artifact()).unwrap()
+        );
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.bytes, entry_bytes() as u64);
+    }
+
+    #[test]
+    fn lru_eviction_prefers_stale_entries() {
+        // Budget for exactly two entries.
+        let cache = ArtifactCache::new(2 * entry_bytes());
+        assert!(cache.insert(key(1), &artifact()));
+        assert!(cache.insert(key(2), &artifact()));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(cache.get(&key(1)).is_some());
+        assert!(cache.insert(key(3), &artifact()));
+        assert!(cache.get(&key(1)).is_some(), "recently used survives");
+        assert!(cache.get(&key(2)).is_none(), "LRU entry was evicted");
+        assert!(cache.get(&key(3)).is_some(), "new entry is resident");
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+        assert!(stats.bytes <= stats.budget_bytes);
+    }
+
+    #[test]
+    fn oversized_artifacts_are_refused_without_evicting() {
+        let cache = ArtifactCache::new(entry_bytes());
+        assert!(cache.insert(key(1), &artifact()));
+        let tiny = ArtifactCache::new(entry_bytes() - 1);
+        assert!(!tiny.insert(key(2), &artifact()));
+        assert_eq!(tiny.stats().oversized, 1);
+        assert_eq!(tiny.stats().entries, 0);
+        // A zero-budget cache admits nothing: the no-cache baseline.
+        let never = ArtifactCache::new(0);
+        assert!(!never.insert(key(3), &artifact()));
+        assert!(never.get(&key(3)).is_none());
+    }
+
+    #[test]
+    fn reinserting_a_key_replaces_in_place() {
+        let cache = ArtifactCache::new(4 * entry_bytes());
+        assert!(cache.insert(key(1), &artifact()));
+        assert!(cache.insert(key(1), &artifact()));
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.bytes, entry_bytes() as u64);
+        assert_eq!(stats.insertions, 2);
+        assert_eq!(stats.evictions, 0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Content-addressed cache keys for compiled artifacts.
+//!
+//! An [`ArtifactKey`] is the full canonical encoding of everything the
+//! compiler output depends on: the graph in [`canonical_form`] (stable
+//! under node-id permutation), the [`DeployConfig`], the [`DianaConfig`]
+//! platform model, and the compile-relevant subset of [`LowerOptions`]
+//! (the *fingerprint* — runtime plumbing like the tile cache handle, the
+//! parallelism switch and the tracer are deliberately excluded because
+//! they never change the produced artifact; `tests/determinism.rs` in
+//! `htvm` asserts exactly that).
+//!
+//! The key stores the complete encoded bytes, not just a digest, so two
+//! distinct requests can never alias to one cache slot: equality is
+//! byte-for-byte. The 128-bit FNV digest ([`ArtifactKey::id`]) is only a
+//! display handle for logs and spans.
+
+use htvm::{DeployConfig, DianaConfig, LowerOptions};
+use htvm_ir::{canonical_form, fnv128, Graph};
+use serde::Serialize;
+
+/// The serializable subset of [`LowerOptions`] that determines the
+/// artifact. Everything excluded (`tile_cache`, `parallel`, `extracted`,
+/// `tracer`) is observational or a pure-function memo and cannot change
+/// the output bytes.
+#[derive(Serialize)]
+struct LowerFingerprint {
+    digital_objective: htvm::TilingObjective,
+    analog_objective: htvm::TilingObjective,
+    naive_l2: bool,
+    l1_act_override: Option<usize>,
+    size_model: htvm::binsize::BinarySizeModel,
+    emit_fallbacks: bool,
+}
+
+/// A content-addressed identity for one compile request.
+///
+/// Two keys are equal exactly when a cold compile of both requests is
+/// guaranteed to produce byte-identical artifacts.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct ArtifactKey {
+    bytes: Vec<u8>,
+}
+
+impl ArtifactKey {
+    /// Builds the key for compiling `graph` under the given deploy
+    /// target, platform model and lowering options.
+    #[must_use]
+    pub fn new(
+        graph: &Graph,
+        deploy: DeployConfig,
+        platform: &DianaConfig,
+        opts: &LowerOptions,
+    ) -> Self {
+        let fingerprint = LowerFingerprint {
+            digital_objective: opts.digital_objective.clone(),
+            analog_objective: opts.analog_objective.clone(),
+            naive_l2: opts.naive_l2,
+            l1_act_override: opts.l1_act_override,
+            size_model: opts.size_model,
+            emit_fallbacks: opts.emit_fallbacks,
+        };
+        let mut bytes = canonical_form(graph);
+        bytes.extend_from_slice(b"\0deploy:");
+        bytes.extend_from_slice(json(&deploy).as_bytes());
+        bytes.extend_from_slice(b"\0platform:");
+        bytes.extend_from_slice(json(platform).as_bytes());
+        bytes.extend_from_slice(b"\0lower:");
+        bytes.extend_from_slice(json(&fingerprint).as_bytes());
+        ArtifactKey { bytes }
+    }
+
+    /// The 128-bit FNV-1a digest of the encoded key, as 32 hex digits.
+    /// A display handle for logs, spans and bench reports — cache lookup
+    /// compares the full bytes, never this digest.
+    #[must_use]
+    pub fn id(&self) -> String {
+        format!("{:032x}", fnv128(&self.bytes))
+    }
+
+    /// Size of the encoded key in bytes.
+    #[must_use]
+    pub fn encoded_len(&self) -> usize {
+        self.bytes.len()
+    }
+}
+
+impl std::fmt::Debug for ArtifactKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArtifactKey")
+            .field("id", &self.id())
+            .field("encoded_len", &self.bytes.len())
+            .finish()
+    }
+}
+
+fn json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string(value).expect("config types serialize infallibly")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htvm_ir::{DType, GraphBuilder, Tensor};
+
+    fn conv_graph(channels: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", &[channels, 8, 8], DType::I8);
+        let w = b.constant("w", Tensor::zeros(DType::I8, &[channels, channels, 3, 3]));
+        let c = b.conv2d(x, w, (1, 1), (1, 1, 1, 1)).unwrap();
+        let y = b.requantize(c, 7, true).unwrap();
+        b.finish(&[y]).unwrap()
+    }
+
+    #[test]
+    fn same_request_same_key() {
+        let platform = DianaConfig::default();
+        let opts = LowerOptions::default();
+        let a = ArtifactKey::new(&conv_graph(8), DeployConfig::Both, &platform, &opts);
+        let b = ArtifactKey::new(&conv_graph(8), DeployConfig::Both, &platform, &opts);
+        assert_eq!(a, b);
+        assert_eq!(a.id(), b.id());
+    }
+
+    #[test]
+    fn every_component_feeds_the_key() {
+        let platform = DianaConfig::default();
+        let opts = LowerOptions::default();
+        let base = ArtifactKey::new(&conv_graph(8), DeployConfig::Both, &platform, &opts);
+
+        let other_graph = ArtifactKey::new(&conv_graph(16), DeployConfig::Both, &platform, &opts);
+        assert_ne!(base, other_graph, "graph must feed the key");
+
+        let other_deploy =
+            ArtifactKey::new(&conv_graph(8), DeployConfig::Digital, &platform, &opts);
+        assert_ne!(base, other_deploy, "deploy target must feed the key");
+
+        let mut small = DianaConfig::default();
+        small.l1_act_bytes /= 2;
+        let other_platform = ArtifactKey::new(&conv_graph(8), DeployConfig::Both, &small, &opts);
+        assert_ne!(base, other_platform, "platform model must feed the key");
+
+        let no_fallbacks = LowerOptions {
+            emit_fallbacks: false,
+            ..LowerOptions::default()
+        };
+        let other_opts =
+            ArtifactKey::new(&conv_graph(8), DeployConfig::Both, &platform, &no_fallbacks);
+        assert_ne!(base, other_opts, "lowering options must feed the key");
+    }
+
+    #[test]
+    fn runtime_only_options_do_not_feed_the_key() {
+        let platform = DianaConfig::default();
+        let base = ArtifactKey::new(
+            &conv_graph(8),
+            DeployConfig::Both,
+            &platform,
+            &LowerOptions::default(),
+        );
+        let mut runtime = LowerOptions::default();
+        runtime.parallel = !runtime.parallel;
+        runtime.tile_cache = Some(htvm::TileCache::new());
+        runtime.tracer = htvm::Tracer::new();
+        let same = ArtifactKey::new(&conv_graph(8), DeployConfig::Both, &platform, &runtime);
+        assert_eq!(
+            base, same,
+            "tile cache, parallelism and tracing never change the artifact"
+        );
+    }
+
+    #[test]
+    fn id_is_stable_hex() {
+        let key = ArtifactKey::new(
+            &conv_graph(8),
+            DeployConfig::Both,
+            &DianaConfig::default(),
+            &LowerOptions::default(),
+        );
+        let id = key.id();
+        assert_eq!(id.len(), 32);
+        assert!(id.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(id, key.id());
+    }
+}

@@ -1,0 +1,280 @@
+//! Multi-tenant compile-and-simulate serving for HTVM-RS.
+//!
+//! Deploying to a TinyML fleet rarely means one compile: a serving tier
+//! receives batches of jobs — the same handful of network architectures
+//! under different deploy targets and platform experiments, over and over.
+//! This crate turns the HTVM compiler into that tier:
+//!
+//! - [`CompileService`] schedules [`JobRequest`] batches on a bounded
+//!   worker pool ([`ServeConfig::workers`]) and returns results in
+//!   request order.
+//! - Repeat requests hit a **content-addressed artifact cache**: the key
+//!   ([`ArtifactKey`]) is the canonical encoding of the graph (stable
+//!   under node-id permutation — see `htvm_ir::canonical_form`) plus the
+//!   deploy config, platform model and compile-relevant lowering
+//!   options. Because compilation is deterministic, a cache hit returns
+//!   an artifact byte-identical to a cold compile.
+//! - The cache holds a bounded number of serialized bytes
+//!   ([`ServeConfig::cache_budget_bytes`]) with least-recently-used
+//!   eviction ([`ArtifactCache`]).
+//! - All tenants share one base [`Compiler`](htvm::Compiler), so tiling
+//!   solves memoized for one tenant's layers accelerate every other
+//!   tenant's cold compiles too ([`ServiceStats::tile_cache`]).
+//! - Jobs can ask for simulation after compiling ([`RunSpec`]), with an
+//!   optional per-job deadline in simulated cycles enforced by
+//!   `Machine::run_bounded`.
+//!
+//! See `docs/SERVING.md` for the architecture and the determinism
+//! argument.
+//!
+//! # Example
+//!
+//! ```
+//! use htvm_serve::{CompileService, JobRequest, ServeConfig};
+//! use htvm::DeployConfig;
+//! use htvm_ir::{DType, GraphBuilder, Tensor};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = GraphBuilder::new();
+//! let x = b.input("x", &[8, 8, 8], DType::I8);
+//! let w = b.constant("w", Tensor::zeros(DType::I8, &[8, 8, 3, 3]));
+//! let c = b.conv2d(x, w, (1, 1), (1, 1, 1, 1))?;
+//! let y = b.requantize(c, 7, true)?;
+//! let graph = b.finish(&[y])?;
+//!
+//! let service = CompileService::new(ServeConfig::default());
+//! let cold = service.submit(JobRequest::compile_only("a", graph.clone(), DeployConfig::Both))?;
+//! let warm = service.submit(JobRequest::compile_only("b", graph, DeployConfig::Both))?;
+//! assert!(!cold.cache_hit);
+//! assert!(warm.cache_hit);
+//! assert_eq!(cold.artifact, warm.artifact);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod key;
+mod service;
+
+pub use cache::{ArtifactCache, ArtifactCacheStats};
+pub use key::ArtifactKey;
+pub use service::{
+    CompileService, JobError, JobRequest, JobResult, RunSpec, ServeConfig, ServiceStats,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htvm::{Compiler, DeployConfig, FaultPlan, RunError, Tracer};
+    use htvm_ir::{DType, Graph, GraphBuilder, Tensor};
+
+    fn conv_graph(channels: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", &[channels, 8, 8], DType::I8);
+        let w = b.constant("w", Tensor::zeros(DType::I8, &[channels, channels, 3, 3]));
+        let c = b.conv2d(x, w, (1, 1), (1, 1, 1, 1)).unwrap();
+        let y = b.requantize(c, 7, true).unwrap();
+        b.finish(&[y]).unwrap()
+    }
+
+    fn config() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            cache_budget_bytes: 16 << 20,
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    #[test]
+    fn warm_artifact_is_byte_identical_to_cold() {
+        let service = CompileService::new(config());
+        let cold = service
+            .submit(JobRequest::compile_only(
+                "cold",
+                conv_graph(8),
+                DeployConfig::Both,
+            ))
+            .expect("cold compile succeeds");
+        let warm = service
+            .submit(JobRequest::compile_only(
+                "warm",
+                conv_graph(8),
+                DeployConfig::Both,
+            ))
+            .expect("warm compile succeeds");
+        assert!(!cold.cache_hit);
+        assert!(warm.cache_hit);
+        assert_eq!(cold.key_id, warm.key_id);
+        // Byte identity, not just logical equality: serialize both.
+        assert_eq!(
+            serde_json::to_string(&cold.artifact).unwrap(),
+            serde_json::to_string(&warm.artifact).unwrap()
+        );
+        // And byte-identical to a standalone cold compile outside the
+        // service entirely.
+        let standalone = Compiler::new()
+            .with_deploy(DeployConfig::Both)
+            .compile(&conv_graph(8))
+            .expect("standalone compile succeeds");
+        assert_eq!(
+            serde_json::to_string(&standalone).unwrap(),
+            serde_json::to_string(&warm.artifact).unwrap()
+        );
+        let stats = service.stats();
+        assert_eq!(stats.jobs, 2);
+        assert_eq!(stats.artifact_cache.hits, 1);
+        assert_eq!(stats.artifact_cache.misses, 1);
+    }
+
+    #[test]
+    fn different_deploy_targets_do_not_alias() {
+        let service = CompileService::new(config());
+        let both = service
+            .submit(JobRequest::compile_only(
+                "both",
+                conv_graph(8),
+                DeployConfig::Both,
+            ))
+            .unwrap();
+        let digital = service
+            .submit(JobRequest::compile_only(
+                "digital",
+                conv_graph(8),
+                DeployConfig::Digital,
+            ))
+            .unwrap();
+        assert_ne!(both.key_id, digital.key_id);
+        assert!(!digital.cache_hit, "a different deploy is a different key");
+    }
+
+    #[test]
+    fn batch_returns_results_in_request_order() {
+        let service = CompileService::new(config());
+        let jobs: Vec<JobRequest> = (0..6)
+            .map(|i| {
+                JobRequest::compile_only(
+                    &format!("job{i}"),
+                    conv_graph(if i % 2 == 0 { 8 } else { 16 }),
+                    DeployConfig::Both,
+                )
+            })
+            .collect();
+        let results = service.submit_batch(jobs);
+        assert_eq!(results.len(), 6);
+        for (i, result) in results.iter().enumerate() {
+            let result = result.as_ref().expect("all jobs compile");
+            assert_eq!(result.job, format!("job{i}"));
+        }
+        let stats = service.stats();
+        assert_eq!(stats.jobs, 6);
+        assert_eq!(stats.artifact_cache.misses, 2, "two distinct graphs");
+        assert_eq!(stats.artifact_cache.hits, 4);
+    }
+
+    #[test]
+    fn run_jobs_simulate_and_deadlines_fail_typed() {
+        let service = CompileService::new(config());
+        let input = Tensor::zeros(DType::I8, &[8, 8, 8]);
+        let ok = service
+            .submit(JobRequest {
+                name: "run".into(),
+                graph: conv_graph(8),
+                deploy: DeployConfig::Both,
+                run: Some(RunSpec {
+                    inputs: vec![input.clone()],
+                    faults: FaultPlan::default(),
+                    deadline_cycles: None,
+                }),
+            })
+            .expect("healthy run succeeds");
+        let report = ok.report.expect("run jobs carry a report");
+        let total = report.total_cycles();
+        assert!(total > 0);
+
+        let err = service
+            .submit(JobRequest {
+                name: "deadline".into(),
+                graph: conv_graph(8),
+                deploy: DeployConfig::Both,
+                run: Some(RunSpec {
+                    inputs: vec![input],
+                    faults: FaultPlan::default(),
+                    deadline_cycles: Some(total - 1),
+                }),
+            })
+            .expect_err("one cycle short of the budget must fail");
+        match err {
+            JobError::Run {
+                job,
+                error: RunError::DeadlineExceeded { budget_cycles, .. },
+            } => {
+                assert_eq!(job, "deadline");
+                assert_eq!(budget_cycles, total - 1);
+            }
+            other => panic!("expected a deadline error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn tracer_records_job_spans_with_counters() {
+        let tracer = Tracer::new();
+        let service = CompileService::new(ServeConfig {
+            workers: 2,
+            cache_budget_bytes: 16 << 20,
+            tracer: tracer.clone(),
+        });
+        service
+            .submit(JobRequest::compile_only(
+                "traced",
+                conv_graph(8),
+                DeployConfig::Both,
+            ))
+            .unwrap();
+        service
+            .submit(JobRequest::compile_only(
+                "traced",
+                conv_graph(8),
+                DeployConfig::Both,
+            ))
+            .unwrap();
+        let trace = service.take_trace();
+        let jobs: Vec<_> = trace.on_track(htvm::tracks::SERVICE).collect();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].arg_u64("cache_hit"), Some(0));
+        assert_eq!(jobs[1].arg_u64("cache_hit"), Some(1));
+        assert!(jobs.iter().all(|s| s.arg_u64("ok") == Some(1)));
+        // Compiler phase spans share the trace (the miss compiled).
+        assert!(trace.span("verify").is_some());
+    }
+
+    #[test]
+    fn shared_tile_cache_spans_tenants() {
+        let service = CompileService::new(config());
+        service
+            .submit(JobRequest::compile_only(
+                "a",
+                conv_graph(8),
+                DeployConfig::Digital,
+            ))
+            .unwrap();
+        // Same layer geometry under a different deploy: artifact-cache
+        // miss, but the tiling solve is already memoized.
+        service
+            .submit(JobRequest::compile_only(
+                "b",
+                conv_graph(8),
+                DeployConfig::Both,
+            ))
+            .unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.artifact_cache.hits, 0);
+        assert!(
+            stats.tile_cache.hits > 0,
+            "second tenant's solve must come from the shared tile cache: {:?}",
+            stats.tile_cache
+        );
+    }
+}

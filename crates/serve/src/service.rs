@@ -1,0 +1,408 @@
+//! The multi-tenant compile-and-simulate service.
+//!
+//! One [`CompileService`] owns a base [`Compiler`] and an
+//! [`ArtifactCache`]. Jobs arrive as [`JobRequest`]s — a graph, a deploy
+//! target, and optionally a simulation spec — and are scheduled on a
+//! bounded pool of worker threads ([`CompileService::submit_batch`]).
+//! Repeat requests are served from the cache; the returned artifact is
+//! byte-identical (under serde) to a cold compile of the same request,
+//! because compilation is deterministic and the cache key
+//! ([`ArtifactKey`]) covers everything the output depends on.
+//!
+//! Per-job compilers are clones of the base compiler, so every tenant
+//! shares one [`TileCache`](htvm::TileCache): even a cache *miss* on a
+//! new graph reuses tiling solves from other tenants' layers.
+
+use crate::cache::{ArtifactCache, ArtifactCacheStats};
+use crate::key::ArtifactKey;
+use htvm::{
+    tracks, Artifact, CompileError, Compiler, DeployConfig, FaultPlan, Machine, RunError,
+    RunReport, Tensor, TileCacheStats, TimeDomain, Trace, Tracer,
+};
+use htvm_ir::Graph;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Construction parameters for a [`CompileService`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Maximum worker threads a [`CompileService::submit_batch`] call
+    /// fans out to (at least 1; batches smaller than this use fewer).
+    pub workers: usize,
+    /// Byte budget of the artifact cache (serialized size). Zero
+    /// disables caching entirely.
+    pub cache_budget_bytes: usize,
+    /// Span collector for per-job service spans and compiler phase
+    /// spans. Disabled by default; drain with
+    /// [`CompileService::take_trace`].
+    pub tracer: Tracer,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4),
+            cache_budget_bytes: 64 << 20,
+            tracer: Tracer::disabled(),
+        }
+    }
+}
+
+/// What to simulate after compiling, when a job wants execution too.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Input tensors, in program input order.
+    pub inputs: Vec<Tensor>,
+    /// Fault plan for the run (empty = healthy run).
+    pub faults: FaultPlan,
+    /// Per-job deadline in simulated cycles; exceeding it fails the job
+    /// with [`RunError::DeadlineExceeded`]. `None` = unbounded.
+    pub deadline_cycles: Option<u64>,
+}
+
+/// One unit of work: compile a graph for a deploy target, optionally
+/// simulate it.
+#[derive(Debug, Clone)]
+pub struct JobRequest {
+    /// Client-chosen label, echoed in results, errors and trace spans.
+    pub name: String,
+    /// The quantized graph to compile.
+    pub graph: Graph,
+    /// Deploy target (which accelerators to dispatch to).
+    pub deploy: DeployConfig,
+    /// Simulation spec; `None` compiles only.
+    pub run: Option<RunSpec>,
+}
+
+impl JobRequest {
+    /// A compile-only job.
+    #[must_use]
+    pub fn compile_only(name: &str, graph: Graph, deploy: DeployConfig) -> Self {
+        JobRequest {
+            name: name.to_owned(),
+            graph,
+            deploy,
+            run: None,
+        }
+    }
+}
+
+/// Why a job failed. Compilation and simulation failures carry the
+/// job's label so batch clients can attribute them.
+#[derive(Debug)]
+pub enum JobError {
+    /// The graph failed to compile.
+    Compile {
+        /// The failing job's label.
+        job: String,
+        /// The underlying compiler error.
+        error: CompileError,
+    },
+    /// The compiled program failed to simulate (including deadline
+    /// overruns, reported as [`RunError::DeadlineExceeded`]).
+    Run {
+        /// The failing job's label.
+        job: String,
+        /// The underlying simulator error.
+        error: RunError,
+    },
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Compile { job, error } => write!(f, "job '{job}' failed to compile: {error}"),
+            JobError::Run { job, error } => write!(f, "job '{job}' failed to run: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JobError::Compile { error, .. } => Some(error),
+            JobError::Run { error, .. } => Some(error),
+        }
+    }
+}
+
+/// A completed job.
+#[derive(Debug)]
+pub struct JobResult {
+    /// The job's label, echoed from the request.
+    pub job: String,
+    /// Display digest of the job's [`ArtifactKey`].
+    pub key_id: String,
+    /// Whether the artifact came from the cache.
+    pub cache_hit: bool,
+    /// The compiled deployment.
+    pub artifact: Artifact,
+    /// Simulation report, when the job asked to run.
+    pub report: Option<RunReport>,
+    /// Wall microseconds the job waited in the batch queue before a
+    /// worker picked it up.
+    pub queue_us: u64,
+    /// Wall microseconds of service time (compile-or-hit + simulate).
+    pub service_us: u64,
+}
+
+/// A snapshot of the service's counters, serializable for bench
+/// reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceStats {
+    /// Jobs processed to completion (success or failure).
+    pub jobs: u64,
+    /// Artifact-cache counters (hits, misses, evictions, occupancy).
+    pub artifact_cache: ArtifactCacheStats,
+    /// Shared tiling-solve memo counters across all tenants.
+    pub tile_cache: TileCacheStats,
+}
+
+/// A single-flight rendezvous: the first thread to miss a key becomes
+/// the *leader* and compiles; concurrent requesters for the same key
+/// wait here instead of duplicating the compile (thundering-herd
+/// protection), then read the leader's insert from the cache.
+struct Flight {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            done: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn land(&self) {
+        *self.done.lock().expect("flight poisoned") = true;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) {
+        let guard = self.done.lock().expect("flight poisoned");
+        drop(
+            self.cv
+                .wait_while(guard, |done| !*done)
+                .expect("flight poisoned"),
+        );
+    }
+}
+
+/// A multi-tenant compile-and-simulate service with a content-addressed
+/// artifact cache. See the [crate docs](crate) for the architecture.
+pub struct CompileService {
+    base: Compiler,
+    cache: ArtifactCache,
+    inflight: Mutex<HashMap<ArtifactKey, Arc<Flight>>>,
+    tracer: Tracer,
+    workers: usize,
+    jobs: AtomicU64,
+}
+
+impl CompileService {
+    /// A service over a default [`Compiler`] (default DIANA platform,
+    /// default lowering options).
+    #[must_use]
+    pub fn new(config: ServeConfig) -> Self {
+        CompileService::with_compiler(config, Compiler::new())
+    }
+
+    /// A service over a custom base compiler (platform, lowering
+    /// options, dispatch hook). The config's tracer is installed on the
+    /// compiler so phase spans land in the same trace as job spans; each
+    /// job still overrides the deploy target from its request.
+    #[must_use]
+    pub fn with_compiler(config: ServeConfig, base: Compiler) -> Self {
+        CompileService {
+            base: base.with_tracer(config.tracer.clone()),
+            cache: ArtifactCache::new(config.cache_budget_bytes),
+            inflight: Mutex::new(HashMap::new()),
+            tracer: config.tracer,
+            workers: config.workers.max(1),
+            jobs: AtomicU64::new(0),
+        }
+    }
+
+    /// Processes one job on the calling thread.
+    pub fn submit(&self, job: JobRequest) -> Result<JobResult, JobError> {
+        self.process(job, 0)
+    }
+
+    /// Schedules a batch on up to `workers` threads and returns results
+    /// in request order. Jobs are dispatched first-come-first-served
+    /// from a shared queue; each result records how long the job
+    /// queued before a worker picked it up.
+    pub fn submit_batch(&self, jobs: Vec<JobRequest>) -> Vec<Result<JobResult, JobError>> {
+        let n = jobs.len();
+        let workers = self.workers.min(n).max(1);
+        let epoch = Instant::now();
+        let queue: Mutex<VecDeque<(usize, JobRequest)>> =
+            Mutex::new(jobs.into_iter().enumerate().collect());
+        let slots: Vec<Mutex<Option<Result<JobResult, JobError>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let next = queue.lock().expect("job queue poisoned").pop_front();
+                    let Some((index, job)) = next else { break };
+                    let queue_us = epoch.elapsed().as_micros() as u64;
+                    let result = self.process(job, queue_us);
+                    *slots[index].lock().expect("result slot poisoned") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every scheduled job writes its slot")
+            })
+            .collect()
+    }
+
+    fn process(&self, job: JobRequest, queue_us: u64) -> Result<JobResult, JobError> {
+        let started = Instant::now();
+        let compiler = self.base.clone().with_deploy(job.deploy);
+        let key = ArtifactKey::new(
+            &job.graph,
+            job.deploy,
+            compiler.platform(),
+            compiler.lower_options(),
+        );
+        let mut span = self
+            .tracer
+            .scope(tracks::SERVICE, &format!("job:{}", job.name));
+        span.arg("key", key.id());
+        span.arg("queue_us", queue_us);
+        let result = self.compile_and_run(&job, &compiler, &key, &mut span);
+        self.jobs.fetch_add(1, Ordering::Relaxed);
+        span.arg("ok", result.is_ok());
+        let (artifact, cache_hit, report) = result?;
+        Ok(JobResult {
+            job: job.name,
+            key_id: key.id(),
+            cache_hit,
+            artifact,
+            report,
+            queue_us,
+            service_us: started.elapsed().as_micros() as u64,
+        })
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn compile_and_run(
+        &self,
+        job: &JobRequest,
+        compiler: &Compiler,
+        key: &ArtifactKey,
+        span: &mut htvm_trace::ScopedSpan<'_>,
+    ) -> Result<(Artifact, bool, Option<RunReport>), JobError> {
+        let (artifact, cache_hit) = self.artifact_for(job, compiler, key)?;
+        span.arg("cache_hit", cache_hit);
+        let report = match &job.run {
+            Some(spec) => {
+                let machine = Machine::new(*compiler.platform());
+                let report = machine
+                    .run_bounded(
+                        &artifact.program,
+                        &spec.inputs,
+                        &spec.faults,
+                        spec.deadline_cycles,
+                    )
+                    .map_err(|error| JobError::Run {
+                        job: job.name.clone(),
+                        error,
+                    })?;
+                span.arg("cycles", report.total_cycles());
+                Some(report)
+            }
+            None => None,
+        };
+        Ok((artifact, cache_hit, report))
+    }
+
+    /// Fetches the job's artifact from the cache or compiles it,
+    /// coalescing concurrent misses on the same key: exactly one thread
+    /// (the *leader*) compiles while the rest wait and then read the
+    /// leader's insert. Each job touches the cache counters exactly
+    /// once — a leader registers one miss, everyone else one hit — so
+    /// `hits + misses == jobs` deterministically even under races.
+    fn artifact_for(
+        &self,
+        job: &JobRequest,
+        compiler: &Compiler,
+        key: &ArtifactKey,
+    ) -> Result<(Artifact, bool), JobError> {
+        loop {
+            // One critical section decides this thread's role: follower
+            // of an in-flight compile (no cache touch), cache hit, or
+            // newly appointed leader.
+            let flight = {
+                let mut inflight = self.inflight.lock().expect("inflight map poisoned");
+                if let Some(flight) = inflight.get(key) {
+                    Arc::clone(flight)
+                } else if let Some(artifact) = self.cache.get(key) {
+                    return Ok((artifact, true));
+                } else {
+                    let flight = Arc::new(Flight::new());
+                    inflight.insert(key.clone(), Arc::clone(&flight));
+                    drop(inflight);
+                    let compiled = compiler.compile(&job.graph);
+                    // Publish before landing the flight, so woken
+                    // followers find the artifact resident; on error,
+                    // followers re-enter and compile for themselves.
+                    if let Ok(artifact) = &compiled {
+                        self.cache.insert(key.clone(), artifact);
+                    }
+                    self.inflight
+                        .lock()
+                        .expect("inflight map poisoned")
+                        .remove(key);
+                    flight.land();
+                    let artifact = compiled.map_err(|error| JobError::Compile {
+                        job: job.name.clone(),
+                        error,
+                    })?;
+                    return Ok((artifact, false));
+                }
+            };
+            flight.wait();
+        }
+    }
+
+    /// A snapshot of the service counters, including the shared
+    /// tile-cache counters every tenant benefits from.
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            jobs: self.jobs.load(Ordering::Relaxed),
+            artifact_cache: self.cache.stats(),
+            tile_cache: self.base.tile_cache().stats(),
+        }
+    }
+
+    /// Drains everything traced so far (job spans plus compiler phase
+    /// spans) into one wall-clock trace on the
+    /// [`tracks::serve`] track table.
+    #[must_use]
+    pub fn take_trace(&self) -> Trace {
+        self.tracer.take(TimeDomain::WallMicros, tracks::serve())
+    }
+}
+
+impl std::fmt::Debug for CompileService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompileService")
+            .field("workers", &self.workers)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}

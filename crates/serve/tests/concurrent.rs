@@ -1,0 +1,158 @@
+//! Concurrency and determinism: N worker threads through one shared
+//! service must produce exactly the artifacts that N sequential cold
+//! compiles produce, byte for byte, with cache counters accounting for
+//! every job.
+
+use htvm::{Compiler, DeployConfig};
+use htvm_models::{ds_cnn, resnet8, toyadmos_dae, QuantScheme};
+use htvm_serve::{CompileService, JobRequest, ServeConfig};
+use std::collections::BTreeMap;
+
+/// The request mix: three zoo models under two deploy targets, each
+/// requested several times — six distinct keys, heavy repetition.
+fn job_mix() -> Vec<(String, htvm_ir::Graph, DeployConfig)> {
+    let models = [
+        ds_cnn(QuantScheme::Mixed),
+        resnet8(QuantScheme::Mixed),
+        toyadmos_dae(QuantScheme::Mixed),
+    ];
+    let deploys = [DeployConfig::Both, DeployConfig::Digital];
+    let mut jobs = Vec::new();
+    for round in 0..3 {
+        for model in &models {
+            for deploy in deploys {
+                jobs.push((
+                    format!("{}/{:?}#{round}", model.name, deploy),
+                    model.graph.clone(),
+                    deploy,
+                ));
+            }
+        }
+    }
+    jobs
+}
+
+#[test]
+fn concurrent_batch_matches_sequential_cold_compiles() {
+    let jobs = job_mix();
+    let distinct: usize = 6;
+    assert_eq!(jobs.len(), 18);
+
+    // Sequential baseline: a fresh compiler per job, no sharing at all.
+    let baseline: Vec<String> = jobs
+        .iter()
+        .map(|(_, graph, deploy)| {
+            let artifact = Compiler::new()
+                .with_deploy(*deploy)
+                .compile(graph)
+                .expect("zoo models compile");
+            serde_json::to_string(&artifact).expect("artifacts serialize")
+        })
+        .collect();
+
+    // The same mix through one shared service on 4 worker threads.
+    let service = CompileService::new(ServeConfig {
+        workers: 4,
+        cache_budget_bytes: 64 << 20,
+        tracer: htvm::Tracer::disabled(),
+    });
+    let requests: Vec<JobRequest> = jobs
+        .iter()
+        .map(|(name, graph, deploy)| JobRequest::compile_only(name, graph.clone(), *deploy))
+        .collect();
+    let results = service.submit_batch(requests);
+
+    assert_eq!(results.len(), jobs.len());
+    let mut hits = 0u64;
+    for (i, result) in results.into_iter().enumerate() {
+        let result = result.expect("every job in the mix compiles");
+        assert_eq!(result.job, jobs[i].0, "results arrive in request order");
+        assert_eq!(
+            serde_json::to_string(&result.artifact).expect("artifacts serialize"),
+            baseline[i],
+            "job {} must be byte-identical to its sequential cold compile",
+            jobs[i].0
+        );
+        if result.cache_hit {
+            hits += 1;
+        }
+    }
+
+    let stats = service.stats();
+    assert_eq!(stats.jobs, jobs.len() as u64);
+    assert_eq!(
+        stats.artifact_cache.misses as usize, distinct,
+        "exactly one cold compile per distinct (graph, deploy) key"
+    );
+    assert_eq!(
+        stats.artifact_cache.hits,
+        (jobs.len() - distinct) as u64,
+        "every repeat must be served from the cache"
+    );
+    assert_eq!(
+        stats.artifact_cache.hits, hits,
+        "per-job flags match counters"
+    );
+    assert_eq!(
+        stats.artifact_cache.evictions, 0,
+        "budget fits the whole mix"
+    );
+}
+
+#[test]
+fn racing_submitters_agree_on_artifacts() {
+    // Distinct from the batch test: here the *callers* race, each
+    // driving the shared service from its own thread via submit().
+    let service = CompileService::new(ServeConfig {
+        workers: 1,
+        cache_budget_bytes: 64 << 20,
+        tracer: htvm::Tracer::disabled(),
+    });
+    let model = ds_cnn(QuantScheme::Mixed);
+    let n_threads = 4;
+    let per_thread = 3;
+
+    let artifacts: BTreeMap<usize, Vec<String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_threads)
+            .map(|t| {
+                let service = &service;
+                let graph = model.graph.clone();
+                scope.spawn(move || {
+                    (0..per_thread)
+                        .map(|i| {
+                            let result = service
+                                .submit(JobRequest::compile_only(
+                                    &format!("t{t}#{i}"),
+                                    graph.clone(),
+                                    DeployConfig::Both,
+                                ))
+                                .expect("ds_cnn compiles");
+                            serde_json::to_string(&result.artifact).expect("serializes")
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(t, h)| (t, h.join().expect("submitter thread panicked")))
+            .collect()
+    });
+
+    let reference = &artifacts[&0][0];
+    for (thread, results) in &artifacts {
+        for (i, bytes) in results.iter().enumerate() {
+            assert_eq!(
+                bytes, reference,
+                "thread {thread} job {i} diverged from the reference artifact"
+            );
+        }
+    }
+    let stats = service.stats();
+    assert_eq!(stats.jobs, (n_threads * per_thread) as u64);
+    // Single-flight coalescing makes the counters exact even under
+    // racing callers: one leader compiles, everyone else hits.
+    assert_eq!(stats.artifact_cache.misses, 1);
+    assert_eq!(stats.artifact_cache.hits, stats.jobs - 1);
+}

@@ -143,11 +143,26 @@ pub mod tracks {
     /// Per-region tiling solves (overlap in wall time when the solve
     /// phase fans out).
     pub const REGIONS: u32 = 1;
+    /// Per-job service spans (queue wait, compile-or-hit, simulate) —
+    /// one span per job, overlapping across worker threads.
+    pub const SERVICE: u32 = 2;
 
     /// The track table every compile trace uses.
     #[must_use]
     pub fn compile() -> Vec<Track> {
         vec![Track::new(PHASES, "phases"), Track::new(REGIONS, "regions")]
+    }
+
+    /// The track table a serving trace uses: the compile tracks plus the
+    /// per-job service track, so one trace file shows jobs above the
+    /// compiler phases they triggered.
+    #[must_use]
+    pub fn serve() -> Vec<Track> {
+        vec![
+            Track::new(SERVICE, "jobs"),
+            Track::new(PHASES, "phases"),
+            Track::new(REGIONS, "regions"),
+        ]
     }
 }
 
