@@ -1,17 +1,23 @@
 //! The serving soak binary: runs the repeat-heavy zoo mix through the
-//! `htvm-serve` compile service with and without the artifact cache and
-//! writes `SERVE_BENCH.json`.
+//! `htvm-serve` compile service with and without the artifact cache,
+//! runs the skewed FIFO-vs-cost-aware scheduling comparison, and writes
+//! `SERVE_BENCH.json`.
 //!
 //! ```text
 //! cargo run --release -p htvm-bench --bin serve -- \
-//!     [--jobs N] [--workers N] [--out PATH] [--min-speedup X]
+//!     [--jobs N] [--workers N] [--hot-jobs N] [--out PATH] \
+//!     [--min-speedup X] [--front-door] [--clients N]
 //! ```
+//!
+//! `--front-door` additionally drives the cached mix through the
+//! in-process HTTP/1.1 front door with `--clients` keep-alive
+//! connections and records client-observed latency in the report.
 //!
 //! Exit codes: 0 — soak completed and the cache speedup met the floor;
 //! 1 — speedup below `--min-speedup` (default 5.0; pass 0 to disable);
-//! 2 — usage error.
+//! 2 — usage error (including a NaN/negative/non-finite floor).
 
-use htvm_bench::serve_bench::{collect, ServeBenchConfig};
+use htvm_bench::serve_bench::{collect, run_front_door, validate_min_speedup, ServeBenchConfig};
 use std::process::ExitCode;
 
 fn parse<T: std::str::FromStr>(
@@ -27,16 +33,24 @@ fn run() -> Result<ExitCode, String> {
     let mut config = ServeBenchConfig::default();
     let mut out = String::from("SERVE_BENCH.json");
     let mut min_speedup = 5.0_f64;
+    let mut front_door = false;
+    let mut clients = 4usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--jobs" => config.jobs = parse(&mut args, "--jobs")?,
             "--workers" => config.workers = parse(&mut args, "--workers")?,
+            "--hot-jobs" => config.skewed_hot_jobs = parse(&mut args, "--hot-jobs")?,
             "--out" => out = args.next().ok_or("--out needs a path")?,
-            "--min-speedup" => min_speedup = parse(&mut args, "--min-speedup")?,
+            "--min-speedup" => {
+                min_speedup = validate_min_speedup(parse(&mut args, "--min-speedup")?)?;
+            }
+            "--front-door" => front_door = true,
+            "--clients" => clients = parse(&mut args, "--clients")?,
             other => {
                 return Err(format!(
-                    "unknown flag {other:?}; usage: serve [--jobs N] [--workers N] [--out PATH] [--min-speedup X]"
+                    "unknown flag {other:?}; usage: serve [--jobs N] [--workers N] [--hot-jobs N] \
+                     [--out PATH] [--min-speedup X] [--front-door] [--clients N]"
                 ))
             }
         }
@@ -44,8 +58,15 @@ fn run() -> Result<ExitCode, String> {
     if config.jobs == 0 || config.workers == 0 {
         return Err(String::from("--jobs and --workers must be positive"));
     }
+    if front_door && clients == 0 {
+        return Err(String::from("--clients must be positive"));
+    }
 
-    let report = collect(config);
+    let mut report = collect(config);
+    if front_door {
+        let (stats, _) = run_front_door(config, clients)?;
+        report.front_door = Some(stats);
+    }
     let json = serde_json::to_string_pretty(&report).map_err(|e| format!("serialize: {e:?}"))?;
     std::fs::write(&out, &json).map_err(|e| format!("cannot write {out}: {e}"))?;
 
@@ -68,13 +89,30 @@ fn run() -> Result<ExitCode, String> {
         report.uncached.wall_ms
     );
     println!(
-        "  speedup {:.1}x — artifact cache {} hits / {} misses / {} evictions; tile cache {} hits",
+        "  speedup {:.1}x — artifact cache {} hits / {} misses / {} evictions; tile cache {} hits; {} coalesced",
         report.speedup,
         report.stats.artifact_cache.hits,
         report.stats.artifact_cache.misses,
         report.stats.artifact_cache.evictions,
-        report.stats.tile_cache.hits
+        report.stats.tile_cache.hits,
+        report.stats.coalesced,
     );
+    if let Some(skewed) = &report.skewed {
+        println!(
+            "  skewed mix ({} jobs, {} cold): queue p99 fifo {} us vs cost-aware {} us ({:.1}x)",
+            skewed.jobs,
+            skewed.cold_jobs,
+            skewed.fifo.queue_p99_us,
+            skewed.cost_aware.queue_p99_us,
+            skewed.queue_p99_ratio
+        );
+    }
+    if let Some(fd) = &report.front_door {
+        println!(
+            "  front door ({clients} clients): {:8.1} jobs/s  p50 {:6} us  p99 {:6} us  (wall {:.1} ms)",
+            fd.throughput_jobs_per_s, fd.p50_us, fd.p99_us, fd.wall_ms
+        );
+    }
     println!("  wrote {out}");
 
     if min_speedup > 0.0 && report.speedup < min_speedup {

@@ -11,12 +11,17 @@
 
 use htvm::DeployConfig;
 use htvm_models::all_models;
-use htvm_serve::{CompileService, JobRequest, ServeConfig, ServiceStats};
+use htvm_serve::http::wire::{WireJob, WireResult};
+use htvm_serve::http::{HttpConfig, HttpServer};
+use htvm_serve::{CompileService, JobRequest, SchedPolicy, ServeConfig, ServiceStats};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use std::time::Instant;
 
-/// Schema version of `SERVE_BENCH.json`.
-pub const SERVE_SCHEMA_VERSION: u32 = 1;
+/// Schema version of `SERVE_BENCH.json`. v2 added the `skewed`
+/// scheduling comparison and the optional `front_door` section; both
+/// are `Option`s with serde defaults, so v1 documents still parse.
+pub const SERVE_SCHEMA_VERSION: u32 = 2;
 
 /// Knobs for one soak run.
 #[derive(Debug, Clone, Copy)]
@@ -26,6 +31,8 @@ pub struct ServeBenchConfig {
     pub jobs: usize,
     /// Worker threads in the service pool.
     pub workers: usize,
+    /// Hot (warmed-key) jobs in the skewed scheduling mix.
+    pub skewed_hot_jobs: usize,
 }
 
 impl Default for ServeBenchConfig {
@@ -33,7 +40,21 @@ impl Default for ServeBenchConfig {
         ServeBenchConfig {
             jobs: 60,
             workers: 4,
+            skewed_hot_jobs: 30,
         }
+    }
+}
+
+/// Validates a `--min-speedup` floor: must be finite and non-negative
+/// (zero disables the floor). `NaN`, infinities and negative values are
+/// configuration errors, not "no floor".
+pub fn validate_min_speedup(value: f64) -> Result<f64, String> {
+    if value.is_finite() && value >= 0.0 {
+        Ok(value)
+    } else {
+        Err(format!(
+            "--min-speedup must be a finite, non-negative number, got {value}"
+        ))
     }
 }
 
@@ -50,6 +71,25 @@ pub struct ServeRunStats {
     pub p99_us: u64,
     /// 99th-percentile queue wait alone, microseconds.
     pub queue_p99_us: u64,
+}
+
+/// The FIFO-vs-cost-aware scheduling comparison on a skewed
+/// (hot-key-heavy) mix with cold compiles at the head of the queue.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SkewedReport {
+    /// Jobs in the skewed batch (cold head + hot repeats).
+    pub jobs: u64,
+    /// Cold (uncached) compiles heading the batch.
+    pub cold_jobs: u64,
+    /// The batch under strict request-order scheduling: the cold head
+    /// occupies every worker, so hot cache hits queue behind it.
+    pub fifo: ServeRunStats,
+    /// The same batch under cost-aware scheduling: near-free hits run
+    /// first, cold compiles last.
+    pub cost_aware: ServeRunStats,
+    /// FIFO p99 queue wait over cost-aware p99 queue wait (>1 means
+    /// cost-aware wins head-of-line blocking back).
+    pub queue_p99_ratio: f64,
 }
 
 /// The full soak report.
@@ -72,6 +112,13 @@ pub struct ServeReport {
     /// Service counters from the cached run (artifact-cache hit/miss/
     /// eviction counts, shared tile-cache counters).
     pub stats: ServiceStats,
+    /// Scheduling-policy comparison on a skewed mix (since schema v2).
+    #[serde(default)]
+    pub skewed: Option<SkewedReport>,
+    /// The cached mix driven through the HTTP front door, measured at
+    /// the client (only when the soak ran with `--front-door`).
+    #[serde(default)]
+    pub front_door: Option<ServeRunStats>,
 }
 
 /// The zoo-derived request mix: every zoo model under the combined and
@@ -105,12 +152,41 @@ pub fn distinct_keys() -> usize {
     2 * all_models(htvm_models::QuantScheme::Mixed).len()
 }
 
+/// Nearest-rank percentile with the ceiling convention: the p-th
+/// percentile of `n` samples is the value at 1-based rank
+/// `ceil(p/100 * n)`. Unlike rounding, this never reports a value that
+/// fewer than `p` percent of samples are ≤ — in particular, p99 of 50
+/// samples is the maximum, not the second-largest.
 fn percentile(sorted: &[u64], pct: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
     }
-    let rank = (pct / 100.0 * (sorted.len() - 1) as f64).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
+    let rank = (pct / 100.0 * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Folds one batch's results into wall-clock run stats.
+fn run_stats(
+    results: Vec<Result<htvm_serve::JobResult, htvm_serve::JobError>>,
+    wall_s: f64,
+) -> ServeRunStats {
+    let mut latencies: Vec<u64> = Vec::with_capacity(results.len());
+    let mut queues: Vec<u64> = Vec::with_capacity(results.len());
+    let jobs = results.len();
+    for result in results {
+        let result = result.expect("bench mixes compile");
+        latencies.push(result.queue_us + result.service_us);
+        queues.push(result.queue_us);
+    }
+    latencies.sort_unstable();
+    queues.sort_unstable();
+    ServeRunStats {
+        wall_ms: wall_s * 1e3,
+        throughput_jobs_per_s: jobs as f64 / wall_s.max(1e-9),
+        p50_us: percentile(&latencies, 50.0),
+        p99_us: percentile(&latencies, 99.0),
+        queue_p99_us: percentile(&queues, 99.0),
+    }
 }
 
 fn run_mix(config: ServeBenchConfig, cache_budget_bytes: usize) -> (ServeRunStats, ServiceStats) {
@@ -118,23 +194,159 @@ fn run_mix(config: ServeBenchConfig, cache_budget_bytes: usize) -> (ServeRunStat
         workers: config.workers,
         cache_budget_bytes,
         tracer: htvm::Tracer::disabled(),
+        ..ServeConfig::default()
     });
     let jobs = request_mix(config.jobs);
     let t0 = Instant::now();
     let results = service.submit_batch(jobs);
-    let wall = t0.elapsed();
+    let wall_s = t0.elapsed().as_secs_f64();
+    (run_stats(results, wall_s), service.stats())
+}
 
-    let mut latencies: Vec<u64> = Vec::with_capacity(results.len());
-    let mut queues: Vec<u64> = Vec::with_capacity(results.len());
-    for result in results {
-        let result = result.expect("zoo mix compiles");
-        latencies.push(result.queue_us + result.service_us);
-        queues.push(result.queue_us);
+/// Workers (and cold compiles) in the skewed scheduling comparison.
+/// Fixed rather than taken from the soak config: the comparison is a
+/// head-of-line-blocking demonstration, and it is only well-posed when
+/// the cold head exactly saturates the pool.
+const SKEWED_WORKERS: usize = 2;
+
+/// The skewed mix: `SKEWED_WORKERS` cold compiles at the *front* of the
+/// batch, followed by `hot_jobs` repeats of a key the service has
+/// already cached. Under FIFO the cold head occupies every worker and
+/// each near-free hit waits a full compile; cost-aware scheduling runs
+/// the hits first.
+fn run_skewed(policy: SchedPolicy, hot_jobs: usize) -> ServeRunStats {
+    let models = all_models(crate::scheme_for(DeployConfig::Both));
+    assert!(
+        models.len() > SKEWED_WORKERS,
+        "zoo too small for a skewed mix"
+    );
+    let service = CompileService::new(ServeConfig {
+        workers: SKEWED_WORKERS,
+        cache_budget_bytes: 256 << 20,
+        tracer: htvm::Tracer::disabled(),
+        policy,
+        ..ServeConfig::default()
+    });
+    let hot = &models[0];
+    // Warm the hot key so its batch repeats are genuine cache hits.
+    service
+        .submit(JobRequest::compile_only(
+            &format!("warm/{}", hot.name),
+            hot.graph.clone(),
+            DeployConfig::Both,
+        ))
+        .expect("hot model compiles");
+
+    let mut jobs: Vec<JobRequest> = models[1..=SKEWED_WORKERS]
+        .iter()
+        .map(|m| {
+            JobRequest::compile_only(
+                &format!("cold/{}", m.name),
+                m.graph.clone(),
+                DeployConfig::Both,
+            )
+        })
+        .collect();
+    jobs.extend((0..hot_jobs).map(|i| {
+        JobRequest::compile_only(
+            &format!("hot/{}#{i}", hot.name),
+            hot.graph.clone(),
+            DeployConfig::Both,
+        )
+    }));
+
+    let t0 = Instant::now();
+    let results = service.submit_batch(jobs);
+    let wall_s = t0.elapsed().as_secs_f64();
+    run_stats(results, wall_s)
+}
+
+/// Runs the scheduling comparison: the identical skewed batch under
+/// FIFO and under cost-aware ordering, each on a fresh service.
+#[must_use]
+pub fn collect_skewed(hot_jobs: usize) -> SkewedReport {
+    let fifo = run_skewed(SchedPolicy::Fifo, hot_jobs);
+    let cost_aware = run_skewed(SchedPolicy::CostAware, hot_jobs);
+    SkewedReport {
+        jobs: (hot_jobs + SKEWED_WORKERS) as u64,
+        cold_jobs: SKEWED_WORKERS as u64,
+        fifo,
+        cost_aware,
+        queue_p99_ratio: fifo.queue_p99_us as f64 / cost_aware.queue_p99_us.max(1) as f64,
     }
-    latencies.sort_unstable();
-    queues.sort_unstable();
+}
 
-    let wall_s = wall.as_secs_f64();
+/// Drives the cached repeat-heavy mix through an in-process HTTP front
+/// door with `clients` keep-alive connections, measuring latency at the
+/// client (so framing, parsing and serialization are on the clock).
+pub fn run_front_door(
+    config: ServeBenchConfig,
+    clients: usize,
+) -> Result<(ServeRunStats, ServiceStats), String> {
+    let service = Arc::new(CompileService::new(ServeConfig {
+        workers: config.workers,
+        cache_budget_bytes: 256 << 20,
+        tracer: htvm::Tracer::disabled(),
+        ..ServeConfig::default()
+    }));
+    let server = HttpServer::spawn(Arc::clone(&service), "127.0.0.1:0", HttpConfig::default())
+        .map_err(|e| format!("front door failed to bind: {e}"))?;
+    let addr = server.addr();
+
+    // Shard the mix round-robin across the client connections, so every
+    // client sees a repeat-heavy stream.
+    let bodies: Vec<String> = request_mix(config.jobs)
+        .into_iter()
+        .map(|job| {
+            let wire = WireJob {
+                name: job.name,
+                tenant: None,
+                graph: job.graph,
+                deploy: job.deploy,
+                include_artifact: false,
+            };
+            serde_json::to_string(&wire).expect("wire jobs serialize")
+        })
+        .collect();
+    let clients = clients.clamp(1, bodies.len().max(1));
+
+    let t0 = Instant::now();
+    let mut samples: Vec<(u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let bodies = &bodies;
+                scope.spawn(move || {
+                    let mut stream = std::net::TcpStream::connect(addr)
+                        .expect("front door accepts bench clients");
+                    bodies
+                        .iter()
+                        .skip(c)
+                        .step_by(clients)
+                        .map(|body| {
+                            let t = Instant::now();
+                            let response = http_post(&mut stream, "/v1/compile", body);
+                            let latency_us = t.elapsed().as_micros() as u64;
+                            let result: WireResult = serde_json::from_str(&response)
+                                .expect("front door answers with WireResult");
+                            (latency_us, result.queue_us)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("bench client panicked"))
+            .collect()
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<u64> = samples.iter().map(|(l, _)| *l).collect();
+    let queues: Vec<u64> = {
+        samples.sort_unstable_by_key(|(_, q)| *q);
+        samples.iter().map(|(_, q)| *q).collect()
+    };
+    latencies.sort_unstable();
     let stats = ServeRunStats {
         wall_ms: wall_s * 1e3,
         throughput_jobs_per_s: config.jobs as f64 / wall_s.max(1e-9),
@@ -142,11 +354,49 @@ fn run_mix(config: ServeBenchConfig, cache_budget_bytes: usize) -> (ServeRunStat
         p99_us: percentile(&latencies, 99.0),
         queue_p99_us: percentile(&queues, 99.0),
     };
-    (stats, service.stats())
+    let service_stats = service.stats();
+    server.shutdown();
+    Ok((stats, service_stats))
+}
+
+/// One blocking HTTP/1.1 POST over an existing keep-alive stream,
+/// returning the response body (and asserting a 200).
+fn http_post(stream: &mut std::net::TcpStream, path: &str, body: &str) -> String {
+    use std::io::{BufRead, BufReader, Read, Write};
+    let request = format!(
+        "POST {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("POST writes");
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status reads");
+    assert!(
+        status_line.contains("200"),
+        "front door answered {status_line:?}"
+    );
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header reads");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().expect("Content-Length parses");
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body reads");
+    String::from_utf8(body).expect("JSON bodies are UTF-8")
 }
 
 /// Runs the soak: the same repeat-heavy mix through a cached service and
-/// through a zero-budget (no-cache) service, on the same worker count.
+/// through a zero-budget (no-cache) service, on the same worker count,
+/// plus the skewed FIFO-vs-cost-aware scheduling comparison.
 #[must_use]
 pub fn collect(config: ServeBenchConfig) -> ServeReport {
     let (uncached, _) = run_mix(config, 0);
@@ -160,6 +410,8 @@ pub fn collect(config: ServeBenchConfig) -> ServeReport {
         cached,
         uncached,
         stats,
+        skewed: Some(collect_skewed(config.skewed_hot_jobs)),
+        front_door: None,
     }
 }
 
@@ -181,7 +433,7 @@ pub fn diff_serve(
         ));
         return (warnings, improvements);
     }
-    let metrics = [
+    let mut metrics = vec![
         (
             "serve: cached throughput",
             base.cached.throughput_jobs_per_s,
@@ -197,6 +449,20 @@ pub fn diff_serve(
             false,
         ),
     ];
+    if let (Some(b), Some(n)) = (&base.skewed, &new.skewed) {
+        metrics.push((
+            "serve: skewed cost-aware queue p99",
+            b.cost_aware.queue_p99_us as f64,
+            n.cost_aware.queue_p99_us as f64,
+            false,
+        ));
+        metrics.push((
+            "serve: skewed queue p99 ratio (fifo/cost)",
+            b.queue_p99_ratio,
+            n.queue_p99_ratio,
+            true,
+        ));
+    }
     for (label, b, n, higher_is_better) in metrics {
         if b <= 0.0 {
             continue;
@@ -239,22 +505,99 @@ mod tests {
     }
 
     #[test]
-    fn soak_small_mix_reports_hits_and_speedup() {
+    fn percentile_uses_ceil_nearest_rank() {
+        assert_eq!(percentile(&[], 99.0), 0);
+        // One sample is every percentile.
+        assert_eq!(percentile(&[7], 1.0), 7);
+        assert_eq!(percentile(&[7], 50.0), 7);
+        assert_eq!(percentile(&[7], 99.0), 7);
+        // Two samples: p50 is the first (ceil(1.0) = 1), anything above
+        // is the second.
+        assert_eq!(percentile(&[1, 2], 50.0), 1);
+        assert_eq!(percentile(&[1, 2], 51.0), 2);
+        assert_eq!(percentile(&[1, 2], 99.0), 2);
+        // p99 of 50 samples is the maximum (ceil(49.5) = 50) — the
+        // rounding convention would have under-reported rank 50 as 49.
+        let fifty: Vec<u64> = (1..=50).collect();
+        assert_eq!(percentile(&fifty, 99.0), 50);
+        // p99 of 100 samples is exactly rank 99.
+        let hundred: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&hundred, 99.0), 99);
+        assert_eq!(percentile(&hundred, 100.0), 100);
+    }
+
+    #[test]
+    fn min_speedup_floor_rejects_nan_and_negative() {
+        assert_eq!(validate_min_speedup(0.0), Ok(0.0));
+        assert_eq!(validate_min_speedup(5.5), Ok(5.5));
+        assert!(validate_min_speedup(f64::NAN).is_err());
+        assert!(validate_min_speedup(f64::INFINITY).is_err());
+        assert!(validate_min_speedup(-1.0).is_err());
+    }
+
+    #[test]
+    fn soak_small_mix_reports_exact_counters_and_speedup() {
         let report = collect(ServeBenchConfig {
             jobs: distinct_keys() * 3,
             workers: 2,
+            skewed_hot_jobs: 8,
         });
         assert_eq!(report.schema_version, SERVE_SCHEMA_VERSION);
+        // The whole mix is one batch, so every repeat of a key coalesces
+        // onto its leader instead of probing the cache.
         assert_eq!(report.stats.artifact_cache.misses, report.distinct_keys);
+        assert_eq!(report.stats.coalesced, report.jobs - report.distinct_keys);
         assert_eq!(
-            report.stats.artifact_cache.hits,
-            report.jobs - report.distinct_keys
+            report.stats.artifact_cache.hits
+                + report.stats.artifact_cache.misses
+                + report.stats.coalesced,
+            report.jobs
         );
         assert!(report.cached.throughput_jobs_per_s > 0.0);
         assert!(report.speedup > 1.0, "cache must help: {:#?}", report);
+        let skewed = report.skewed.expect("v2 reports carry the comparison");
+        assert_eq!(skewed.jobs, 8 + skewed.cold_jobs);
         let json = serde_json::to_string(&report).unwrap();
         let back: ServeReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.jobs, report.jobs);
+        assert!(back.skewed.is_some());
+    }
+
+    #[test]
+    fn cost_aware_beats_fifo_on_skewed_queue_p99() {
+        let skewed = collect_skewed(12);
+        assert!(
+            skewed.cost_aware.queue_p99_us < skewed.fifo.queue_p99_us,
+            "cost-aware must cut p99 queue wait on the skewed mix: {skewed:#?}"
+        );
+        assert!(skewed.queue_p99_ratio > 1.0);
+    }
+
+    #[test]
+    fn front_door_soak_round_trips_the_mix() {
+        let jobs = distinct_keys() * 2;
+        let (stats, service_stats) = run_front_door(
+            ServeBenchConfig {
+                jobs,
+                workers: 2,
+                skewed_hot_jobs: 0,
+            },
+            3,
+        )
+        .expect("front door binds an ephemeral port");
+        assert!(stats.throughput_jobs_per_s > 0.0);
+        assert_eq!(service_stats.jobs, jobs as u64);
+        assert_eq!(
+            service_stats.artifact_cache.misses as usize,
+            distinct_keys(),
+            "racing HTTP clients still compile each key exactly once"
+        );
+        assert_eq!(
+            service_stats.artifact_cache.hits
+                + service_stats.artifact_cache.misses
+                + service_stats.coalesced,
+            jobs as u64
+        );
     }
 
     #[test]
@@ -280,19 +623,49 @@ mod tests {
             },
             speedup: 10.0,
             stats: Default::default(),
+            skewed: Some(SkewedReport {
+                jobs: 32,
+                cold_jobs: 2,
+                fifo: ServeRunStats {
+                    wall_ms: 100.0,
+                    throughput_jobs_per_s: 100.0,
+                    p50_us: 50,
+                    p99_us: 50_000,
+                    queue_p99_us: 40_000,
+                },
+                cost_aware: ServeRunStats {
+                    wall_ms: 100.0,
+                    throughput_jobs_per_s: 100.0,
+                    p50_us: 50,
+                    p99_us: 500,
+                    queue_p99_us: 100,
+                },
+                queue_p99_ratio: 400.0,
+            }),
+            front_door: None,
         };
         let mut slower = report.clone();
         slower.cached.throughput_jobs_per_s = 10.0;
         slower.speedup = 1.0;
         slower.cached.p99_us = 5000;
+        let skewed = slower.skewed.as_mut().unwrap();
+        skewed.cost_aware.queue_p99_us = 40_000;
+        skewed.queue_p99_ratio = 1.0;
         let (warn, good) = diff_serve(&report, &slower, 20.0);
-        assert_eq!(warn.len(), 3, "{warn:?}");
+        assert_eq!(warn.len(), 5, "{warn:?}");
         assert!(good.is_empty());
         let (warn, good) = diff_serve(&slower, &report, 20.0);
         assert!(warn.is_empty());
-        assert_eq!(good.len(), 3, "{good:?}");
+        assert_eq!(good.len(), 5, "{good:?}");
         // Identical reports are silent.
         let (warn, good) = diff_serve(&report, &report, 20.0);
         assert!(warn.is_empty() && good.is_empty());
+        // A v1 baseline without the skewed section only diffs the
+        // shared metrics.
+        let mut v1 = report.clone();
+        v1.skewed = None;
+        let (warn, good) = diff_serve(&v1, &slower, 20.0);
+        assert_eq!(warn.len(), 3, "{warn:?}");
+        assert!(good.is_empty());
     }
 }

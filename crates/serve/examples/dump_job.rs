@@ -1,0 +1,30 @@
+//! Prints a `WireJob` JSON body for driving `httpd` by hand:
+//!
+//! ```sh
+//! cargo run --release -p htvm-serve --example dump_job > job.json
+//! curl -s -X POST http://127.0.0.1:7440/v1/compile -d @job.json
+//! ```
+
+use htvm::DeployConfig;
+use htvm_ir::{DType, GraphBuilder, Tensor};
+use htvm_serve::http::wire::WireJob;
+
+fn main() {
+    let mut b = GraphBuilder::new();
+    let x = b.input("x", &[16, 8, 8], DType::I8);
+    let w = b.constant("w", Tensor::zeros(DType::I8, &[16, 16, 3, 3]));
+    let c = b.conv2d(x, w, (1, 1), (1, 1, 1, 1)).expect("conv2d");
+    let y = b.requantize(c, 7, true).expect("requantize");
+    let graph = b.finish(&[y]).expect("graph verifies");
+    let job = WireJob {
+        name: "curl-demo".to_owned(),
+        tenant: None,
+        graph,
+        deploy: DeployConfig::Both,
+        include_artifact: false,
+    };
+    println!(
+        "{}",
+        serde_json::to_string(&job).expect("wire jobs serialize")
+    );
+}

@@ -1,0 +1,178 @@
+//! The JSON wire schema of the front door.
+//!
+//! Requests and responses reuse the crate's existing serde types
+//! (`Graph`, `DeployConfig`, `Artifact`, `ServiceStats`, `Rejection`)
+//! so a compile driven over HTTP is byte-identical to one driven
+//! in-process. Errors are a single typed envelope ([`WireError`])
+//! whose `status` always matches the HTTP status line, so clients can
+//! switch on either.
+
+use crate::service::{JobError, JobRequest, JobResult, Rejection};
+use htvm::{Artifact, DeployConfig};
+use htvm_ir::Graph;
+use serde::{Deserialize, Serialize};
+
+/// `POST /v1/compile` body: one compile job.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireJob {
+    /// Client-chosen label, echoed in the response and trace spans.
+    pub name: String,
+    /// Tenant for admission accounting; defaults to `"anon"`.
+    #[serde(default)]
+    pub tenant: Option<String>,
+    /// The quantized graph to compile (the `htvm_ir::Graph` schema).
+    pub graph: Graph,
+    /// Deploy target.
+    pub deploy: DeployConfig,
+    /// Include the full serialized artifact in the response (they can
+    /// be large; default is metadata only).
+    #[serde(default)]
+    pub include_artifact: bool,
+}
+
+impl WireJob {
+    /// Converts the wire job into a service request.
+    #[must_use]
+    pub fn into_request(self) -> JobRequest {
+        let mut request = JobRequest::compile_only(&self.name, self.graph, self.deploy);
+        if let Some(tenant) = self.tenant {
+            request = request.with_tenant(&tenant);
+        }
+        request
+    }
+}
+
+/// `POST /v1/batch` body: jobs scheduled together, so in-batch
+/// coalescing and cost-aware ordering apply across them.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireBatch {
+    /// The jobs, in request order; results come back in the same order.
+    pub jobs: Vec<WireJob>,
+}
+
+/// One completed job on the wire.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireResult {
+    /// The job's label, echoed from the request.
+    pub job: String,
+    /// Display digest of the job's cache key.
+    pub key_id: String,
+    /// Whether the artifact came from the cache.
+    pub cache_hit: bool,
+    /// Whether the job was coalesced onto another job's compile.
+    pub coalesced: bool,
+    /// Microseconds queued before a worker picked the job up.
+    pub queue_us: u64,
+    /// Microseconds of service time.
+    pub service_us: u64,
+    /// The artifact, when the request asked for it.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub artifact: Option<Artifact>,
+}
+
+impl WireResult {
+    /// Converts a service result, optionally attaching the artifact.
+    #[must_use]
+    pub fn from_result(result: JobResult, include_artifact: bool) -> Self {
+        WireResult {
+            job: result.job,
+            key_id: result.key_id,
+            cache_hit: result.cache_hit,
+            coalesced: result.coalesced,
+            queue_us: result.queue_us,
+            service_us: result.service_us,
+            artifact: include_artifact.then_some(result.artifact),
+        }
+    }
+}
+
+/// One per-job outcome in a batch response: exactly one of `result`
+/// and `error` is set (an `Ok`/`Err` pair spelled with two `Option`s,
+/// which keeps the wire shape a plain object in every JSON client).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireBatchEntry {
+    /// The completed job, when it succeeded.
+    #[serde(default)]
+    pub result: Option<WireResult>,
+    /// The typed error, when it failed or was shed.
+    #[serde(default)]
+    pub error: Option<WireError>,
+}
+
+impl WireBatchEntry {
+    /// Wraps one service outcome.
+    #[must_use]
+    pub fn from_outcome(outcome: Result<WireResult, WireError>) -> Self {
+        match outcome {
+            Ok(result) => WireBatchEntry {
+                result: Some(result),
+                error: None,
+            },
+            Err(error) => WireBatchEntry {
+                result: None,
+                error: Some(error),
+            },
+        }
+    }
+}
+
+/// `POST /v1/batch` response: per-job outcomes in request order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireBatchResult {
+    /// One entry per submitted job, in request order.
+    pub results: Vec<WireBatchEntry>,
+}
+
+/// The typed error envelope every non-2xx response carries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireError {
+    /// HTTP status (also on the status line for top-level errors).
+    pub status: u16,
+    /// Machine-readable kind: `bad_request`, `not_found`,
+    /// `method_not_allowed`, `payload_too_large`, `rejected`,
+    /// `compile_error`, `run_error`, `internal`.
+    pub kind: String,
+    /// Human-readable detail.
+    pub detail: String,
+    /// The structured rejection, for `kind == "rejected"` (HTTP 429).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub rejection: Option<Rejection>,
+}
+
+impl WireError {
+    /// A plain error with no rejection payload.
+    #[must_use]
+    pub fn new(status: u16, kind: &str, detail: String) -> Self {
+        WireError {
+            status,
+            kind: kind.to_owned(),
+            detail,
+            rejection: None,
+        }
+    }
+
+    /// Maps a service-layer job error onto the wire: shed jobs are
+    /// `429` with the structured rejection attached, compile and run
+    /// failures are `422` (the request was well-formed; the payload
+    /// cannot be processed).
+    #[must_use]
+    pub fn from_job_error(error: &JobError) -> Self {
+        match error {
+            JobError::Rejected { rejection, .. } => WireError {
+                status: 429,
+                kind: String::from("rejected"),
+                detail: error.to_string(),
+                rejection: Some(rejection.clone()),
+            },
+            JobError::Compile { .. } => WireError::new(422, "compile_error", error.to_string()),
+            JobError::Run { .. } => WireError::new(422, "run_error", error.to_string()),
+        }
+    }
+}
+
+/// `GET /v1/healthz` response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireHealth {
+    /// Always `true` when the service answers.
+    pub ok: bool,
+}

@@ -5,9 +5,19 @@
 //! under different deploy targets and platform experiments, over and over.
 //! This crate turns the HTVM compiler into that tier:
 //!
+//! - The [`http`] module is the **network front door**: a vendored,
+//!   dependency-free HTTP/1.1 server (`POST /v1/compile`,
+//!   `POST /v1/batch`, `GET /v1/stats`) with keep-alive framing and
+//!   typed JSON error responses, run as the `httpd` bin.
 //! - [`CompileService`] schedules [`JobRequest`] batches on a bounded
 //!   worker pool ([`ServeConfig::workers`]) and returns results in
-//!   request order.
+//!   request order. **Admission control** estimates each job's cost
+//!   ([`estimate_cost`]: graph size × cache state), enforces per-tenant
+//!   quotas, and sheds load with a typed [`JobError::Rejected`] when
+//!   the queued cost would exceed [`ServeConfig::queue_cost_budget`].
+//!   Admitted jobs are ordered **cost-aware** by default
+//!   ([`SchedPolicy`]): cache hits run before cold compiles, and
+//!   identical keys within a batch are coalesced onto one compile.
 //! - Repeat requests hit a **content-addressed artifact cache**: the key
 //!   ([`ArtifactKey`]) is the canonical encoding of the graph (stable
 //!   under node-id permutation — see `htvm_ir::canonical_form`) plus the
@@ -56,13 +66,15 @@
 #![warn(missing_docs)]
 
 mod cache;
+pub mod http;
 mod key;
 mod service;
 
 pub use cache::{ArtifactCache, ArtifactCacheStats};
 pub use key::ArtifactKey;
 pub use service::{
-    CompileService, JobError, JobRequest, JobResult, RunSpec, ServeConfig, ServiceStats,
+    estimate_cost, CompileService, JobError, JobRequest, JobResult, RejectReason, Rejection,
+    RunSpec, SchedPolicy, ServeConfig, ServiceStats, HIT_COST,
 };
 
 #[cfg(test)]
@@ -85,6 +97,7 @@ mod tests {
             workers: 2,
             cache_budget_bytes: 16 << 20,
             tracer: Tracer::disabled(),
+            ..ServeConfig::default()
         }
     }
 
@@ -171,7 +184,223 @@ mod tests {
         let stats = service.stats();
         assert_eq!(stats.jobs, 6);
         assert_eq!(stats.artifact_cache.misses, 2, "two distinct graphs");
-        assert_eq!(stats.artifact_cache.hits, 4);
+        assert_eq!(
+            stats.coalesced, 4,
+            "in-batch repeats coalesce onto the two leaders"
+        );
+        assert_eq!(stats.artifact_cache.hits, 0);
+        assert_eq!(stats.shed, 0);
+    }
+
+    #[test]
+    fn cost_aware_schedules_hits_before_cold_compiles() {
+        // One worker makes the schedule exactly the dispatch order, so
+        // the policy is asserted deterministically via `sched_seq`, not
+        // wall timing. Warm three cheap keys, then submit a batch with
+        // an expensive cold compile at the *front*.
+        let run = |policy: SchedPolicy| {
+            let service = CompileService::new(ServeConfig {
+                workers: 1,
+                policy,
+                ..config()
+            });
+            for ch in [4usize, 6, 8] {
+                service
+                    .submit(JobRequest::compile_only(
+                        "warm",
+                        conv_graph(ch),
+                        DeployConfig::Both,
+                    ))
+                    .expect("warmup compiles");
+            }
+            let batch = vec![
+                JobRequest::compile_only("cold", conv_graph(24), DeployConfig::Both),
+                JobRequest::compile_only("hit4", conv_graph(4), DeployConfig::Both),
+                JobRequest::compile_only("hit6", conv_graph(6), DeployConfig::Both),
+                JobRequest::compile_only("hit8", conv_graph(8), DeployConfig::Both),
+            ];
+            let results = service.submit_batch(batch);
+            results
+                .into_iter()
+                .map(|r| {
+                    let r = r.expect("batch compiles");
+                    (r.job, r.sched_seq, r.cache_hit)
+                })
+                .collect::<Vec<_>>()
+        };
+
+        let cost_aware = run(SchedPolicy::CostAware);
+        let cold_seq = cost_aware[0].1;
+        for (job, seq, hit) in &cost_aware[1..] {
+            assert!(*hit, "warmed job '{job}' must be a cache hit");
+            assert!(
+                *seq < cold_seq,
+                "cost-aware must run hit '{job}' (seq {seq}) before the cold compile (seq {cold_seq})"
+            );
+        }
+
+        let fifo = run(SchedPolicy::Fifo);
+        let cold_seq = fifo[0].1;
+        for (job, seq, _) in &fifo[1..] {
+            assert!(
+                *seq > cold_seq,
+                "fifo must run '{job}' (seq {seq}) after the head-of-line cold compile (seq {cold_seq})"
+            );
+        }
+    }
+
+    #[test]
+    fn saturation_sheds_typed_rejections_not_unbounded_queues() {
+        // Budget fits one cold compile; everything behind it is shed
+        // with a typed rejection instead of queuing without bound. The
+        // admission pass is synchronous and in request order, so the
+        // outcome is fully deterministic.
+        let cost = estimate_cost(&conv_graph(8), false);
+        let service = CompileService::new(ServeConfig {
+            workers: 2,
+            queue_cost_budget: cost,
+            ..config()
+        });
+        let jobs: Vec<JobRequest> = (0..5)
+            .map(|i| {
+                // Distinct graphs: no coalescing can rescue them.
+                JobRequest::compile_only(&format!("job{i}"), conv_graph(8 + i), DeployConfig::Both)
+            })
+            .collect();
+        let results = service.submit_batch(jobs);
+        assert!(results[0].is_ok(), "an idle service always admits one");
+        for (i, result) in results.iter().enumerate().skip(1) {
+            match result {
+                Err(JobError::Rejected { job, rejection }) => {
+                    assert_eq!(job, &format!("job{i}"));
+                    assert!(
+                        matches!(rejection.reason, RejectReason::QueueBudget { .. }),
+                        "shed reason must be the queue budget: {rejection:?}"
+                    );
+                    assert!(rejection.retry_after_ms > 0);
+                }
+                other => panic!("job{i} must be shed, got {other:?}"),
+            }
+        }
+        let stats = service.stats();
+        assert_eq!(stats.shed, 4);
+        assert_eq!(stats.shed_budget, 4);
+        assert_eq!(stats.jobs, 1, "shed jobs never reach a worker");
+
+        // The queue drained: the same service admits new work again.
+        let retry = service.submit(JobRequest::compile_only(
+            "retry",
+            conv_graph(9),
+            DeployConfig::Both,
+        ));
+        assert!(retry.is_ok(), "admission units must be released");
+    }
+
+    #[test]
+    fn tenant_quota_sheds_only_the_greedy_tenant() {
+        let service = CompileService::new(ServeConfig {
+            workers: 2,
+            tenant_quota: 2,
+            ..config()
+        });
+        let jobs = vec![
+            JobRequest::compile_only("a0", conv_graph(4), DeployConfig::Both).with_tenant("acme"),
+            JobRequest::compile_only("a1", conv_graph(6), DeployConfig::Both).with_tenant("acme"),
+            JobRequest::compile_only("a2", conv_graph(8), DeployConfig::Both).with_tenant("acme"),
+            JobRequest::compile_only("b0", conv_graph(10), DeployConfig::Both).with_tenant("bcorp"),
+        ];
+        let results = service.submit_batch(jobs);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_ok());
+        match &results[2] {
+            Err(JobError::Rejected { rejection, .. }) => match &rejection.reason {
+                RejectReason::TenantQuota {
+                    tenant,
+                    inflight,
+                    quota,
+                } => {
+                    assert_eq!(tenant, "acme");
+                    assert_eq!((*inflight, *quota), (2, 2));
+                }
+                other => panic!("expected a tenant-quota shed, got {other:?}"),
+            },
+            other => panic!("acme's third job must be shed, got {other:?}"),
+        }
+        assert!(
+            results[3].is_ok(),
+            "another tenant is unaffected by acme's quota"
+        );
+        let stats = service.stats();
+        assert_eq!((stats.shed, stats.shed_quota), (1, 1));
+    }
+
+    #[test]
+    fn oversized_artifacts_are_returned_but_never_cached() {
+        // A cache too small for any artifact: every compile succeeds
+        // and returns its artifact, the oversized counter advances, and
+        // nothing becomes resident — so repeats are misses, not hits.
+        let service = CompileService::new(ServeConfig {
+            cache_budget_bytes: 64, // far below any serialized artifact
+            ..config()
+        });
+        let first = service
+            .submit(JobRequest::compile_only(
+                "first",
+                conv_graph(8),
+                DeployConfig::Both,
+            ))
+            .expect("compile succeeds even when caching fails");
+        assert!(!first.cache_hit);
+        let again = service
+            .submit(JobRequest::compile_only(
+                "again",
+                conv_graph(8),
+                DeployConfig::Both,
+            ))
+            .expect("repeat compiles again");
+        assert!(!again.cache_hit, "nothing was admitted to hit on");
+        assert_eq!(
+            serde_json::to_string(&first.artifact).unwrap(),
+            serde_json::to_string(&again.artifact).unwrap()
+        );
+        let stats = service.stats();
+        assert_eq!(stats.artifact_cache.oversized, 2);
+        assert_eq!(stats.artifact_cache.entries, 0);
+        assert_eq!(stats.artifact_cache.insertions, 0);
+        assert_eq!(stats.artifact_cache.misses, 2);
+        assert_eq!(stats.artifact_cache.hits, 0);
+    }
+
+    #[test]
+    fn zero_budget_disables_caching_and_coalescing_with_exact_counters() {
+        let service = CompileService::new(ServeConfig {
+            cache_budget_bytes: 0,
+            ..config()
+        });
+        let jobs: Vec<JobRequest> = (0..4)
+            .map(|i| {
+                JobRequest::compile_only(&format!("job{i}"), conv_graph(8), DeployConfig::Both)
+            })
+            .collect();
+        let results = service.submit_batch(jobs);
+        for result in &results {
+            let result = result.as_ref().expect("all compile");
+            assert!(!result.cache_hit);
+            assert!(!result.coalesced, "zero budget means no reuse at all");
+        }
+        let stats = service.stats();
+        assert_eq!(stats.jobs, 4);
+        assert_eq!(stats.coalesced, 0);
+        assert_eq!(
+            stats.artifact_cache.misses, 4,
+            "every job probes and misses"
+        );
+        assert_eq!(stats.artifact_cache.hits, 0);
+        assert_eq!(stats.artifact_cache.entries, 0);
+        assert_eq!(
+            stats.artifact_cache.oversized, 4,
+            "every compile attempts the insert and is rejected as oversized"
+        );
     }
 
     #[test]
@@ -181,6 +410,7 @@ mod tests {
         let ok = service
             .submit(JobRequest {
                 name: "run".into(),
+                tenant: "anon".into(),
                 graph: conv_graph(8),
                 deploy: DeployConfig::Both,
                 run: Some(RunSpec {
@@ -197,6 +427,7 @@ mod tests {
         let err = service
             .submit(JobRequest {
                 name: "deadline".into(),
+                tenant: "anon".into(),
                 graph: conv_graph(8),
                 deploy: DeployConfig::Both,
                 run: Some(RunSpec {
@@ -225,6 +456,7 @@ mod tests {
             workers: 2,
             cache_budget_bytes: 16 << 20,
             tracer: tracer.clone(),
+            ..ServeConfig::default()
         });
         service
             .submit(JobRequest::compile_only(

@@ -2,8 +2,23 @@
 //!
 //! One [`CompileService`] owns a base [`Compiler`] and an
 //! [`ArtifactCache`]. Jobs arrive as [`JobRequest`]s — a graph, a deploy
-//! target, and optionally a simulation spec — and are scheduled on a
-//! bounded pool of worker threads ([`CompileService::submit_batch`]).
+//! target, and optionally a simulation spec — and pass through
+//! **admission control** before any work is scheduled: each job's cost
+//! is estimated from its graph size and the cache state (a resident key
+//! makes the job near-free), per-tenant quotas cap how much any one
+//! tenant can have in flight, and when the queued cost would exceed the
+//! service's budget the job is **shed** with a typed
+//! [`JobError::Rejected`] instead of letting latency grow without
+//! bound.
+//!
+//! Admitted batches are scheduled **cost-aware** by default
+//! ([`SchedPolicy::CostAware`]): cheap jobs (cache hits) run before
+//! expensive cold compiles, so one heavy miss cannot head-of-line-block
+//! a batch of hits. Identical [`ArtifactKey`]s within a batch are
+//! **coalesced** before they reach the pool — one leader does the work,
+//! its followers are serviced from the leader's artifact the moment it
+//! lands.
+//!
 //! Repeat requests are served from the cache; the returned artifact is
 //! byte-identical (under serde) to a cold compile of the same request,
 //! because compilation is deterministic and the cache key
@@ -17,7 +32,7 @@ use crate::cache::{ArtifactCache, ArtifactCacheStats};
 use crate::key::ArtifactKey;
 use htvm::{
     tracks, Artifact, CompileError, Compiler, DeployConfig, FaultPlan, Machine, RunError,
-    RunReport, Tensor, TileCacheStats, TimeDomain, Trace, Tracer,
+    RunReport, Span, Tensor, TileCacheStats, TimeDomain, Trace, Tracer,
 };
 use htvm_ir::Graph;
 use serde::{Deserialize, Serialize};
@@ -26,6 +41,19 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
+/// How admitted jobs are ordered onto the worker pool.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedPolicy {
+    /// Strict request order — the PR-5 behavior. A cold compile at the
+    /// head of a batch blocks every cache hit behind it.
+    Fifo,
+    /// Cheapest-estimated-cost first (ties broken by request order, so
+    /// scheduling stays deterministic). Cache hits and coalesced
+    /// followers are near-free and jump ahead of cold compiles.
+    #[default]
+    CostAware,
+}
+
 /// Construction parameters for a [`CompileService`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -33,12 +61,26 @@ pub struct ServeConfig {
     /// fans out to (at least 1; batches smaller than this use fewer).
     pub workers: usize,
     /// Byte budget of the artifact cache (serialized size). Zero
-    /// disables caching entirely.
+    /// disables caching entirely — and with it in-batch coalescing,
+    /// since a zero-budget service models "no artifact reuse at all".
     pub cache_budget_bytes: usize,
     /// Span collector for per-job service spans and compiler phase
     /// spans. Disabled by default; drain with
     /// [`CompileService::take_trace`].
     pub tracer: Tracer,
+    /// Scheduling order for admitted jobs.
+    pub policy: SchedPolicy,
+    /// Admission budget in [`estimate_cost`] units: when the summed
+    /// estimated cost of admitted-but-unfinished jobs would exceed this,
+    /// new jobs are shed with [`RejectReason::QueueBudget`]. An idle
+    /// service (nothing queued) always admits one job, so a single
+    /// over-budget request can still make progress. `u64::MAX`
+    /// (the default) never sheds.
+    pub queue_cost_budget: u64,
+    /// Maximum jobs one tenant may have admitted-but-unfinished at a
+    /// time; exceeding it sheds with [`RejectReason::TenantQuota`].
+    /// `usize::MAX` (the default) is unmetered.
+    pub tenant_quota: usize,
 }
 
 impl Default for ServeConfig {
@@ -49,9 +91,32 @@ impl Default for ServeConfig {
                 .unwrap_or(4),
             cache_budget_bytes: 64 << 20,
             tracer: Tracer::disabled(),
+            policy: SchedPolicy::CostAware,
+            queue_cost_budget: u64::MAX,
+            tenant_quota: usize::MAX,
         }
     }
 }
+
+/// Estimated cost of serving one job, in abstract scheduler units.
+///
+/// A resident cache key makes the job an artifact clone — near-free,
+/// cost [`HIT_COST`]. A cold compile scales with the graph: tiling
+/// solves are per-layer and MAC volume tracks how much constant data
+/// the emit phase must move, so `nodes + MACs/10k` is a serviceable
+/// monotone proxy. The absolute scale only matters relative to
+/// [`ServeConfig::queue_cost_budget`].
+#[must_use]
+pub fn estimate_cost(graph: &Graph, cached: bool) -> u64 {
+    if cached {
+        HIT_COST
+    } else {
+        10 + graph.len() as u64 + graph.total_macs() / 10_000
+    }
+}
+
+/// [`estimate_cost`] of a job whose key is resident in the cache.
+pub const HIT_COST: u64 = 1;
 
 /// What to simulate after compiling, when a job wants execution too.
 #[derive(Debug, Clone)]
@@ -71,6 +136,8 @@ pub struct RunSpec {
 pub struct JobRequest {
     /// Client-chosen label, echoed in results, errors and trace spans.
     pub name: String,
+    /// Tenant the job is accounted to, for per-tenant admission quotas.
+    pub tenant: String,
     /// The quantized graph to compile.
     pub graph: Graph,
     /// Deploy target (which accelerators to dispatch to).
@@ -80,14 +147,78 @@ pub struct JobRequest {
 }
 
 impl JobRequest {
-    /// A compile-only job.
+    /// A compile-only job under the anonymous tenant.
     #[must_use]
     pub fn compile_only(name: &str, graph: Graph, deploy: DeployConfig) -> Self {
         JobRequest {
             name: name.to_owned(),
+            tenant: String::from("anon"),
             graph,
             deploy,
             run: None,
+        }
+    }
+
+    /// The same job accounted to a named tenant.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: &str) -> Self {
+        self.tenant = tenant.to_owned();
+        self
+    }
+}
+
+/// Why admission control refused a job. Serializable so the HTTP front
+/// door can return it verbatim as a `429` body.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// The queued estimated cost would exceed the service budget.
+    QueueBudget {
+        /// This job's estimated cost.
+        estimated_cost: u64,
+        /// Cost already admitted and not yet finished.
+        queued_cost: u64,
+        /// The configured [`ServeConfig::queue_cost_budget`].
+        budget: u64,
+    },
+    /// The tenant is at its in-flight quota.
+    TenantQuota {
+        /// The tenant that hit its quota.
+        tenant: String,
+        /// Jobs the tenant currently has admitted-but-unfinished.
+        inflight: u64,
+        /// The configured [`ServeConfig::tenant_quota`].
+        quota: u64,
+    },
+}
+
+/// A typed load-shed: the `429 Too Many Requests` of the service layer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rejection {
+    /// Which admission rule refused the job.
+    pub reason: RejectReason,
+    /// Client backoff hint in milliseconds.
+    pub retry_after_ms: u64,
+}
+
+impl std::fmt::Display for Rejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.reason {
+            RejectReason::QueueBudget {
+                estimated_cost,
+                queued_cost,
+                budget,
+            } => write!(
+                f,
+                "queue budget exhausted (job cost {estimated_cost}, queued {queued_cost}, budget {budget})"
+            ),
+            RejectReason::TenantQuota {
+                tenant,
+                inflight,
+                quota,
+            } => write!(
+                f,
+                "tenant '{tenant}' at quota ({inflight} in flight, quota {quota})"
+            ),
         }
     }
 }
@@ -111,6 +242,13 @@ pub enum JobError {
         /// The underlying simulator error.
         error: RunError,
     },
+    /// Admission control shed the job before any work was done.
+    Rejected {
+        /// The shed job's label.
+        job: String,
+        /// The typed rejection (reason + backoff hint).
+        rejection: Rejection,
+    },
 }
 
 impl std::fmt::Display for JobError {
@@ -118,6 +256,9 @@ impl std::fmt::Display for JobError {
         match self {
             JobError::Compile { job, error } => write!(f, "job '{job}' failed to compile: {error}"),
             JobError::Run { job, error } => write!(f, "job '{job}' failed to run: {error}"),
+            JobError::Rejected { job, rejection } => {
+                write!(f, "job '{job}' shed by admission control: {rejection}")
+            }
         }
     }
 }
@@ -127,6 +268,7 @@ impl std::error::Error for JobError {
         match self {
             JobError::Compile { error, .. } => Some(error),
             JobError::Run { error, .. } => Some(error),
+            JobError::Rejected { .. } => None,
         }
     }
 }
@@ -140,6 +282,9 @@ pub struct JobResult {
     pub key_id: String,
     /// Whether the artifact came from the cache.
     pub cache_hit: bool,
+    /// Whether the job was coalesced onto another job's compile (it
+    /// never touched the cache counters itself).
+    pub coalesced: bool,
     /// The compiled deployment.
     pub artifact: Artifact,
     /// Simulation report, when the job asked to run.
@@ -149,14 +294,29 @@ pub struct JobResult {
     pub queue_us: u64,
     /// Wall microseconds of service time (compile-or-hit + simulate).
     pub service_us: u64,
+    /// Order in which the service started this job, across the service's
+    /// lifetime (0-based). With one worker this is exactly the schedule,
+    /// which the policy tests assert on.
+    pub sched_seq: u64,
 }
 
 /// A snapshot of the service's counters, serializable for bench
 /// reports.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ServiceStats {
-    /// Jobs processed to completion (success or failure).
+    /// Jobs processed to completion (success or failure). Shed jobs are
+    /// counted in `shed`, not here.
     pub jobs: u64,
+    /// Jobs serviced from another job's in-flight compile without
+    /// touching the cache counters (batch coalescing + single-flight
+    /// followers).
+    pub coalesced: u64,
+    /// Jobs shed by admission control (total).
+    pub shed: u64,
+    /// Shed because the queue cost budget was exhausted.
+    pub shed_budget: u64,
+    /// Shed because the tenant was at its in-flight quota.
+    pub shed_quota: u64,
     /// Artifact-cache counters (hits, misses, evictions, occupancy).
     pub artifact_cache: ArtifactCacheStats,
     /// Shared tiling-solve memo counters across all tenants.
@@ -166,44 +326,84 @@ pub struct ServiceStats {
 /// A single-flight rendezvous: the first thread to miss a key becomes
 /// the *leader* and compiles; concurrent requesters for the same key
 /// wait here instead of duplicating the compile (thundering-herd
-/// protection), then read the leader's insert from the cache.
+/// protection), then take the leader's artifact directly — a
+/// *coalesced* serve that never touches the cache counters. A `None`
+/// outcome means the leader failed; followers re-enter and compile for
+/// themselves.
 struct Flight {
-    done: Mutex<bool>,
+    slot: Mutex<Option<Option<Artifact>>>,
     cv: Condvar,
 }
 
 impl Flight {
     fn new() -> Self {
         Flight {
-            done: Mutex::new(false),
+            slot: Mutex::new(None),
             cv: Condvar::new(),
         }
     }
 
-    fn land(&self) {
-        *self.done.lock().expect("flight poisoned") = true;
+    fn land(&self, artifact: Option<Artifact>) {
+        *self.slot.lock().expect("flight poisoned") = Some(artifact);
         self.cv.notify_all();
     }
 
-    fn wait(&self) {
-        let guard = self.done.lock().expect("flight poisoned");
-        drop(
-            self.cv
-                .wait_while(guard, |done| !*done)
-                .expect("flight poisoned"),
-        );
+    fn wait(&self) -> Option<Artifact> {
+        let guard = self.slot.lock().expect("flight poisoned");
+        self.cv
+            .wait_while(guard, |slot| slot.is_none())
+            .expect("flight poisoned")
+            .clone()
+            .expect("wait_while guarantees a landed flight")
     }
 }
 
+/// Live admission-control state: cost and per-tenant counts of every
+/// admitted-but-unfinished job, across `submit` and `submit_batch`
+/// callers alike.
+#[derive(Default)]
+struct Admission {
+    queued_cost: u64,
+    tenant_inflight: HashMap<String, u64>,
+}
+
+/// How a worker obtains a job's artifact.
+enum ArtifactSource {
+    /// Probe the cache, coalesce on the in-flight table, compile on miss.
+    Resolve,
+    /// The artifact is already in hand (a batch-coalesced follower).
+    Ready(Box<Artifact>),
+}
+
+/// One admitted batch entry: a leader plus the follower jobs coalesced
+/// onto its key.
+struct Scheduled {
+    index: usize,
+    job: JobRequest,
+    key: ArtifactKey,
+    cost: u64,
+    followers: Vec<(usize, JobRequest)>,
+}
+
 /// A multi-tenant compile-and-simulate service with a content-addressed
-/// artifact cache. See the [crate docs](crate) for the architecture.
+/// artifact cache, cost-aware scheduling and typed load shedding. See
+/// the [crate docs](crate) for the architecture.
 pub struct CompileService {
     base: Compiler,
     cache: ArtifactCache,
     inflight: Mutex<HashMap<ArtifactKey, Arc<Flight>>>,
+    admission: Mutex<Admission>,
     tracer: Tracer,
     workers: usize,
+    policy: SchedPolicy,
+    queue_cost_budget: u64,
+    tenant_quota: u64,
     jobs: AtomicU64,
+    coalesced: AtomicU64,
+    shed: AtomicU64,
+    shed_budget: AtomicU64,
+    shed_quota: AtomicU64,
+    seq: AtomicU64,
 }
 
 impl CompileService {
@@ -224,40 +424,165 @@ impl CompileService {
             base: base.with_tracer(config.tracer.clone()),
             cache: ArtifactCache::new(config.cache_budget_bytes),
             inflight: Mutex::new(HashMap::new()),
+            admission: Mutex::new(Admission::default()),
             tracer: config.tracer,
             workers: config.workers.max(1),
+            policy: config.policy,
+            queue_cost_budget: config.queue_cost_budget,
+            tenant_quota: u64::try_from(config.tenant_quota).unwrap_or(u64::MAX),
             jobs: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            shed_budget: AtomicU64::new(0),
+            shed_quota: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
         }
     }
 
-    /// Processes one job on the calling thread.
-    pub fn submit(&self, job: JobRequest) -> Result<JobResult, JobError> {
-        self.process(job, 0)
+    /// The scheduling policy this service orders batches with.
+    #[must_use]
+    pub fn policy(&self) -> SchedPolicy {
+        self.policy
     }
 
-    /// Schedules a batch on up to `workers` threads and returns results
-    /// in request order. Jobs are dispatched first-come-first-served
-    /// from a shared queue; each result records how long the job
-    /// queued before a worker picked it up.
+    /// The content-addressed key a job resolves to.
+    #[must_use]
+    pub fn key_of(&self, job: &JobRequest) -> ArtifactKey {
+        ArtifactKey::new(
+            &job.graph,
+            job.deploy,
+            self.base.platform(),
+            self.base.lower_options(),
+        )
+    }
+
+    /// This job's estimated admission cost right now (probes the cache).
+    #[must_use]
+    pub fn cost_of(&self, job: &JobRequest) -> u64 {
+        estimate_cost(&job.graph, self.cache.contains(&self.key_of(job)))
+    }
+
+    /// Processes one job on the calling thread, through admission
+    /// control: the result is [`JobError::Rejected`] when the service is
+    /// saturated or the tenant is over quota.
+    pub fn submit(&self, job: JobRequest) -> Result<JobResult, JobError> {
+        let key = self.key_of(&job);
+        let cost = estimate_cost(&job.graph, self.cache.contains(&key));
+        if let Err(rejection) = self.admit(&job.tenant, cost) {
+            return Err(self.shed_job(job.name, &job.tenant, cost, rejection));
+        }
+        let tenant = job.tenant.clone();
+        let result = self.process(job, key, 0, ArtifactSource::Resolve);
+        self.release(&tenant, cost);
+        result
+    }
+
+    /// Schedules a batch through admission control and the worker pool,
+    /// returning results in request order.
+    ///
+    /// Before anything reaches the pool, jobs with identical
+    /// [`ArtifactKey`]s are coalesced (one leader, the rest followers —
+    /// serviced from the leader's artifact by the leader's worker the
+    /// moment it lands) and each leader passes admission control in
+    /// request order; shed jobs get [`JobError::Rejected`] without ever
+    /// queuing. Admitted leaders are ordered by [`SchedPolicy`]: under
+    /// [`SchedPolicy::CostAware`], cache hits run before cold compiles,
+    /// so an expensive miss cannot head-of-line-block a batch of hits.
     pub fn submit_batch(&self, jobs: Vec<JobRequest>) -> Vec<Result<JobResult, JobError>> {
         let n = jobs.len();
-        let workers = self.workers.min(n).max(1);
         let epoch = Instant::now();
-        let queue: Mutex<VecDeque<(usize, JobRequest)>> =
-            Mutex::new(jobs.into_iter().enumerate().collect());
         let slots: Vec<Mutex<Option<Result<JobResult, JobError>>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
+
+        // Admission + coalescing pass, in request order. A zero-budget
+        // cache models "no artifact reuse", so it disables coalescing
+        // too (the no-cache bench baseline must really compile each job).
+        let coalesce = self.cache.budget_bytes() > 0;
+        let mut leaders: Vec<Scheduled> = Vec::new();
+        let mut lead_of: HashMap<ArtifactKey, usize> = HashMap::new();
+        for (index, job) in jobs.into_iter().enumerate() {
+            let key = self.key_of(&job);
+            let cost = if coalesce && lead_of.contains_key(&key) {
+                0 // a follower rides its leader's admission cost
+            } else {
+                estimate_cost(&job.graph, self.cache.contains(&key))
+            };
+            match self.admit(&job.tenant, cost) {
+                Err(rejection) => {
+                    let error = self.shed_job(job.name, &job.tenant, cost, rejection);
+                    *slots[index].lock().expect("result slot poisoned") = Some(Err(error));
+                }
+                Ok(()) => match lead_of.get(&key) {
+                    Some(&leader) if coalesce => leaders[leader].followers.push((index, job)),
+                    _ => {
+                        lead_of.insert(key.clone(), leaders.len());
+                        leaders.push(Scheduled {
+                            index,
+                            job,
+                            key,
+                            cost,
+                            followers: Vec::new(),
+                        });
+                    }
+                },
+            }
+        }
+
+        match self.policy {
+            SchedPolicy::Fifo => {} // already in request order
+            SchedPolicy::CostAware => leaders.sort_by_key(|s| (s.cost, s.index)),
+        }
+
+        let workers = self.workers.min(leaders.len()).max(1);
+        let queue: Mutex<VecDeque<Scheduled>> = Mutex::new(leaders.into());
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
                     let next = queue.lock().expect("job queue poisoned").pop_front();
-                    let Some((index, job)) = next else { break };
+                    let Some(item) = next else { break };
                     let queue_us = epoch.elapsed().as_micros() as u64;
-                    let result = self.process(job, queue_us);
-                    *slots[index].lock().expect("result slot poisoned") = Some(result);
+                    let tenant = item.job.tenant.clone();
+                    let result = self.process(
+                        item.job,
+                        item.key.clone(),
+                        queue_us,
+                        ArtifactSource::Resolve,
+                    );
+                    self.release(&tenant, item.cost);
+                    // Service this leader's followers right here, right
+                    // now: they are near-free (an artifact clone plus
+                    // any simulation), and running them on the leader's
+                    // worker means a follower never occupies a pool
+                    // slot waiting for a compile that hasn't started.
+                    let lead_artifact = result.as_ref().ok().map(|r| r.artifact.clone());
+                    *slots[item.index].lock().expect("result slot poisoned") = Some(result);
+                    for (index, job) in item.followers {
+                        let queue_us = epoch.elapsed().as_micros() as u64;
+                        let tenant = job.tenant.clone();
+                        let result = match &lead_artifact {
+                            Some(artifact) => self.process(
+                                job,
+                                item.key.clone(),
+                                queue_us,
+                                ArtifactSource::Ready(Box::new(artifact.clone())),
+                            ),
+                            // The leader failed; let the follower find
+                            // out for itself (deterministic error per
+                            // job, and a fresh attempt might succeed).
+                            None => self.process(
+                                job,
+                                item.key.clone(),
+                                queue_us,
+                                ArtifactSource::Resolve,
+                            ),
+                        };
+                        self.release(&tenant, 0);
+                        *slots[index].lock().expect("result slot poisoned") = Some(result);
+                    }
                 });
             }
         });
+
         slots
             .into_iter()
             .map(|slot| {
@@ -268,32 +593,121 @@ impl CompileService {
             .collect()
     }
 
-    fn process(&self, job: JobRequest, queue_us: u64) -> Result<JobResult, JobError> {
+    /// Admits `cost` units for `tenant`, or returns the typed rejection.
+    /// An idle service (nothing queued) always admits, so one
+    /// over-budget job can still make progress.
+    fn admit(&self, tenant: &str, cost: u64) -> Result<(), Rejection> {
+        let mut adm = self.admission.lock().expect("admission poisoned");
+        let inflight = adm.tenant_inflight.get(tenant).copied().unwrap_or(0);
+        if inflight >= self.tenant_quota {
+            return Err(Rejection {
+                reason: RejectReason::TenantQuota {
+                    tenant: tenant.to_owned(),
+                    inflight,
+                    quota: self.tenant_quota,
+                },
+                retry_after_ms: 50,
+            });
+        }
+        if adm.queued_cost > 0 && adm.queued_cost.saturating_add(cost) > self.queue_cost_budget {
+            return Err(Rejection {
+                reason: RejectReason::QueueBudget {
+                    estimated_cost: cost,
+                    queued_cost: adm.queued_cost,
+                    budget: self.queue_cost_budget,
+                },
+                retry_after_ms: 50,
+            });
+        }
+        adm.queued_cost = adm.queued_cost.saturating_add(cost);
+        *adm.tenant_inflight.entry(tenant.to_owned()).or_insert(0) += 1;
+        Ok(())
+    }
+
+    /// Returns a finished (or shed-after-admit) job's admission units.
+    fn release(&self, tenant: &str, cost: u64) {
+        let mut adm = self.admission.lock().expect("admission poisoned");
+        adm.queued_cost = adm.queued_cost.saturating_sub(cost);
+        if let Some(count) = adm.tenant_inflight.get_mut(tenant) {
+            *count -= 1;
+            if *count == 0 {
+                adm.tenant_inflight.remove(tenant);
+            }
+        }
+    }
+
+    /// Counts and traces a shed, returning the typed error.
+    fn shed_job(&self, job: String, tenant: &str, cost: u64, rejection: Rejection) -> JobError {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        match rejection.reason {
+            RejectReason::QueueBudget { .. } => self.shed_budget.fetch_add(1, Ordering::Relaxed),
+            RejectReason::TenantQuota { .. } => self.shed_quota.fetch_add(1, Ordering::Relaxed),
+        };
+        if self.tracer.is_enabled() {
+            let reason = match rejection.reason {
+                RejectReason::QueueBudget { .. } => "queue_budget",
+                RejectReason::TenantQuota { .. } => "tenant_quota",
+            };
+            self.tracer.record(
+                Span::new(
+                    &format!("shed:{job}"),
+                    tracks::SERVICE,
+                    self.tracer.elapsed_us(),
+                    0,
+                )
+                .with_arg("reason", reason)
+                .with_arg("tenant", tenant)
+                .with_arg("estimated_cost", cost),
+            );
+        }
+        JobError::Rejected { job, rejection }
+    }
+
+    fn process(
+        &self,
+        job: JobRequest,
+        key: ArtifactKey,
+        queue_us: u64,
+        source: ArtifactSource,
+    ) -> Result<JobResult, JobError> {
         let started = Instant::now();
+        let sched_seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let compiler = self.base.clone().with_deploy(job.deploy);
-        let key = ArtifactKey::new(
-            &job.graph,
-            job.deploy,
-            compiler.platform(),
-            compiler.lower_options(),
-        );
+        if self.tracer.is_enabled() && queue_us > 0 {
+            // The wait is over by the time we learn its length, so
+            // record it retroactively: a span ending "now", starting
+            // `queue_us` ago, on the same track as the job span.
+            let now = self.tracer.elapsed_us();
+            self.tracer.record(
+                Span::new(
+                    &format!("queue:{}", job.name),
+                    tracks::SERVICE,
+                    now.saturating_sub(queue_us),
+                    queue_us,
+                )
+                .with_arg("tenant", job.tenant.as_str()),
+            );
+        }
         let mut span = self
             .tracer
             .scope(tracks::SERVICE, &format!("job:{}", job.name));
         span.arg("key", key.id());
         span.arg("queue_us", queue_us);
-        let result = self.compile_and_run(&job, &compiler, &key, &mut span);
+        span.arg("tenant", job.tenant.as_str());
+        let result = self.compile_and_run(&job, &compiler, &key, source, &mut span);
         self.jobs.fetch_add(1, Ordering::Relaxed);
         span.arg("ok", result.is_ok());
-        let (artifact, cache_hit, report) = result?;
+        let (artifact, cache_hit, coalesced, report) = result?;
         Ok(JobResult {
             job: job.name,
             key_id: key.id(),
             cache_hit,
+            coalesced,
             artifact,
             report,
             queue_us,
             service_us: started.elapsed().as_micros() as u64,
+            sched_seq,
         })
     }
 
@@ -303,10 +717,18 @@ impl CompileService {
         job: &JobRequest,
         compiler: &Compiler,
         key: &ArtifactKey,
+        source: ArtifactSource,
         span: &mut htvm_trace::ScopedSpan<'_>,
-    ) -> Result<(Artifact, bool, Option<RunReport>), JobError> {
-        let (artifact, cache_hit) = self.artifact_for(job, compiler, key)?;
+    ) -> Result<(Artifact, bool, bool, Option<RunReport>), JobError> {
+        let (artifact, cache_hit, coalesced) = match source {
+            ArtifactSource::Ready(artifact) => {
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                (*artifact, false, true)
+            }
+            ArtifactSource::Resolve => self.artifact_for(job, compiler, key)?,
+        };
         span.arg("cache_hit", cache_hit);
+        span.arg("coalesced", coalesced);
         let report = match &job.run {
             Some(spec) => {
                 let machine = Machine::new(*compiler.platform());
@@ -326,21 +748,45 @@ impl CompileService {
             }
             None => None,
         };
-        Ok((artifact, cache_hit, report))
+        Ok((artifact, cache_hit, coalesced, report))
     }
 
     /// Fetches the job's artifact from the cache or compiles it,
     /// coalescing concurrent misses on the same key: exactly one thread
-    /// (the *leader*) compiles while the rest wait and then read the
-    /// leader's insert. Each job touches the cache counters exactly
-    /// once — a leader registers one miss, everyone else one hit — so
-    /// `hits + misses == jobs` deterministically even under races.
+    /// (the *leader*) compiles while the rest wait and take the leader's
+    /// artifact directly. Only threads that actually probe the cache
+    /// touch its counters — a leader registers one miss, a repeat after
+    /// landing one hit, and a coalesced follower none (it shows up in
+    /// [`ServiceStats::coalesced`] instead) — so
+    /// `hits + misses + coalesced == jobs` deterministically even under
+    /// races, with `misses` exactly the number of distinct compiles.
     fn artifact_for(
         &self,
         job: &JobRequest,
         compiler: &Compiler,
         key: &ArtifactKey,
-    ) -> Result<(Artifact, bool), JobError> {
+    ) -> Result<(Artifact, bool, bool), JobError> {
+        // A zero-budget cache models "no artifact reuse at all" — the
+        // bench baseline. Single-flight coalescing is reuse, so it is
+        // disabled too: every job probes (and misses) the cache, then
+        // compiles for itself.
+        if self.cache.budget_bytes() == 0 {
+            let cached = self.cache.get(key);
+            debug_assert!(cached.is_none(), "a zero-budget cache admits nothing");
+            drop(cached);
+            let artifact = compiler
+                .compile(&job.graph)
+                .map_err(|error| JobError::Compile {
+                    job: job.name.clone(),
+                    error,
+                })?;
+            // Attempt the insert anyway (it is rejected as oversized):
+            // a no-reuse service still pays the serialize-to-measure
+            // cost a caching one would, so cache-on/off comparisons
+            // isolate *reuse*, and the oversized counter keeps exact.
+            self.cache.insert(key.clone(), &artifact);
+            return Ok((artifact, false, false));
+        }
         loop {
             // One critical section decides this thread's role: follower
             // of an in-flight compile (no cache touch), cache hit, or
@@ -350,15 +796,16 @@ impl CompileService {
                 if let Some(flight) = inflight.get(key) {
                     Arc::clone(flight)
                 } else if let Some(artifact) = self.cache.get(key) {
-                    return Ok((artifact, true));
+                    return Ok((artifact, true, false));
                 } else {
                     let flight = Arc::new(Flight::new());
                     inflight.insert(key.clone(), Arc::clone(&flight));
                     drop(inflight);
                     let compiled = compiler.compile(&job.graph);
-                    // Publish before landing the flight, so woken
-                    // followers find the artifact resident; on error,
-                    // followers re-enter and compile for themselves.
+                    // Publish before landing the flight, so repeats
+                    // that arrive after the landing find the artifact
+                    // resident; followers already waiting take it from
+                    // the flight itself.
                     if let Ok(artifact) = &compiled {
                         self.cache.insert(key.clone(), artifact);
                     }
@@ -366,15 +813,23 @@ impl CompileService {
                         .lock()
                         .expect("inflight map poisoned")
                         .remove(key);
-                    flight.land();
+                    flight.land(compiled.as_ref().ok().cloned());
                     let artifact = compiled.map_err(|error| JobError::Compile {
                         job: job.name.clone(),
                         error,
                     })?;
-                    return Ok((artifact, false));
+                    return Ok((artifact, false, false));
                 }
             };
-            flight.wait();
+            match flight.wait() {
+                Some(artifact) => {
+                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    return Ok((artifact, false, true));
+                }
+                // The leader failed; re-enter and compile for ourselves
+                // (our own attempt reports its own typed error).
+                None => continue,
+            }
         }
     }
 
@@ -384,13 +839,17 @@ impl CompileService {
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
             jobs: self.jobs.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            shed_budget: self.shed_budget.load(Ordering::Relaxed),
+            shed_quota: self.shed_quota.load(Ordering::Relaxed),
             artifact_cache: self.cache.stats(),
             tile_cache: self.base.tile_cache().stats(),
         }
     }
 
-    /// Drains everything traced so far (job spans plus compiler phase
-    /// spans) into one wall-clock trace on the
+    /// Drains everything traced so far (job, queue and shed spans plus
+    /// compiler phase spans) into one wall-clock trace on the
     /// [`tracks::serve`] track table.
     #[must_use]
     pub fn take_trace(&self) -> Trace {
@@ -402,6 +861,7 @@ impl std::fmt::Debug for CompileService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CompileService")
             .field("workers", &self.workers)
+            .field("policy", &self.policy)
             .field("stats", &self.stats())
             .finish()
     }

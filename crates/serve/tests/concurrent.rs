@@ -55,6 +55,7 @@ fn concurrent_batch_matches_sequential_cold_compiles() {
         workers: 4,
         cache_budget_bytes: 64 << 20,
         tracer: htvm::Tracer::disabled(),
+        ..ServeConfig::default()
     });
     let requests: Vec<JobRequest> = jobs
         .iter()
@@ -63,7 +64,7 @@ fn concurrent_batch_matches_sequential_cold_compiles() {
     let results = service.submit_batch(requests);
 
     assert_eq!(results.len(), jobs.len());
-    let mut hits = 0u64;
+    let mut coalesced = 0u64;
     for (i, result) in results.into_iter().enumerate() {
         let result = result.expect("every job in the mix compiles");
         assert_eq!(result.job, jobs[i].0, "results arrive in request order");
@@ -73,8 +74,8 @@ fn concurrent_batch_matches_sequential_cold_compiles() {
             "job {} must be byte-identical to its sequential cold compile",
             jobs[i].0
         );
-        if result.cache_hit {
-            hits += 1;
+        if result.coalesced {
+            coalesced += 1;
         }
     }
 
@@ -85,13 +86,15 @@ fn concurrent_batch_matches_sequential_cold_compiles() {
         "exactly one cold compile per distinct (graph, deploy) key"
     );
     assert_eq!(
-        stats.artifact_cache.hits,
+        stats.coalesced,
         (jobs.len() - distinct) as u64,
-        "every repeat must be served from the cache"
+        "every in-batch repeat coalesces onto its key's leader"
     );
+    assert_eq!(stats.coalesced, coalesced, "per-job flags match counters");
     assert_eq!(
-        stats.artifact_cache.hits, hits,
-        "per-job flags match counters"
+        stats.artifact_cache.hits + stats.artifact_cache.misses + stats.coalesced,
+        stats.jobs,
+        "every job is accounted exactly once"
     );
     assert_eq!(
         stats.artifact_cache.evictions, 0,
@@ -107,6 +110,7 @@ fn racing_submitters_agree_on_artifacts() {
         workers: 1,
         cache_budget_bytes: 64 << 20,
         tracer: htvm::Tracer::disabled(),
+        ..ServeConfig::default()
     });
     let model = ds_cnn(QuantScheme::Mixed);
     let n_threads = 4;
@@ -152,7 +156,16 @@ fn racing_submitters_agree_on_artifacts() {
     let stats = service.stats();
     assert_eq!(stats.jobs, (n_threads * per_thread) as u64);
     // Single-flight coalescing makes the counters exact even under
-    // racing callers: one leader compiles, everyone else hits.
+    // racing callers: one leader compiles (the only miss); every other
+    // job either coalesced onto the in-flight compile or hit the cache
+    // afterwards — the split is timing-dependent, the sum is not.
     assert_eq!(stats.artifact_cache.misses, 1);
-    assert_eq!(stats.artifact_cache.hits, stats.jobs - 1);
+    assert_eq!(
+        stats.artifact_cache.hits + stats.coalesced,
+        stats.jobs - 1,
+        "hits {} + coalesced {} must cover every non-leader job",
+        stats.artifact_cache.hits,
+        stats.coalesced
+    );
+    assert_eq!(stats.shed, 0, "an unmetered service never sheds");
 }

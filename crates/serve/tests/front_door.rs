@@ -1,0 +1,400 @@
+//! End-to-end exercises of the HTTP/1.1 front door with raw TCP
+//! clients: round-trips must be byte-identical to in-process compiles,
+//! concurrent skewed traffic must keep the service counters exact, and
+//! overload must shed with typed, parseable rejections.
+
+use htvm::{Compiler, DeployConfig};
+use htvm_ir::{DType, Graph, GraphBuilder, Tensor};
+use htvm_serve::http::wire::{WireBatch, WireBatchResult, WireError, WireJob, WireResult};
+use htvm_serve::http::{HttpConfig, HttpServer};
+use htvm_serve::{estimate_cost, CompileService, SchedPolicy, ServeConfig, ServiceStats};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn conv_graph(channels: usize) -> Graph {
+    let mut b = GraphBuilder::new();
+    let x = b.input("x", &[channels, 8, 8], DType::I8);
+    let w = b.constant("w", Tensor::zeros(DType::I8, &[channels, channels, 3, 3]));
+    let c = b.conv2d(x, w, (1, 1), (1, 1, 1, 1)).unwrap();
+    let y = b.requantize(c, 7, true).unwrap();
+    b.finish(&[y]).unwrap()
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        cache_budget_bytes: 16 << 20,
+        tracer: htvm::Tracer::disabled(),
+        ..ServeConfig::default()
+    }
+}
+
+fn spawn_server(serve: ServeConfig, http: HttpConfig) -> (Arc<CompileService>, HttpServer) {
+    let service = Arc::new(CompileService::new(serve));
+    let server =
+        HttpServer::spawn(Arc::clone(&service), "127.0.0.1:0", http).expect("ephemeral port binds");
+    (service, server)
+}
+
+fn wire_job(name: &str, graph: Graph, include_artifact: bool) -> WireJob {
+    WireJob {
+        name: name.to_owned(),
+        tenant: None,
+        graph,
+        deploy: DeployConfig::Both,
+        include_artifact,
+    }
+}
+
+/// A raw HTTP response: status line code, headers (lowercased names)
+/// and body text.
+struct Response {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+impl Response {
+    fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn error(&self) -> WireError {
+        serde_json::from_str(&self.body).expect("error bodies parse as WireError")
+    }
+}
+
+/// A keep-alive HTTP/1.1 client over one raw `TcpStream`, hand-framing
+/// requests so the tests exercise the server's real wire behavior.
+struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("front door accepts");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .expect("timeout sets");
+        Client { stream }
+    }
+
+    fn send_raw(&mut self, raw: &[u8]) -> Response {
+        self.stream.write_all(raw).expect("request writes");
+        self.read_response()
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: Option<&str>) -> Response {
+        let body = body.unwrap_or("");
+        let raw = format!(
+            "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.send_raw(raw.as_bytes())
+    }
+
+    fn read_response(&mut self) -> Response {
+        let mut reader = BufReader::new(&mut self.stream);
+        let mut status_line = String::new();
+        reader
+            .read_line(&mut status_line)
+            .expect("status line reads");
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("malformed status line {status_line:?}"));
+        let mut headers = Vec::new();
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("header line reads");
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            let (name, value) = line.split_once(':').expect("header has a colon");
+            let (name, value) = (name.trim().to_ascii_lowercase(), value.trim().to_owned());
+            if name == "content-length" {
+                content_length = value.parse().expect("Content-Length parses");
+            }
+            headers.push((name, value));
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).expect("body reads in full");
+        Response {
+            status,
+            headers,
+            body: String::from_utf8(body).expect("JSON bodies are UTF-8"),
+        }
+    }
+}
+
+/// One-shot convenience: fresh connection, one exchange.
+fn once(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> Response {
+    Client::connect(addr).request(method, path, body)
+}
+
+fn service_stats(addr: SocketAddr) -> ServiceStats {
+    let response = once(addr, "GET", "/v1/stats", None);
+    assert_eq!(response.status, 200);
+    serde_json::from_str(&response.body).expect("stats parse as ServiceStats")
+}
+
+#[test]
+fn http_compile_round_trip_is_byte_identical_to_in_process() {
+    let (_service, server) = spawn_server(serve_config(), HttpConfig::default());
+    let addr = server.addr();
+
+    // Health and an empty stats snapshot, on one keep-alive connection.
+    let mut client = Client::connect(addr);
+    let health = client.request("GET", "/v1/healthz", None);
+    assert_eq!(health.status, 200);
+    assert_eq!(
+        serde_json::from_str::<serde_json::Value>(&health.body).unwrap()["ok"],
+        true
+    );
+    let stats = client.request("GET", "/v1/stats", None);
+    assert_eq!(stats.status, 200, "keep-alive serves a second request");
+
+    // Compile over the wire, artifact included.
+    let graph = conv_graph(8);
+    let body = serde_json::to_string(&wire_job("wire", graph.clone(), true)).unwrap();
+    let response = client.request("POST", "/v1/compile", Some(&body));
+    assert_eq!(response.status, 200);
+    let result: WireResult = serde_json::from_str(&response.body).expect("WireResult parses");
+    assert_eq!(result.job, "wire");
+    assert!(!result.cache_hit);
+    let wire_artifact = result.artifact.expect("include_artifact attaches it");
+
+    // The same compile in-process, no service at all.
+    let direct = Compiler::new()
+        .with_deploy(DeployConfig::Both)
+        .compile(&graph)
+        .expect("conv graph compiles");
+    assert_eq!(
+        serde_json::to_string(&wire_artifact).unwrap(),
+        serde_json::to_string(&direct).unwrap(),
+        "the front door must not perturb compilation"
+    );
+
+    // A repeat omitting the artifact is a cache hit with no payload.
+    let body = serde_json::to_string(&wire_job("wire-again", graph, false)).unwrap();
+    let response = client.request("POST", "/v1/compile", Some(&body));
+    assert_eq!(response.status, 200);
+    let result: WireResult = serde_json::from_str(&response.body).unwrap();
+    assert!(result.cache_hit);
+    assert!(result.artifact.is_none(), "metadata-only by default");
+
+    let stats = service_stats(addr);
+    assert_eq!(stats.jobs, 2);
+    assert_eq!(stats.artifact_cache.misses, 1);
+    assert_eq!(stats.artifact_cache.hits, 1);
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_with_skewed_mix_keep_counters_exact() {
+    let (_service, server) = spawn_server(serve_config(), HttpConfig::default());
+    let addr = server.addr();
+
+    // 6 clients × 4 requests, skewed: three quarters of the traffic
+    // wants the same hot graph; two colder graphs make up the rest.
+    let graphs = [conv_graph(4), conv_graph(6), conv_graph(10)];
+    let n_clients = 6;
+    let per_client = 4;
+    std::thread::scope(|scope| {
+        for t in 0..n_clients {
+            let graphs = &graphs;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr);
+                for i in 0..per_client {
+                    // Requests 0..2 hit the hot graph; request 3 takes
+                    // a cold one, a different one per client parity.
+                    let graph = if i < 3 {
+                        &graphs[0]
+                    } else {
+                        &graphs[1 + t % 2]
+                    };
+                    let body = serde_json::to_string(&wire_job(
+                        &format!("c{t}#{i}"),
+                        graph.clone(),
+                        false,
+                    ))
+                    .unwrap();
+                    let response = client.request("POST", "/v1/compile", Some(&body));
+                    assert_eq!(response.status, 200, "body: {}", response.body);
+                    let result: WireResult = serde_json::from_str(&response.body).unwrap();
+                    assert_eq!(result.job, format!("c{t}#{i}"));
+                }
+            });
+        }
+    });
+
+    let stats = service_stats(addr);
+    let jobs = (n_clients * per_client) as u64;
+    assert_eq!(stats.jobs, jobs);
+    assert_eq!(
+        stats.artifact_cache.misses, 3,
+        "exactly one cold compile per distinct graph, racing clients included"
+    );
+    assert_eq!(
+        stats.artifact_cache.hits + stats.artifact_cache.misses + stats.coalesced,
+        jobs,
+        "every HTTP job lands in exactly one bucket"
+    );
+    assert_eq!(stats.shed, 0, "an unmetered front door sheds nothing");
+    server.shutdown();
+}
+
+#[test]
+fn batch_coalesces_and_saturation_sheds_typed_429s() {
+    // Budget = exactly one cold compile of the first job: the rest of
+    // the batch must shed deterministically at admission.
+    let cold_costs: Vec<u64> = [12usize, 16, 20, 24]
+        .iter()
+        .map(|&c| estimate_cost(&conv_graph(c), false))
+        .collect();
+    let (_service, server) = spawn_server(
+        ServeConfig {
+            workers: 1,
+            queue_cost_budget: cold_costs[0],
+            policy: SchedPolicy::CostAware,
+            ..serve_config()
+        },
+        HttpConfig::default(),
+    );
+    let addr = server.addr();
+
+    let batch = WireBatch {
+        jobs: [12usize, 16, 20, 24]
+            .iter()
+            .map(|&c| wire_job(&format!("cold{c}"), conv_graph(c), false))
+            .collect(),
+    };
+    let body = serde_json::to_string(&batch).unwrap();
+    let response = once(addr, "POST", "/v1/batch", Some(&body));
+    assert_eq!(response.status, 200, "batch responses are per-entry typed");
+    let parsed: WireBatchResult = serde_json::from_str(&response.body).unwrap();
+    assert_eq!(parsed.results.len(), 4);
+
+    let first = parsed.results[0]
+        .result
+        .as_ref()
+        .expect("an idle service always admits the first job");
+    assert_eq!(first.job, "cold12");
+    for (entry, &cost) in parsed.results[1..].iter().zip(&cold_costs[1..]) {
+        assert!(entry.result.is_none());
+        let error = entry.error.as_ref().expect("shed entries carry the error");
+        assert_eq!(error.status, 429);
+        assert_eq!(error.kind, "rejected");
+        let rejection = error.rejection.as_ref().expect("sheds are structured");
+        assert!(rejection.retry_after_ms > 0);
+        match &rejection.reason {
+            htvm_serve::RejectReason::QueueBudget {
+                estimated_cost,
+                budget,
+                ..
+            } => {
+                assert_eq!(*estimated_cost, cost);
+                assert_eq!(*budget, cold_costs[0]);
+            }
+            other => panic!("expected a QueueBudget rejection, got {other:?}"),
+        }
+    }
+    let stats = service_stats(addr);
+    assert_eq!(stats.jobs, 1);
+    assert_eq!(stats.shed, 3);
+    assert_eq!(stats.shed_budget, 3);
+
+    // Once the queue drains, a resubmitted batch coalesces repeats and
+    // counts them exactly.
+    let batch = WireBatch {
+        jobs: (0..4)
+            .map(|i| wire_job(&format!("hot{i}"), conv_graph(12), false))
+            .collect(),
+    };
+    let body = serde_json::to_string(&batch).unwrap();
+    let response = once(addr, "POST", "/v1/batch", Some(&body));
+    let parsed: WireBatchResult = serde_json::from_str(&response.body).unwrap();
+    let results: Vec<&WireResult> = parsed
+        .results
+        .iter()
+        .map(|e| e.result.as_ref().expect("drained service admits the batch"))
+        .collect();
+    let coalesced = results.iter().filter(|r| r.coalesced).count();
+    let hits = results.iter().filter(|r| r.cache_hit).count();
+    assert_eq!(hits, 1, "the leader hits the warmed cache");
+    assert_eq!(
+        coalesced, 3,
+        "every repeat of the warm key coalesces onto the leader"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_typed_errors_not_hangups() {
+    let (_service, server) = spawn_server(
+        serve_config(),
+        HttpConfig {
+            max_body_bytes: 1 << 10,
+            ..HttpConfig::default()
+        },
+    );
+    let addr = server.addr();
+
+    let garbage = once(addr, "POST", "/v1/compile", Some("{not json"));
+    assert_eq!(garbage.status, 400);
+    assert_eq!(garbage.error().kind, "bad_request");
+
+    let missing = once(addr, "POST", "/v1/compile", Some("{\"name\": \"x\"}"));
+    assert_eq!(missing.status, 400, "well-formed JSON, wrong schema");
+
+    let lost = once(addr, "GET", "/v1/nope", None);
+    assert_eq!(lost.status, 404);
+    assert_eq!(lost.error().kind, "not_found");
+
+    let wrong_method = once(addr, "DELETE", "/v1/stats", None);
+    assert_eq!(wrong_method.status, 405);
+    assert_eq!(wrong_method.error().kind, "method_not_allowed");
+
+    let huge = Client::connect(addr)
+        .send_raw(b"POST /v1/compile HTTP/1.1\r\nHost: t\r\nContent-Length: 999999\r\n\r\n");
+    assert_eq!(huge.status, 413);
+    assert_eq!(huge.error().kind, "payload_too_large");
+
+    let ancient = Client::connect(addr).send_raw(b"GET /v1/healthz HTTP/3\r\n\r\n");
+    assert_eq!(ancient.status, 505);
+
+    let chunked = Client::connect(addr)
+        .send_raw(b"POST /v1/compile HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+    assert_eq!(chunked.status, 501);
+
+    let stats = service_stats(addr);
+    assert_eq!(stats.jobs, 0, "none of the garbage reached the service");
+    server.shutdown();
+}
+
+#[test]
+fn connection_cap_refuses_with_503_and_retry_after() {
+    let (_service, server) = spawn_server(
+        serve_config(),
+        HttpConfig {
+            max_connections: 0,
+            ..HttpConfig::default()
+        },
+    );
+    let addr = server.addr();
+    // With a zero cap every connection is refused before parsing.
+    let response = Client::connect(addr).read_response();
+    assert_eq!(response.status, 503);
+    assert_eq!(response.error().kind, "overloaded");
+    assert_eq!(response.header("retry-after"), Some("1"));
+    server.shutdown();
+}

@@ -145,6 +145,14 @@ pub mod tracks {
     pub const REGIONS: u32 = 1;
     /// Per-job service spans (queue wait, compile-or-hit, simulate) —
     /// one span per job, overlapping across worker threads.
+    ///
+    /// The serve layer names its spans by prefix so viewers can filter:
+    /// `job:<name>` is the service time of one job (args: `key`,
+    /// `tenant`, `queue_us`, `cache_hit`, `coalesced`, `ok`);
+    /// `queue:<name>` is the job's queue wait, recorded retroactively
+    /// ending where its `job:` span starts; `shed:<name>` is a
+    /// zero-width marker for a job refused by admission control (args:
+    /// `reason`, `tenant`, `estimated_cost`).
     pub const SERVICE: u32 = 2;
 
     /// The track table every compile trace uses.

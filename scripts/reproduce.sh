@@ -26,6 +26,12 @@ cargo run --release -p htvm-bench --bin bench-diff -- \
     BENCH_BASELINE.json "$out/BENCH.json" --cycle-tol 2 \
     | tee "$out/bench_diff.txt"
 
+echo "== serve soak + front door (matches the CI serve / serve-http jobs) =="
+cargo run --release -p htvm-bench --bin serve -- \
+    --jobs 96 --workers 4 --min-speedup 5 \
+    --front-door --clients 4 --out "$out/SERVE_BENCH.json" \
+    | tee "$out/serve_soak.txt"
+
 echo "== paper artifacts =="
 for bin in table1 table2 fig2 fig4 fig5 ablation; do
     echo "-- $bin --"

@@ -430,6 +430,19 @@ pub fn __field<T: Deserialize>(obj: &[(String, Value)], key: &str, ty: &str) -> 
     T::from_content(v)
 }
 
+/// Looks up and deserializes one `#[serde(default)]` field of a struct:
+/// a missing or `null` entry falls back to `Default::default()`.
+#[doc(hidden)]
+pub fn __field_or_default<T: Deserialize + Default>(
+    obj: &[(String, Value)],
+    key: &str,
+) -> Result<T, DeError> {
+    match obj.iter().find(|(k, _)| k == key).map(|(_, v)| v) {
+        None | Some(Value::Null) => Ok(T::default()),
+        Some(v) => T::from_content(v),
+    }
+}
+
 /// Views a value as an externally-tagged enum variant: a single-entry
 /// object `{"Variant": payload}`.
 #[doc(hidden)]

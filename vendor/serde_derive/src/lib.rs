@@ -11,6 +11,13 @@
 //! - non-generic enums: unit, newtype, tuple and struct variants
 //! - `#[serde(skip)]` on named struct fields (skipped on serialize,
 //!   `Default::default()` on deserialize)
+//! - `#[serde(default)]` on named struct fields (missing on
+//!   deserialize falls back to `Default::default()`; serialization is
+//!   unchanged)
+//!
+//! Other `#[serde(...)]` options (e.g. `skip_serializing_if`) are
+//! accepted and ignored, matching the stub's always-serialize-fields
+//! behaviour.
 //!
 //! JSON shape matches upstream serde's externally-tagged default.
 
@@ -20,6 +27,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Field {
     name: String,
     skip: bool,
+    default: bool,
 }
 
 #[derive(Debug)]
@@ -65,16 +73,25 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 // Parsing
 // ---------------------------------------------------------------------
 
-/// Consumes leading attributes (`#[...]`), returning whether any of them
-/// is `#[serde(skip)]`.
-fn skip_attrs(tokens: &[TokenTree], pos: &mut usize) -> bool {
-    let mut has_skip = false;
+/// Flags carried by `#[serde(...)]` attributes this derive honors.
+#[derive(Default, Clone, Copy)]
+struct AttrFlags {
+    skip: bool,
+    default: bool,
+}
+
+/// Consumes leading attributes (`#[...]`), returning the `#[serde(...)]`
+/// flags found among them.
+fn skip_attrs(tokens: &[TokenTree], pos: &mut usize) -> AttrFlags {
+    let mut flags = AttrFlags::default();
     while *pos < tokens.len() {
         match &tokens[*pos] {
             TokenTree::Punct(p) if p.as_char() == '#' => {
                 if let Some(TokenTree::Group(g)) = tokens.get(*pos + 1) {
                     if g.delimiter() == Delimiter::Bracket {
-                        has_skip |= attr_is_serde_skip(&g.stream());
+                        let found = serde_attr_flags(&g.stream());
+                        flags.skip |= found.skip;
+                        flags.default |= found.default;
                         *pos += 2;
                         continue;
                     }
@@ -84,21 +101,27 @@ fn skip_attrs(tokens: &[TokenTree], pos: &mut usize) -> bool {
             _ => break,
         }
     }
-    has_skip
+    flags
 }
 
-fn attr_is_serde_skip(stream: &TokenStream) -> bool {
+fn serde_attr_flags(stream: &TokenStream) -> AttrFlags {
     let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
-    match (tokens.first(), tokens.get(1)) {
-        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
-            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
-        {
-            g.stream()
-                .into_iter()
-                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip"))
+    let mut flags = AttrFlags::default();
+    if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g))) = (tokens.first(), tokens.get(1))
+    {
+        if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis {
+            for t in g.stream() {
+                if let TokenTree::Ident(i) = &t {
+                    match i.to_string().as_str() {
+                        "skip" => flags.skip = true,
+                        "default" => flags.default = true,
+                        _ => {}
+                    }
+                }
+            }
         }
-        _ => false,
     }
+    flags
 }
 
 /// Consumes a visibility qualifier (`pub`, `pub(crate)`, ...), if present.
@@ -133,7 +156,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut pos = 0;
     let mut fields = Vec::new();
     while pos < tokens.len() {
-        let skip = skip_attrs(&tokens, &mut pos);
+        let flags = skip_attrs(&tokens, &mut pos);
         if pos >= tokens.len() {
             break;
         }
@@ -149,7 +172,11 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         }
         skip_type(&tokens, &mut pos);
         pos += 1; // the ',' (or past the end)
-        fields.push(Field { name, skip });
+        fields.push(Field {
+            name,
+            skip: flags.skip,
+            default: flags.default,
+        });
     }
     fields
 }
@@ -272,6 +299,11 @@ fn de_named_fields(ty_label: &str, ctor: &str, fields: &[Field], obj_expr: &str)
     for f in fields {
         if f.skip {
             out.push_str(&format!("{}: Default::default(), ", f.name));
+        } else if f.default {
+            out.push_str(&format!(
+                "{n}: serde::__field_or_default(__obj, \"{n}\")?, ",
+                n = f.name
+            ));
         } else {
             out.push_str(&format!(
                 "{n}: serde::__field(__obj, \"{n}\", \"{ty_label}\")?, ",
