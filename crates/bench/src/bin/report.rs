@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! cargo run --release -p htvm-bench --bin report [-- --out PATH] [--quiet]
+//!     [--from-file MODEL.htf] [--deploy cpu_tvm|digital|analog|both]
 //! ```
 //!
 //! Sweeps every zoo model under every deployment configuration, collecting
@@ -9,13 +10,23 @@
 //! cycle/energy breakdowns into one versioned JSON document (schema in
 //! `docs/OBSERVABILITY.md`). CI runs this on every PR and diffs the result
 //! against `BENCH_BASELINE.json` with `--bin bench-diff`.
+//!
+//! With `--from-file`, the sweep is replaced by a single entry: the file
+//! is read as an HTF container (`docs/FRONTEND.md`), imported through the
+//! vendored front-end, and measured under one deployment configuration
+//! (`--deploy`, default `both`). A rejected file exits 2 with the typed
+//! [`ReportError`](htvm_bench::report::ReportError) printed — never a
+//! panic.
 
-use htvm_bench::report::collect;
+use htvm::DeployConfig;
+use htvm_bench::report::{collect, collect_file, BenchReport, BENCH_SCHEMA_VERSION};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut out = String::from("BENCH.json");
     let mut quiet = false;
+    let mut from_file: Option<String> = None;
+    let mut deploy = DeployConfig::Both;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -27,14 +38,45 @@ fn main() -> ExitCode {
                 }
             },
             "--quiet" => quiet = true,
+            "--from-file" => match args.next() {
+                Some(path) => from_file = Some(path),
+                None => {
+                    eprintln!("error: --from-file needs a model path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--deploy" => match args.next().as_deref() {
+                Some("cpu_tvm") => deploy = DeployConfig::CpuTvm,
+                Some("digital") => deploy = DeployConfig::Digital,
+                Some("analog") => deploy = DeployConfig::Analog,
+                Some("both") => deploy = DeployConfig::Both,
+                Some(other) => {
+                    eprintln!("error: unknown deploy {other:?} (want cpu_tvm|digital|analog|both)");
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("error: --deploy needs a configuration id");
+                    return ExitCode::from(2);
+                }
+            },
             other => {
-                eprintln!("usage: report [--out PATH] [--quiet] (unknown arg {other:?})");
+                eprintln!(
+                    "usage: report [--out PATH] [--quiet] [--from-file MODEL.htf] \
+                     [--deploy ID] (unknown arg {other:?})"
+                );
                 return ExitCode::from(2);
             }
         }
     }
 
-    let report = match collect() {
+    let collected = match &from_file {
+        Some(path) => collect_file(path, deploy).map(|entry| BenchReport {
+            schema_version: BENCH_SCHEMA_VERSION,
+            entries: vec![entry],
+        }),
+        None => collect(),
+    };
+    let report = match collected {
         Ok(report) => report,
         Err(e) => {
             eprintln!("error: {e}");

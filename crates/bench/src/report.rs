@@ -17,7 +17,9 @@ use htvm::{
     tracks, CompileError, Compiler, DeployConfig, EnergyConfig, LowerError, Machine, RunError,
     TimeDomain,
 };
-use htvm_models::{all_models, Model, ModelError};
+use htvm_frontend::ImportError;
+use htvm_ir::{Graph, Tensor};
+use htvm_models::{all_models, random_input, Model, ModelError};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::time::Instant;
@@ -52,6 +54,20 @@ pub enum ReportError {
         /// The underlying simulator error.
         error: Box<RunError>,
     },
+    /// A `--from-file` model could not be read from disk.
+    Read {
+        /// The file path.
+        path: String,
+        /// The underlying I/O error.
+        error: std::io::Error,
+    },
+    /// A `--from-file` model was rejected by the HTF importer.
+    Import {
+        /// The file path.
+        path: String,
+        /// The typed importer rejection.
+        error: ImportError,
+    },
 }
 
 impl fmt::Display for ReportError {
@@ -74,6 +90,12 @@ impl fmt::Display for ReportError {
                 f,
                 "compiled program for {model}/{deploy} rejected its own input: {error}"
             ),
+            ReportError::Read { path, error } => {
+                write!(f, "cannot read model file {path}: {error}")
+            }
+            ReportError::Import { path, error } => {
+                write!(f, "model file {path} was rejected by the importer: {error}")
+            }
         }
     }
 }
@@ -84,6 +106,8 @@ impl std::error::Error for ReportError {
             ReportError::Model(e) => Some(e),
             ReportError::Compile { error, .. } => Some(error),
             ReportError::Run { error, .. } => Some(error),
+            ReportError::Read { error, .. } => Some(error),
+            ReportError::Import { error, .. } => Some(error),
         }
     }
 }
@@ -237,12 +261,68 @@ pub fn all_deploys() -> [DeployConfig; 4] {
 /// compiled program rejects the model's own input.
 pub fn collect_entry(model: &Model, deploy: DeployConfig) -> Result<BenchEntry, ReportError> {
     model.verify()?;
+    collect_graph(
+        model.name,
+        &format!("{:?}", model.scheme),
+        &model.graph,
+        &model.input(7),
+        deploy,
+    )
+}
+
+/// Reads an HTF model file, imports it through the vendored front-end,
+/// and measures it under one deployment configuration. The entry is
+/// named after the file and tagged with scheme `imported` — a file model
+/// carries its quantization explicitly in the graph, so no zoo scheme
+/// label applies. The deterministic input uses the same seed as the zoo
+/// sweep (7) over the graph's first declared input shape.
+///
+/// # Errors
+///
+/// Returns [`ReportError::Read`] when the file cannot be read,
+/// [`ReportError::Import`] when the importer rejects the bytes, and the
+/// usual compile/run errors from the shared measurement path afterwards.
+pub fn collect_file(path: &str, deploy: DeployConfig) -> Result<BenchEntry, ReportError> {
+    let bytes = std::fs::read(path).map_err(|error| ReportError::Read {
+        path: path.to_owned(),
+        error,
+    })?;
+    let graph = htvm_frontend::import(&bytes).map_err(|error| ReportError::Import {
+        path: path.to_owned(),
+        error,
+    })?;
+    let input_dims: Vec<usize> = graph
+        .inputs()
+        .first()
+        .map(|&id| graph.node(id).shape.dims().to_vec())
+        .unwrap_or_default();
+    let input = random_input(7, &input_dims);
+    collect_graph(path, "imported", &graph, &input, deploy)
+}
+
+/// Measures one (graph, deploy) pair: traced compile, then a simulated
+/// run under the default energy model. The shared back half of
+/// [`collect_entry`] (zoo models) and [`collect_file`] (imported HTF
+/// files); `name` and `scheme` label the resulting entry verbatim.
+///
+/// # Errors
+///
+/// Returns a [`ReportError`] when compilation fails for any reason other
+/// than the expected plain-TVM out-of-memory case (which becomes a
+/// normal `oom` entry), or when the compiled program rejects `input`.
+pub fn collect_graph(
+    name: &str,
+    scheme: &str,
+    graph: &Graph,
+    input: &Tensor,
+    deploy: DeployConfig,
+) -> Result<BenchEntry, ReportError> {
     let tracer = htvm::Tracer::new();
     let compiler = Compiler::new()
         .with_deploy(deploy)
         .with_tracer(tracer.clone());
     let t0 = Instant::now();
-    let compiled = compiler.compile(&model.graph);
+    let compiled = compiler.compile(graph);
     let wall_us = t0.elapsed().as_micros() as u64;
     let trace = tracer.take(TimeDomain::WallMicros, tracks::compile());
 
@@ -290,9 +370,9 @@ pub fn collect_entry(model: &Model, deploy: DeployConfig) -> Result<BenchEntry, 
             compile.offload_fraction = artifact.offload_fraction();
             let machine = Machine::new(*compiler.platform());
             let report = machine
-                .run(&artifact.program, &[model.input(7)])
+                .run(&artifact.program, std::slice::from_ref(input))
                 .map_err(|error| ReportError::Run {
-                    model: model.name.to_owned(),
+                    model: name.to_owned(),
                     deploy: deploy_id(deploy),
                     error: Box::new(error),
                 })?;
@@ -327,7 +407,7 @@ pub fn collect_entry(model: &Model, deploy: DeployConfig) -> Result<BenchEntry, 
         Err(CompileError::Lower(LowerError::OutOfMemory(_))) => ("oom".to_owned(), None),
         Err(error) => {
             return Err(ReportError::Compile {
-                model: model.name.to_owned(),
+                model: name.to_owned(),
                 deploy: deploy_id(deploy),
                 error,
             })
@@ -335,9 +415,9 @@ pub fn collect_entry(model: &Model, deploy: DeployConfig) -> Result<BenchEntry, 
     };
 
     Ok(BenchEntry {
-        model: model.name.to_owned(),
+        model: name.to_owned(),
         deploy: deploy_id(deploy).to_owned(),
-        scheme: format!("{:?}", model.scheme),
+        scheme: scheme.to_owned(),
         status,
         compile,
         run,
@@ -679,5 +759,46 @@ mod tests {
         let err = collect_entry(&model, DeployConfig::Digital).unwrap_err();
         assert!(matches!(err, ReportError::Model(_)), "{err}");
         assert!(err.to_string().contains("toyadmos_dae"), "{err}");
+    }
+
+    #[test]
+    fn file_entries_match_in_process_entries() {
+        let model = htvm_models::stress_test(QuantScheme::Int8);
+        let bytes = htvm_frontend::emit(&model.graph).expect("zoo models emit");
+        let path = std::env::temp_dir().join(format!("htvm-report-{}.htf", std::process::id()));
+        std::fs::write(&path, &bytes).expect("temp model file writes");
+        let path_str = path.to_str().expect("temp path is utf-8");
+        let filed = collect_file(path_str, DeployConfig::Both).expect("file entry measures");
+        std::fs::remove_file(&path).ok();
+        let direct = collect_entry(&model, DeployConfig::Both).expect("direct entry measures");
+        assert_eq!(filed.status, "ok");
+        assert_eq!(filed.model, path_str);
+        assert_eq!(filed.scheme, "imported");
+        // Everything deterministic must agree with the in-process build;
+        // only wall times (noisy) and the labels may differ.
+        assert_eq!(filed.run, direct.run);
+        assert_eq!(filed.compile.binary_bytes, direct.compile.binary_bytes);
+        assert_eq!(filed.compile.regions, direct.compile.regions);
+        assert_eq!(
+            filed.compile.offload_fraction,
+            direct.compile.offload_fraction
+        );
+    }
+
+    #[test]
+    fn rejected_files_produce_typed_errors_not_panics() {
+        let missing = collect_file("/nonexistent/model.htf", DeployConfig::Both).unwrap_err();
+        assert!(matches!(missing, ReportError::Read { .. }), "{missing}");
+        assert!(missing.to_string().contains("/nonexistent/model.htf"));
+
+        let path = std::env::temp_dir().join(format!("htvm-report-bad-{}.htf", std::process::id()));
+        std::fs::write(&path, b"\x10\x00\x00\x00NOPEgarbage").expect("temp file writes");
+        let rejected = collect_file(path.to_str().unwrap(), DeployConfig::Both).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(rejected, ReportError::Import { .. }), "{rejected}");
+        assert!(
+            rejected.to_string().contains("BadMagic"),
+            "detail names the importer variant: {rejected}"
+        );
     }
 }

@@ -301,7 +301,8 @@ pub fn run_front_door(
             let wire = WireJob {
                 name: job.name,
                 tenant: None,
-                graph: job.graph,
+                graph: Some(job.graph),
+                model_hex: None,
                 deploy: job.deploy,
                 include_artifact: false,
             };

@@ -1,0 +1,59 @@
+//! Writes a zoo model to disk in the vendored HTF container format:
+//!
+//! ```sh
+//! cargo run -p htvm-frontend --example emit_model -- ds_cnn ds_cnn.htf [mixed|int8|ternary]
+//! ```
+//!
+//! The resulting file round-trips through `htvm_frontend::import`, the
+//! serving front door (`POST /v1/import`) and the bench report bin
+//! (`report --from-file`).
+
+use htvm_models::{all_models, stress_test, QuantScheme};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (name, out) = match args.as_slice() {
+        [name, out] | [name, out, _] => (name.as_str(), out.as_str()),
+        _ => {
+            eprintln!("usage: emit_model <model> <out.htf> [mixed|int8|ternary]");
+            return ExitCode::from(2);
+        }
+    };
+    let scheme = match args.get(2).map(String::as_str) {
+        None | Some("mixed") => QuantScheme::Mixed,
+        Some("int8") => QuantScheme::Int8,
+        Some("ternary") => QuantScheme::Ternary,
+        Some(other) => {
+            eprintln!("error: unknown scheme {other:?} (want mixed|int8|ternary)");
+            return ExitCode::from(2);
+        }
+    };
+    let model = match all_models(scheme)
+        .into_iter()
+        .chain(std::iter::once(stress_test(scheme)))
+        .find(|m| m.name == name)
+    {
+        Some(model) => model,
+        None => {
+            eprintln!("error: unknown model {name:?} (want a zoo model name or stress_test)");
+            return ExitCode::from(2);
+        }
+    };
+    let bytes = match htvm_frontend::emit(&model.graph) {
+        Ok(bytes) => bytes,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Err(e) = std::fs::write(out, &bytes) {
+        eprintln!("error: cannot write {out}: {e}");
+        return ExitCode::from(2);
+    }
+    println!(
+        "wrote {out} ({} bytes, model {name}, scheme {scheme:?})",
+        bytes.len()
+    );
+    ExitCode::SUCCESS
+}

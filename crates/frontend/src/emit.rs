@@ -1,0 +1,499 @@
+//! Serializes a [`Graph`] to the HTF model format.
+//!
+//! The writer is the reader's mirror and its proving ground: every zoo
+//! graph emitted here must import back to an *identical* `Graph`
+//! (names, shapes, constants, wiring — hence identical canonical bytes
+//! and compiled artifacts), and the emitted corpus is what the fuzz
+//! harness mutates. [`emit_with_layout`] additionally reports where the
+//! structurally interesting positions are — table starts, vector length
+//! fields, offset fields — so mutations can target exactly the places
+//! where corruption is most likely to confuse a parser.
+
+use crate::error::EmitError;
+use crate::fb::MAGIC;
+use crate::schema::{buffer, dtype_code, model, opcode, operator, quant, tensor};
+use crate::QuantParams;
+use htvm_ir::{DType, Graph, Op, PoolKind, Tensor};
+
+/// Positions of structurally interesting bytes in an emitted model,
+/// for targeted fuzzing (see `crates/frontend/tests/fuzz_import.rs`).
+#[derive(Debug, Clone, Default)]
+pub struct Layout {
+    /// Start positions of tables (each holds an `i32` vtable
+    /// back-offset).
+    pub tables: Vec<usize>,
+    /// Positions of `u32` vector length fields.
+    pub vector_lengths: Vec<usize>,
+    /// Positions of `u32` offset fields (including the root offset).
+    pub offsets: Vec<usize>,
+}
+
+/// Byte writer with offset patching and layout bookkeeping.
+struct Writer {
+    bytes: Vec<u8>,
+    layout: Layout,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer {
+            bytes: Vec::new(),
+            layout: Layout::default(),
+        }
+    }
+
+    fn pos(&self) -> usize {
+        self.bytes.len()
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.bytes.push(v);
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn i32(&mut self, v: i32) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reserves a `u32` offset field, returning its position for
+    /// [`Writer::patch_offset`].
+    fn offset_slot(&mut self) -> usize {
+        let at = self.pos();
+        self.layout.offsets.push(at);
+        self.u32(0);
+        at
+    }
+
+    /// Patches a reserved offset field to point at `target`.
+    fn patch_offset(&mut self, slot: usize, target: usize) {
+        debug_assert!(target >= slot, "offsets point forward");
+        let rel = (target - slot) as u32;
+        self.bytes[slot..slot + 4].copy_from_slice(&rel.to_le_bytes());
+    }
+
+    fn patch_i32(&mut self, at: usize, v: i32) {
+        self.bytes[at..at + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u32` vector, returning its start position.
+    fn u32_vec(&mut self, items: &[u32]) -> usize {
+        let at = self.pos();
+        self.layout.vector_lengths.push(at);
+        self.u32(items.len() as u32);
+        for &v in items {
+            self.u32(v);
+        }
+        at
+    }
+
+    /// Writes a byte vector, returning its start position.
+    fn byte_vec(&mut self, items: &[u8]) -> usize {
+        let at = self.pos();
+        self.layout.vector_lengths.push(at);
+        self.u32(items.len() as u32);
+        self.bytes.extend_from_slice(items);
+        at
+    }
+}
+
+/// One table under construction: scalar fields are written inline,
+/// offset fields reserved; `end` writes the vtable and patches the
+/// back-offset.
+struct TableW {
+    start: usize,
+    slots: Vec<(usize, u16)>,
+}
+
+impl TableW {
+    fn begin(w: &mut Writer) -> Self {
+        let start = w.pos();
+        w.layout.tables.push(start);
+        w.i32(0); // soffset placeholder, patched in end()
+        TableW {
+            start,
+            slots: Vec::new(),
+        }
+    }
+
+    fn record(&mut self, w: &Writer, slot: usize) {
+        let rel = (w.pos() - self.start) as u16;
+        self.slots.push((slot, rel));
+    }
+
+    fn field_u32(&mut self, w: &mut Writer, slot: usize, v: u32, default: u32) {
+        if v != default {
+            self.record(w, slot);
+            w.u32(v);
+        }
+    }
+
+    fn field_i32(&mut self, w: &mut Writer, slot: usize, v: i32, default: i32) {
+        if v != default {
+            self.record(w, slot);
+            w.i32(v);
+        }
+    }
+
+    fn field_u8(&mut self, w: &mut Writer, slot: usize, v: u8, default: u8) {
+        if v != default {
+            self.record(w, slot);
+            w.u8(v);
+        }
+    }
+
+    fn field_i8(&mut self, w: &mut Writer, slot: usize, v: i8, default: i8) {
+        if v != default {
+            self.record(w, slot);
+            w.u8(v as u8);
+        }
+    }
+
+    /// Reserves an offset field, returning the slot position to patch
+    /// once the target is written.
+    fn field_offset(&mut self, w: &mut Writer, slot: usize) -> usize {
+        self.record(w, slot);
+        w.offset_slot()
+    }
+
+    /// Writes the vtable after the table body and patches the
+    /// back-offset.
+    fn end(self, w: &mut Writer) {
+        let table_bytes = (w.pos() - self.start) as u16;
+        let vtable = w.pos();
+        let max_slot = self
+            .slots
+            .iter()
+            .map(|&(s, _)| s)
+            .max()
+            .map_or(0, |s| s + 1);
+        let vtable_bytes = (4 + 2 * max_slot) as u16;
+        w.u16(vtable_bytes);
+        w.u16(table_bytes);
+        for slot in 0..max_slot {
+            let rel = self
+                .slots
+                .iter()
+                .find(|&&(s, _)| s == slot)
+                .map_or(0, |&(_, r)| r);
+            w.u16(rel);
+        }
+        w.patch_i32(self.start, (self.start as i64 - vtable as i64) as i32);
+    }
+}
+
+fn u32_of(what: &'static str, v: usize) -> Result<u32, EmitError> {
+    u32::try_from(v).map_err(|_| EmitError::TooLarge {
+        what,
+        value: v as u64,
+    })
+}
+
+fn dims_u32(dims: &[usize]) -> Result<Vec<u32>, EmitError> {
+    dims.iter()
+        .map(|&d| u32_of("tensor dimension", d))
+        .collect()
+}
+
+/// Encodes a constant tensor's elements at their nominal width.
+fn buffer_bytes(t: &Tensor) -> Vec<u8> {
+    let mut out = Vec::with_capacity(t.data().len() * dtype_code::elem_bytes(t.dtype()));
+    for &v in t.data() {
+        match t.dtype() {
+            DType::I8 | DType::Ternary => out.push(v as i8 as u8),
+            DType::I16 => out.extend_from_slice(&(v as i16).to_le_bytes()),
+            DType::I32 => out.extend_from_slice(&v.to_le_bytes()),
+        }
+    }
+    out
+}
+
+/// Serializes a graph to HTF bytes.
+///
+/// # Errors
+///
+/// Returns [`EmitError::TooLarge`] when a count or extent exceeds the
+/// format's 32-bit fields; zoo-scale graphs always encode.
+pub fn emit(graph: &Graph) -> Result<Vec<u8>, EmitError> {
+    Ok(emit_with_layout(graph)?.0)
+}
+
+/// [`emit`] plus the [`Layout`] of structurally interesting positions,
+/// for the fuzz harness.
+///
+/// # Errors
+///
+/// Same as [`emit`].
+pub fn emit_with_layout(graph: &Graph) -> Result<(Vec<u8>, Layout), EmitError> {
+    emit_with_quant(graph, &[])
+}
+
+/// [`emit_with_layout`] with per-tensor quantization metadata attached
+/// (`(tensor_index, params)` pairs). The importer validates quant
+/// params against the tensor dtype and discards them — graph semantics
+/// carry quantization explicitly as requantize chains — so this exists
+/// to exercise the schema's optional-sub-table path and the
+/// `InconsistentQuant` rejection.
+///
+/// # Errors
+///
+/// Same as [`emit`].
+pub fn emit_with_quant(
+    graph: &Graph,
+    quant_params: &[(usize, QuantParams)],
+) -> Result<(Vec<u8>, Layout), EmitError> {
+    let mut w = Writer::new();
+
+    // Header: root offset + magic.
+    let root_slot = w.offset_slot();
+    w.bytes.extend_from_slice(&MAGIC);
+
+    // Constants get buffers 1..; buffer 0 is the shared empty sentinel.
+    let n = graph.len();
+    let mut buffer_of = vec![0u32; n];
+    let mut constants = Vec::new();
+    for (id, node) in graph.nodes() {
+        if node.is_constant() {
+            constants.push(id);
+            buffer_of[id.index()] = u32_of("buffer count", constants.len())?;
+        }
+    }
+
+    // Root table. Offset fields are patched as each child is written;
+    // children always follow their parent, so offsets stay positive.
+    let root_pos = w.pos();
+    let mut root = TableW::begin(&mut w);
+    root.field_u32(&mut w, model::VERSION, crate::schema::FORMAT_VERSION, 0);
+    let tensors_slot = root.field_offset(&mut w, model::TENSORS);
+    let operators_slot = root.field_offset(&mut w, model::OPERATORS);
+    let inputs_slot = root.field_offset(&mut w, model::INPUTS);
+    let outputs_slot = root.field_offset(&mut w, model::OUTPUTS);
+    let buffers_slot = root.field_offset(&mut w, model::BUFFERS);
+    root.end(&mut w);
+    w.patch_offset(root_slot, root_pos);
+
+    // Input/output signatures (node indices).
+    let inputs: Vec<u32> = graph
+        .inputs()
+        .iter()
+        .map(|id| u32_of("input index", id.index()))
+        .collect::<Result<_, _>>()?;
+    let outputs: Vec<u32> = graph
+        .outputs()
+        .iter()
+        .map(|id| u32_of("output index", id.index()))
+        .collect::<Result<_, _>>()?;
+    let at = w.u32_vec(&inputs);
+    w.patch_offset(inputs_slot, at);
+    let at = w.u32_vec(&outputs);
+    w.patch_offset(outputs_slot, at);
+
+    // Tensor tables: one per node, in node order.
+    u32_of("tensor count", n)?;
+    let tensors_vec = w.pos();
+    w.layout.vector_lengths.push(tensors_vec);
+    w.u32(n as u32);
+    let tensor_slots: Vec<usize> = (0..n).map(|_| w.offset_slot()).collect();
+    w.patch_offset(tensors_slot, tensors_vec);
+    for (id, node) in graph.nodes() {
+        let quant = quant_params
+            .iter()
+            .find(|&&(t, _)| t == id.index())
+            .map(|&(_, q)| q);
+        let tensor_pos = w.pos();
+        let mut t = TableW::begin(&mut w);
+        let name_slot = t.field_offset(&mut w, tensor::NAME);
+        let shape_slot = t.field_offset(&mut w, tensor::SHAPE);
+        t.field_i8(&mut w, tensor::DTYPE, dtype_code::encode(node.dtype), 0);
+        t.field_u32(&mut w, tensor::BUFFER, buffer_of[id.index()], 0);
+        let quant_slot = quant.map(|_| t.field_offset(&mut w, tensor::QUANT));
+        t.end(&mut w);
+        let at = w.byte_vec(node.name.as_bytes());
+        w.patch_offset(name_slot, at);
+        let at = w.u32_vec(&dims_u32(node.shape.dims())?);
+        w.patch_offset(shape_slot, at);
+        if let (Some(slot), Some(q)) = (quant_slot, quant) {
+            let qpos = w.pos();
+            let mut qt = TableW::begin(&mut w);
+            qt.field_i32(&mut w, quant::ZERO_POINT, q.zero_point, 0);
+            qt.field_u32(&mut w, quant::SHIFT, q.shift, 0);
+            qt.end(&mut w);
+            w.patch_offset(slot, qpos);
+        }
+        w.patch_offset(tensor_slots[id.index()], tensor_pos);
+    }
+
+    // Operator tables, in node order.
+    let ops: Vec<_> = graph
+        .nodes()
+        .filter(|(_, node)| node.op().is_some())
+        .collect();
+    let operators_vec = w.pos();
+    w.layout.vector_lengths.push(operators_vec);
+    w.u32(u32_of("operator count", ops.len())?);
+    let op_slots: Vec<usize> = (0..ops.len()).map(|_| w.offset_slot()).collect();
+    w.patch_offset(operators_slot, operators_vec);
+    for (slot, (id, node)) in op_slots.into_iter().zip(&ops) {
+        let op = node.op().expect("filtered to op nodes");
+        let op_pos = w.pos();
+        let mut t = TableW::begin(&mut w);
+        t.field_u32(&mut w, operator::OPCODE, opcode_of(op), 0);
+        let inputs_slot = t.field_offset(&mut w, operator::INPUTS);
+        t.field_u32(
+            &mut w,
+            operator::OUTPUT,
+            u32_of("output index", id.index())?,
+            0,
+        );
+        let mut new_shape_slot = None;
+        match op {
+            Op::Conv2d { strides, padding } | Op::DepthwiseConv2d { strides, padding } => {
+                t.field_u32(&mut w, operator::STRIDE_Y, u32_of("stride", strides.0)?, 1);
+                t.field_u32(&mut w, operator::STRIDE_X, u32_of("stride", strides.1)?, 1);
+                t.field_u32(
+                    &mut w,
+                    operator::PAD_TOP,
+                    u32_of("padding", padding.top)?,
+                    0,
+                );
+                t.field_u32(
+                    &mut w,
+                    operator::PAD_BOTTOM,
+                    u32_of("padding", padding.bottom)?,
+                    0,
+                );
+                t.field_u32(
+                    &mut w,
+                    operator::PAD_LEFT,
+                    u32_of("padding", padding.left)?,
+                    0,
+                );
+                t.field_u32(
+                    &mut w,
+                    operator::PAD_RIGHT,
+                    u32_of("padding", padding.right)?,
+                    0,
+                );
+            }
+            Op::RightShift { amount } => {
+                t.field_u32(&mut w, operator::AMOUNT, *amount, 0);
+            }
+            Op::Clip { min, max } => {
+                t.field_i32(&mut w, operator::MIN, *min, 0);
+                t.field_i32(&mut w, operator::MAX, *max, 0);
+            }
+            Op::Cast { to } => {
+                t.field_i8(&mut w, operator::TO_DTYPE, dtype_code::encode(*to), -1);
+            }
+            Op::Pool2d {
+                kind,
+                kernel,
+                strides,
+                padding,
+            } => {
+                t.field_u8(
+                    &mut w,
+                    operator::POOL_KIND,
+                    match kind {
+                        PoolKind::Avg => 0,
+                        PoolKind::Max => 1,
+                    },
+                    0,
+                );
+                t.field_u32(&mut w, operator::KERNEL_Y, u32_of("kernel", kernel.0)?, 1);
+                t.field_u32(&mut w, operator::KERNEL_X, u32_of("kernel", kernel.1)?, 1);
+                t.field_u32(&mut w, operator::STRIDE_Y, u32_of("stride", strides.0)?, 1);
+                t.field_u32(&mut w, operator::STRIDE_X, u32_of("stride", strides.1)?, 1);
+                t.field_u32(
+                    &mut w,
+                    operator::PAD_TOP,
+                    u32_of("padding", padding.top)?,
+                    0,
+                );
+                t.field_u32(
+                    &mut w,
+                    operator::PAD_BOTTOM,
+                    u32_of("padding", padding.bottom)?,
+                    0,
+                );
+                t.field_u32(
+                    &mut w,
+                    operator::PAD_LEFT,
+                    u32_of("padding", padding.left)?,
+                    0,
+                );
+                t.field_u32(
+                    &mut w,
+                    operator::PAD_RIGHT,
+                    u32_of("padding", padding.right)?,
+                    0,
+                );
+            }
+            Op::Reshape { .. } => {
+                new_shape_slot = Some(t.field_offset(&mut w, operator::NEW_SHAPE));
+            }
+            Op::Dense | Op::BiasAdd | Op::Relu | Op::Add | Op::Softmax | Op::Flatten => {}
+        }
+        t.end(&mut w);
+        let operand_ids: Vec<u32> = node
+            .inputs()
+            .iter()
+            .map(|i| u32_of("operand index", i.index()))
+            .collect::<Result<_, _>>()?;
+        let at = w.u32_vec(&operand_ids);
+        w.patch_offset(inputs_slot, at);
+        if let (Some(slot), Op::Reshape { new_shape }) = (new_shape_slot, op) {
+            let at = w.u32_vec(&dims_u32(new_shape)?);
+            w.patch_offset(slot, at);
+        }
+        w.patch_offset(slot, op_pos);
+    }
+
+    // Buffers: the empty sentinel, then one per constant.
+    let buffers_vec = w.pos();
+    w.layout.vector_lengths.push(buffers_vec);
+    w.u32(u32_of("buffer count", constants.len() + 1)?);
+    let buffer_slots: Vec<usize> = (0..=constants.len()).map(|_| w.offset_slot()).collect();
+    w.patch_offset(buffers_slot, buffers_vec);
+    for (i, slot) in buffer_slots.into_iter().enumerate() {
+        let pos = w.pos();
+        let mut t = TableW::begin(&mut w);
+        let data_slot = t.field_offset(&mut w, buffer::DATA);
+        t.end(&mut w);
+        let data = if i == 0 {
+            Vec::new()
+        } else {
+            let node = graph.node(constants[i - 1]);
+            buffer_bytes(node.constant().expect("constant node"))
+        };
+        let at = w.byte_vec(&data);
+        w.patch_offset(data_slot, at);
+        w.patch_offset(slot, pos);
+    }
+
+    Ok((w.bytes, w.layout))
+}
+
+fn opcode_of(op: &Op) -> u32 {
+    match op {
+        Op::Conv2d { .. } => opcode::CONV_2D,
+        Op::DepthwiseConv2d { .. } => opcode::DEPTHWISE_CONV_2D,
+        Op::Dense => opcode::FULLY_CONNECTED,
+        Op::BiasAdd => opcode::BIAS_ADD,
+        Op::RightShift { .. } => opcode::RIGHT_SHIFT,
+        Op::Clip { .. } => opcode::CLIP,
+        Op::Cast { .. } => opcode::CAST,
+        Op::Relu => opcode::RELU,
+        Op::Add => opcode::ADD,
+        Op::Pool2d { .. } => opcode::POOL_2D,
+        Op::Softmax => opcode::SOFTMAX,
+        Op::Reshape { .. } => opcode::RESHAPE,
+        Op::Flatten => opcode::FLATTEN,
+    }
+}

@@ -1,0 +1,236 @@
+//! The typed rejection taxonomy of the importer.
+
+use htvm_ir::{DType, IrError};
+use std::fmt;
+
+/// Why a model file was rejected.
+///
+/// The importer treats its input as hostile: every read is
+/// bounds-checked and every structural invariant is validated, so a
+/// malformed file — truncated, bit-flipped, offset-corrupted, or
+/// adversarially constructed — always surfaces as one of these variants
+/// and never as a panic. [`ImportError::variant_name`] is the stable
+/// machine-readable discriminant the HTTP front door puts on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ImportError {
+    /// The buffer ends before a read completes.
+    Truncated {
+        /// Byte position of the read.
+        at: usize,
+        /// Bytes the read needed.
+        need: usize,
+        /// Total buffer length.
+        len: usize,
+    },
+    /// A stored offset points outside the buffer.
+    OutOfBounds {
+        /// Byte position of the offset field.
+        at: usize,
+        /// Where the offset pointed (may be negative for table
+        /// vtable back-references).
+        target: i64,
+        /// Total buffer length.
+        len: usize,
+    },
+    /// The file identifier is not the expected `HTF1` magic.
+    BadMagic {
+        /// The four identifier bytes found.
+        got: [u8; 4],
+    },
+    /// The header's format version is not one this reader speaks.
+    UnsupportedVersion {
+        /// The version found.
+        version: u32,
+    },
+    /// An operator reads a tensor defined at or after its own output.
+    /// Tensors must be topologically ordered, so a forward reference is
+    /// a dataflow cycle.
+    CyclicReference {
+        /// Index of the offending operator.
+        operator: usize,
+        /// The forward-referenced tensor index.
+        tensor: usize,
+    },
+    /// An operator code this reader does not know.
+    UnsupportedOp {
+        /// Index of the offending operator.
+        operator: usize,
+        /// The unknown code.
+        opcode: u32,
+    },
+    /// A dtype code this reader does not know.
+    UnsupportedDType {
+        /// Index of the offending tensor.
+        tensor: usize,
+        /// The unknown code.
+        code: i8,
+    },
+    /// Quantization parameters that contradict the tensor's dtype
+    /// (zero point outside the dtype's range, shift wider than the
+    /// 32-bit accumulator).
+    InconsistentQuant {
+        /// Index of the offending tensor.
+        tensor: usize,
+        /// What contradicted what.
+        detail: String,
+    },
+    /// A constant buffer's byte length does not match the tensor's
+    /// shape × element width.
+    DataMismatch {
+        /// Index of the offending tensor.
+        tensor: usize,
+        /// Bytes the shape and dtype imply.
+        expected_bytes: usize,
+        /// Bytes the buffer holds.
+        got_bytes: usize,
+    },
+    /// A constant element does not fit the tensor's declared dtype.
+    ValueOutOfRange {
+        /// Index of the offending tensor.
+        tensor: usize,
+        /// The offending element value.
+        value: i32,
+        /// The declared dtype.
+        dtype: DType,
+    },
+    /// A structural inconsistency not covered by a more specific
+    /// variant (bad vtable, index out of range, producer/consumer order
+    /// violations, element-count overflow, …).
+    Structure {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// The decoded model failed `htvm-ir`'s own shape/type inference.
+    Graph(IrError),
+}
+
+impl ImportError {
+    /// The stable variant discriminant, as carried in HTTP `422`
+    /// rejections and asserted by the fuzz harness.
+    #[must_use]
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            ImportError::Truncated { .. } => "Truncated",
+            ImportError::OutOfBounds { .. } => "OutOfBounds",
+            ImportError::BadMagic { .. } => "BadMagic",
+            ImportError::UnsupportedVersion { .. } => "UnsupportedVersion",
+            ImportError::CyclicReference { .. } => "CyclicReference",
+            ImportError::UnsupportedOp { .. } => "UnsupportedOp",
+            ImportError::UnsupportedDType { .. } => "UnsupportedDType",
+            ImportError::InconsistentQuant { .. } => "InconsistentQuant",
+            ImportError::DataMismatch { .. } => "DataMismatch",
+            ImportError::ValueOutOfRange { .. } => "ValueOutOfRange",
+            ImportError::Structure { .. } => "Structure",
+            ImportError::Graph(_) => "Graph",
+        }
+    }
+}
+
+impl fmt::Display for ImportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Every rendering leads with the variant name so wire-level
+        // `detail` strings stay machine-matchable.
+        match self {
+            ImportError::Truncated { at, need, len } => {
+                write!(
+                    f,
+                    "Truncated: read of {need} bytes at {at} in a {len}-byte buffer"
+                )
+            }
+            ImportError::OutOfBounds { at, target, len } => {
+                write!(
+                    f,
+                    "OutOfBounds: offset at {at} points to {target} in a {len}-byte buffer"
+                )
+            }
+            ImportError::BadMagic { got } => {
+                write!(f, "BadMagic: file identifier {got:?} is not HTF1")
+            }
+            ImportError::UnsupportedVersion { version } => {
+                write!(f, "UnsupportedVersion: format version {version}")
+            }
+            ImportError::CyclicReference { operator, tensor } => write!(
+                f,
+                "CyclicReference: operator {operator} reads tensor {tensor}, \
+                 defined at or after its own output"
+            ),
+            ImportError::UnsupportedOp { operator, opcode } => {
+                write!(
+                    f,
+                    "UnsupportedOp: operator {operator} has unknown opcode {opcode}"
+                )
+            }
+            ImportError::UnsupportedDType { tensor, code } => {
+                write!(
+                    f,
+                    "UnsupportedDType: tensor {tensor} has unknown dtype code {code}"
+                )
+            }
+            ImportError::InconsistentQuant { tensor, detail } => {
+                write!(f, "InconsistentQuant: tensor {tensor}: {detail}")
+            }
+            ImportError::DataMismatch {
+                tensor,
+                expected_bytes,
+                got_bytes,
+            } => write!(
+                f,
+                "DataMismatch: tensor {tensor} needs {expected_bytes} constant bytes, \
+                 buffer holds {got_bytes}"
+            ),
+            ImportError::ValueOutOfRange {
+                tensor,
+                value,
+                dtype,
+            } => write!(
+                f,
+                "ValueOutOfRange: tensor {tensor} holds {value}, outside {dtype}"
+            ),
+            ImportError::Structure { detail } => write!(f, "Structure: {detail}"),
+            ImportError::Graph(e) => write!(f, "Graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ImportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ImportError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IrError> for ImportError {
+    fn from(e: IrError) -> Self {
+        ImportError::Graph(e)
+    }
+}
+
+/// Why a graph could not be serialized to the model format. Emission
+/// only fails on graphs outside the format's numeric envelope; every
+/// zoo-scale graph encodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EmitError {
+    /// A count or extent exceeds what the 32-bit wire fields can carry.
+    TooLarge {
+        /// Which quantity overflowed.
+        what: &'static str,
+        /// The offending value.
+        value: u64,
+    },
+}
+
+impl fmt::Display for EmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmitError::TooLarge { what, value } => {
+                write!(f, "{what} of {value} exceeds the format's 32-bit field")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EmitError {}

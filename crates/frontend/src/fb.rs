@@ -1,0 +1,335 @@
+//! Bounds-checked flatbuffer-style primitives over raw bytes.
+//!
+//! The wire layout follows the flatbuffer scheme the TFLite format
+//! uses, restricted to what a model schema needs:
+//!
+//! - all integers little-endian, read at arbitrary (unaligned) byte
+//!   positions;
+//! - **tables** start with an `i32` back-offset to their *vtable*
+//!   (`vtable_pos = table_pos - soffset`); the vtable is
+//!   `[u16 vtable_bytes, u16 table_bytes, u16 field_rel …]` where a
+//!   field's relative offset of `0` — or a slot beyond the vtable —
+//!   means *absent, use the default*;
+//! - **vectors** are a `u32` element count followed by the elements;
+//! - **offset fields** store `target_pos - field_pos` as `u32`.
+//!
+//! Every accessor validates its extent against the buffer *before*
+//! reading (and long before anything is allocated), so corrupt input
+//! surfaces as a typed [`ImportError`], never a panic — and a vector
+//! claiming a billion elements it does not carry costs a length check,
+//! not an allocation.
+
+use crate::error::ImportError;
+
+/// The file identifier at bytes `4..8`.
+pub(crate) const MAGIC: [u8; 4] = *b"HTF1";
+
+/// A borrowed byte buffer with checked primitive reads.
+pub(crate) struct Buf<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> Buf<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        Buf { bytes }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Validates that `need` bytes exist at `at`.
+    pub(crate) fn check(&self, at: usize, need: usize) -> Result<(), ImportError> {
+        match at.checked_add(need) {
+            Some(end) if end <= self.bytes.len() => Ok(()),
+            _ => Err(ImportError::Truncated {
+                at,
+                need,
+                len: self.bytes.len(),
+            }),
+        }
+    }
+
+    /// A checked sub-slice.
+    pub(crate) fn slice(&self, at: usize, n: usize) -> Result<&'a [u8], ImportError> {
+        self.check(at, n)?;
+        Ok(&self.bytes[at..at + n])
+    }
+
+    pub(crate) fn u8(&self, at: usize) -> Result<u8, ImportError> {
+        self.check(at, 1)?;
+        Ok(self.bytes[at])
+    }
+
+    pub(crate) fn i8(&self, at: usize) -> Result<i8, ImportError> {
+        Ok(self.u8(at)? as i8)
+    }
+
+    pub(crate) fn u16(&self, at: usize) -> Result<u16, ImportError> {
+        let b = self.slice(at, 2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    pub(crate) fn u32(&self, at: usize) -> Result<u32, ImportError> {
+        let b = self.slice(at, 4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub(crate) fn i32(&self, at: usize) -> Result<i32, ImportError> {
+        Ok(self.u32(at)? as i32)
+    }
+
+    /// Reads the `u32` offset at `at` and resolves it to an absolute
+    /// position, which must lie inside the buffer.
+    pub(crate) fn offset(&self, at: usize) -> Result<usize, ImportError> {
+        let rel = self.u32(at)?;
+        let target = at as u64 + u64::from(rel);
+        if target >= self.bytes.len() as u64 {
+            return Err(ImportError::OutOfBounds {
+                at,
+                target: target as i64,
+                len: self.bytes.len(),
+            });
+        }
+        Ok(target as usize)
+    }
+}
+
+/// A validated table header: field lookups go through its vtable.
+pub(crate) struct Table {
+    pos: usize,
+    vtable: usize,
+    vtable_bytes: u16,
+}
+
+impl Table {
+    /// Validates the table's vtable back-reference and extent.
+    pub(crate) fn at(buf: &Buf<'_>, pos: usize) -> Result<Table, ImportError> {
+        let soffset = buf.i32(pos)?;
+        let vtable = pos as i64 - i64::from(soffset);
+        if vtable < 0 || vtable as u64 + 4 > buf.len() as u64 {
+            return Err(ImportError::OutOfBounds {
+                at: pos,
+                target: vtable,
+                len: buf.len(),
+            });
+        }
+        let vtable = vtable as usize;
+        let vtable_bytes = buf.u16(vtable)?;
+        if vtable_bytes < 4 || vtable_bytes % 2 != 0 {
+            return Err(ImportError::Structure {
+                detail: format!("vtable at {vtable} has invalid size {vtable_bytes}"),
+            });
+        }
+        buf.check(vtable, vtable_bytes as usize)?;
+        Ok(Table {
+            pos,
+            vtable,
+            vtable_bytes,
+        })
+    }
+
+    /// Absolute position of field `slot`, or `None` when the field is
+    /// absent (default).
+    pub(crate) fn field(&self, buf: &Buf<'_>, slot: usize) -> Result<Option<usize>, ImportError> {
+        let entry = 4 + 2 * slot;
+        if entry + 2 > self.vtable_bytes as usize {
+            return Ok(None);
+        }
+        let rel = buf.u16(self.vtable + entry)?;
+        if rel == 0 {
+            return Ok(None);
+        }
+        Ok(Some(self.pos + rel as usize))
+    }
+
+    pub(crate) fn u32_or(
+        &self,
+        buf: &Buf<'_>,
+        slot: usize,
+        default: u32,
+    ) -> Result<u32, ImportError> {
+        match self.field(buf, slot)? {
+            Some(at) => buf.u32(at),
+            None => Ok(default),
+        }
+    }
+
+    pub(crate) fn i32_or(
+        &self,
+        buf: &Buf<'_>,
+        slot: usize,
+        default: i32,
+    ) -> Result<i32, ImportError> {
+        match self.field(buf, slot)? {
+            Some(at) => buf.i32(at),
+            None => Ok(default),
+        }
+    }
+
+    pub(crate) fn u8_or(&self, buf: &Buf<'_>, slot: usize, default: u8) -> Result<u8, ImportError> {
+        match self.field(buf, slot)? {
+            Some(at) => buf.u8(at),
+            None => Ok(default),
+        }
+    }
+
+    pub(crate) fn i8_or(&self, buf: &Buf<'_>, slot: usize, default: i8) -> Result<i8, ImportError> {
+        match self.field(buf, slot)? {
+            Some(at) => buf.i8(at),
+            None => Ok(default),
+        }
+    }
+
+    /// Resolves an offset field, or `None` when absent.
+    pub(crate) fn offset(&self, buf: &Buf<'_>, slot: usize) -> Result<Option<usize>, ImportError> {
+        match self.field(buf, slot)? {
+            Some(at) => Ok(Some(buf.offset(at)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Resolves a required offset field.
+    pub(crate) fn req_offset(
+        &self,
+        buf: &Buf<'_>,
+        slot: usize,
+        what: &str,
+    ) -> Result<usize, ImportError> {
+        self.offset(buf, slot)?
+            .ok_or_else(|| ImportError::Structure {
+                detail: format!("required field '{what}' absent in table at {}", self.pos),
+            })
+    }
+}
+
+/// Validates a vector of `elem_bytes`-wide elements at `pos`, returning
+/// `(elements_pos, element_count)`. The full extent is checked before
+/// the caller reads — or allocates — anything.
+pub(crate) fn vector(
+    buf: &Buf<'_>,
+    pos: usize,
+    elem_bytes: usize,
+) -> Result<(usize, usize), ImportError> {
+    let n = buf.u32(pos)? as usize;
+    let bytes = n
+        .checked_mul(elem_bytes)
+        .ok_or_else(|| ImportError::Structure {
+            detail: format!("vector at {pos} claims {n} elements, total size overflows"),
+        })?;
+    buf.check(pos + 4, bytes)?;
+    Ok((pos + 4, n))
+}
+
+/// Reads a vector of `u32` scalars.
+pub(crate) fn u32_vec(buf: &Buf<'_>, pos: usize) -> Result<Vec<u32>, ImportError> {
+    let (at, n) = vector(buf, pos, 4)?;
+    (0..n).map(|i| buf.u32(at + 4 * i)).collect()
+}
+
+/// Borrows a vector of bytes.
+pub(crate) fn byte_vec<'a>(buf: &Buf<'a>, pos: usize) -> Result<&'a [u8], ImportError> {
+    let (at, n) = vector(buf, pos, 1)?;
+    buf.slice(at, n)
+}
+
+/// Reads a UTF-8 string (stored as a byte vector).
+pub(crate) fn string(buf: &Buf<'_>, pos: usize) -> Result<String, ImportError> {
+    let bytes = byte_vec(buf, pos)?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| ImportError::Structure {
+        detail: format!("string at {pos} is not valid UTF-8"),
+    })
+}
+
+/// Reads a vector of offsets, each resolved to an absolute position.
+pub(crate) fn offset_vec(buf: &Buf<'_>, pos: usize) -> Result<Vec<usize>, ImportError> {
+    let (at, n) = vector(buf, pos, 4)?;
+    (0..n).map(|i| buf.offset(at + 4 * i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_are_bounds_checked() {
+        let buf = Buf::new(&[1, 2, 3]);
+        assert_eq!(buf.u8(2).unwrap(), 3);
+        assert!(matches!(buf.u8(3), Err(ImportError::Truncated { .. })));
+        assert!(matches!(
+            buf.u32(0),
+            Err(ImportError::Truncated {
+                at: 0,
+                need: 4,
+                len: 3
+            })
+        ));
+        // Position + need overflowing usize is truncation, not a panic.
+        assert!(matches!(
+            buf.check(usize::MAX, 8),
+            Err(ImportError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn offsets_must_land_inside_the_buffer() {
+        // Offset field at 0 with value 100 in a 8-byte buffer.
+        let mut bytes = vec![0u8; 8];
+        bytes[..4].copy_from_slice(&100u32.to_le_bytes());
+        let buf = Buf::new(&bytes);
+        assert!(matches!(
+            buf.offset(0),
+            Err(ImportError::OutOfBounds { .. })
+        ));
+        bytes[..4].copy_from_slice(&4u32.to_le_bytes());
+        let buf = Buf::new(&bytes);
+        assert_eq!(buf.offset(0).unwrap(), 4);
+    }
+
+    #[test]
+    fn vector_length_is_validated_before_any_allocation() {
+        // A vector claiming u32::MAX elements in a tiny buffer.
+        let mut bytes = vec![0u8; 8];
+        bytes[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let buf = Buf::new(&bytes);
+        assert!(u32_vec(&buf, 0).is_err());
+        assert!(byte_vec(&buf, 0).is_err());
+    }
+
+    #[test]
+    fn absent_vtable_slots_read_as_defaults() {
+        // Hand-built: table at 0 with soffset -> vtable holding one slot.
+        // Layout: [i32 soffset=-(8)] [u32 field0] [vtable: 6,8,4]
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(-8i32).to_le_bytes()); // vtable at 0 - (-8) = 8
+        bytes.extend_from_slice(&7u32.to_le_bytes()); // field 0 at rel 4
+        bytes.extend_from_slice(&6u16.to_le_bytes()); // vtable_bytes
+        bytes.extend_from_slice(&8u16.to_le_bytes()); // table_bytes
+        bytes.extend_from_slice(&4u16.to_le_bytes()); // slot 0 rel
+        let buf = Buf::new(&bytes);
+        let t = Table::at(&buf, 0).unwrap();
+        assert_eq!(t.u32_or(&buf, 0, 99).unwrap(), 7);
+        assert_eq!(t.u32_or(&buf, 1, 99).unwrap(), 99, "slot beyond vtable");
+    }
+
+    #[test]
+    fn corrupt_vtables_are_typed_errors() {
+        // soffset pointing before the buffer start.
+        let bytes = 1000i32.to_le_bytes();
+        let buf = Buf::new(&bytes);
+        assert!(matches!(
+            Table::at(&buf, 0),
+            Err(ImportError::OutOfBounds { .. })
+        ));
+        // vtable size smaller than its own header.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(-4i32).to_le_bytes()); // vtable at 4
+        bytes.extend_from_slice(&2u16.to_le_bytes());
+        bytes.extend_from_slice(&0u16.to_le_bytes());
+        let buf = Buf::new(&bytes);
+        assert!(matches!(
+            Table::at(&buf, 0),
+            Err(ImportError::Structure { .. })
+        ));
+    }
+}

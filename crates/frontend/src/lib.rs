@@ -1,0 +1,73 @@
+//! Model-file ingestion front-end for HTVM.
+//!
+//! Deployment pipelines rarely start from an in-process
+//! [`GraphBuilder`](htvm_ir::GraphBuilder): models arrive as files. This
+//! crate vendors a dependency-free reader and writer for **HTF** — a
+//! TFLite-style flatbuffer model format in miniature (root table,
+//! tensor/operator/buffer vectors, vtable-encoded optional fields) —
+//! and an importer that translates a model file into a validated
+//! [`Graph`](htvm_ir::Graph).
+//!
+//! Three properties drive the design:
+//!
+//! - **Hostile input, typed rejection.** Every read is bounds-checked;
+//!   every count is validated before proportional allocation; every
+//!   structural invariant has an [`ImportError`] variant. The importer
+//!   never panics — the fuzz harness
+//!   (`crates/frontend/tests/fuzz_import.rs`) holds it to that over a
+//!   seeded corpus of truncations, bit flips, offset corruptions and
+//!   length inflations.
+//! - **Byte-identical round trips.** [`emit`] followed by [`import`]
+//!   reproduces the graph exactly — names, wiring, constants — so
+//!   canonical encodings and compiled artifacts are byte-identical to
+//!   the in-process build, and the serve layer's content-addressed
+//!   cache treats file-imported and in-process jobs as the same key.
+//! - **Inference as the arbiter.** Declared shapes and dtypes are
+//!   cross-checked against `htvm-ir`'s own inference rules; the file's
+//!   claims never override the type system.
+//!
+//! See `docs/FRONTEND.md` for the wire format and error taxonomy.
+//!
+//! ```
+//! use htvm_ir::{DType, GraphBuilder};
+//!
+//! let mut b = GraphBuilder::new();
+//! let x = b.input("x", &[4], DType::I8);
+//! let y = b.relu(x).unwrap();
+//! let graph = b.finish(&[y]).unwrap();
+//!
+//! let bytes = htvm_frontend::emit(&graph).unwrap();
+//! let back = htvm_frontend::import(&bytes).unwrap();
+//! assert_eq!(graph, back);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod emit;
+mod error;
+mod fb;
+mod import;
+mod schema;
+
+pub use emit::{emit, emit_with_layout, emit_with_quant, Layout};
+pub use error::{EmitError, ImportError};
+pub use import::{import, MAX_TENSOR_ELEMENTS};
+pub use schema::FORMAT_VERSION;
+
+/// Per-tensor quantization metadata carried by the wire format.
+///
+/// HTVM graphs express quantization *explicitly* — right-shift /
+/// clip / cast chains — so the importer validates these parameters
+/// against the tensor's dtype (rejecting contradictions as
+/// [`ImportError::InconsistentQuant`]) and then discards them. The
+/// writer can attach them via [`emit_with_quant`] to exercise the
+/// schema's optional sub-table path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuantParams {
+    /// Zero point; must lie inside the tensor dtype's range.
+    pub zero_point: i32,
+    /// Requantize right-shift; must fit the 32-bit accumulator
+    /// (`0..=31`).
+    pub shift: u32,
+}

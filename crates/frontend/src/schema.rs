@@ -1,0 +1,129 @@
+//! The HTF model schema: table slots, opcodes and dtype codes.
+//!
+//! The schema mirrors the TFLite model layout in miniature: a root
+//! `Model` table pointing at parallel `tensors` / `operators` /
+//! `buffers` vectors, with tensors referencing constant data by buffer
+//! index. Two deliberate restrictions keep the importer's identity
+//! guarantee simple:
+//!
+//! - **one tensor per graph node**, in node (= topological) order, so
+//!   tensor indices are node ids and names round-trip exactly;
+//! - **operators in node order**, each producing exactly one output
+//!   tensor — operator `j`'s `output` is the `j`-th non-input,
+//!   non-constant tensor.
+//!
+//! See `docs/FRONTEND.md` for the full wire-level description.
+
+/// Format version accepted by this reader.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// `Model` root table slots.
+pub(crate) mod model {
+    pub const VERSION: usize = 0;
+    pub const TENSORS: usize = 1;
+    pub const OPERATORS: usize = 2;
+    pub const INPUTS: usize = 3;
+    pub const OUTPUTS: usize = 4;
+    pub const BUFFERS: usize = 5;
+    #[allow(dead_code)] // reserved: readers skip it, writers may add it
+    pub const DESCRIPTION: usize = 6;
+}
+
+/// `Tensor` table slots.
+pub(crate) mod tensor {
+    pub const NAME: usize = 0;
+    pub const SHAPE: usize = 1;
+    pub const DTYPE: usize = 2;
+    pub const BUFFER: usize = 3;
+    pub const QUANT: usize = 4;
+}
+
+/// `QuantParams` table slots.
+pub(crate) mod quant {
+    pub const ZERO_POINT: usize = 0;
+    pub const SHIFT: usize = 1;
+}
+
+/// `Operator` table slots. Attribute fields are flat scalars with
+/// per-op meaning; absent fields take the listed defaults.
+pub(crate) mod operator {
+    pub const OPCODE: usize = 0;
+    pub const INPUTS: usize = 1;
+    pub const OUTPUT: usize = 2;
+    pub const STRIDE_Y: usize = 3; // default 1
+    pub const STRIDE_X: usize = 4; // default 1
+    pub const PAD_TOP: usize = 5; // default 0
+    pub const PAD_BOTTOM: usize = 6;
+    pub const PAD_LEFT: usize = 7;
+    pub const PAD_RIGHT: usize = 8;
+    pub const AMOUNT: usize = 9; // right_shift, default 0
+    pub const MIN: usize = 10; // clip, default 0
+    pub const MAX: usize = 11;
+    pub const TO_DTYPE: usize = 12; // cast, dtype code
+    pub const POOL_KIND: usize = 13; // 0 avg, 1 max
+    pub const KERNEL_Y: usize = 14; // default 1
+    pub const KERNEL_X: usize = 15;
+    pub const NEW_SHAPE: usize = 16; // reshape target, u32 vector
+}
+
+/// `Buffer` table slots.
+pub(crate) mod buffer {
+    pub const DATA: usize = 0;
+}
+
+/// Operator codes.
+pub(crate) mod opcode {
+    pub const CONV_2D: u32 = 0;
+    pub const DEPTHWISE_CONV_2D: u32 = 1;
+    pub const FULLY_CONNECTED: u32 = 2;
+    pub const BIAS_ADD: u32 = 3;
+    pub const RIGHT_SHIFT: u32 = 4;
+    pub const CLIP: u32 = 5;
+    pub const CAST: u32 = 6;
+    pub const RELU: u32 = 7;
+    pub const ADD: u32 = 8;
+    pub const POOL_2D: u32 = 9;
+    pub const SOFTMAX: u32 = 10;
+    pub const RESHAPE: u32 = 11;
+    pub const FLATTEN: u32 = 12;
+}
+
+/// Dtype codes (`Tensor.dtype` and the cast `TO_DTYPE` attribute).
+pub(crate) mod dtype_code {
+    use htvm_ir::DType;
+
+    pub const I8: i8 = 0;
+    pub const I16: i8 = 1;
+    pub const I32: i8 = 2;
+    pub const TERNARY: i8 = 3;
+
+    /// Decodes a dtype code, or `None` for an unknown code.
+    pub fn decode(code: i8) -> Option<DType> {
+        match code {
+            I8 => Some(DType::I8),
+            I16 => Some(DType::I16),
+            I32 => Some(DType::I32),
+            TERNARY => Some(DType::Ternary),
+            _ => None,
+        }
+    }
+
+    /// Encodes a dtype as its wire code.
+    pub fn encode(dtype: DType) -> i8 {
+        match dtype {
+            DType::I8 => I8,
+            DType::I16 => I16,
+            DType::I32 => I32,
+            DType::Ternary => TERNARY,
+        }
+    }
+
+    /// Bytes one element occupies in a constant buffer.
+    pub fn elem_bytes(dtype: DType) -> usize {
+        match dtype {
+            DType::I8 | DType::Ternary => 1,
+            DType::I16 => 2,
+            DType::I32 => 4,
+        }
+    }
+}

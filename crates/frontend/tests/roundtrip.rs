@@ -1,0 +1,112 @@
+//! Round-trip differential tests: `import(emit(graph))` must reproduce
+//! every zoo graph exactly — full `Graph` equality (names, wiring,
+//! constants) and byte-identical canonical encodings, the property the
+//! serve layer's content-addressed cache relies on.
+
+use htvm_frontend::{emit, emit_with_quant, import, ImportError, QuantParams};
+use htvm_ir::canonical_form;
+use htvm_models::{all_models, stress_test, QuantScheme};
+
+const SCHEMES: [QuantScheme; 3] = [QuantScheme::Int8, QuantScheme::Ternary, QuantScheme::Mixed];
+
+#[test]
+fn every_zoo_model_round_trips_to_an_identical_graph() {
+    for scheme in SCHEMES {
+        for model in all_models(scheme) {
+            let bytes = emit(&model.graph)
+                .unwrap_or_else(|e| panic!("{} ({scheme:?}) failed to emit: {e}", model.name));
+            let back = import(&bytes)
+                .unwrap_or_else(|e| panic!("{} ({scheme:?}) failed to import: {e}", model.name));
+            assert_eq!(
+                model.graph, back,
+                "{} ({scheme:?}) round trip changed the graph",
+                model.name
+            );
+            assert_eq!(
+                canonical_form(&model.graph),
+                canonical_form(&back),
+                "{} ({scheme:?}) canonical bytes diverged",
+                model.name
+            );
+        }
+    }
+}
+
+#[test]
+fn stress_model_round_trips() {
+    let model = stress_test(QuantScheme::Mixed);
+    let bytes = emit(&model.graph).expect("emit");
+    let back = import(&bytes).expect("import");
+    assert_eq!(model.graph, back);
+}
+
+#[test]
+fn second_emit_of_the_imported_graph_is_byte_identical() {
+    // emit ∘ import is the identity on emitted bytes: nothing about the
+    // encoding depends on how the graph was built.
+    for model in all_models(QuantScheme::Mixed) {
+        let bytes = emit(&model.graph).expect("emit");
+        let again = emit(&import(&bytes).expect("import")).expect("re-emit");
+        assert_eq!(bytes, again, "{} re-emit diverged", model.name);
+    }
+}
+
+#[test]
+fn valid_quant_params_are_accepted_and_discarded() {
+    let model = stress_test(QuantScheme::Int8);
+    // Attach consistent quant params to every tensor.
+    let quant: Vec<(usize, QuantParams)> = model
+        .graph
+        .nodes()
+        .map(|(id, _)| {
+            (
+                id.index(),
+                QuantParams {
+                    zero_point: -3,
+                    shift: 7,
+                },
+            )
+        })
+        .collect();
+    let (bytes, _) = emit_with_quant(&model.graph, &quant).expect("emit");
+    let back = import(&bytes).expect("quantized model should import");
+    assert_eq!(model.graph, back, "quant params must not alter the graph");
+}
+
+#[test]
+fn inconsistent_quant_params_are_rejected() {
+    let model = stress_test(QuantScheme::Int8);
+    // Shift wider than the 32-bit accumulator.
+    let (bytes, _) = emit_with_quant(
+        &model.graph,
+        &[(
+            0,
+            QuantParams {
+                zero_point: 0,
+                shift: 40,
+            },
+        )],
+    )
+    .expect("emit");
+    match import(&bytes) {
+        Err(ImportError::InconsistentQuant { tensor: 0, .. }) => {}
+        other => panic!("expected InconsistentQuant for tensor 0, got {other:?}"),
+    }
+    // Zero point outside the i8 range on an i8 tensor (node 0 is the
+    // model input, declared i8).
+    let (bytes, _) = emit_with_quant(
+        &model.graph,
+        &[(
+            0,
+            QuantParams {
+                zero_point: 1000,
+                shift: 1,
+            },
+        )],
+    )
+    .expect("emit");
+    match import(&bytes) {
+        Err(ImportError::InconsistentQuant { tensor: 0, .. }) => {}
+        other => panic!("expected InconsistentQuant for tensor 0, got {other:?}"),
+    }
+}

@@ -86,6 +86,38 @@ impl GraphBuilder {
         Ok(id)
     }
 
+    /// [`GraphBuilder::apply`] with an explicit node name instead of the
+    /// auto-generated `op_id` one. Deserializers (the model-file
+    /// front-end) use this to reconstruct a graph whose node names — and
+    /// therefore its canonical encoding — match the original exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an operand id is unknown or inference rejects
+    /// the operand types (see [`IrError`]).
+    pub fn apply_named(
+        &mut self,
+        op: Op,
+        inputs: &[NodeId],
+        name: &str,
+    ) -> Result<NodeId, IrError> {
+        let id = self.apply(op, inputs)?;
+        self.nodes[id.0].name = name.to_owned();
+        Ok(id)
+    }
+
+    /// Dtype of an already-built node (useful mid-construction).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::UnknownNode`] for a foreign id.
+    pub fn dtype_of(&self, id: NodeId) -> Result<DType, IrError> {
+        self.nodes
+            .get(id.0)
+            .map(|n| n.dtype)
+            .ok_or(IrError::UnknownNode(id.0))
+    }
+
     /// 2-D convolution. `padding` is `(top, bottom, left, right)`.
     ///
     /// # Errors

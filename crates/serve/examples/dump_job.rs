@@ -19,7 +19,8 @@ fn main() {
     let job = WireJob {
         name: "curl-demo".to_owned(),
         tenant: None,
-        graph,
+        graph: Some(graph),
+        model_hex: None,
         deploy: DeployConfig::Both,
         include_artifact: false,
     };

@@ -9,6 +9,14 @@
 //! | GET    | `/v1/stats`   | —                | `ServiceStats` JSON           |
 //! | POST   | `/v1/compile` | [`wire::WireJob`]| [`wire::WireResult`]          |
 //! | POST   | `/v1/batch`   | [`wire::WireBatch`] | [`wire::WireBatchResult`]  |
+//! | POST   | `/v1/import`  | raw HTF model bytes | [`wire::WireResult`]       |
+//!
+//! `/v1/import` takes the model file itself as the body — no JSON
+//! envelope — and job parameters as query parameters:
+//! `?name=<label>&tenant=<tenant>&deploy=cpu_tvm|digital|analog|both&artifact=true`
+//! (all optional; deploy defaults to `both`). Malformed model bytes are
+//! a `422` [`wire::WireError`] of kind `import_error` whose `detail`
+//! leads with the `htvm_frontend::ImportError` variant name.
 //!
 //! Every non-2xx response is a typed [`wire::WireError`] JSON body with
 //! `status` matching the status line; admission sheds are `429` with
@@ -21,8 +29,9 @@
 pub mod framing;
 pub mod wire;
 
-use crate::service::CompileService;
+use crate::service::{CompileService, JobRequest};
 use framing::{read_request, write_response, FrameError, Request};
+use htvm::DeployConfig;
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -256,7 +265,26 @@ fn dispatch(
             Err(detail) => bad_body(detail),
             Ok(job) => {
                 let include_artifact = job.include_artifact;
-                match service.submit(job.into_request()) {
+                match job.into_request(service) {
+                    Err(wire) => wire_failure(wire),
+                    Ok(request) => match service.submit(request) {
+                        Ok(result) => (
+                            200,
+                            json(&WireResult::from_result(result, include_artifact)),
+                            Vec::new(),
+                        ),
+                        Err(error) => job_error(&error),
+                    },
+                }
+            }
+        },
+        ("POST", "/v1/import") => match import_params(&request) {
+            Err(detail) => {
+                let error = WireError::new(400, "bad_request", detail);
+                (400, json(&error), Vec::new())
+            }
+            Ok((name, tenant, deploy, include_artifact)) => {
+                match service.submit_model(&name, tenant.as_deref(), deploy, &request.body) {
                     Ok(result) => (
                         200,
                         json(&WireResult::from_result(result, include_artifact)),
@@ -270,22 +298,37 @@ fn dispatch(
             Err(detail) => bad_body(detail),
             Ok(batch) => {
                 let include: Vec<bool> = batch.jobs.iter().map(|j| j.include_artifact).collect();
-                let requests = batch.jobs.into_iter().map(WireJob::into_request).collect();
-                let results = service
-                    .submit_batch(requests)
+                // Convert jobs up front; conversion failures (bad
+                // envelope, failed import) become their entry's error
+                // without ever reaching admission, while the rest are
+                // scheduled together as one batch.
+                let converted: Vec<Result<JobRequest, WireError>> = batch
+                    .jobs
+                    .into_iter()
+                    .map(|job| job.into_request(service))
+                    .collect();
+                let admitted: Vec<JobRequest> = converted
+                    .iter()
+                    .filter_map(|c| c.as_ref().ok().cloned())
+                    .collect();
+                let mut outcomes = service.submit_batch(admitted).into_iter();
+                let results = converted
                     .into_iter()
                     .zip(include)
-                    .map(|(result, include_artifact)| {
-                        WireBatchEntry::from_outcome(match result {
-                            Ok(r) => Ok(WireResult::from_result(r, include_artifact)),
-                            Err(e) => Err(WireError::from_job_error(&e)),
+                    .map(|(converted, include_artifact)| {
+                        WireBatchEntry::from_outcome(match converted {
+                            Err(wire) => Err(wire),
+                            Ok(_) => match outcomes.next().expect("one outcome per admitted job") {
+                                Ok(r) => Ok(WireResult::from_result(r, include_artifact)),
+                                Err(e) => Err(WireError::from_job_error(&e)),
+                            },
                         })
                     })
                     .collect();
                 (200, json(&WireBatchResult { results }), Vec::new())
             }
         },
-        (_, "/v1/healthz" | "/v1/stats" | "/v1/compile" | "/v1/batch") => {
+        (_, "/v1/healthz" | "/v1/stats" | "/v1/compile" | "/v1/batch" | "/v1/import") => {
             let error = WireError::new(
                 405,
                 "method_not_allowed",
@@ -309,6 +352,47 @@ fn parse_body<T: serde::Deserialize>(body: &[u8]) -> Result<T, String> {
 fn bad_body(detail: String) -> (u16, Vec<u8>, Vec<(&'static str, String)>) {
     let error = WireError::new(400, "bad_request", format!("malformed job body: {detail}"));
     (400, json(&error), Vec::new())
+}
+
+/// Renders a [`WireError`] produced during request conversion (its
+/// `status` is authoritative).
+fn wire_failure(error: WireError) -> (u16, Vec<u8>, Vec<(&'static str, String)>) {
+    (error.status, json(&error), Vec::new())
+}
+
+/// Parses `/v1/import` query parameters:
+/// `(name, tenant, deploy, include_artifact)`.
+fn import_params(
+    request: &Request,
+) -> Result<(String, Option<String>, DeployConfig, bool), String> {
+    let mut name = String::from("import");
+    let mut tenant = None;
+    let mut deploy = DeployConfig::Both;
+    let mut include_artifact = false;
+    let query = request.target.split_once('?').map_or("", |(_, q)| q);
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        match key {
+            "name" => name = value.to_owned(),
+            "tenant" => tenant = Some(value.to_owned()),
+            "deploy" => {
+                deploy = match value {
+                    "cpu_tvm" => DeployConfig::CpuTvm,
+                    "digital" => DeployConfig::Digital,
+                    "analog" => DeployConfig::Analog,
+                    "both" => DeployConfig::Both,
+                    other => {
+                        return Err(format!(
+                            "unknown deploy '{other}' (expected cpu_tvm|digital|analog|both)"
+                        ))
+                    }
+                }
+            }
+            "artifact" => include_artifact = matches!(value, "true" | "1"),
+            other => return Err(format!("unknown import parameter '{other}'")),
+        }
+    }
+    Ok((name, tenant, deploy, include_artifact))
 }
 
 fn job_error(error: &crate::service::JobError) -> (u16, Vec<u8>, Vec<(&'static str, String)>) {

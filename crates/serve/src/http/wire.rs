@@ -7,12 +7,17 @@
 //! whose `status` always matches the HTTP status line, so clients can
 //! switch on either.
 
-use crate::service::{JobError, JobRequest, JobResult, Rejection};
+use crate::service::{CompileService, JobError, JobRequest, JobResult, Rejection};
 use htvm::{Artifact, DeployConfig};
 use htvm_ir::Graph;
 use serde::{Deserialize, Serialize};
 
 /// `POST /v1/compile` body: one compile job.
+///
+/// The graph arrives either as JSON (`graph`, the `htvm_ir::Graph`
+/// schema) or as a hex-encoded HTF model file (`model_hex`, the
+/// `htvm-frontend` format) — exactly one of the two. Raw (non-hex)
+/// model bytes go to `POST /v1/import` instead.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct WireJob {
     /// Client-chosen label, echoed in the response and trace spans.
@@ -20,8 +25,12 @@ pub struct WireJob {
     /// Tenant for admission accounting; defaults to `"anon"`.
     #[serde(default)]
     pub tenant: Option<String>,
-    /// The quantized graph to compile (the `htvm_ir::Graph` schema).
-    pub graph: Graph,
+    /// The quantized graph to compile, as JSON.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub graph: Option<Graph>,
+    /// Hex-encoded HTF model-file bytes, imported server-side.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub model_hex: Option<String>,
     /// Deploy target.
     pub deploy: DeployConfig,
     /// Include the full serialized artifact in the response (they can
@@ -31,15 +40,83 @@ pub struct WireJob {
 }
 
 impl WireJob {
-    /// Converts the wire job into a service request.
-    #[must_use]
-    pub fn into_request(self) -> JobRequest {
-        let mut request = JobRequest::compile_only(&self.name, self.graph, self.deploy);
+    /// Converts the wire job into a service request, importing
+    /// `model_hex` through `service` when the graph arrives as a model
+    /// file.
+    ///
+    /// # Errors
+    ///
+    /// `400` when neither or both of `graph`/`model_hex` are set or the
+    /// hex is malformed; `422 import_error` when the decoded model
+    /// bytes fail to import (counted in the service's
+    /// `rejected_import`).
+    pub fn into_request(self, service: &CompileService) -> Result<JobRequest, WireError> {
+        let graph = match (self.graph, self.model_hex) {
+            (Some(_), Some(_)) => {
+                return Err(WireError::new(
+                    400,
+                    "bad_request",
+                    format!("job '{}' sets both graph and model_hex", self.name),
+                ))
+            }
+            (None, None) => {
+                return Err(WireError::new(
+                    400,
+                    "bad_request",
+                    format!("job '{}' sets neither graph nor model_hex", self.name),
+                ))
+            }
+            (Some(graph), None) => graph,
+            (None, Some(hex)) => {
+                let bytes = decode_hex(&hex).map_err(|detail| {
+                    WireError::new(
+                        400,
+                        "bad_request",
+                        format!("job '{}': malformed model_hex: {detail}", self.name),
+                    )
+                })?;
+                service
+                    .import_model(&self.name, &bytes)
+                    .map_err(|e| WireError::from_job_error(&e))?
+            }
+        };
+        let mut request = JobRequest::compile_only(&self.name, graph, self.deploy);
         if let Some(tenant) = self.tenant {
             request = request.with_tenant(&tenant);
         }
-        request
+        Ok(request)
     }
+}
+
+/// Decodes lowercase/uppercase hex into bytes.
+fn decode_hex(hex: &str) -> Result<Vec<u8>, String> {
+    let hex = hex.trim();
+    if !hex.len().is_multiple_of(2) {
+        return Err(format!("odd length {}", hex.len()));
+    }
+    let nibble = |c: u8| -> Result<u8, String> {
+        match c {
+            b'0'..=b'9' => Ok(c - b'0'),
+            b'a'..=b'f' => Ok(c - b'a' + 10),
+            b'A'..=b'F' => Ok(c - b'A' + 10),
+            _ => Err(format!("invalid hex digit {:?}", c as char)),
+        }
+    };
+    hex.as_bytes()
+        .chunks_exact(2)
+        .map(|pair| Ok(nibble(pair[0])? << 4 | nibble(pair[1])?))
+        .collect()
+}
+
+/// Hex-encodes model bytes for [`WireJob::model_hex`].
+#[must_use]
+pub fn encode_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(char::from_digit(u32::from(b >> 4), 16).expect("nibble"));
+        out.push(char::from_digit(u32::from(b & 0xf), 16).expect("nibble"));
+    }
+    out
 }
 
 /// `POST /v1/batch` body: jobs scheduled together, so in-batch
@@ -130,7 +207,10 @@ pub struct WireError {
     pub status: u16,
     /// Machine-readable kind: `bad_request`, `not_found`,
     /// `method_not_allowed`, `payload_too_large`, `rejected`,
-    /// `compile_error`, `run_error`, `internal`.
+    /// `compile_error`, `run_error`, `import_error`, `internal`.
+    /// For `import_error`, `detail` leads with the
+    /// `htvm_frontend::ImportError` variant name (`Truncated`,
+    /// `OutOfBounds`, `BadMagic`, …).
     pub kind: String,
     /// Human-readable detail.
     pub detail: String,
@@ -166,6 +246,7 @@ impl WireError {
             },
             JobError::Compile { .. } => WireError::new(422, "compile_error", error.to_string()),
             JobError::Run { .. } => WireError::new(422, "run_error", error.to_string()),
+            JobError::Import { .. } => WireError::new(422, "import_error", error.to_string()),
         }
     }
 }

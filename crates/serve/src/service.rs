@@ -34,6 +34,7 @@ use htvm::{
     tracks, Artifact, CompileError, Compiler, DeployConfig, FaultPlan, Machine, RunError,
     RunReport, Span, Tensor, TileCacheStats, TimeDomain, Trace, Tracer,
 };
+use htvm_frontend::ImportError;
 use htvm_ir::Graph;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
@@ -249,6 +250,16 @@ pub enum JobError {
         /// The typed rejection (reason + backoff hint).
         rejection: Rejection,
     },
+    /// The job's model bytes failed to import (malformed, truncated, or
+    /// unsupported file). The error's `Display` leads with the
+    /// [`ImportError::variant_name`], so wire-level details stay
+    /// machine-matchable.
+    Import {
+        /// The failing job's label.
+        job: String,
+        /// The typed importer rejection.
+        error: ImportError,
+    },
 }
 
 impl std::fmt::Display for JobError {
@@ -259,6 +270,7 @@ impl std::fmt::Display for JobError {
             JobError::Rejected { job, rejection } => {
                 write!(f, "job '{job}' shed by admission control: {rejection}")
             }
+            JobError::Import { job, error } => write!(f, "job '{job}' failed to import: {error}"),
         }
     }
 }
@@ -269,6 +281,7 @@ impl std::error::Error for JobError {
             JobError::Compile { error, .. } => Some(error),
             JobError::Run { error, .. } => Some(error),
             JobError::Rejected { .. } => None,
+            JobError::Import { error, .. } => Some(error),
         }
     }
 }
@@ -317,6 +330,10 @@ pub struct ServiceStats {
     pub shed_budget: u64,
     /// Shed because the tenant was at its in-flight quota.
     pub shed_quota: u64,
+    /// Model files rejected by the importer (`/v1/import` payloads that
+    /// never became jobs; not counted in `jobs` or `shed`).
+    #[serde(default)]
+    pub rejected_import: u64,
     /// Artifact-cache counters (hits, misses, evictions, occupancy).
     pub artifact_cache: ArtifactCacheStats,
     /// Shared tiling-solve memo counters across all tenants.
@@ -403,6 +420,7 @@ pub struct CompileService {
     shed: AtomicU64,
     shed_budget: AtomicU64,
     shed_quota: AtomicU64,
+    rejected_import: AtomicU64,
     seq: AtomicU64,
 }
 
@@ -435,6 +453,7 @@ impl CompileService {
             shed: AtomicU64::new(0),
             shed_budget: AtomicU64::new(0),
             shed_quota: AtomicU64::new(0),
+            rejected_import: AtomicU64::new(0),
             seq: AtomicU64::new(0),
         }
     }
@@ -475,6 +494,52 @@ impl CompileService {
         let result = self.process(job, key, 0, ArtifactSource::Resolve);
         self.release(&tenant, cost);
         result
+    }
+
+    /// Imports raw model-file bytes into a validated graph, counting
+    /// rejections in [`ServiceStats::rejected_import`].
+    ///
+    /// The importer produces the *same* graph an in-process
+    /// [`GraphBuilder`](htvm_ir::GraphBuilder) build of the model
+    /// would, so a subsequent [`CompileService::submit`] resolves to
+    /// the same [`ArtifactKey`] — file-imported and in-process jobs
+    /// share cache entries and coalesce with each other.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JobError::Import`] carrying the typed
+    /// [`ImportError`] when the bytes are malformed; no input panics.
+    pub fn import_model(&self, job: &str, model: &[u8]) -> Result<Graph, JobError> {
+        htvm_frontend::import(model).map_err(|error| {
+            self.rejected_import.fetch_add(1, Ordering::Relaxed);
+            JobError::Import {
+                job: job.to_owned(),
+                error,
+            }
+        })
+    }
+
+    /// Imports model bytes and submits the resulting compile-only job
+    /// through the normal admission/cache path (the `/v1/import` entry
+    /// point).
+    ///
+    /// # Errors
+    ///
+    /// [`JobError::Import`] for malformed bytes, otherwise whatever
+    /// [`CompileService::submit`] returns.
+    pub fn submit_model(
+        &self,
+        name: &str,
+        tenant: Option<&str>,
+        deploy: DeployConfig,
+        model: &[u8],
+    ) -> Result<JobResult, JobError> {
+        let graph = self.import_model(name, model)?;
+        let mut job = JobRequest::compile_only(name, graph, deploy);
+        if let Some(tenant) = tenant {
+            job = job.with_tenant(tenant);
+        }
+        self.submit(job)
     }
 
     /// Schedules a batch through admission control and the worker pool,
@@ -843,6 +908,7 @@ impl CompileService {
             shed: self.shed.load(Ordering::Relaxed),
             shed_budget: self.shed_budget.load(Ordering::Relaxed),
             shed_quota: self.shed_quota.load(Ordering::Relaxed),
+            rejected_import: self.rejected_import.load(Ordering::Relaxed),
             artifact_cache: self.cache.stats(),
             tile_cache: self.base.tile_cache().stats(),
         }

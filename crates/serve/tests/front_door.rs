@@ -42,7 +42,8 @@ fn wire_job(name: &str, graph: Graph, include_artifact: bool) -> WireJob {
     WireJob {
         name: name.to_owned(),
         tenant: None,
-        graph,
+        graph: Some(graph),
+        model_hex: None,
         deploy: DeployConfig::Both,
         include_artifact,
     }
@@ -91,12 +92,18 @@ impl Client {
     }
 
     fn request(&mut self, method: &str, path: &str, body: Option<&str>) -> Response {
-        let body = body.unwrap_or("");
-        let raw = format!(
-            "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        self.request_bytes(method, path, body.unwrap_or("").as_bytes())
+    }
+
+    /// Like [`Client::request`] for binary bodies (raw model uploads).
+    fn request_bytes(&mut self, method: &str, path: &str, body: &[u8]) -> Response {
+        let mut raw = format!(
+            "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n",
             body.len()
-        );
-        self.send_raw(raw.as_bytes())
+        )
+        .into_bytes();
+        raw.extend_from_slice(body);
+        self.send_raw(&raw)
     }
 
     fn read_response(&mut self) -> Response {
@@ -378,6 +385,160 @@ fn malformed_requests_get_typed_errors_not_hangups() {
 
     let stats = service_stats(addr);
     assert_eq!(stats.jobs, 0, "none of the garbage reached the service");
+    server.shutdown();
+}
+
+#[test]
+fn import_round_trip_is_byte_identical_and_shares_cache_keys() {
+    let (_service, server) = spawn_server(serve_config(), HttpConfig::default());
+    let addr = server.addr();
+
+    // Upload the model file; the compiled artifact must be
+    // byte-identical (under serde) to an in-process compile of the same
+    // graph, because the importer reproduces the graph exactly.
+    let graph = conv_graph(8);
+    let model = htvm_frontend::emit(&graph).expect("graph emits");
+    let mut client = Client::connect(addr);
+    let response = client.request_bytes(
+        "POST",
+        "/v1/import?name=filed&artifact=true&deploy=both",
+        &model,
+    );
+    assert_eq!(response.status, 200, "body: {}", response.body);
+    let result: WireResult = serde_json::from_str(&response.body).unwrap();
+    assert_eq!(result.job, "filed");
+    assert!(!result.cache_hit);
+    let imported_artifact = result.artifact.expect("artifact=true attaches it");
+    let direct = Compiler::new()
+        .with_deploy(DeployConfig::Both)
+        .compile(&graph)
+        .expect("conv graph compiles");
+    assert_eq!(
+        serde_json::to_string(&imported_artifact).unwrap(),
+        serde_json::to_string(&direct).unwrap(),
+        "imported model must compile to the identical artifact"
+    );
+
+    // The same graph posted as JSON hits the cache entry the file
+    // upload created: both paths resolve to the same ArtifactKey.
+    let body = serde_json::to_string(&wire_job("json-twin", graph.clone(), false)).unwrap();
+    let response = client.request("POST", "/v1/compile", Some(&body));
+    assert_eq!(response.status, 200);
+    let result: WireResult = serde_json::from_str(&response.body).unwrap();
+    assert!(
+        result.cache_hit,
+        "file-imported and JSON jobs share cache keys"
+    );
+
+    // model_hex in the JSON envelope is the third equivalent spelling.
+    let hex_job = WireJob {
+        name: "hexed".to_owned(),
+        tenant: None,
+        graph: None,
+        model_hex: Some(htvm_serve::http::wire::encode_hex(&model)),
+        deploy: DeployConfig::Both,
+        include_artifact: false,
+    };
+    let body = serde_json::to_string(&hex_job).unwrap();
+    let response = client.request("POST", "/v1/compile", Some(&body));
+    assert_eq!(response.status, 200, "body: {}", response.body);
+    let result: WireResult = serde_json::from_str(&response.body).unwrap();
+    assert!(result.cache_hit);
+
+    let stats = service_stats(addr);
+    assert_eq!(stats.jobs, 3);
+    assert_eq!(stats.rejected_import, 0);
+    assert_eq!(stats.artifact_cache.misses, 1);
+    assert_eq!(stats.artifact_cache.hits, 2);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_imports_get_422_with_the_variant_name() {
+    let (_service, server) = spawn_server(serve_config(), HttpConfig::default());
+    let addr = server.addr();
+    let mut client = Client::connect(addr);
+    let model = htvm_frontend::emit(&conv_graph(4)).expect("graph emits");
+
+    // Corrupt magic: exact variant in the detail.
+    let mut bad_magic = model.clone();
+    bad_magic[4..8].copy_from_slice(b"NOPE");
+    let response = client.request_bytes("POST", "/v1/import?name=bad", &bad_magic);
+    assert_eq!(response.status, 422);
+    let error = response.error();
+    assert_eq!(error.kind, "import_error");
+    assert!(
+        error.detail.contains("BadMagic"),
+        "detail must carry the ImportError variant name, got {:?}",
+        error.detail
+    );
+
+    // An empty body is a truncation.
+    let response = client.request_bytes("POST", "/v1/import", b"");
+    assert_eq!(response.status, 422);
+    assert!(response.error().detail.contains("Truncated"));
+
+    // Unknown deploy value is a 400 before the importer runs.
+    let response = client.request_bytes("POST", "/v1/import?deploy=gpu", &model);
+    assert_eq!(response.status, 400);
+    assert_eq!(response.error().kind, "bad_request");
+
+    // A batch with one poisoned model_hex entry: the poisoned entry
+    // carries the import error, the healthy entries still compile.
+    let healthy = wire_job("ok", conv_graph(4), false);
+    let poisoned = WireJob {
+        name: "poisoned".to_owned(),
+        tenant: None,
+        graph: None,
+        model_hex: Some(htvm_serve::http::wire::encode_hex(&bad_magic)),
+        deploy: DeployConfig::Both,
+        include_artifact: false,
+    };
+    let batch = WireBatch {
+        jobs: vec![healthy, poisoned],
+    };
+    let body = serde_json::to_string(&batch).unwrap();
+    let response = client.request("POST", "/v1/batch", Some(&body));
+    assert_eq!(response.status, 200);
+    let parsed: WireBatchResult = serde_json::from_str(&response.body).unwrap();
+    assert!(parsed.results[0].result.is_some(), "healthy entry compiles");
+    let entry_error = parsed.results[1]
+        .error
+        .as_ref()
+        .expect("poisoned entry errors");
+    assert_eq!(entry_error.status, 422);
+    assert_eq!(entry_error.kind, "import_error");
+    assert!(entry_error.detail.contains("BadMagic"));
+
+    // Counters are exact: three importer rejections (two uploads + one
+    // batch entry), and only the healthy batch entry became a job.
+    let stats = service_stats(addr);
+    assert_eq!(stats.rejected_import, 3);
+    assert_eq!(stats.jobs, 1);
+    assert_eq!(stats.shed, 0);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_imports_hit_the_existing_413_path() {
+    let (_service, server) = spawn_server(
+        serve_config(),
+        HttpConfig {
+            max_body_bytes: 1 << 10,
+            ..HttpConfig::default()
+        },
+    );
+    let addr = server.addr();
+    // A model comfortably over the 1 KiB cap is refused at framing,
+    // before the importer (or the service counters) ever see it.
+    let model = htvm_frontend::emit(&conv_graph(16)).expect("graph emits");
+    assert!(model.len() > 1 << 10, "test model must exceed the cap");
+    let response = Client::connect(addr).request_bytes("POST", "/v1/import", &model);
+    assert_eq!(response.status, 413);
+    assert_eq!(response.error().kind, "payload_too_large");
+    let stats = service_stats(addr);
+    assert_eq!(stats.rejected_import, 0, "the importer never saw the body");
+    assert_eq!(stats.jobs, 0);
     server.shutdown();
 }
 

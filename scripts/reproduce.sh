@@ -19,6 +19,25 @@ echo "-- seed base 0 (release) --"
 HTVM_FAULT_SEED_BASE=0 cargo test -p htvm --release --test fault_injection \
     2>&1 | tee "$out/faults_release.txt"
 
+echo "== model-file import round trip (matches the CI frontend jobs) =="
+for base in 0 1000 2000; do
+    echo "-- fuzz seed base $base (debug) --"
+    HTVM_FUZZ_SEED_BASE="$base" cargo test -p htvm-frontend --test fuzz_import \
+        2>&1 | tee "$out/fuzz_import_seed$base.txt"
+done
+echo "-- fuzz seed base 0 (release) --"
+HTVM_FUZZ_SEED_BASE=0 cargo test -p htvm-frontend --release --test fuzz_import \
+    2>&1 | tee "$out/fuzz_import_release.txt"
+cargo test -p htvm-serve --release --test import_roundtrip \
+    2>&1 | tee "$out/import_roundtrip.txt"
+# File → importer → bench: emit a zoo model as an HTF container and
+# measure it through the import path; the entry must match the zoo sweep.
+cargo run --release -p htvm-frontend --example emit_model -- \
+    ds_cnn "$out/ds_cnn.htf" mixed
+cargo run --release -p htvm-bench --bin report -- \
+    --from-file "$out/ds_cnn.htf" --deploy both --out "$out/IMPORT_BENCH.json" \
+    | tee "$out/import_bench.txt"
+
 echo "== benchmark report + regression gate (matches the CI bench-report job) =="
 cargo run --release -p htvm-bench --bin report -- --out "$out/BENCH.json" \
     | tee "$out/bench_report.txt"
