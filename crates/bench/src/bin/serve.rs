@@ -6,18 +6,31 @@
 //! ```text
 //! cargo run --release -p htvm-bench --bin serve -- \
 //!     [--jobs N] [--workers N] [--hot-jobs N] [--out PATH] \
-//!     [--min-speedup X] [--front-door] [--clients N]
+//!     [--min-speedup X] [--front-door] [--clients N] \
+//!     [--instances N [--restart] [--max-restart-misses N] [--fleet-dir PATH]]
 //! ```
 //!
 //! `--front-door` additionally drives the cached mix through the
 //! in-process HTTP/1.1 front door with `--clients` keep-alive
 //! connections and records client-observed latency in the report.
 //!
-//! Exit codes: 0 — soak completed and the cache speedup met the floor;
-//! 1 — speedup below `--min-speedup` (default 5.0; pass 0 to disable);
-//! 2 — usage error (including a NaN/negative/non-finite floor).
+//! `--instances N` additionally runs the simulated fleet soak: N
+//! sharded service instances persisting under `--fleet-dir` (default
+//! `target/fleet-cache`, wiped first), a cold pass over every distinct
+//! key, then — with `--restart` — a kill + reboot of the busiest
+//! instance and a warm replay. The replay's recompile count on the
+//! restarted instance must stay within `--max-restart-misses` (default
+//! 0: a warm start recompiles nothing), and every replayed artifact
+//! must be byte-identical; either violation fails the soak.
+//!
+//! Exit codes: 0 — soak completed and every gate held; 1 — cache
+//! speedup below `--min-speedup` (default 5.0; pass 0 to disable), or
+//! the fleet warm-start gate failed; 2 — usage error (including a
+//! NaN/negative/non-finite floor).
 
-use htvm_bench::serve_bench::{collect, run_front_door, validate_min_speedup, ServeBenchConfig};
+use htvm_bench::serve_bench::{
+    collect, collect_fleet, run_front_door, validate_min_speedup, ServeBenchConfig,
+};
 use std::process::ExitCode;
 
 fn parse<T: std::str::FromStr>(
@@ -35,6 +48,10 @@ fn run() -> Result<ExitCode, String> {
     let mut min_speedup = 5.0_f64;
     let mut front_door = false;
     let mut clients = 4usize;
+    let mut instances = 0usize;
+    let mut restart = false;
+    let mut max_restart_misses = 0u64;
+    let mut fleet_dir = String::from("target/fleet-cache");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -47,10 +64,17 @@ fn run() -> Result<ExitCode, String> {
             }
             "--front-door" => front_door = true,
             "--clients" => clients = parse(&mut args, "--clients")?,
+            "--instances" => instances = parse(&mut args, "--instances")?,
+            "--restart" => restart = true,
+            "--max-restart-misses" => {
+                max_restart_misses = parse(&mut args, "--max-restart-misses")?;
+            }
+            "--fleet-dir" => fleet_dir = args.next().ok_or("--fleet-dir needs a path")?,
             other => {
                 return Err(format!(
                     "unknown flag {other:?}; usage: serve [--jobs N] [--workers N] [--hot-jobs N] \
-                     [--out PATH] [--min-speedup X] [--front-door] [--clients N]"
+                     [--out PATH] [--min-speedup X] [--front-door] [--clients N] \
+                     [--instances N [--restart] [--max-restart-misses N] [--fleet-dir PATH]]"
                 ))
             }
         }
@@ -61,11 +85,26 @@ fn run() -> Result<ExitCode, String> {
     if front_door && clients == 0 {
         return Err(String::from("--clients must be positive"));
     }
+    if (restart || max_restart_misses > 0) && instances == 0 {
+        return Err(String::from(
+            "--restart and --max-restart-misses need --instances N",
+        ));
+    }
 
     let mut report = collect(config);
     if front_door {
         let (stats, _) = run_front_door(config, clients)?;
         report.front_door = Some(stats);
+    }
+    if instances > 0 {
+        // A stale directory would turn the cold pass warm and hide a
+        // broken spill path, so the fleet root is wiped first.
+        let root = std::path::Path::new(&fleet_dir);
+        if root.exists() {
+            std::fs::remove_dir_all(root)
+                .map_err(|e| format!("cannot clear --fleet-dir {fleet_dir}: {e}"))?;
+        }
+        report.fleet = Some(collect_fleet(instances, config.workers, restart, root));
     }
     let json = serde_json::to_string_pretty(&report).map_err(|e| format!("serialize: {e:?}"))?;
     std::fs::write(&out, &json).map_err(|e| format!("cannot write {out}: {e}"))?;
@@ -113,6 +152,25 @@ fn run() -> Result<ExitCode, String> {
             fd.throughput_jobs_per_s, fd.p50_us, fd.p99_us, fd.wall_ms
         );
     }
+    if let Some(fleet) = &report.fleet {
+        println!(
+            "  fleet ({} instances, {} keys): instance {} owned {} keys, {}; \
+             re-admitted {} (skipped {}), warm replay recompiled {}, byte-identical: {}",
+            fleet.instances,
+            fleet.jobs,
+            fleet.restarted_instance,
+            fleet.restarted_instance_keys,
+            if fleet.restarted {
+                "killed + rebooted"
+            } else {
+                "left running"
+            },
+            fleet.restart_load_ok,
+            fleet.restart_load_skipped,
+            fleet.warm_restart_misses,
+            fleet.byte_identical,
+        );
+    }
     println!("  wrote {out}");
 
     if min_speedup > 0.0 && report.speedup < min_speedup {
@@ -121,6 +179,20 @@ fn run() -> Result<ExitCode, String> {
             report.speedup
         );
         return Ok(ExitCode::FAILURE);
+    }
+    if let Some(fleet) = &report.fleet {
+        if fleet.warm_restart_misses > max_restart_misses {
+            eprintln!(
+                "serve soak: FAIL — warm replay recompiled {} keys, above the \
+                 --max-restart-misses bound of {max_restart_misses}",
+                fleet.warm_restart_misses
+            );
+            return Ok(ExitCode::FAILURE);
+        }
+        if !fleet.byte_identical {
+            eprintln!("serve soak: FAIL — a replayed artifact was not byte-identical");
+            return Ok(ExitCode::FAILURE);
+        }
     }
     Ok(ExitCode::SUCCESS)
 }

@@ -13,15 +13,17 @@ use htvm::DeployConfig;
 use htvm_models::all_models;
 use htvm_serve::http::wire::{WireJob, WireResult};
 use htvm_serve::http::{HttpConfig, HttpServer};
-use htvm_serve::{CompileService, JobRequest, SchedPolicy, ServeConfig, ServiceStats};
+use htvm_serve::{CompileService, Fleet, JobRequest, SchedPolicy, ServeConfig, ServiceStats};
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
 /// Schema version of `SERVE_BENCH.json`. v2 added the `skewed`
-/// scheduling comparison and the optional `front_door` section; both
-/// are `Option`s with serde defaults, so v1 documents still parse.
-pub const SERVE_SCHEMA_VERSION: u32 = 2;
+/// scheduling comparison and the optional `front_door` section; v3
+/// added the optional `fleet` warm-vs-cold restart section. All are
+/// `Option`s with serde defaults, so older documents still parse.
+pub const SERVE_SCHEMA_VERSION: u32 = 3;
 
 /// Knobs for one soak run.
 #[derive(Debug, Clone, Copy)]
@@ -119,6 +121,132 @@ pub struct ServeReport {
     /// the client (only when the soak ran with `--front-door`).
     #[serde(default)]
     pub front_door: Option<ServeRunStats>,
+    /// Warm-vs-cold restart metrics from the simulated multi-instance
+    /// fleet soak (since schema v3; only when the soak ran with
+    /// `--instances`).
+    #[serde(default)]
+    pub fleet: Option<FleetReport>,
+}
+
+/// Warm-start evidence from the simulated fleet soak: one instance is
+/// killed and rebooted from its persisted cache mid-soak, then the mix
+/// replays. A working warm start means the restarted instance re-admits
+/// everything it had spilled, serves the replay without recompiling,
+/// and returns byte-identical artifacts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Instances in the simulated fleet.
+    pub instances: u64,
+    /// Whether the probe instance was actually killed and rebooted
+    /// between the passes (`--restart`); without it the warm replay
+    /// only witnesses memory-cache affinity.
+    pub restarted: bool,
+    /// Index of the probe instance (the busiest one — killed and
+    /// rebooted mid-soak when `restarted`).
+    pub restarted_instance: u64,
+    /// Jobs submitted per pass (one per distinct key).
+    pub jobs: u64,
+    /// Keys the restarted instance owned (and therefore persisted).
+    pub restarted_instance_keys: u64,
+    /// Fleet-wide cold-pass misses (one per distinct key by key
+    /// affinity: the shard ring sends every repeat to the same
+    /// instance).
+    pub cold_misses: u64,
+    /// Artifacts durably spilled across the fleet during the cold pass.
+    pub persist_writes: u64,
+    /// Entries the restarted instance re-admitted from disk at reboot.
+    pub restart_load_ok: u64,
+    /// Entries it skipped at reboot (corrupt or stamp-mismatched).
+    pub restart_load_skipped: u64,
+    /// Misses the probe instance took while serving the warm replay —
+    /// the number of *recompiles* the restart cost. Zero when the warm
+    /// start fully works; the `fleet` CI job gates on a bound.
+    pub warm_restart_misses: u64,
+    /// Whether every replayed artifact was byte-identical (under serde)
+    /// to its pre-restart counterpart.
+    pub byte_identical: bool,
+}
+
+/// Runs the simulated fleet soak: `instances` sharded services over one
+/// persistence root, a cold pass over every distinct key, then — when
+/// `restart` — a kill + reboot of the busiest instance before the warm
+/// replay of the same mix.
+///
+/// # Panics
+///
+/// When a job in the mix fails to compile or route — the zoo mix is
+/// known-good, so any failure is a harness bug worth a loud stop.
+#[must_use]
+pub fn collect_fleet(instances: usize, workers: usize, restart: bool, root: &Path) -> FleetReport {
+    let mut fleet = Fleet::new(
+        instances,
+        root,
+        ServeConfig {
+            workers,
+            cache_budget_bytes: 256 << 20,
+            tracer: htvm::Tracer::disabled(),
+            ..ServeConfig::default()
+        },
+    );
+    let mix = || request_mix(distinct_keys());
+
+    // Cold pass: every distinct key compiles exactly once, on the
+    // instance the shard ring pins it to.
+    let mut owners: Vec<usize> = Vec::new();
+    let mut cold_artifacts: Vec<String> = Vec::new();
+    for job in mix() {
+        let (owner, result) = fleet.submit(job).expect("fleet soak jobs compile");
+        owners.push(owner);
+        cold_artifacts.push(serde_json::to_string(&result.artifact).expect("artifacts serialize"));
+    }
+    let cold_misses: u64 = (0..fleet.len())
+        .map(|i| fleet.instance(i).stats().artifact_cache.misses)
+        .sum();
+    let persist_writes: u64 = (0..fleet.len())
+        .map(|i| fleet.instance(i).stats().persist_writes)
+        .sum();
+
+    // The probe is the busiest instance: it has the most to lose from
+    // a cold restart, so it is the strongest warm-start witness.
+    let probe = (0..fleet.len())
+        .max_by_key(|&i| owners.iter().filter(|&&o| o == i).count())
+        .expect("fleet is non-empty");
+    let restarted_instance_keys = owners.iter().filter(|&&o| o == probe).count() as u64;
+    if restart {
+        fleet.restart(probe);
+    }
+    let baseline = fleet.instance(probe).stats();
+    let restart_load_ok = baseline.persist_load_ok;
+    let restart_load_skipped = baseline.persist_load_skipped;
+
+    // Warm replay: the same mix again. Keys owned by untouched
+    // instances hit their memory caches; keys owned by the probe must
+    // hit its re-admitted disk entries. Misses are measured against the
+    // post-restart baseline, so they count exactly the recompiles the
+    // replay cost.
+    let mut byte_identical = true;
+    for (index, job) in mix().into_iter().enumerate() {
+        let (owner, result) = fleet.submit(job).expect("fleet replay jobs compile");
+        assert_eq!(owner, owners[index], "key affinity must survive a restart");
+        let bytes = serde_json::to_string(&result.artifact).expect("artifacts serialize");
+        byte_identical &= bytes == cold_artifacts[index];
+    }
+    let warm_restart_misses =
+        fleet.instance(probe).stats().artifact_cache.misses - baseline.artifact_cache.misses;
+
+    FleetReport {
+        instances: instances as u64,
+        restarted: restart,
+        restarted_instance: probe as u64,
+        jobs: distinct_keys() as u64,
+        restarted_instance_keys,
+        cold_misses,
+        persist_writes,
+        restart_load_ok,
+        restart_load_skipped,
+        warm_restart_misses,
+        byte_identical,
+    }
 }
 
 /// The zoo-derived request mix: every zoo model under the combined and
@@ -301,6 +429,7 @@ pub fn run_front_door(
             let wire = WireJob {
                 name: job.name,
                 tenant: None,
+                platform: None,
                 graph: Some(job.graph),
                 model_hex: None,
                 deploy: job.deploy,
@@ -413,6 +542,7 @@ pub fn collect(config: ServeBenchConfig) -> ServeReport {
         stats,
         skewed: Some(collect_skewed(config.skewed_hot_jobs)),
         front_door: None,
+        fleet: None,
     }
 }
 
@@ -644,6 +774,7 @@ mod tests {
                 queue_p99_ratio: 400.0,
             }),
             front_door: None,
+            fleet: None,
         };
         let mut slower = report.clone();
         slower.cached.throughput_jobs_per_s = 10.0;

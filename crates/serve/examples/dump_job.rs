@@ -19,6 +19,7 @@ fn main() {
     let job = WireJob {
         name: "curl-demo".to_owned(),
         tenant: None,
+        platform: None,
         graph: Some(graph),
         model_hex: None,
         deploy: DeployConfig::Both,

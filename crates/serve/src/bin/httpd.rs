@@ -5,13 +5,16 @@
 //! cargo run --release -p htvm-serve --bin httpd -- \
 //!     [--addr HOST:PORT] [--workers N] [--cache-mb MB] \
 //!     [--queue-budget COST] [--tenant-quota N] [--policy fifo|cost] \
-//!     [--max-body-mb MB] [--max-connections N]
+//!     [--max-body-mb MB] [--max-connections N] [--persist-dir PATH]
 //! ```
 //!
 //! Defaults: `127.0.0.1:7440`, cost-aware scheduling, 64 MiB artifact
-//! cache, unlimited admission budget and tenant quota. Exit codes:
-//! 0 — clean shutdown (never reached; the daemon runs until killed);
-//! 2 — usage or bind error.
+//! cache per platform, unlimited admission budget and tenant quota, no
+//! persistence. With `--persist-dir`, every freshly compiled artifact
+//! spills to `PATH/v1/<platform>/<key_id>.json` and is re-admitted at
+//! the next boot, so restarts are warm. Exit codes: 0 — clean shutdown
+//! (never reached; the daemon runs until killed); 2 — usage or bind
+//! error.
 
 use htvm_serve::http::{HttpConfig, HttpServer};
 use htvm_serve::{CompileService, SchedPolicy, ServeConfig};
@@ -52,11 +55,15 @@ fn run() -> Result<(), String> {
                 http.max_body_bytes = parse::<usize>(&mut args, "--max-body-mb")? << 20;
             }
             "--max-connections" => http.max_connections = parse(&mut args, "--max-connections")?,
+            "--persist-dir" => {
+                serve.persist_root = Some(args.next().ok_or("--persist-dir needs a path")?.into());
+            }
             other => {
                 return Err(format!(
                     "unknown flag {other:?}; usage: httpd [--addr HOST:PORT] [--workers N] \
                      [--cache-mb MB] [--queue-budget COST] [--tenant-quota N] \
-                     [--policy fifo|cost] [--max-body-mb MB] [--max-connections N]"
+                     [--policy fifo|cost] [--max-body-mb MB] [--max-connections N] \
+                     [--persist-dir PATH]"
                 ))
             }
         }
@@ -66,13 +73,30 @@ fn run() -> Result<(), String> {
     }
 
     let policy = serve.policy;
+    let persist = serve.persist_root.clone();
     let service = Arc::new(CompileService::new(serve));
+    let boot = service.stats();
+    let platforms = service
+        .platform_ids()
+        .iter()
+        .map(|id| (*id).to_owned())
+        .collect::<Vec<_>>()
+        .join(", ");
     let server =
         HttpServer::spawn(service, &addr, http).map_err(|e| format!("cannot bind {addr}: {e}"))?;
     println!("htvm-serve httpd listening on http://{}", server.addr());
     println!(
         "  policy {policy:?}; POST /v1/compile, POST /v1/batch, GET /v1/stats, GET /v1/healthz"
     );
+    println!("  platforms: {platforms}");
+    if let Some(dir) = persist {
+        println!(
+            "  persistence: {} (re-admitted {} entries, skipped {})",
+            dir.display(),
+            boot.persist_load_ok,
+            boot.persist_load_skipped
+        );
+    }
     // Serve until killed.
     loop {
         std::thread::park();

@@ -209,6 +209,7 @@ mod tests {
 
     fn key(tag: usize) -> ArtifactKey {
         ArtifactKey::new(
+            "diana",
             &graph(tag),
             DeployConfig::Both,
             &DianaConfig::default(),

@@ -1,0 +1,32 @@
+//! Minimal hex encode/decode shared by the wire schema and the
+//! persistent cache (which records full key bytes as hex so entry
+//! files stay greppable text).
+
+/// Hex-encodes bytes as lowercase digits.
+pub(crate) fn encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(char::from_digit(u32::from(b >> 4), 16).expect("nibble"));
+        out.push(char::from_digit(u32::from(b & 0xf), 16).expect("nibble"));
+    }
+    out
+}
+
+/// Decodes lowercase/uppercase hex into bytes.
+pub(crate) fn decode(hex: &str) -> Result<Vec<u8>, String> {
+    if !hex.len().is_multiple_of(2) {
+        return Err(format!("odd length {}", hex.len()));
+    }
+    let nibble = |c: u8| -> Result<u8, String> {
+        match c {
+            b'0'..=b'9' => Ok(c - b'0'),
+            b'a'..=b'f' => Ok(c - b'a' + 10),
+            b'A'..=b'F' => Ok(c - b'A' + 10),
+            _ => Err(format!("invalid hex digit {:?}", c as char)),
+        }
+    };
+    hex.as_bytes()
+        .chunks_exact(2)
+        .map(|pair| Ok(nibble(pair[0])? << 4 | nibble(pair[1])?))
+        .collect()
+}

@@ -25,6 +25,11 @@ pub struct WireJob {
     /// Tenant for admission accounting; defaults to `"anon"`.
     #[serde(default)]
     pub tenant: Option<String>,
+    /// Manifest id of the platform to compile for; defaults to the
+    /// service's default platform. An id the manifest does not declare
+    /// fails typed with `422 platform_error`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub platform: Option<String>,
     /// The quantized graph to compile, as JSON.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub graph: Option<Graph>,
@@ -84,39 +89,22 @@ impl WireJob {
         if let Some(tenant) = self.tenant {
             request = request.with_tenant(&tenant);
         }
+        if let Some(platform) = self.platform {
+            request = request.on_platform(&platform);
+        }
         Ok(request)
     }
 }
 
 /// Decodes lowercase/uppercase hex into bytes.
 fn decode_hex(hex: &str) -> Result<Vec<u8>, String> {
-    let hex = hex.trim();
-    if !hex.len().is_multiple_of(2) {
-        return Err(format!("odd length {}", hex.len()));
-    }
-    let nibble = |c: u8| -> Result<u8, String> {
-        match c {
-            b'0'..=b'9' => Ok(c - b'0'),
-            b'a'..=b'f' => Ok(c - b'a' + 10),
-            b'A'..=b'F' => Ok(c - b'A' + 10),
-            _ => Err(format!("invalid hex digit {:?}", c as char)),
-        }
-    };
-    hex.as_bytes()
-        .chunks_exact(2)
-        .map(|pair| Ok(nibble(pair[0])? << 4 | nibble(pair[1])?))
-        .collect()
+    crate::hexfmt::decode(hex.trim())
 }
 
 /// Hex-encodes model bytes for [`WireJob::model_hex`].
 #[must_use]
 pub fn encode_hex(bytes: &[u8]) -> String {
-    let mut out = String::with_capacity(bytes.len() * 2);
-    for b in bytes {
-        out.push(char::from_digit(u32::from(b >> 4), 16).expect("nibble"));
-        out.push(char::from_digit(u32::from(b & 0xf), 16).expect("nibble"));
-    }
-    out
+    crate::hexfmt::encode(bytes)
 }
 
 /// `POST /v1/batch` body: jobs scheduled together, so in-batch
@@ -207,7 +195,8 @@ pub struct WireError {
     pub status: u16,
     /// Machine-readable kind: `bad_request`, `not_found`,
     /// `method_not_allowed`, `payload_too_large`, `rejected`,
-    /// `compile_error`, `run_error`, `import_error`, `internal`.
+    /// `compile_error`, `run_error`, `import_error`, `platform_error`,
+    /// `internal`.
     /// For `import_error`, `detail` leads with the
     /// `htvm_frontend::ImportError` variant name (`Truncated`,
     /// `OutOfBounds`, `BadMagic`, …).
@@ -247,6 +236,7 @@ impl WireError {
             JobError::Compile { .. } => WireError::new(422, "compile_error", error.to_string()),
             JobError::Run { .. } => WireError::new(422, "run_error", error.to_string()),
             JobError::Import { .. } => WireError::new(422, "import_error", error.to_string()),
+            JobError::Platform { .. } => WireError::new(422, "platform_error", error.to_string()),
         }
     }
 }

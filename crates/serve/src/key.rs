@@ -35,17 +35,22 @@ struct LowerFingerprint {
 /// A content-addressed identity for one compile request.
 ///
 /// Two keys are equal exactly when a cold compile of both requests is
-/// guaranteed to produce byte-identical artifacts.
+/// guaranteed to produce byte-identical artifacts. The `platform_id` is
+/// the routing id from the fleet manifest; it enters the key so two
+/// manifest entries that happen to share an SoC config still account
+/// (and persist) their artifacts separately.
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct ArtifactKey {
     bytes: Vec<u8>,
 }
 
 impl ArtifactKey {
-    /// Builds the key for compiling `graph` under the given deploy
-    /// target, platform model and lowering options.
+    /// Builds the key for compiling `graph` on the platform routed as
+    /// `platform_id`, under the given deploy target, SoC model and
+    /// lowering options.
     #[must_use]
     pub fn new(
+        platform_id: &str,
         graph: &Graph,
         deploy: DeployConfig,
         platform: &DianaConfig,
@@ -60,6 +65,8 @@ impl ArtifactKey {
             emit_fallbacks: opts.emit_fallbacks,
         };
         let mut bytes = canonical_form(graph);
+        bytes.extend_from_slice(b"\0platform_id:");
+        bytes.extend_from_slice(platform_id.as_bytes());
         bytes.extend_from_slice(b"\0deploy:");
         bytes.extend_from_slice(json(&deploy).as_bytes());
         bytes.extend_from_slice(b"\0platform:");
@@ -81,6 +88,23 @@ impl ArtifactKey {
     #[must_use]
     pub fn encoded_len(&self) -> usize {
         self.bytes.len()
+    }
+
+    /// The full encoded key bytes — what the persistent store writes so
+    /// a restarted service can re-admit entries under the *exact* key
+    /// (cache lookup compares these bytes, never the digest).
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Rebuilds a key from previously persisted [`ArtifactKey::as_bytes`]
+    /// output. For cache re-admission only: the bytes are trusted to be
+    /// a real encoding, and the persistence layer cross-checks the
+    /// recorded digest against [`ArtifactKey::id`] before using one.
+    #[must_use]
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        ArtifactKey { bytes }
     }
 }
 
@@ -115,8 +139,20 @@ mod tests {
     fn same_request_same_key() {
         let platform = DianaConfig::default();
         let opts = LowerOptions::default();
-        let a = ArtifactKey::new(&conv_graph(8), DeployConfig::Both, &platform, &opts);
-        let b = ArtifactKey::new(&conv_graph(8), DeployConfig::Both, &platform, &opts);
+        let a = ArtifactKey::new(
+            "diana",
+            &conv_graph(8),
+            DeployConfig::Both,
+            &platform,
+            &opts,
+        );
+        let b = ArtifactKey::new(
+            "diana",
+            &conv_graph(8),
+            DeployConfig::Both,
+            &platform,
+            &opts,
+        );
         assert_eq!(a, b);
         assert_eq!(a.id(), b.id());
     }
@@ -125,26 +161,53 @@ mod tests {
     fn every_component_feeds_the_key() {
         let platform = DianaConfig::default();
         let opts = LowerOptions::default();
-        let base = ArtifactKey::new(&conv_graph(8), DeployConfig::Both, &platform, &opts);
+        let base = ArtifactKey::new(
+            "diana",
+            &conv_graph(8),
+            DeployConfig::Both,
+            &platform,
+            &opts,
+        );
 
-        let other_graph = ArtifactKey::new(&conv_graph(16), DeployConfig::Both, &platform, &opts);
+        let other_graph = ArtifactKey::new(
+            "diana",
+            &conv_graph(16),
+            DeployConfig::Both,
+            &platform,
+            &opts,
+        );
         assert_ne!(base, other_graph, "graph must feed the key");
 
-        let other_deploy =
-            ArtifactKey::new(&conv_graph(8), DeployConfig::Digital, &platform, &opts);
+        let other_deploy = ArtifactKey::new(
+            "diana",
+            &conv_graph(8),
+            DeployConfig::Digital,
+            &platform,
+            &opts,
+        );
         assert_ne!(base, other_deploy, "deploy target must feed the key");
+
+        let other_id =
+            ArtifactKey::new("gap9", &conv_graph(8), DeployConfig::Both, &platform, &opts);
+        assert_ne!(base, other_id, "the routing platform id must feed the key");
 
         let mut small = DianaConfig::default();
         small.l1_act_bytes /= 2;
-        let other_platform = ArtifactKey::new(&conv_graph(8), DeployConfig::Both, &small, &opts);
+        let other_platform =
+            ArtifactKey::new("diana", &conv_graph(8), DeployConfig::Both, &small, &opts);
         assert_ne!(base, other_platform, "platform model must feed the key");
 
         let no_fallbacks = LowerOptions {
             emit_fallbacks: false,
             ..LowerOptions::default()
         };
-        let other_opts =
-            ArtifactKey::new(&conv_graph(8), DeployConfig::Both, &platform, &no_fallbacks);
+        let other_opts = ArtifactKey::new(
+            "diana",
+            &conv_graph(8),
+            DeployConfig::Both,
+            &platform,
+            &no_fallbacks,
+        );
         assert_ne!(base, other_opts, "lowering options must feed the key");
     }
 
@@ -152,6 +215,7 @@ mod tests {
     fn runtime_only_options_do_not_feed_the_key() {
         let platform = DianaConfig::default();
         let base = ArtifactKey::new(
+            "diana",
             &conv_graph(8),
             DeployConfig::Both,
             &platform,
@@ -161,7 +225,13 @@ mod tests {
         runtime.parallel = !runtime.parallel;
         runtime.tile_cache = Some(htvm::TileCache::new());
         runtime.tracer = htvm::Tracer::new();
-        let same = ArtifactKey::new(&conv_graph(8), DeployConfig::Both, &platform, &runtime);
+        let same = ArtifactKey::new(
+            "diana",
+            &conv_graph(8),
+            DeployConfig::Both,
+            &platform,
+            &runtime,
+        );
         assert_eq!(
             base, same,
             "tile cache, parallelism and tracing never change the artifact"
@@ -169,8 +239,24 @@ mod tests {
     }
 
     #[test]
+    fn bytes_round_trip_preserves_identity() {
+        let key = ArtifactKey::new(
+            "diana",
+            &conv_graph(8),
+            DeployConfig::Both,
+            &DianaConfig::default(),
+            &LowerOptions::default(),
+        );
+        let back = ArtifactKey::from_bytes(key.as_bytes().to_vec());
+        assert_eq!(back, key, "persisted bytes rebuild the exact key");
+        assert_eq!(back.id(), key.id());
+        assert_eq!(back.encoded_len(), key.encoded_len());
+    }
+
+    #[test]
     fn id_is_stable_hex() {
         let key = ArtifactKey::new(
+            "diana",
             &conv_graph(8),
             DeployConfig::Both,
             &DianaConfig::default(),

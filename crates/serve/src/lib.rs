@@ -33,6 +33,19 @@
 //! - Jobs can ask for simulation after compiling ([`RunSpec`]), with an
 //!   optional per-job deadline in simulated cycles enforced by
 //!   `Machine::run_bounded`.
+//! - The service is **platform-plural**: a declarative
+//!   [`PlatformManifest`](htvm_soc::PlatformManifest) gives every fleet
+//!   platform its own compiler, tile cache and artifact cache, and jobs
+//!   route by [`JobRequest::platform`] (unknown platform or
+//!   out-of-capability deploy → typed [`JobError::Platform`], mapped to
+//!   HTTP 422).
+//! - With [`ServeConfig::persist_root`] set, the artifact cache is
+//!   **restart-durable**: artifacts spill to a versioned on-disk layout
+//!   ([`persist`]) with atomic writes and corruption-tolerant loading,
+//!   and a restarted service re-admits them (warm start — zero
+//!   recompiles for previously served keys). The [`fleet`] module
+//!   simulates N sharded instances ([`ShardRing`]) with mid-soak
+//!   restarts on top of exactly that.
 //!
 //! See `docs/SERVING.md` for the architecture and the determinism
 //! argument.
@@ -66,16 +79,23 @@
 #![warn(missing_docs)]
 
 mod cache;
+pub mod fleet;
+mod hexfmt;
 pub mod http;
 mod key;
+pub mod persist;
 mod service;
+pub mod shard;
 
 pub use cache::{ArtifactCache, ArtifactCacheStats};
+pub use fleet::{Fleet, InstanceStats};
 pub use key::ArtifactKey;
+pub use persist::{compiler_stamp, PersistStats, PersistStore, CACHE_FORMAT_VERSION};
 pub use service::{
-    estimate_cost, CompileService, JobError, JobRequest, JobResult, RejectReason, Rejection,
-    RunSpec, SchedPolicy, ServeConfig, ServiceStats, HIT_COST,
+    estimate_cost, CompileService, JobError, JobRequest, JobResult, PlatformStats, RejectReason,
+    Rejection, RunSpec, SchedPolicy, ServeConfig, ServiceStats, HIT_COST,
 };
+pub use shard::ShardRing;
 
 #[cfg(test)]
 mod tests {
@@ -411,6 +431,7 @@ mod tests {
             .submit(JobRequest {
                 name: "run".into(),
                 tenant: "anon".into(),
+                platform: None,
                 graph: conv_graph(8),
                 deploy: DeployConfig::Both,
                 run: Some(RunSpec {
@@ -428,6 +449,7 @@ mod tests {
             .submit(JobRequest {
                 name: "deadline".into(),
                 tenant: "anon".into(),
+                platform: None,
                 graph: conv_graph(8),
                 deploy: DeployConfig::Both,
                 run: Some(RunSpec {

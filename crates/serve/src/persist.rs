@@ -1,0 +1,224 @@
+//! The on-disk spill of the artifact cache: restart durability.
+//!
+//! An in-memory [`ArtifactCache`] dies with its process, so every
+//! service restart used to be a cold-compile storm. A [`PersistStore`]
+//! writes each freshly compiled artifact to disk and re-admits the
+//! whole directory into the cache at startup, making restarts *warm*:
+//! previously served keys hit without recompiling, and the returned
+//! bytes are identical to the pre-restart artifacts because the entry
+//! records the exact serialized artifact.
+//!
+//! # Layout
+//!
+//! ```text
+//! <root>/v1/<platform_id>/<key_id>.json
+//! ```
+//!
+//! `v1` is the layout version ([`CACHE_LAYOUT_DIR`]); `<key_id>` is the
+//! 32-hex-digit [`ArtifactKey::id`]. Each entry file is one JSON
+//! envelope: the cache-format version ([`CACHE_FORMAT_VERSION`]), the
+//! compiler stamp ([`compiler_stamp`]), the key digest, the **full**
+//! key bytes as hex (cache lookup compares bytes, never digests), and
+//! the artifact.
+//!
+//! # Durability and corruption policy
+//!
+//! Writes are atomic: the entry is written to a `.tmp` sibling and
+//! `rename`d into place, so a crash mid-write never leaves a partial
+//! `.json` entry. Loading is corruption-tolerant by construction —
+//! unparseable JSON, a format or compiler-stamp mismatch, a digest that
+//! does not match the recorded key bytes, or a filename that does not
+//! match the digest all cause the entry to be **skipped and counted**
+//! ([`PersistStats::load_skipped`]), never a crash. A version bump in
+//! either stamp deliberately invalidates old entries the same way.
+
+use crate::cache::ArtifactCache;
+use crate::hexfmt;
+use crate::key::ArtifactKey;
+use htvm::Artifact;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Version of the entry-envelope schema. Entries recorded under any
+/// other version are skipped (counted) at load.
+pub const CACHE_FORMAT_VERSION: u32 = 1;
+
+/// Name of the layout-version directory under the persistence root.
+/// Bumping the on-disk layout means a new directory, so mixed-version
+/// fleets never read each other's entries.
+pub const CACHE_LAYOUT_DIR: &str = "v1";
+
+/// The compiler identity baked into every entry. Artifacts are only
+/// byte-stable within one compiler version, so entries written by any
+/// other build are skipped (counted) at load instead of being trusted.
+#[must_use]
+pub fn compiler_stamp() -> String {
+    format!("htvm-serve {}", env!("CARGO_PKG_VERSION"))
+}
+
+/// Counters of one platform's persistent store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PersistStats {
+    /// Entries durably written (tmp + rename completed).
+    pub writes: u64,
+    /// Write attempts that failed on an io error (the artifact is still
+    /// served from memory; only durability was lost).
+    pub write_errors: u64,
+    /// Entries validated and re-admitted into the cache at load.
+    pub load_ok: u64,
+    /// Entries skipped at load: unparseable, stamp mismatch, digest
+    /// mismatch, misnamed, or refused admission by the cache budget.
+    pub load_skipped: u64,
+}
+
+/// The JSON envelope of one on-disk entry. The artifact rides as a raw
+/// JSON value so loading can validate the header (format, stamp,
+/// digest) *before* committing to the artifact schema — a stale entry
+/// from an older build is skipped on its stamp even when the artifact
+/// shape changed underneath it.
+#[derive(Serialize, Deserialize)]
+struct PersistEntry {
+    format: u32,
+    compiler: String,
+    key_id: String,
+    key_hex: String,
+    artifact: serde_json::Value,
+}
+
+/// One platform's slice of the on-disk artifact cache. Thread-safe:
+/// counters are atomic, and the atomic rename makes concurrent writers
+/// of the same key last-writer-wins with no torn entries.
+pub struct PersistStore {
+    dir: PathBuf,
+    writes: AtomicU64,
+    write_errors: AtomicU64,
+    load_ok: AtomicU64,
+    load_skipped: AtomicU64,
+}
+
+impl PersistStore {
+    /// Opens (creating if needed) the store for one platform under the
+    /// versioned layout: `<root>/v1/<platform_id>/`.
+    ///
+    /// # Errors
+    ///
+    /// The underlying `create_dir_all` error when the directory cannot
+    /// be created — a service whose persistence root is unusable should
+    /// find out at startup, not at the first write.
+    pub fn open(root: &Path, platform_id: &str) -> std::io::Result<Self> {
+        let dir = root.join(CACHE_LAYOUT_DIR).join(platform_id);
+        std::fs::create_dir_all(&dir)?;
+        Ok(PersistStore {
+            dir,
+            writes: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+            load_ok: AtomicU64::new(0),
+            load_skipped: AtomicU64::new(0),
+        })
+    }
+
+    /// The platform directory entries live in.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Durably records one artifact: serialize the envelope, write it
+    /// to a `.tmp` sibling, `rename` into place. Returns whether the
+    /// entry landed; failures only cost durability (and a counter),
+    /// never the request.
+    pub fn write(&self, key: &ArtifactKey, artifact: &Artifact) -> bool {
+        let entry = PersistEntry {
+            format: CACHE_FORMAT_VERSION,
+            compiler: compiler_stamp(),
+            key_id: key.id(),
+            key_hex: hexfmt::encode(key.as_bytes()),
+            artifact: serde_json::to_value(artifact),
+        };
+        let json = serde_json::to_string(&entry).expect("artifacts serialize infallibly");
+        let tmp = self.dir.join(format!("{}.tmp", entry.key_id));
+        let path = self.dir.join(format!("{}.json", entry.key_id));
+        let landed = std::fs::write(&tmp, json).is_ok() && std::fs::rename(&tmp, &path).is_ok();
+        if landed {
+            self.writes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+            let _ = std::fs::remove_file(&tmp);
+        }
+        landed
+    }
+
+    /// Re-admits every valid on-disk entry into `cache`, in sorted
+    /// filename order so admission (and any budget eviction) is
+    /// deterministic. Invalid entries are skipped and counted — a
+    /// corrupt file can cost its own entry, never the startup.
+    pub fn load_into(&self, cache: &ArtifactCache) -> PersistStats {
+        let mut files: Vec<PathBuf> = match std::fs::read_dir(&self.dir) {
+            Ok(dir) => dir
+                .filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|ext| ext == "json") && p.is_file())
+                .collect(),
+            // An unreadable directory re-admits nothing; the service
+            // still starts (cold) and writes will surface io errors.
+            Err(_) => Vec::new(),
+        };
+        files.sort();
+        for path in files {
+            let admitted = match self.load_one(&path) {
+                Some((key, artifact)) => cache.insert(key, &artifact),
+                None => false,
+            };
+            if admitted {
+                self.load_ok.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.load_skipped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.stats()
+    }
+
+    /// Validates one entry file end to end; `None` means skip.
+    fn load_one(&self, path: &Path) -> Option<(ArtifactKey, Artifact)> {
+        let json = std::fs::read_to_string(path).ok()?;
+        let entry: PersistEntry = serde_json::from_str(&json).ok()?;
+        if entry.format != CACHE_FORMAT_VERSION || entry.compiler != compiler_stamp() {
+            return None;
+        }
+        let key = ArtifactKey::from_bytes(hexfmt::decode(&entry.key_hex).ok()?);
+        // The digest must match the key bytes, and the filename must
+        // match the digest — a renamed or hand-edited entry fails here.
+        if key.id() != entry.key_id {
+            return None;
+        }
+        if path.file_name()?.to_str()? != format!("{}.json", entry.key_id) {
+            return None;
+        }
+        // The vendored serde_json has no `from_value`; round-tripping
+        // the payload through a string is the supported conversion.
+        let payload = serde_json::to_string(&entry.artifact).ok()?;
+        let artifact: Artifact = serde_json::from_str(&payload).ok()?;
+        Some((key, artifact))
+    }
+
+    /// A snapshot of the store's counters.
+    #[must_use]
+    pub fn stats(&self) -> PersistStats {
+        PersistStats {
+            writes: self.writes.load(Ordering::Relaxed),
+            write_errors: self.write_errors.load(Ordering::Relaxed),
+            load_ok: self.load_ok.load(Ordering::Relaxed),
+            load_skipped: self.load_skipped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for PersistStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PersistStore")
+            .field("dir", &self.dir)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}

@@ -1,15 +1,23 @@
-//! The multi-tenant compile-and-simulate service.
+//! The multi-tenant, multi-platform compile-and-simulate service.
 //!
-//! One [`CompileService`] owns a base [`Compiler`] and an
-//! [`ArtifactCache`]. Jobs arrive as [`JobRequest`]s — a graph, a deploy
-//! target, and optionally a simulation spec — and pass through
-//! **admission control** before any work is scheduled: each job's cost
-//! is estimated from its graph size and the cache state (a resident key
-//! makes the job near-free), per-tenant quotas cap how much any one
-//! tenant can have in flight, and when the queued cost would exceed the
-//! service's budget the job is **shed** with a typed
-//! [`JobError::Rejected`] instead of letting latency grow without
-//! bound.
+//! One [`CompileService`] serves a whole *fleet*: each platform in its
+//! [`PlatformManifest`] gets its own base [`Compiler`] (and with it its
+//! own shared `TileCache`), its own [`ArtifactCache`], and its own
+//! single-flight table. Jobs name their platform on the
+//! [`JobRequest::platform`] field and are routed to that slot; an
+//! unknown platform — or a deploy target that needs an engine the
+//! platform lacks — fails with a typed [`JobError::Platform`], never a
+//! panic. Jobs that name no platform go to the manifest's default
+//! ([`DEFAULT_PLATFORM`]).
+//!
+//! Jobs pass through **admission control** before any work is
+//! scheduled: each job's cost is estimated from its graph size and the
+//! cache state (a resident key makes the job near-free), per-tenant
+//! quotas cap how much any one tenant can have in flight, and when the
+//! queued cost would exceed the service's budget the job is **shed**
+//! with a typed [`JobError::Rejected`] instead of letting latency grow
+//! without bound. Admission is global across platforms — the worker
+//! pool is one shared resource.
 //!
 //! Admitted batches are scheduled **cost-aware** by default
 //! ([`SchedPolicy::CostAware`]): cheap jobs (cache hits) run before
@@ -17,27 +25,33 @@
 //! a batch of hits. Identical [`ArtifactKey`]s within a batch are
 //! **coalesced** before they reach the pool — one leader does the work,
 //! its followers are serviced from the leader's artifact the moment it
-//! lands.
+//! lands. The platform id feeds the key, so jobs for different
+//! platforms never coalesce even when their graphs agree.
+//!
+//! With [`ServeConfig::persist_root`] set, every freshly compiled
+//! artifact is also spilled to disk ([`PersistStore`]) and the whole
+//! store is re-admitted at construction — a restarted service starts
+//! *warm*: previously served keys hit without recompiling, and the
+//! artifacts are byte-identical to the pre-restart ones.
 //!
 //! Repeat requests are served from the cache; the returned artifact is
 //! byte-identical (under serde) to a cold compile of the same request,
 //! because compilation is deterministic and the cache key
 //! ([`ArtifactKey`]) covers everything the output depends on.
-//!
-//! Per-job compilers are clones of the base compiler, so every tenant
-//! shares one [`TileCache`](htvm::TileCache): even a cache *miss* on a
-//! new graph reuses tiling solves from other tenants' layers.
 
 use crate::cache::{ArtifactCache, ArtifactCacheStats};
 use crate::key::ArtifactKey;
+use crate::persist::{PersistStats, PersistStore};
 use htvm::{
     tracks, Artifact, CompileError, Compiler, DeployConfig, FaultPlan, Machine, RunError,
     RunReport, Span, Tensor, TileCacheStats, TimeDomain, Trace, Tracer,
 };
 use htvm_frontend::ImportError;
 use htvm_ir::Graph;
+use htvm_soc::{Capabilities, PlatformManifest, DEFAULT_PLATFORM};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
@@ -61,9 +75,10 @@ pub struct ServeConfig {
     /// Maximum worker threads a [`CompileService::submit_batch`] call
     /// fans out to (at least 1; batches smaller than this use fewer).
     pub workers: usize,
-    /// Byte budget of the artifact cache (serialized size). Zero
-    /// disables caching entirely — and with it in-batch coalescing,
-    /// since a zero-budget service models "no artifact reuse at all".
+    /// Byte budget of *each platform's* artifact cache (serialized
+    /// size). Zero disables caching entirely — and with it in-batch
+    /// coalescing, since a zero-budget service models "no artifact
+    /// reuse at all".
     pub cache_budget_bytes: usize,
     /// Span collector for per-job service spans and compiler phase
     /// spans. Disabled by default; drain with
@@ -82,6 +97,17 @@ pub struct ServeConfig {
     /// time; exceeding it sheds with [`RejectReason::TenantQuota`].
     /// `usize::MAX` (the default) is unmetered.
     pub tenant_quota: usize,
+    /// The fleet of platforms [`CompileService::new`] serves, one
+    /// compiler + tile cache + artifact cache per entry. Defaults to
+    /// [`PlatformManifest::builtin`]. Ignored by
+    /// [`CompileService::with_compiler`], which is a single-platform
+    /// service over the caller's compiler.
+    pub manifest: PlatformManifest,
+    /// Root directory of the persistent artifact cache; `None` (the
+    /// default) keeps the cache memory-only. When set, freshly compiled
+    /// artifacts are spilled under `<root>/v1/<platform>/` and the
+    /// whole store is re-admitted at construction (warm start).
+    pub persist_root: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -95,6 +121,8 @@ impl Default for ServeConfig {
             policy: SchedPolicy::CostAware,
             queue_cost_budget: u64::MAX,
             tenant_quota: usize::MAX,
+            manifest: PlatformManifest::builtin(),
+            persist_root: None,
         }
     }
 }
@@ -131,29 +159,35 @@ pub struct RunSpec {
     pub deadline_cycles: Option<u64>,
 }
 
-/// One unit of work: compile a graph for a deploy target, optionally
-/// simulate it.
+/// One unit of work: compile a graph for a deploy target on one
+/// platform of the fleet, optionally simulate it.
 #[derive(Debug, Clone)]
 pub struct JobRequest {
     /// Client-chosen label, echoed in results, errors and trace spans.
     pub name: String,
     /// Tenant the job is accounted to, for per-tenant admission quotas.
     pub tenant: String,
+    /// Manifest id of the platform to compile for; `None` routes to the
+    /// service's default platform.
+    pub platform: Option<String>,
     /// The quantized graph to compile.
     pub graph: Graph,
-    /// Deploy target (which accelerators to dispatch to).
+    /// Deploy target (which accelerators to dispatch to). Must be
+    /// within the routed platform's declared capabilities.
     pub deploy: DeployConfig,
     /// Simulation spec; `None` compiles only.
     pub run: Option<RunSpec>,
 }
 
 impl JobRequest {
-    /// A compile-only job under the anonymous tenant.
+    /// A compile-only job under the anonymous tenant, on the default
+    /// platform.
     #[must_use]
     pub fn compile_only(name: &str, graph: Graph, deploy: DeployConfig) -> Self {
         JobRequest {
             name: name.to_owned(),
             tenant: String::from("anon"),
+            platform: None,
             graph,
             deploy,
             run: None,
@@ -164,6 +198,13 @@ impl JobRequest {
     #[must_use]
     pub fn with_tenant(mut self, tenant: &str) -> Self {
         self.tenant = tenant.to_owned();
+        self
+    }
+
+    /// The same job routed to a named platform of the fleet manifest.
+    #[must_use]
+    pub fn on_platform(mut self, platform: &str) -> Self {
+        self.platform = Some(platform.to_owned());
         self
     }
 }
@@ -260,6 +301,17 @@ pub enum JobError {
         /// The typed importer rejection.
         error: ImportError,
     },
+    /// The job could not be routed: it names a platform the manifest
+    /// does not declare, or a deploy target that needs an engine the
+    /// platform lacks. The HTTP front door maps this to a `422`.
+    Platform {
+        /// The failing job's label.
+        job: String,
+        /// The platform the job asked for (or was routed to).
+        platform: String,
+        /// Why routing refused it.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for JobError {
@@ -271,6 +323,11 @@ impl std::fmt::Display for JobError {
                 write!(f, "job '{job}' shed by admission control: {rejection}")
             }
             JobError::Import { job, error } => write!(f, "job '{job}' failed to import: {error}"),
+            JobError::Platform {
+                job,
+                platform,
+                detail,
+            } => write!(f, "job '{job}' cannot be served on '{platform}': {detail}"),
         }
     }
 }
@@ -282,6 +339,7 @@ impl std::error::Error for JobError {
             JobError::Run { error, .. } => Some(error),
             JobError::Rejected { .. } => None,
             JobError::Import { error, .. } => Some(error),
+            JobError::Platform { .. } => None,
         }
     }
 }
@@ -291,6 +349,8 @@ impl std::error::Error for JobError {
 pub struct JobResult {
     /// The job's label, echoed from the request.
     pub job: String,
+    /// The manifest id of the platform that served the job.
+    pub platform: String,
     /// Display digest of the job's [`ArtifactKey`].
     pub key_id: String,
     /// Whether the artifact came from the cache.
@@ -313,16 +373,39 @@ pub struct JobResult {
     pub sched_seq: u64,
 }
 
+/// Per-platform slice of the service counters. The exact-accounting
+/// invariant holds *per platform*:
+/// `artifact_cache.hits + artifact_cache.misses + coalesced == jobs`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlatformStats {
+    /// The platform's manifest id.
+    pub platform: String,
+    /// Jobs this platform processed to completion (success or failure).
+    pub jobs: u64,
+    /// Jobs serviced from another job's in-flight compile on this
+    /// platform.
+    pub coalesced: u64,
+    /// This platform's artifact-cache counters.
+    pub artifact_cache: ArtifactCacheStats,
+    /// This platform's shared tiling-solve memo counters.
+    pub tile_cache: TileCacheStats,
+    /// This platform's persistent-store counters (all zero when
+    /// persistence is disabled).
+    pub persist: PersistStats,
+}
+
 /// A snapshot of the service's counters, serializable for bench
-/// reports.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+/// reports. The `artifact_cache`, `tile_cache` and persistence fields
+/// are field-wise sums across platforms; `platforms` carries the
+/// per-platform breakdown.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ServiceStats {
-    /// Jobs processed to completion (success or failure). Shed jobs are
-    /// counted in `shed`, not here.
+    /// Jobs processed to completion (success or failure), summed across
+    /// platforms. Shed jobs are counted in `shed`, not here.
     pub jobs: u64,
     /// Jobs serviced from another job's in-flight compile without
     /// touching the cache counters (batch coalescing + single-flight
-    /// followers).
+    /// followers), summed across platforms.
     pub coalesced: u64,
     /// Jobs shed by admission control (total).
     pub shed: u64,
@@ -334,10 +417,38 @@ pub struct ServiceStats {
     /// never became jobs; not counted in `jobs` or `shed`).
     #[serde(default)]
     pub rejected_import: u64,
-    /// Artifact-cache counters (hits, misses, evictions, occupancy).
+    /// Processed jobs that explicitly named their platform (as opposed
+    /// to riding the default route).
+    #[serde(default)]
+    pub routed_by_platform: u64,
+    /// Artifacts durably spilled to disk, summed across platforms.
+    #[serde(default)]
+    pub persist_writes: u64,
+    /// Persisted entries re-admitted at startup, summed across
+    /// platforms.
+    #[serde(default)]
+    pub persist_load_ok: u64,
+    /// Persisted entries skipped at startup (corrupt, stamp mismatch,
+    /// or refused admission), summed across platforms.
+    #[serde(default)]
+    pub persist_load_skipped: u64,
+    /// Artifact-cache counters (hits, misses, evictions, occupancy),
+    /// summed across platforms.
     pub artifact_cache: ArtifactCacheStats,
-    /// Shared tiling-solve memo counters across all tenants.
+    /// Tiling-solve memo counters, summed across platforms (each
+    /// platform's tenants share one tile cache).
     pub tile_cache: TileCacheStats,
+    /// The per-platform breakdown, in manifest declaration order.
+    #[serde(default)]
+    pub platforms: Vec<PlatformStats>,
+}
+
+impl ServiceStats {
+    /// The per-platform slice for one manifest id.
+    #[must_use]
+    pub fn platform(&self, id: &str) -> Option<&PlatformStats> {
+        self.platforms.iter().find(|p| p.platform == id)
+    }
 }
 
 /// A single-flight rendezvous: the first thread to miss a key becomes
@@ -377,7 +488,8 @@ impl Flight {
 
 /// Live admission-control state: cost and per-tenant counts of every
 /// admitted-but-unfinished job, across `submit` and `submit_batch`
-/// callers alike.
+/// callers alike. Global across platforms — the worker pool is one
+/// shared resource.
 #[derive(Default)]
 struct Admission {
     queued_cost: u64,
@@ -396,64 +508,163 @@ enum ArtifactSource {
 /// onto its key.
 struct Scheduled {
     index: usize,
+    slot: usize,
     job: JobRequest,
     key: ArtifactKey,
     cost: u64,
     followers: Vec<(usize, JobRequest)>,
 }
 
-/// A multi-tenant compile-and-simulate service with a content-addressed
-/// artifact cache, cost-aware scheduling and typed load shedding. See
-/// the [crate docs](crate) for the architecture.
-pub struct CompileService {
+/// One platform of the fleet: its compiler (with its own shared tile
+/// cache), its artifact cache, its single-flight table, its optional
+/// persistent store, and its slice of the job counters.
+struct PlatformSlot {
+    id: String,
+    capabilities: Capabilities,
     base: Compiler,
     cache: ArtifactCache,
     inflight: Mutex<HashMap<ArtifactKey, Arc<Flight>>>,
+    persist: Option<PersistStore>,
+    jobs: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+impl PlatformSlot {
+    fn build(
+        id: String,
+        capabilities: Capabilities,
+        base: Compiler,
+        cache_budget_bytes: usize,
+        persist_root: Option<&PathBuf>,
+    ) -> Self {
+        let cache = ArtifactCache::new(cache_budget_bytes);
+        let persist = persist_root.map(|root| {
+            let store = PersistStore::open(root, &id)
+                .expect("the persistence root must be creatable at service construction");
+            store.load_into(&cache);
+            store
+        });
+        PlatformSlot {
+            id,
+            capabilities,
+            base,
+            cache,
+            inflight: Mutex::new(HashMap::new()),
+            persist,
+            jobs: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    fn persist_stats(&self) -> PersistStats {
+        self.persist
+            .as_ref()
+            .map(PersistStore::stats)
+            .unwrap_or_default()
+    }
+}
+
+/// A multi-tenant, multi-platform compile-and-simulate service with
+/// per-platform content-addressed artifact caches, optional disk
+/// persistence, cost-aware scheduling and typed load shedding. See the
+/// [crate docs](crate) for the architecture.
+pub struct CompileService {
+    slots: Vec<PlatformSlot>,
+    index: HashMap<String, usize>,
+    default_slot: usize,
+    cache_budget_bytes: usize,
     admission: Mutex<Admission>,
     tracer: Tracer,
     workers: usize,
     policy: SchedPolicy,
     queue_cost_budget: u64,
     tenant_quota: u64,
-    jobs: AtomicU64,
-    coalesced: AtomicU64,
     shed: AtomicU64,
     shed_budget: AtomicU64,
     shed_quota: AtomicU64,
     rejected_import: AtomicU64,
+    routed_by_platform: AtomicU64,
     seq: AtomicU64,
 }
 
 impl CompileService {
-    /// A service over a default [`Compiler`] (default DIANA platform,
-    /// default lowering options).
+    /// A service over the config's [`PlatformManifest`]: one compiler,
+    /// tile cache and artifact cache per declared platform, with the
+    /// manifest's [`DEFAULT_PLATFORM`] (or its first entry) as the
+    /// default route.
+    ///
+    /// # Panics
+    ///
+    /// When the manifest fails [`PlatformManifest::validate`], or when
+    /// [`ServeConfig::persist_root`] is set but not creatable — both
+    /// are construction-time misconfigurations a service should refuse
+    /// to start on, not runtime job errors.
     #[must_use]
     pub fn new(config: ServeConfig) -> Self {
-        CompileService::with_compiler(config, Compiler::new())
+        config
+            .manifest
+            .validate()
+            .expect("the service manifest must validate");
+        let slots: Vec<PlatformSlot> = config
+            .manifest
+            .platforms
+            .iter()
+            .map(|spec| {
+                PlatformSlot::build(
+                    spec.id.clone(),
+                    spec.capabilities,
+                    Compiler::new()
+                        .with_platform(spec.soc)
+                        .with_tracer(config.tracer.clone()),
+                    config.cache_budget_bytes,
+                    config.persist_root.as_ref(),
+                )
+            })
+            .collect();
+        CompileService::assemble(config, slots)
     }
 
-    /// A service over a custom base compiler (platform, lowering
-    /// options, dispatch hook). The config's tracer is installed on the
-    /// compiler so phase spans land in the same trace as job spans; each
-    /// job still overrides the deploy target from its request.
+    /// A single-platform service over a custom base compiler (platform,
+    /// lowering options, dispatch hook), routed as [`DEFAULT_PLATFORM`]
+    /// with full capabilities. The config's `manifest` is ignored; its
+    /// `persist_root` is honored. The config's tracer is installed on
+    /// the compiler so phase spans land in the same trace as job spans;
+    /// each job still overrides the deploy target from its request.
     #[must_use]
     pub fn with_compiler(config: ServeConfig, base: Compiler) -> Self {
+        let slot = PlatformSlot::build(
+            DEFAULT_PLATFORM.to_owned(),
+            Capabilities::full(),
+            base.with_tracer(config.tracer.clone()),
+            config.cache_budget_bytes,
+            config.persist_root.as_ref(),
+        );
+        CompileService::assemble(config, vec![slot])
+    }
+
+    fn assemble(config: ServeConfig, slots: Vec<PlatformSlot>) -> Self {
+        let index: HashMap<String, usize> = slots
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| (slot.id.clone(), i))
+            .collect();
+        let default_slot = index.get(DEFAULT_PLATFORM).copied().unwrap_or(0);
         CompileService {
-            base: base.with_tracer(config.tracer.clone()),
-            cache: ArtifactCache::new(config.cache_budget_bytes),
-            inflight: Mutex::new(HashMap::new()),
+            slots,
+            index,
+            default_slot,
+            cache_budget_bytes: config.cache_budget_bytes,
             admission: Mutex::new(Admission::default()),
             tracer: config.tracer,
             workers: config.workers.max(1),
             policy: config.policy,
             queue_cost_budget: config.queue_cost_budget,
             tenant_quota: u64::try_from(config.tenant_quota).unwrap_or(u64::MAX),
-            jobs: AtomicU64::new(0),
-            coalesced: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             shed_budget: AtomicU64::new(0),
             shed_quota: AtomicU64::new(0),
             rejected_import: AtomicU64::new(0),
+            routed_by_platform: AtomicU64::new(0),
             seq: AtomicU64::new(0),
         }
     }
@@ -464,34 +675,97 @@ impl CompileService {
         self.policy
     }
 
-    /// The content-addressed key a job resolves to.
+    /// The platform ids this service routes, in manifest order.
     #[must_use]
-    pub fn key_of(&self, job: &JobRequest) -> ArtifactKey {
+    pub fn platform_ids(&self) -> Vec<&str> {
+        self.slots.iter().map(|slot| slot.id.as_str()).collect()
+    }
+
+    /// Routes a job to its platform slot: the named platform must be
+    /// declared and its capabilities must cover the deploy target.
+    fn resolve(&self, job: &JobRequest) -> Result<usize, JobError> {
+        let slot_idx = match job.platform.as_deref() {
+            None => self.default_slot,
+            Some(id) => match self.index.get(id) {
+                Some(&i) => i,
+                None => {
+                    return Err(JobError::Platform {
+                        job: job.name.clone(),
+                        platform: id.to_owned(),
+                        detail: format!(
+                            "unknown platform (serving: {})",
+                            self.platform_ids().join(", ")
+                        ),
+                    })
+                }
+            },
+        };
+        let slot = &self.slots[slot_idx];
+        let caps = slot.capabilities;
+        if (job.deploy.digital_enabled() && !caps.digital)
+            || (job.deploy.analog_enabled() && !caps.analog)
+        {
+            return Err(JobError::Platform {
+                job: job.name.clone(),
+                platform: slot.id.clone(),
+                detail: format!(
+                    "deploy target {:?} needs engines the platform lacks \
+                     (declared: digital={}, analog={})",
+                    job.deploy, caps.digital, caps.analog
+                ),
+            });
+        }
+        Ok(slot_idx)
+    }
+
+    fn key_in(&self, slot: &PlatformSlot, job: &JobRequest) -> ArtifactKey {
         ArtifactKey::new(
+            &slot.id,
             &job.graph,
             job.deploy,
-            self.base.platform(),
-            self.base.lower_options(),
+            slot.base.platform(),
+            slot.base.lower_options(),
         )
     }
 
-    /// This job's estimated admission cost right now (probes the cache).
-    #[must_use]
-    pub fn cost_of(&self, job: &JobRequest) -> u64 {
-        estimate_cost(&job.graph, self.cache.contains(&self.key_of(job)))
+    /// The content-addressed key a job resolves to.
+    ///
+    /// # Errors
+    ///
+    /// [`JobError::Platform`] when the job cannot be routed (unknown
+    /// platform, or a deploy target outside the platform's
+    /// capabilities) — a job with no key has no cache slot.
+    pub fn key_of(&self, job: &JobRequest) -> Result<ArtifactKey, JobError> {
+        let slot = &self.slots[self.resolve(job)?];
+        Ok(self.key_in(slot, job))
     }
 
-    /// Processes one job on the calling thread, through admission
-    /// control: the result is [`JobError::Rejected`] when the service is
-    /// saturated or the tenant is over quota.
+    /// This job's estimated admission cost right now (probes its
+    /// platform's cache).
+    ///
+    /// # Errors
+    ///
+    /// [`JobError::Platform`] when the job cannot be routed.
+    pub fn cost_of(&self, job: &JobRequest) -> Result<u64, JobError> {
+        let slot = &self.slots[self.resolve(job)?];
+        let key = self.key_in(slot, job);
+        Ok(estimate_cost(&job.graph, slot.cache.contains(&key)))
+    }
+
+    /// Processes one job on the calling thread, through routing and
+    /// admission control: the result is [`JobError::Platform`] when the
+    /// job cannot be routed and [`JobError::Rejected`] when the service
+    /// is saturated or the tenant is over quota.
     pub fn submit(&self, job: JobRequest) -> Result<JobResult, JobError> {
-        let key = self.key_of(&job);
-        let cost = estimate_cost(&job.graph, self.cache.contains(&key));
+        let slot_idx = self.resolve(&job)?;
+        let slot = &self.slots[slot_idx];
+        let key = self.key_in(slot, &job);
+        let cost = estimate_cost(&job.graph, slot.cache.contains(&key));
         if let Err(rejection) = self.admit(&job.tenant, cost) {
             return Err(self.shed_job(job.name, &job.tenant, cost, rejection));
         }
         let tenant = job.tenant.clone();
-        let result = self.process(job, key, 0, ArtifactSource::Resolve);
+        let result = self.process(slot, job, key, 0, ArtifactSource::Resolve);
         self.release(&tenant, cost);
         result
     }
@@ -542,35 +816,46 @@ impl CompileService {
         self.submit(job)
     }
 
-    /// Schedules a batch through admission control and the worker pool,
-    /// returning results in request order.
+    /// Schedules a batch through routing, admission control and the
+    /// worker pool, returning results in request order.
     ///
     /// Before anything reaches the pool, jobs with identical
     /// [`ArtifactKey`]s are coalesced (one leader, the rest followers —
     /// serviced from the leader's artifact by the leader's worker the
-    /// moment it lands) and each leader passes admission control in
-    /// request order; shed jobs get [`JobError::Rejected`] without ever
-    /// queuing. Admitted leaders are ordered by [`SchedPolicy`]: under
-    /// [`SchedPolicy::CostAware`], cache hits run before cold compiles,
-    /// so an expensive miss cannot head-of-line-block a batch of hits.
+    /// moment it lands; the platform id feeds the key, so jobs for
+    /// different platforms never coalesce) and each leader passes
+    /// admission control in request order; unroutable jobs get
+    /// [`JobError::Platform`] and shed jobs [`JobError::Rejected`]
+    /// without ever queuing. Admitted leaders are ordered by
+    /// [`SchedPolicy`]: under [`SchedPolicy::CostAware`], cache hits
+    /// run before cold compiles, so an expensive miss cannot
+    /// head-of-line-block a batch of hits.
     pub fn submit_batch(&self, jobs: Vec<JobRequest>) -> Vec<Result<JobResult, JobError>> {
         let n = jobs.len();
         let epoch = Instant::now();
         let slots: Vec<Mutex<Option<Result<JobResult, JobError>>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
 
-        // Admission + coalescing pass, in request order. A zero-budget
-        // cache models "no artifact reuse", so it disables coalescing
-        // too (the no-cache bench baseline must really compile each job).
-        let coalesce = self.cache.budget_bytes() > 0;
+        // Routing + admission + coalescing pass, in request order. A
+        // zero-budget cache models "no artifact reuse", so it disables
+        // coalescing too (the no-cache bench baseline must really
+        // compile each job).
+        let coalesce = self.cache_budget_bytes > 0;
         let mut leaders: Vec<Scheduled> = Vec::new();
         let mut lead_of: HashMap<ArtifactKey, usize> = HashMap::new();
         for (index, job) in jobs.into_iter().enumerate() {
-            let key = self.key_of(&job);
+            let slot_idx = match self.resolve(&job) {
+                Ok(slot_idx) => slot_idx,
+                Err(error) => {
+                    *slots[index].lock().expect("result slot poisoned") = Some(Err(error));
+                    continue;
+                }
+            };
+            let key = self.key_in(&self.slots[slot_idx], &job);
             let cost = if coalesce && lead_of.contains_key(&key) {
                 0 // a follower rides its leader's admission cost
             } else {
-                estimate_cost(&job.graph, self.cache.contains(&key))
+                estimate_cost(&job.graph, self.slots[slot_idx].cache.contains(&key))
             };
             match self.admit(&job.tenant, cost) {
                 Err(rejection) => {
@@ -583,6 +868,7 @@ impl CompileService {
                         lead_of.insert(key.clone(), leaders.len());
                         leaders.push(Scheduled {
                             index,
+                            slot: slot_idx,
                             job,
                             key,
                             cost,
@@ -607,7 +893,9 @@ impl CompileService {
                     let Some(item) = next else { break };
                     let queue_us = epoch.elapsed().as_micros() as u64;
                     let tenant = item.job.tenant.clone();
+                    let platform = &self.slots[item.slot];
                     let result = self.process(
+                        platform,
                         item.job,
                         item.key.clone(),
                         queue_us,
@@ -626,6 +914,7 @@ impl CompileService {
                         let tenant = job.tenant.clone();
                         let result = match &lead_artifact {
                             Some(artifact) => self.process(
+                                platform,
                                 job,
                                 item.key.clone(),
                                 queue_us,
@@ -635,6 +924,7 @@ impl CompileService {
                             // out for itself (deterministic error per
                             // job, and a fresh attempt might succeed).
                             None => self.process(
+                                platform,
                                 job,
                                 item.key.clone(),
                                 queue_us,
@@ -730,6 +1020,7 @@ impl CompileService {
 
     fn process(
         &self,
+        slot: &PlatformSlot,
         job: JobRequest,
         key: ArtifactKey,
         queue_us: u64,
@@ -737,7 +1028,7 @@ impl CompileService {
     ) -> Result<JobResult, JobError> {
         let started = Instant::now();
         let sched_seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        let compiler = self.base.clone().with_deploy(job.deploy);
+        let compiler = slot.base.clone().with_deploy(job.deploy);
         if self.tracer.is_enabled() && queue_us > 0 {
             // The wait is over by the time we learn its length, so
             // record it retroactively: a span ending "now", starting
@@ -759,12 +1050,17 @@ impl CompileService {
         span.arg("key", key.id());
         span.arg("queue_us", queue_us);
         span.arg("tenant", job.tenant.as_str());
-        let result = self.compile_and_run(&job, &compiler, &key, source, &mut span);
-        self.jobs.fetch_add(1, Ordering::Relaxed);
+        span.arg("platform", slot.id.as_str());
+        let result = self.compile_and_run(slot, &job, &compiler, &key, source, &mut span);
+        slot.jobs.fetch_add(1, Ordering::Relaxed);
+        if job.platform.is_some() {
+            self.routed_by_platform.fetch_add(1, Ordering::Relaxed);
+        }
         span.arg("ok", result.is_ok());
         let (artifact, cache_hit, coalesced, report) = result?;
         Ok(JobResult {
             job: job.name,
+            platform: slot.id.clone(),
             key_id: key.id(),
             cache_hit,
             coalesced,
@@ -779,6 +1075,7 @@ impl CompileService {
     #[allow(clippy::type_complexity)]
     fn compile_and_run(
         &self,
+        slot: &PlatformSlot,
         job: &JobRequest,
         compiler: &Compiler,
         key: &ArtifactKey,
@@ -787,10 +1084,10 @@ impl CompileService {
     ) -> Result<(Artifact, bool, bool, Option<RunReport>), JobError> {
         let (artifact, cache_hit, coalesced) = match source {
             ArtifactSource::Ready(artifact) => {
-                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                slot.coalesced.fetch_add(1, Ordering::Relaxed);
                 (*artifact, false, true)
             }
-            ArtifactSource::Resolve => self.artifact_for(job, compiler, key)?,
+            ArtifactSource::Resolve => self.artifact_for(slot, job, compiler, key)?,
         };
         span.arg("cache_hit", cache_hit);
         span.arg("coalesced", coalesced);
@@ -816,17 +1113,20 @@ impl CompileService {
         Ok((artifact, cache_hit, coalesced, report))
     }
 
-    /// Fetches the job's artifact from the cache or compiles it,
-    /// coalescing concurrent misses on the same key: exactly one thread
-    /// (the *leader*) compiles while the rest wait and take the leader's
-    /// artifact directly. Only threads that actually probe the cache
-    /// touch its counters — a leader registers one miss, a repeat after
-    /// landing one hit, and a coalesced follower none (it shows up in
-    /// [`ServiceStats::coalesced`] instead) — so
+    /// Fetches the job's artifact from its platform's cache or compiles
+    /// it, coalescing concurrent misses on the same key: exactly one
+    /// thread (the *leader*) compiles while the rest wait and take the
+    /// leader's artifact directly. Only threads that actually probe the
+    /// cache touch its counters — a leader registers one miss, a repeat
+    /// after landing one hit, and a coalesced follower none (it shows
+    /// up in [`ServiceStats::coalesced`] instead) — so
     /// `hits + misses + coalesced == jobs` deterministically even under
-    /// races, with `misses` exactly the number of distinct compiles.
+    /// races, per platform, with `misses` exactly the number of
+    /// distinct compiles. A leader's artifact is also spilled to the
+    /// platform's [`PersistStore`] when persistence is on.
     fn artifact_for(
         &self,
+        slot: &PlatformSlot,
         job: &JobRequest,
         compiler: &Compiler,
         key: &ArtifactKey,
@@ -834,9 +1134,10 @@ impl CompileService {
         // A zero-budget cache models "no artifact reuse at all" — the
         // bench baseline. Single-flight coalescing is reuse, so it is
         // disabled too: every job probes (and misses) the cache, then
-        // compiles for itself.
-        if self.cache.budget_bytes() == 0 {
-            let cached = self.cache.get(key);
+        // compiles for itself. Nothing is persisted either: a no-reuse
+        // service has nothing to warm-start from.
+        if self.cache_budget_bytes == 0 {
+            let cached = slot.cache.get(key);
             debug_assert!(cached.is_none(), "a zero-budget cache admits nothing");
             drop(cached);
             let artifact = compiler
@@ -849,7 +1150,7 @@ impl CompileService {
             // a no-reuse service still pays the serialize-to-measure
             // cost a caching one would, so cache-on/off comparisons
             // isolate *reuse*, and the oversized counter keeps exact.
-            self.cache.insert(key.clone(), &artifact);
+            slot.cache.insert(key.clone(), &artifact);
             return Ok((artifact, false, false));
         }
         loop {
@@ -857,10 +1158,10 @@ impl CompileService {
             // of an in-flight compile (no cache touch), cache hit, or
             // newly appointed leader.
             let flight = {
-                let mut inflight = self.inflight.lock().expect("inflight map poisoned");
+                let mut inflight = slot.inflight.lock().expect("inflight map poisoned");
                 if let Some(flight) = inflight.get(key) {
                     Arc::clone(flight)
-                } else if let Some(artifact) = self.cache.get(key) {
+                } else if let Some(artifact) = slot.cache.get(key) {
                     return Ok((artifact, true, false));
                 } else {
                     let flight = Arc::new(Flight::new());
@@ -870,11 +1171,15 @@ impl CompileService {
                     // Publish before landing the flight, so repeats
                     // that arrive after the landing find the artifact
                     // resident; followers already waiting take it from
-                    // the flight itself.
+                    // the flight itself. The disk spill rides the same
+                    // publish: one durable write per distinct compile.
                     if let Ok(artifact) = &compiled {
-                        self.cache.insert(key.clone(), artifact);
+                        slot.cache.insert(key.clone(), artifact);
+                        if let Some(persist) = &slot.persist {
+                            persist.write(key, artifact);
+                        }
                     }
-                    self.inflight
+                    slot.inflight
                         .lock()
                         .expect("inflight map poisoned")
                         .remove(key);
@@ -888,7 +1193,7 @@ impl CompileService {
             };
             match flight.wait() {
                 Some(artifact) => {
-                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    slot.coalesced.fetch_add(1, Ordering::Relaxed);
                     return Ok((artifact, false, true));
                 }
                 // The leader failed; re-enter and compile for ourselves
@@ -898,20 +1203,55 @@ impl CompileService {
         }
     }
 
-    /// A snapshot of the service counters, including the shared
-    /// tile-cache counters every tenant benefits from.
+    /// A snapshot of the service counters: fleet-wide sums plus the
+    /// per-platform breakdown (including each platform's shared
+    /// tile-cache and persistent-store counters).
     #[must_use]
     pub fn stats(&self) -> ServiceStats {
-        ServiceStats {
-            jobs: self.jobs.load(Ordering::Relaxed),
-            coalesced: self.coalesced.load(Ordering::Relaxed),
+        let platforms: Vec<PlatformStats> = self
+            .slots
+            .iter()
+            .map(|slot| PlatformStats {
+                platform: slot.id.clone(),
+                jobs: slot.jobs.load(Ordering::Relaxed),
+                coalesced: slot.coalesced.load(Ordering::Relaxed),
+                artifact_cache: slot.cache.stats(),
+                tile_cache: slot.base.tile_cache().stats(),
+                persist: slot.persist_stats(),
+            })
+            .collect();
+        let mut agg = ServiceStats {
             shed: self.shed.load(Ordering::Relaxed),
             shed_budget: self.shed_budget.load(Ordering::Relaxed),
             shed_quota: self.shed_quota.load(Ordering::Relaxed),
             rejected_import: self.rejected_import.load(Ordering::Relaxed),
-            artifact_cache: self.cache.stats(),
-            tile_cache: self.base.tile_cache().stats(),
+            routed_by_platform: self.routed_by_platform.load(Ordering::Relaxed),
+            ..ServiceStats::default()
+        };
+        for p in &platforms {
+            agg.jobs += p.jobs;
+            agg.coalesced += p.coalesced;
+            agg.persist_writes += p.persist.writes;
+            agg.persist_load_ok += p.persist.load_ok;
+            agg.persist_load_skipped += p.persist.load_skipped;
+            let a = &mut agg.artifact_cache;
+            a.entries += p.artifact_cache.entries;
+            a.bytes += p.artifact_cache.bytes;
+            a.budget_bytes += p.artifact_cache.budget_bytes;
+            a.hits += p.artifact_cache.hits;
+            a.misses += p.artifact_cache.misses;
+            a.insertions += p.artifact_cache.insertions;
+            a.evictions += p.artifact_cache.evictions;
+            a.oversized += p.artifact_cache.oversized;
+            let t = &mut agg.tile_cache;
+            t.entries += p.tile_cache.entries;
+            t.solves += p.tile_cache.solves;
+            t.hits += p.tile_cache.hits;
+            t.negatives += p.tile_cache.negatives;
+            t.negative_hits += p.tile_cache.negative_hits;
         }
+        agg.platforms = platforms;
+        agg
     }
 
     /// Drains everything traced so far (job, queue and shed spans plus
@@ -926,6 +1266,7 @@ impl CompileService {
 impl std::fmt::Debug for CompileService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CompileService")
+            .field("platforms", &self.platform_ids())
             .field("workers", &self.workers)
             .field("policy", &self.policy)
             .field("stats", &self.stats())

@@ -42,6 +42,7 @@ fn wire_job(name: &str, graph: Graph, include_artifact: bool) -> WireJob {
     WireJob {
         name: name.to_owned(),
         tenant: None,
+        platform: None,
         graph: Some(graph),
         model_hex: None,
         deploy: DeployConfig::Both,
@@ -434,6 +435,7 @@ fn import_round_trip_is_byte_identical_and_shares_cache_keys() {
     let hex_job = WireJob {
         name: "hexed".to_owned(),
         tenant: None,
+        platform: None,
         graph: None,
         model_hex: Some(htvm_serve::http::wire::encode_hex(&model)),
         deploy: DeployConfig::Both,
@@ -489,6 +491,7 @@ fn malformed_imports_get_422_with_the_variant_name() {
     let poisoned = WireJob {
         name: "poisoned".to_owned(),
         tenant: None,
+        platform: None,
         graph: None,
         model_hex: Some(htvm_serve::http::wire::encode_hex(&bad_magic)),
         deploy: DeployConfig::Both,

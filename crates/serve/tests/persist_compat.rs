@@ -1,0 +1,88 @@
+//! The cache-format compatibility gate: loading a committed fixture of
+//! the v1 on-disk layout must never panic, and every stale or damaged
+//! entry must be skipped and counted. The fixtures are adversarial by
+//! construction — a stale compiler stamp, an unknown format version, a
+//! digest mismatch, torn JSON, and a valid header over an unparseable
+//! artifact — so this test stays green across version bumps: entries
+//! that today fail one specific check simply fail the stamp check
+//! instead after a bump, and either way they are *skipped*, never
+//! trusted and never fatal.
+
+use htvm::DeployConfig;
+use htvm_ir::{DType, GraphBuilder, Tensor};
+use htvm_serve::{
+    ArtifactCache, CompileService, JobRequest, PersistStore, ServeConfig, CACHE_FORMAT_VERSION,
+};
+use std::path::{Path, PathBuf};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/persist_v1")
+}
+
+/// Number of committed fixture entries (all of them invalid on
+/// purpose).
+const FIXTURE_ENTRIES: u64 = 5;
+
+#[test]
+fn layout_constants_are_pinned() {
+    // The committed fixtures encode layout v1; if either constant
+    // moves, the fixtures (and every deployed cache directory) need a
+    // deliberate migration, not a silent drift.
+    assert_eq!(CACHE_FORMAT_VERSION, 1);
+    assert_eq!(htvm_serve::persist::CACHE_LAYOUT_DIR, "v1");
+}
+
+#[test]
+fn stale_and_damaged_v1_entries_are_skipped_not_fatal() {
+    let store = PersistStore::open(&fixture_root(), "diana").expect("fixture dir opens");
+    let cache = ArtifactCache::new(64 << 20);
+    let stats = store.load_into(&cache);
+    assert_eq!(stats.load_ok, 0, "no fixture entry is trustworthy");
+    assert_eq!(
+        stats.load_skipped, FIXTURE_ENTRIES,
+        "every fixture entry is skipped and counted"
+    );
+    assert_eq!(cache.stats().insertions, 0, "nothing was admitted");
+}
+
+#[test]
+fn a_service_boots_cold_over_a_stale_cache_and_serves() {
+    // Copy the fixtures to scratch space: the booted service will spill
+    // fresh entries next to them, and the committed tree must stay
+    // pristine.
+    let scratch = std::env::temp_dir().join(format!("htvm-compat-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let dir = scratch.join("v1/diana");
+    std::fs::create_dir_all(&dir).expect("scratch dir creates");
+    for entry in std::fs::read_dir(fixture_root().join("v1/diana")).expect("fixtures list") {
+        let entry = entry.expect("fixture entry reads");
+        std::fs::copy(entry.path(), dir.join(entry.file_name())).expect("fixture copies");
+    }
+
+    let service = CompileService::new(ServeConfig {
+        workers: 2,
+        cache_budget_bytes: 64 << 20,
+        tracer: htvm::Tracer::disabled(),
+        persist_root: Some(scratch.clone()),
+        ..ServeConfig::default()
+    });
+    let booted = service.stats();
+    assert_eq!(booted.persist_load_ok, 0);
+    assert_eq!(booted.persist_load_skipped, FIXTURE_ENTRIES);
+
+    // The cold boot is still a working service: compile one job and
+    // spill it durably alongside the stale entries.
+    let mut b = GraphBuilder::new();
+    let x = b.input("x", &[8, 8, 8], DType::I8);
+    let w = b.constant("w", Tensor::zeros(DType::I8, &[8, 8, 3, 3]));
+    let c = b.conv2d(x, w, (1, 1), (1, 1, 1, 1)).unwrap();
+    let y = b.requantize(c, 7, true).unwrap();
+    let graph = b.finish(&[y]).unwrap();
+    let result = service
+        .submit(JobRequest::compile_only("fresh", graph, DeployConfig::Both))
+        .expect("a cold service still compiles");
+    assert!(!result.cache_hit);
+    assert_eq!(service.stats().persist_writes, 1);
+
+    let _ = std::fs::remove_dir_all(&scratch);
+}

@@ -1,0 +1,85 @@
+//! Property tests for the consistent-hash shard ring: assignments must
+//! be deterministic across processes, stable under fleet resizes (only
+//! the keys the new instance captures move, and they move *to* it),
+//! and fair enough that no instance starves.
+
+use htvm_serve::ShardRing;
+use proptest::prelude::*;
+
+/// A plausible routing key: the ring shards on `ArtifactKey::id`
+/// digests (32 hex chars), but nothing about the ring requires that
+/// shape, so arbitrary-length hex strings stress it harder.
+fn routing_key() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u8..=255, 1..20)
+        .prop_map(|bytes| bytes.iter().map(|b| format!("{b:02x}")).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Rebuilding an identical ring reproduces identical assignments:
+    /// nothing in construction or lookup is seeded per process.
+    #[test]
+    fn assignment_is_deterministic(
+        keys in prop::collection::vec(routing_key(), 1..64),
+        instances in 1usize..8,
+        replicas in 1usize..96,
+    ) {
+        let a = ShardRing::with_replicas(instances, replicas);
+        let b = ShardRing::with_replicas(instances, replicas);
+        for key in &keys {
+            let owner = a.assign(key);
+            prop_assert!(owner < instances);
+            prop_assert_eq!(owner, b.assign(key));
+        }
+    }
+
+    /// The consistent-hashing contract: growing the fleet from `n` to
+    /// `n + 1` instances, every key either keeps its owner or moves to
+    /// the NEW instance — never between old ones. This is exactly what
+    /// makes per-instance persistent caches survive a scale-out: no
+    /// surviving instance loses keys it already compiled and spilled.
+    #[test]
+    fn growing_the_fleet_only_moves_keys_to_the_new_instance(
+        keys in prop::collection::vec(routing_key(), 1..128),
+        instances in 1usize..8,
+        replicas in 1usize..96,
+    ) {
+        let before = ShardRing::with_replicas(instances, replicas);
+        let after = ShardRing::with_replicas(instances + 1, replicas);
+        for key in &keys {
+            let old = before.assign(key);
+            let new = after.assign(key);
+            prop_assert!(
+                new == old || new == instances,
+                "key {key:?} moved {old} -> {new}, but only moves to the new \
+                 instance {instances} are allowed"
+            );
+        }
+    }
+}
+
+/// At the default replica count, a resize moves roughly `K/N` of the
+/// keys — the point of consistent hashing over mod-N (which moves
+/// nearly all of them). The bound is deliberately loose (3x the ideal
+/// share): the split is hash-uniform, not exact.
+#[test]
+fn resize_moves_about_one_share_of_keys() {
+    let keys: Vec<String> = (0..4000).map(|tag| format!("key-{tag:04}")).collect();
+    for n in [2usize, 3, 5, 8] {
+        let before = ShardRing::new(n);
+        let after = ShardRing::new(n + 1);
+        let moved = keys
+            .iter()
+            .filter(|key| before.assign(key) != after.assign(key))
+            .count();
+        let ideal = keys.len() / (n + 1);
+        assert!(
+            moved <= 3 * ideal,
+            "resize {n} -> {} moved {moved} of {} keys (ideal share {ideal})",
+            n + 1,
+            keys.len()
+        );
+        assert!(moved > 0, "a resize that moves nothing routed nothing");
+    }
+}

@@ -48,6 +48,7 @@ mod energy;
 mod faults;
 mod listing;
 mod machine;
+pub mod manifest;
 pub mod platforms;
 mod program;
 mod timeline;
@@ -62,6 +63,7 @@ pub use energy::EnergyConfig;
 pub use faults::{FaultEvent, FaultPlan, RetryPolicy};
 pub use listing::render_listing;
 pub use machine::{Machine, RunError};
+pub use manifest::{Capabilities, ManifestError, PlatformManifest, PlatformSpec, DEFAULT_PLATFORM};
 pub use program::{
     AccelLayerDesc, BufferDecl, BufferId, BufferKind, EngineKind, FallbackKernel, FallbackTable,
     FusedPool, Program, Step,

@@ -45,10 +45,12 @@ cargo run --release -p htvm-bench --bin bench-diff -- \
     BENCH_BASELINE.json "$out/BENCH.json" --cycle-tol 2 \
     | tee "$out/bench_diff.txt"
 
-echo "== serve soak + front door (matches the CI serve / serve-http jobs) =="
+echo "== serve soak + front door + fleet (matches the CI serve / serve-http / fleet jobs) =="
 cargo run --release -p htvm-bench --bin serve -- \
     --jobs 96 --workers 4 --min-speedup 5 \
-    --front-door --clients 4 --out "$out/SERVE_BENCH.json" \
+    --front-door --clients 4 \
+    --instances 3 --restart --max-restart-misses 0 \
+    --fleet-dir "$out/fleet-cache" --out "$out/SERVE_BENCH.json" \
     | tee "$out/serve_soak.txt"
 
 echo "== paper artifacts =="
