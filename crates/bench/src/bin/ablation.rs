@@ -77,6 +77,7 @@ fn ablate_dma_beta() {
                 (Heuristic::PeAlignIx { modulo: 16 }, 2.0),
                 (Heuristic::DmaMaxIy, f64::from(beta_x10) / 10.0),
             ],
+            cost_model: None,
         };
         let sol = solve(&geom, &budget, &objective).expect("tileable");
         let program = single_layer_program(&geom, sol.tile, EngineKind::Digital);

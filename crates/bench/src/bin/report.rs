@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run --release -p htvm-bench --bin report [-- --out PATH] [--quiet]
 //!     [--from-file MODEL.htf] [--deploy cpu_tvm|digital|analog|both]
+//!     [--calibration CALIBRATION.json]
 //! ```
 //!
 //! Sweeps every zoo model under every deployment configuration, collecting
@@ -10,6 +11,11 @@
 //! cycle/energy breakdowns into one versioned JSON document (schema in
 //! `docs/OBSERVABILITY.md`). CI runs this on every PR and diffs the result
 //! against `BENCH_BASELINE.json` with `--bin bench-diff`.
+//!
+//! With `--calibration`, the sweep additionally compiles every
+//! accelerator-bearing configuration under the measurement-calibrated
+//! tiling objective from the given `CALIBRATION.json` into `*_cal` rows
+//! (see `docs/CALIBRATION.md`).
 //!
 //! With `--from-file`, the sweep is replaced by a single entry: the file
 //! is read as an HTF container (`docs/FRONTEND.md`), imported through the
@@ -19,13 +25,17 @@
 //! panic.
 
 use htvm::DeployConfig;
-use htvm_bench::report::{collect, collect_file, BenchReport, BENCH_SCHEMA_VERSION};
+use htvm_bench::calibration::CalibrationReport;
+use htvm_bench::report::{
+    collect_file, collect_with_calibration, BenchReport, BENCH_SCHEMA_VERSION,
+};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut out = String::from("BENCH.json");
     let mut quiet = false;
     let mut from_file: Option<String> = None;
+    let mut calibration: Option<String> = None;
     let mut deploy = DeployConfig::Both;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -38,6 +48,13 @@ fn main() -> ExitCode {
                 }
             },
             "--quiet" => quiet = true,
+            "--calibration" => match args.next() {
+                Some(path) => calibration = Some(path),
+                None => {
+                    eprintln!("error: --calibration needs a path");
+                    return ExitCode::from(2);
+                }
+            },
             "--from-file" => match args.next() {
                 Some(path) => from_file = Some(path),
                 None => {
@@ -62,19 +79,39 @@ fn main() -> ExitCode {
             other => {
                 eprintln!(
                     "usage: report [--out PATH] [--quiet] [--from-file MODEL.htf] \
-                     [--deploy ID] (unknown arg {other:?})"
+                     [--deploy ID] [--calibration PATH] (unknown arg {other:?})"
                 );
                 return ExitCode::from(2);
             }
         }
     }
 
+    let cal: Option<CalibrationReport> = match &calibration {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot read {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match serde_json::from_str(&text) {
+                Ok(c) => Some(c),
+                Err(e) => {
+                    eprintln!("error: {path} is not a calibration artifact: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => None,
+    };
+
     let collected = match &from_file {
         Some(path) => collect_file(path, deploy).map(|entry| BenchReport {
             schema_version: BENCH_SCHEMA_VERSION,
             entries: vec![entry],
         }),
-        None => collect(),
+        None => collect_with_calibration(cal.as_ref()),
     };
     let report = match collected {
         Ok(report) => report,

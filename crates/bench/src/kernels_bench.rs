@@ -9,11 +9,14 @@
 //! `bench-diff --kernels` (wall time is hardware-dependent; it never
 //! gates).
 
+use crate::scheme_for;
+use htvm::{Compiler, DeployConfig, DmaTable, Machine};
 use htvm_ir::{DType, Padding2d, Tensor};
 use htvm_kernels::{
     conv2d_accumulate_with, dense_accumulate, dense_accumulate_ref, depthwise_conv2d_region,
     depthwise_conv2d_region_ref, KernelPolicy, KernelScratch, KernelTier,
 };
+use htvm_models::all_models;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -31,6 +34,40 @@ pub struct KernelEntry {
     pub wall_us: f64,
 }
 
+/// One point of the GEMM reduction-block-size sweep: a conv shape run at
+/// the `gemm` tier with an explicit `kc`. The `calibrate` tool groups
+/// these by `kk` and picks the fastest block size per reduction-length
+/// class (the "autotuned `KC` per shape class" of `CALIBRATION.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GemmSweepEntry {
+    /// Shape label of the swept convolution.
+    pub shape: String,
+    /// GEMM reduction length `C·Fy·Fx` of that shape.
+    pub kk: usize,
+    /// Reduction block size under test.
+    pub kc: usize,
+    /// Median wall time of one invocation, in microseconds.
+    pub wall_us: f64,
+}
+
+/// One replay-vs-interpret timing pair: a compiled zoo artifact run with
+/// its pre-linearized [`htvm::DmaTable`] descriptors replayed,
+/// and again with the table stripped so the machine re-derives every
+/// tile's transfer geometry. Outputs and simulated cycles are identical
+/// by construction (`tests/dma_replay.rs` asserts it); only host wall
+/// time differs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReplayEntry {
+    /// Zoo model name.
+    pub model: String,
+    /// Deployment configuration id.
+    pub deploy: String,
+    /// Median wall time per run with descriptor replay, microseconds.
+    pub replay_us: f64,
+    /// Median wall time per run interpreting the tile loop, microseconds.
+    pub interpret_us: f64,
+}
+
 /// The full microbenchmark report.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct KernelsReport {
@@ -38,6 +75,14 @@ pub struct KernelsReport {
     pub schema_version: u32,
     /// All timed kernel/tier combinations.
     pub kernels: Vec<KernelEntry>,
+    /// GEMM block-size sweep (input to the `calibrate` tool). Absent in
+    /// pre-sweep reports; `serde(default)` keeps those readable.
+    #[serde(default)]
+    pub gemm_sweep: Vec<GemmSweepEntry>,
+    /// DMA descriptor replay vs tile-loop interpretation wall times over
+    /// the zoo. Also `serde(default)` for pre-sweep reports.
+    #[serde(default)]
+    pub replay: Vec<ReplayEntry>,
 }
 
 /// Deterministic pseudo-random tensor in the i8 value range.
@@ -194,7 +239,93 @@ pub fn collect() -> KernelsReport {
     KernelsReport {
         schema_version: KERNELS_SCHEMA_VERSION,
         kernels,
+        gemm_sweep: collect_gemm_sweep(),
+        replay: collect_replay(),
     }
+}
+
+/// Sweeps the GEMM reduction block size over conv shapes spanning the
+/// zoo's reduction-length classes. Every point computes the identical
+/// bits (the block size is a cache-residency knob only); the sweep
+/// measures which block the host memory hierarchy likes per `kk`.
+fn collect_gemm_sweep() -> Vec<GemmSweepEntry> {
+    // (label, C, K, H/W, F): kk = C·F·F spans 64..576.
+    let shapes = [
+        ("conv1x1_c64_k128_16x16", 64usize, 128usize, 16usize, 1usize),
+        ("conv3x3_c16_k16_32x32", 16, 16, 32, 3),
+        ("conv3x3_c64_k64_8x8", 64, 64, 8, 3),
+    ];
+    let mut sweep = Vec::new();
+    for (name, c, k, hw, f) in shapes {
+        let pad = usize::from(f > 1);
+        let x = tensor(&[c, hw, hw], 3);
+        let w = tensor(&[k, c, f, f], 17);
+        let oy = hw + 2 * pad - f + 1;
+        let kk = c * f * f;
+        for kc in [32usize, 64, 128, 256, 512] {
+            let policy = KernelPolicy::sequential(KernelTier::Im2colGemm).with_kc(kc);
+            let mut scratch = KernelScratch::new();
+            let mut out = Tensor::zeros(DType::I32, &[k, oy, oy]);
+            let wall_us = time_us(|| {
+                conv2d_accumulate_with(
+                    &policy,
+                    &mut scratch,
+                    &x,
+                    &w,
+                    &mut out,
+                    (1, 1),
+                    Padding2d::same(pad),
+                    0..k,
+                    0..oy,
+                    0..oy,
+                    0..c,
+                );
+            });
+            sweep.push(GemmSweepEntry {
+                shape: name.to_string(),
+                kk,
+                kc,
+                wall_us,
+            });
+        }
+    }
+    sweep
+}
+
+/// Times each accelerator-bearing zoo deployment twice: once replaying
+/// the artifact's pre-linearized DMA descriptors, once with the table
+/// stripped so the machine re-derives per-tile transfer geometry.
+fn collect_replay() -> Vec<ReplayEntry> {
+    let mut entries = Vec::new();
+    for deploy in [DeployConfig::Digital, DeployConfig::Both] {
+        for model in all_models(scheme_for(deploy)) {
+            let compiler = Compiler::new().with_deploy(deploy);
+            let Ok(artifact) = compiler.compile(&model.graph) else {
+                continue; // expected OOM-style failures are not timed
+            };
+            let machine = Machine::new(*compiler.platform());
+            let input = model.input(7);
+            let mut stripped = artifact.program.clone();
+            stripped.dma = DmaTable::default();
+            let replay_us = time_us(|| {
+                machine
+                    .run(&artifact.program, std::slice::from_ref(&input))
+                    .expect("zoo artifact runs");
+            });
+            let interpret_us = time_us(|| {
+                machine
+                    .run(&stripped, std::slice::from_ref(&input))
+                    .expect("stripped zoo artifact runs");
+            });
+            entries.push(ReplayEntry {
+                model: model.name.to_string(),
+                deploy: crate::report::deploy_id(deploy).to_string(),
+                replay_us,
+                interpret_us,
+            });
+        }
+    }
+    entries
 }
 
 /// Compares two kernel microbenchmark reports. Purely informational:
@@ -264,6 +395,23 @@ mod tests {
         }
         assert!(r.kernels.iter().any(|k| k.name.starts_with("dwconv")));
         assert!(r.kernels.iter().any(|k| k.name.starts_with("dense")));
+        // The GEMM sweep covers several reduction-length classes, each at
+        // several block sizes, and the replay section times every
+        // accelerator-bearing zoo deployment.
+        let kks: std::collections::BTreeSet<usize> = r.gemm_sweep.iter().map(|e| e.kk).collect();
+        assert!(kks.len() >= 3, "expected >=3 kk classes, got {kks:?}");
+        for e in &r.gemm_sweep {
+            assert!(e.wall_us > 0.0);
+        }
+        assert!(!r.replay.is_empty());
+        for e in &r.replay {
+            assert!(e.replay_us > 0.0 && e.interpret_us > 0.0, "{}", e.model);
+        }
+        assert!(
+            r.replay.iter().any(|e| e.deploy == "digital")
+                && r.replay.iter().any(|e| e.deploy == "both"),
+            "both accelerator deployments must be timed"
+        );
     }
 
     #[test]
@@ -282,6 +430,8 @@ mod tests {
                     wall_us: 100.0,
                 },
             ],
+            gemm_sweep: Vec::new(),
+            replay: Vec::new(),
         };
         let mut new = base.clone();
         new.kernels[0].wall_us = 300.0; // regression

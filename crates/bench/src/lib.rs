@@ -26,6 +26,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod calibration;
 pub mod kernels_bench;
 pub mod report;
 pub mod serve_bench;

@@ -24,6 +24,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::time::Instant;
 
+use crate::calibration::CalibrationReport;
 use crate::scheme_for;
 
 /// An entry could not be measured. The expected plain-TVM MobileNet
@@ -250,6 +251,30 @@ pub fn all_deploys() -> [DeployConfig; 4] {
     ]
 }
 
+/// Stable id for a deployment configuration compiled under the
+/// measurement-calibrated tiling objective (`CALIBRATION.json`).
+#[must_use]
+pub fn calibrated_id(deploy: DeployConfig) -> &'static str {
+    match deploy {
+        DeployConfig::CpuTvm => "cpu_tvm_cal",
+        DeployConfig::Digital => "digital_cal",
+        DeployConfig::Analog => "analog_cal",
+        DeployConfig::Both => "both_cal",
+    }
+}
+
+/// The deployment configurations that re-run under the calibrated
+/// objective: the accelerator-bearing ones (the calibrated cost models
+/// only score accelerator tiles — plain TVM never consults them).
+#[must_use]
+pub fn calibrated_deploys() -> [DeployConfig; 3] {
+    [
+        DeployConfig::Digital,
+        DeployConfig::Analog,
+        DeployConfig::Both,
+    ]
+}
+
 /// Measures one (model, deploy) pair: traced compile, then a simulated
 /// run under the default energy model.
 ///
@@ -317,10 +342,52 @@ pub fn collect_graph(
     input: &Tensor,
     deploy: DeployConfig,
 ) -> Result<BenchEntry, ReportError> {
+    collect_graph_inner(name, scheme, graph, input, deploy, deploy_id(deploy), None)
+}
+
+/// Measures one zoo model compiled under the calibrated tiling objective
+/// and run with the calibrated GEMM tuning. The entry is labeled
+/// [`calibrated_id`] (e.g. `digital_cal`) so it sits beside the heuristic
+/// row for the same model in `BENCH.json`.
+///
+/// # Errors
+///
+/// As [`collect_entry`].
+pub fn collect_calibrated_entry(
+    model: &Model,
+    deploy: DeployConfig,
+    cal: &CalibrationReport,
+) -> Result<BenchEntry, ReportError> {
+    model.verify()?;
+    collect_graph_inner(
+        model.name,
+        &format!("{:?}", model.scheme),
+        &model.graph,
+        &model.input(7),
+        deploy,
+        calibrated_id(deploy),
+        Some(cal),
+    )
+}
+
+fn collect_graph_inner(
+    name: &str,
+    scheme: &str,
+    graph: &Graph,
+    input: &Tensor,
+    deploy: DeployConfig,
+    label: &'static str,
+    cal: Option<&CalibrationReport>,
+) -> Result<BenchEntry, ReportError> {
     let tracer = htvm::Tracer::new();
-    let compiler = Compiler::new()
-        .with_deploy(deploy)
-        .with_tracer(tracer.clone());
+    let mut compiler = Compiler::new();
+    if let Some(cal) = cal {
+        // Before `with_deploy`: replacing the options wholesale would
+        // otherwise clobber the deploy's `naive_l2` choice.
+        compiler = compiler.with_lower_options(cal.lower_options());
+    }
+    let compiler = compiler.with_deploy(deploy).with_tracer(tracer.clone());
+    let tuning = cal.map(CalibrationReport::tuning).unwrap_or_default();
     let t0 = Instant::now();
     let compiled = compiler.compile(graph);
     let wall_us = t0.elapsed().as_micros() as u64;
@@ -368,12 +435,12 @@ pub fn collect_graph(
         Ok(artifact) => {
             compile.binary_bytes = artifact.binary.total() as u64;
             compile.offload_fraction = artifact.offload_fraction();
-            let machine = Machine::new(*compiler.platform());
+            let machine = Machine::new(*compiler.platform()).with_tuning(tuning);
             let report = machine
                 .run(&artifact.program, std::slice::from_ref(input))
                 .map_err(|error| ReportError::Run {
                     model: name.to_owned(),
-                    deploy: deploy_id(deploy),
+                    deploy: label,
                     error: Box::new(error),
                 })?;
             let energy = EnergyConfig::default();
@@ -408,7 +475,7 @@ pub fn collect_graph(
         Err(error) => {
             return Err(ReportError::Compile {
                 model: name.to_owned(),
-                deploy: deploy_id(deploy),
+                deploy: label,
                 error,
             })
         }
@@ -416,7 +483,7 @@ pub fn collect_graph(
 
     Ok(BenchEntry {
         model: name.to_owned(),
-        deploy: deploy_id(deploy).to_owned(),
+        deploy: label.to_owned(),
         scheme: scheme.to_owned(),
         status,
         compile,
@@ -430,10 +497,31 @@ pub fn collect_graph(
 ///
 /// Propagates the first [`ReportError`] from [`collect_entry`].
 pub fn collect() -> Result<BenchReport, ReportError> {
+    collect_with_calibration(None)
+}
+
+/// Sweeps the zoo × configuration matrix; with a calibration, each
+/// accelerator-bearing configuration is additionally compiled under the
+/// calibrated objective into `*_cal` rows (same models, same inputs — the
+/// rows differ only in the tiling objective and runtime GEMM tuning).
+///
+/// # Errors
+///
+/// Propagates the first [`ReportError`] from either sweep.
+pub fn collect_with_calibration(
+    cal: Option<&CalibrationReport>,
+) -> Result<BenchReport, ReportError> {
     let mut entries = Vec::new();
     for deploy in all_deploys() {
         for model in all_models(scheme_for(deploy)) {
             entries.push(collect_entry(&model, deploy)?);
+        }
+    }
+    if let Some(cal) = cal {
+        for deploy in calibrated_deploys() {
+            for model in all_models(scheme_for(deploy)) {
+                entries.push(collect_calibrated_entry(&model, deploy, cal)?);
+            }
         }
     }
     Ok(BenchReport {
@@ -729,6 +817,41 @@ mod tests {
             );
         }
         assert!(entry.compile.binary_bytes > 0);
+    }
+
+    #[test]
+    fn calibrated_entries_get_their_own_labels() {
+        // A calibration derived from a minimal synthetic sweep: the
+        // engine coefficients anchor to the platform defaults either way,
+        // so only the GEMM classes depend on the numbers here.
+        let sweep = crate::kernels_bench::KernelsReport {
+            schema_version: crate::kernels_bench::KERNELS_SCHEMA_VERSION,
+            kernels: vec![],
+            gemm_sweep: vec![crate::kernels_bench::GemmSweepEntry {
+                shape: "t".into(),
+                kk: 576,
+                kc: 128,
+                wall_us: 10.0,
+            }],
+            replay: vec![],
+        };
+        let bytes = serde_json::to_string(&sweep).unwrap().into_bytes();
+        let cal = crate::calibration::derive(&bytes).unwrap();
+
+        let model = htvm_models::toyadmos_dae(QuantScheme::Int8);
+        let entry = collect_calibrated_entry(&model, DeployConfig::Digital, &cal)
+            .expect("calibrated entry measures");
+        assert_eq!(entry.deploy, "digital_cal");
+        assert_eq!(entry.status, "ok");
+        let run = entry.run.as_ref().expect("runs");
+        assert!(run.total_cycles > 0);
+
+        // The calibrated row is a real alternative compile of the same
+        // model: same MACs as the heuristic row, deterministic cycles.
+        let heuristic = collect_entry(&model, DeployConfig::Digital).unwrap();
+        assert_eq!(run.macs, heuristic.run.as_ref().unwrap().macs);
+        let again = collect_calibrated_entry(&model, DeployConfig::Digital, &cal).unwrap();
+        assert_eq!(again.run.as_ref().unwrap().total_cycles, run.total_cycles);
     }
 
     #[test]

@@ -1,0 +1,54 @@
+//! Differential replay test: for every zoo model × deployment
+//! configuration, running a compiled artifact with its pre-linearized DMA
+//! descriptor table must be indistinguishable — outputs, per-layer cycle
+//! breakdowns, counters, everything — from running the same artifact with
+//! the table stripped, which forces the machine back onto the per-tile
+//! geometry interpreter. The descriptor program is a wall-time
+//! optimization only; this test is the proof.
+
+use htvm::{Compiler, DmaTable, EngineKind, Machine};
+use htvm_bench::report::{all_deploys, deploy_id};
+use htvm_bench::scheme_for;
+use htvm_models::all_models;
+
+#[test]
+fn descriptor_replay_is_bit_and_cycle_identical_across_the_zoo() {
+    let mut accel_artifacts = 0;
+    for deploy in all_deploys() {
+        for model in all_models(scheme_for(deploy)) {
+            let compiler = Compiler::new().with_deploy(deploy);
+            let Ok(artifact) = compiler.compile(&model.graph) else {
+                // The paper's expected plain-TVM MobileNet OOM.
+                continue;
+            };
+            let label = format!("{}/{}", model.name, deploy_id(deploy));
+
+            let has_accel_steps =
+                artifact.steps_on(EngineKind::Digital) + artifact.steps_on(EngineKind::Analog) > 0;
+            if has_accel_steps {
+                accel_artifacts += 1;
+                assert!(
+                    artifact.program.dma.matches(compiler.platform()),
+                    "{label}: accelerator-bearing artifact must carry a DMA table \
+                     linearized for its own platform"
+                );
+            }
+
+            let mut stripped = artifact.program.clone();
+            stripped.dma = DmaTable::default();
+
+            let machine = Machine::new(*compiler.platform());
+            let input = [model.input(7)];
+            let replayed = machine.run(&artifact.program, &input).expect("replay runs");
+            let interpreted = machine.run(&stripped, &input).expect("interpret runs");
+            assert_eq!(
+                replayed, interpreted,
+                "{label}: descriptor replay diverged from the tile-loop interpreter"
+            );
+        }
+    }
+    assert!(
+        accel_artifacts >= 6,
+        "expected the zoo sweep to exercise replay on many artifacts, got {accel_artifacts}"
+    );
+}

@@ -116,6 +116,7 @@ mod tests {
                 outputs: vec![],
                 activation_peak: 0,
                 fallbacks: Default::default(),
+                dma: Default::default(),
             },
             binary: BinarySize::default(),
             stats: CompileStats::default(),
@@ -151,6 +152,7 @@ mod tests {
                 outputs: vec![],
                 activation_peak: 0,
                 fallbacks: Default::default(),
+                dma: Default::default(),
             },
             binary: BinarySize::default(),
             stats: CompileStats::default(),

@@ -62,11 +62,12 @@ pub use htvm_codegen::{
     LowerOptions,
 };
 pub use htvm_dory::{
-    LayerGeometry, LayerKind, MemoryBudget, TileCache, TileCacheStats, TileConfig, TilingObjective,
+    CostModel, EngineModel, LayerGeometry, LayerKind, MemoryBudget, TileCache, TileCacheStats,
+    TileConfig, TilingObjective,
 };
 pub use htvm_ir::{DType, Graph, GraphBuilder, IrError, Tensor};
 pub use htvm_soc::{
-    DianaConfig, EnergyConfig, EngineKind, FallbackKernel, FallbackTable, FaultEvent, FaultPlan,
-    LayerProfile, Machine, PerfCounters, Program, RetryPolicy, RunError, RunReport,
+    DianaConfig, DmaTable, EnergyConfig, EngineKind, FallbackKernel, FallbackTable, FaultEvent,
+    FaultPlan, LayerProfile, Machine, PerfCounters, Program, RetryPolicy, RunError, RunReport,
 };
 pub use htvm_trace::{tracks, ArgValue, Span, TimeDomain, Trace, Tracer, Track};

@@ -39,6 +39,10 @@ struct CacheKey {
     budget: MemoryBudget,
     alpha_bits: u64,
     terms: Vec<(Heuristic, u64)>,
+    /// Calibrated cost-model identity ([`CostModel::identity_bits`],
+    /// which includes the calibration version): two objectives differing
+    /// only in their calibration must never alias to one solution.
+    cost_model: Option<Vec<u64>>,
 }
 
 impl CacheKey {
@@ -52,6 +56,10 @@ impl CacheKey {
                 .iter()
                 .map(|(h, beta)| (*h, beta.to_bits()))
                 .collect(),
+            cost_model: objective
+                .cost_model
+                .as_ref()
+                .map(super::CostModel::identity_bits),
         }
     }
 }
@@ -281,6 +289,44 @@ mod tests {
         // Different objectives really do pick different tiles here.
         assert_ne!(a.unwrap().tile, b.unwrap().tile);
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn distinct_cost_models_do_not_collide() {
+        use crate::{CostModel, EngineModel};
+        let cm = |version| CostModel {
+            version,
+            gamma: 4.0,
+            dma_setup: 30,
+            dma_bytes_per_cycle: 8,
+            kernel_call_overhead: 800,
+            tile_overhead: 300,
+            engine: EngineModel::Digital {
+                pe_rows: 16,
+                pe_cols: 16,
+                dw_macs_per_cycle_x100: 375,
+                add_elems_per_cycle: 16,
+                efficiency_pct: 40,
+            },
+        };
+        let cache = TileCache::new();
+        let geom = LayerGeometry::conv2d(64, 64, 32, 32, 3, 3, (1, 1), (1, 1, 1, 1));
+        // Identical α and terms; only the calibration differs.
+        let heuristic = TilingObjective::memory_only();
+        let calibrated = TilingObjective::calibrated(cm(1));
+        let recalibrated = TilingObjective::calibrated(cm(2));
+        let (_, _) = cache.solve_cached(&geom, &budget(), &heuristic);
+        let (_, hit_cal) = cache.solve_cached(&geom, &budget(), &calibrated);
+        assert!(
+            !hit_cal,
+            "a calibrated objective must miss the heuristic entry"
+        );
+        let (_, hit_ver) = cache.solve_cached(&geom, &budget(), &recalibrated);
+        assert!(!hit_ver, "a calibration version bump must miss");
+        assert_eq!(cache.len(), 3, "three distinct identities, three entries");
+        // And the calibrated key is stable: re-asking hits.
+        let (_, hit) = cache.solve_cached(&geom, &budget(), &calibrated);
+        assert!(hit);
     }
 
     #[test]

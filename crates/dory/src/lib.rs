@@ -43,6 +43,7 @@
 
 mod budget;
 mod cache;
+mod cost;
 mod error;
 mod geometry;
 pub mod memplan;
@@ -52,6 +53,7 @@ mod tile;
 
 pub use budget::{tile_fits, tile_memory, ArrayDims, MemoryBudget, TileMemory};
 pub use cache::{TileCache, TileCacheStats};
+pub use cost::{CostModel, EngineModel};
 pub use error::TilingError;
 pub use geometry::{LayerGeometry, LayerKind};
 pub use objective::{Heuristic, TilingObjective};

@@ -1,7 +1,7 @@
 //! The tiling objective: Eq. 1 of the paper, with the DIANA heuristics of
 //! Eq. 3–5 as pluggable terms.
 
-use crate::{tile_memory, LayerGeometry, MemoryBudget, TileConfig};
+use crate::{tile_memory, CostModel, LayerGeometry, MemoryBudget, TileConfig, TilingError};
 use serde::{Deserialize, Serialize};
 
 /// An accelerator-aware tiling heuristic `Hᵢ` (paper §III-B/C).
@@ -45,6 +45,37 @@ pub enum Heuristic {
 }
 
 impl Heuristic {
+    /// Validated [`Heuristic::PeAlignC`]: the Eq. 3 normalization divides
+    /// by `modulo − 1`, so `modulo <= 1` is rejected here rather than
+    /// producing NaN (or a division panic) deep inside the solver.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TilingError::InvalidHeuristic`] when `modulo <= 1`.
+    pub fn pe_align_c(modulo: usize) -> Result<Self, TilingError> {
+        if modulo <= 1 {
+            return Err(TilingError::InvalidHeuristic {
+                reason: format!("PeAlignC modulo must be >= 2, got {modulo}"),
+            });
+        }
+        Ok(Heuristic::PeAlignC { modulo })
+    }
+
+    /// Validated [`Heuristic::PeAlignIx`], rejecting `modulo <= 1` like
+    /// [`Heuristic::pe_align_c`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TilingError::InvalidHeuristic`] when `modulo <= 1`.
+    pub fn pe_align_ix(modulo: usize) -> Result<Self, TilingError> {
+        if modulo <= 1 {
+            return Err(TilingError::InvalidHeuristic {
+                reason: format!("PeAlignIx modulo must be >= 2, got {modulo}"),
+            });
+        }
+        Ok(Heuristic::PeAlignIx { modulo })
+    }
+
     /// Scores a candidate tile in `[0, 1]` (1 is best).
     #[must_use]
     pub fn score(&self, geom: &LayerGeometry, tile: &TileConfig) -> f64 {
@@ -53,14 +84,18 @@ impl Heuristic {
             Heuristic::PeAlignC { modulo } => {
                 // (c_t - 1) mod m is maximal (m - 1) when c_t ≡ 0 (mod m);
                 // also maximal when c_t equals the whole (smaller) layer dim.
-                if tile.c_t == geom.c {
+                // Degenerate moduli (0, 1) come only from hand-built
+                // literals — the validated constructors reject them — and
+                // score 1: every size is trivially aligned to a 1-lane
+                // array, and `% 0` / `/ 0` must not reach the solver.
+                if modulo <= 1 || tile.c_t == geom.c {
                     1.0
                 } else {
                     ((tile.c_t + modulo - 1) % modulo) as f64 / (modulo - 1) as f64
                 }
             }
             Heuristic::PeAlignIx { modulo } => {
-                if ix_t == geom.ix {
+                if modulo <= 1 || ix_t == geom.ix {
                     1.0
                 } else {
                     ((ix_t + modulo - 1) % modulo) as f64 / (modulo - 1) as f64
@@ -89,13 +124,22 @@ impl Heuristic {
 }
 
 /// The full Eq. 1 objective: a memory-utilization weight `α` plus weighted
-/// heuristic terms `βᵢ·Hᵢ`.
+/// heuristic terms `βᵢ·Hᵢ`, optionally augmented with a calibrated
+/// predicted-cycle term (see [`CostModel`]).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TilingObjective {
     /// Weight of the memory-utilization term.
     pub alpha: f64,
     /// Heuristic terms and their weights.
     pub terms: Vec<(Heuristic, f64)>,
+    /// Calibrated cycle model scoring tiles by predicted cycles
+    /// (`γ · predicted(full) / predicted(tile)`). `None` — the default,
+    /// and what every pre-calibration serialized objective deserializes
+    /// to — falls back to the Eq. 3–5 heuristics alone. Skipped when
+    /// absent so the canonical JSON encoding (and with it every persisted
+    /// artifact key) is unchanged for uncalibrated objectives.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub cost_model: Option<CostModel>,
 }
 
 impl TilingObjective {
@@ -106,6 +150,7 @@ impl TilingObjective {
         TilingObjective {
             alpha: 1.0,
             terms: Vec::new(),
+            cost_model: None,
         }
     }
 
@@ -119,6 +164,7 @@ impl TilingObjective {
                 (Heuristic::PeAlignC { modulo: 16 }, 2.0),
                 (Heuristic::PeAlignIx { modulo: 16 }, 2.0),
             ],
+            cost_model: None,
         }
     }
 
@@ -136,6 +182,7 @@ impl TilingObjective {
                 // tile count) for height.
                 (Heuristic::DmaMaxIy, 0.2),
             ],
+            cost_model: None,
         }
     }
 
@@ -149,7 +196,29 @@ impl TilingObjective {
                 (Heuristic::ImcFillRows { rows: 1152 }, 2.0),
                 (Heuristic::ImcFillCols { cols: 512 }, 2.0),
             ],
+            cost_model: None,
         }
+    }
+
+    /// A measurement-calibrated objective: memory utilization plus the
+    /// model's predicted-cycle term, with no Eq. 3–5 heuristics — the
+    /// alignment and transfer-count effects they proxy are captured
+    /// directly by the predictor. This is what the bench harness builds
+    /// from a loaded `CALIBRATION.json`.
+    #[must_use]
+    pub fn calibrated(cost_model: CostModel) -> Self {
+        TilingObjective {
+            alpha: 1.0,
+            terms: Vec::new(),
+            cost_model: Some(cost_model),
+        }
+    }
+
+    /// Attaches (or replaces) a calibrated cost model, builder style.
+    #[must_use]
+    pub fn with_cost_model(mut self, cost_model: CostModel) -> Self {
+        self.cost_model = Some(cost_model);
+        self
     }
 
     /// Evaluates Eq. 1 for a candidate tile. Higher is better.
@@ -169,7 +238,11 @@ impl TilingObjective {
             .iter()
             .map(|(heur, beta)| beta * heur.score(geom, tile))
             .sum();
-        self.alpha * mem_term + h
+        let cost = self
+            .cost_model
+            .as_ref()
+            .map_or(0.0, |cm| cm.gamma * cm.score_term(geom, tile));
+        self.alpha * mem_term + h + cost
     }
 }
 
@@ -227,6 +300,45 @@ mod tests {
         assert!((rows.score(&g, &full) - 0.5).abs() < 1e-9);
         assert!((cols.score(&g, &full) - 0.125).abs() < 1e-9);
         assert!(rows.score(&g, &tile(32, 64, 32, 32)) < rows.score(&g, &full));
+    }
+
+    #[test]
+    fn degenerate_moduli_are_rejected_at_construction() {
+        for modulo in [0, 1] {
+            assert!(matches!(
+                Heuristic::pe_align_c(modulo),
+                Err(TilingError::InvalidHeuristic { .. })
+            ));
+            assert!(matches!(
+                Heuristic::pe_align_ix(modulo),
+                Err(TilingError::InvalidHeuristic { .. })
+            ));
+        }
+        assert_eq!(
+            Heuristic::pe_align_c(16).unwrap(),
+            Heuristic::PeAlignC { modulo: 16 }
+        );
+        assert_eq!(
+            Heuristic::pe_align_ix(2).unwrap(),
+            Heuristic::PeAlignIx { modulo: 2 }
+        );
+    }
+
+    #[test]
+    fn degenerate_modulus_literals_score_finite() {
+        // Hand-built literals bypass the validated constructors; the score
+        // must neither panic (`% 0`) nor go NaN (`/ 0`) — a 1-lane array
+        // is always perfectly aligned.
+        let g = geom();
+        for modulo in [0, 1] {
+            for h in [
+                Heuristic::PeAlignC { modulo },
+                Heuristic::PeAlignIx { modulo },
+            ] {
+                let s = h.score(&g, &tile(17, 64, 32, 15));
+                assert_eq!(s, 1.0, "{h:?} must score 1.0, got {s}");
+            }
+        }
     }
 
     #[test]

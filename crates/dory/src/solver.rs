@@ -26,8 +26,10 @@ pub struct TileSolution {
 /// The search enumerates candidate sizes for the channel dimensions and the
 /// output width, and closes over the output height analytically: for fixed
 /// `(Cᵗ, Kᵗ, o_xᵗ)` every objective term is non-decreasing in `o_yᵗ`
-/// (memory use, `H_DMA`, and the PE-alignment terms are unaffected), so the
-/// maximal feasible `o_yᵗ` is optimal and found by bisection.
+/// (memory use, `H_DMA`, and the PE-alignment terms are unaffected, and the
+/// calibrated predicted-cycle term is non-increasing in tile height by
+/// construction — see [`crate::CostModel`]), so the maximal feasible
+/// `o_yᵗ` is optimal and found by bisection.
 ///
 /// Ties are broken deterministically but *arbitrarily* (by a hash of the
 /// tile sizes), modeling the unspecified solution order of DORY's

@@ -12,14 +12,14 @@
 //!   contributes a precomputed in-bounds output span, turning the inner
 //!   loop into a flat slice zip with no bounds checks;
 //! * **im2col + GEMM** — patch-matrix materialization into a reusable
-//!   scratch arena followed by the blocked [`gemm_accumulate`]
-//!   microkernel.
+//!   scratch arena followed by the blocked [`crate::gemm_accumulate`]
+//!   microkernel (block size from [`KernelPolicy::kc`]).
 //!
 //! All tiers compute the identical multiset of `i32` products and combine
 //! them with `wrapping_add` (associative, commutative), so tier choice
 //! and thread count are invisible in the output bits.
 
-use crate::gemm::gemm_accumulate;
+use crate::gemm::gemm_accumulate_blocked;
 use crate::policy::{KernelPolicy, KernelTier};
 use crate::scratch::{with_thread_scratch, KernelScratch};
 use htvm_ir::{DType, Padding2d, Tensor};
@@ -184,6 +184,7 @@ fn conv_block_gemm(
     ox_range: &Range<usize>,
     c_range: &Range<usize>,
     scratch: &mut KernelScratch,
+    kc: usize,
 ) {
     let (k_len, c_len) = (k_range.len(), c_range.len());
     let (oy_len, ox_len) = (oy_range.len(), ox_range.len());
@@ -211,11 +212,11 @@ fn conv_block_gemm(
         let dst = &mut view.data[view.base..view.base + k_len * cols];
         if borrow_b {
             let b = &xd[c_range.start * s.h * s.iw..c_range.end * s.h * s.iw];
-            gemm_accumulate(k_len, cols, kk, a, a_stride, b, dst);
+            gemm_accumulate_blocked(k_len, cols, kk, a, a_stride, b, dst, kc);
         } else {
             let buf = scratch.im2col_raw(kk * cols);
             crate::im2col::fill_patches(s, xd, oy_range, ox_range, c_range, buf);
-            gemm_accumulate(k_len, cols, kk, a, a_stride, buf, dst);
+            gemm_accumulate_blocked(k_len, cols, kk, a, a_stride, buf, dst, kc);
         }
     } else {
         // Strided destination: GEMM into a dense accumulator, then
@@ -223,10 +224,10 @@ fn conv_block_gemm(
         let (buf, acc) = scratch.pair(if borrow_b { 0 } else { kk * cols }, k_len * cols);
         if borrow_b {
             let b = &xd[c_range.start * s.h * s.iw..c_range.end * s.h * s.iw];
-            gemm_accumulate(k_len, cols, kk, a, a_stride, b, acc);
+            gemm_accumulate_blocked(k_len, cols, kk, a, a_stride, b, acc, kc);
         } else {
             crate::im2col::fill_patches(s, xd, oy_range, ox_range, c_range, buf);
-            gemm_accumulate(k_len, cols, kk, a, a_stride, buf, acc);
+            gemm_accumulate_blocked(k_len, cols, kk, a, a_stride, buf, acc, kc);
         }
         for k_rel in 0..k_len {
             for oy_rel in 0..oy_len {
@@ -382,6 +383,7 @@ pub fn conv2d_accumulate_with(
         // bit-identical to the sequential path).
         let blocks = split_range(&k_range, policy.threads);
         let tier = policy.tier;
+        let kc = policy.kc;
         let partials: Vec<Vec<i32>> = blocks
             .par_iter()
             .map(|blk| {
@@ -403,6 +405,7 @@ pub fn conv2d_accumulate_with(
                         let mut local = KernelScratch::new();
                         conv_block_gemm(
                             &s, xd, wd, &mut view, blk, &oy_range, &ox_range, &c_range, &mut local,
+                            kc,
                         );
                     }
                 }
@@ -439,7 +442,7 @@ pub fn conv2d_accumulate_with(
             );
         }
         _ => conv_block_gemm(
-            &s, xd, wd, &mut view, &k_range, &oy_range, &ox_range, &c_range, scratch,
+            &s, xd, wd, &mut view, &k_range, &oy_range, &ox_range, &c_range, scratch, policy.kc,
         ),
     }
 }
@@ -855,7 +858,7 @@ mod tests {
                 let mut got = Tensor::zeros(DType::I32, &[5, 9, 9]);
                 let mut scratch = KernelScratch::new();
                 conv2d_accumulate_with(
-                    &KernelPolicy { tier, threads: 1 },
+                    &KernelPolicy::sequential(tier),
                     &mut scratch,
                     &x,
                     &w,
@@ -871,7 +874,11 @@ mod tests {
                 // And across threads.
                 let mut par = Tensor::zeros(DType::I32, &[5, 9, 9]);
                 conv2d_accumulate_with(
-                    &KernelPolicy { tier, threads: 3 },
+                    &KernelPolicy {
+                        tier,
+                        threads: 3,
+                        kc: 96, // off-default block size: still bit-exact
+                    },
                     &mut scratch,
                     &x,
                     &w,

@@ -52,9 +52,11 @@ pub use dense::{dense, dense_accumulate, dense_accumulate_ref};
 pub use elementwise::{accel_epilogue, add, bias_add, cast, clip, relu, right_shift};
 pub use error::EvalError;
 pub use exec::evaluate;
-pub use gemm::{gemm_accumulate, MR};
+pub use gemm::{gemm_accumulate, gemm_accumulate_blocked, DEFAULT_KC, MR};
 pub use im2col::{conv2d_im2col, im2col};
-pub use policy::{num_threads, parse_num_threads, parse_tier, KernelPolicy, KernelTier};
+pub use policy::{
+    num_threads, parse_num_threads, parse_tier, GemmTuning, KernelPolicy, KernelTier,
+};
 pub use pool::pool2d;
 pub use scratch::KernelScratch;
 pub use softmax::softmax;

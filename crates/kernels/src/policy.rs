@@ -7,6 +7,7 @@
 //! only the wall time. The differential proptests in `tests/properties.rs`
 //! enforce this across random shapes, strides, paddings and dtypes.
 
+use crate::gemm::DEFAULT_KC;
 use std::num::NonZeroUsize;
 
 /// An implementation tier for the conv/dense kernels.
@@ -35,6 +36,65 @@ pub struct KernelPolicy {
     pub tier: KernelTier,
     /// Worker threads for output-channel blocks (1 = run inline).
     pub threads: usize,
+    /// GEMM reduction block size fed to
+    /// [`gemm_accumulate_blocked`](crate::gemm_accumulate_blocked); only
+    /// consulted on the [`KernelTier::Im2colGemm`] tier. Defaults to
+    /// [`DEFAULT_KC`](crate::DEFAULT_KC); the calibration sweep may
+    /// substitute a measured-better value per shape class via
+    /// [`GemmTuning`]. Bit-exactness is independent of this knob.
+    pub kc: usize,
+}
+
+/// Measurement-derived GEMM block-size choices per reduction-length
+/// class, the "autotuned `KC` per shape class" half of the calibration
+/// artifact. Deliberately serde-free (this crate has no serde
+/// dependency): callers that persist tunings store the plain
+/// `(bound, kc)` pairs and rebuild with [`GemmTuning::new`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GemmTuning {
+    /// `(upper bound on the reduction length kk, block size)` pairs.
+    /// The first entry whose bound is `>= kk` wins; reduction lengths
+    /// past every bound use [`DEFAULT_KC`](crate::DEFAULT_KC).
+    classes: Vec<(usize, usize)>,
+}
+
+impl GemmTuning {
+    /// Builds a tuning table from `(bound, kc)` pairs. Entries are
+    /// sorted by bound; zero block sizes are treated as
+    /// [`DEFAULT_KC`](crate::DEFAULT_KC).
+    #[must_use]
+    pub fn new(mut classes: Vec<(usize, usize)>) -> Self {
+        classes.sort_unstable_by_key(|&(bound, _)| bound);
+        for (_, kc) in &mut classes {
+            if *kc == 0 {
+                *kc = DEFAULT_KC;
+            }
+        }
+        GemmTuning { classes }
+    }
+
+    /// The block size for a GEMM with reduction length `kk`.
+    #[must_use]
+    pub fn kc_for(&self, kk: usize) -> usize {
+        self.classes
+            .iter()
+            .find(|&&(bound, _)| bound >= kk)
+            .map_or(DEFAULT_KC, |&(_, kc)| kc)
+    }
+
+    /// The `(bound, kc)` pairs in ascending bound order — what a caller
+    /// persists to rebuild this table later.
+    #[must_use]
+    pub fn classes(&self) -> &[(usize, usize)] {
+        &self.classes
+    }
+
+    /// `true` when no classes were tuned (every `kk` maps to
+    /// [`DEFAULT_KC`](crate::DEFAULT_KC)).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
 }
 
 /// Minimum multiply-accumulates before fanning a single kernel call out
@@ -53,7 +113,19 @@ impl KernelPolicy {
     /// Runs everything inline with the given tier.
     #[must_use]
     pub fn sequential(tier: KernelTier) -> Self {
-        KernelPolicy { tier, threads: 1 }
+        KernelPolicy {
+            tier,
+            threads: 1,
+            kc: DEFAULT_KC,
+        }
+    }
+
+    /// This policy with the GEMM reduction block size replaced — how a
+    /// caller holding a [`GemmTuning`] applies its per-class choice.
+    #[must_use]
+    pub fn with_kc(mut self, kc: usize) -> Self {
+        self.kc = kc.max(1);
+        self
     }
 
     /// Chooses the tier and thread count for a convolution call over a
@@ -75,7 +147,11 @@ impl KernelPolicy {
         } else {
             1
         };
-        KernelPolicy { tier, threads }
+        KernelPolicy {
+            tier,
+            threads,
+            kc: DEFAULT_KC,
+        }
     }
 
     /// Chooses the tier for a dense (matvec) block of `k_len` output
@@ -88,7 +164,11 @@ impl KernelPolicy {
             None if k_len >= GEMM_MIN_K && c_len >= GEMM_MIN_ROWS => KernelTier::Im2colGemm,
             None => KernelTier::Direct,
         };
-        KernelPolicy { tier, threads: 1 }
+        KernelPolicy {
+            tier,
+            threads: 1,
+            kc: DEFAULT_KC,
+        }
     }
 
     /// Chooses the policy for a depthwise convolution over `c_len`
@@ -106,7 +186,11 @@ impl KernelPolicy {
         } else {
             1
         };
-        KernelPolicy { tier, threads }
+        KernelPolicy {
+            tier,
+            threads,
+            kc: DEFAULT_KC,
+        }
     }
 }
 
@@ -228,6 +312,48 @@ mod tests {
     fn depthwise_never_uses_gemm() {
         let p = KernelPolicy::for_depthwise(512, 3, 3, 64 * 64);
         assert_eq!(p.tier, KernelTier::Direct);
+    }
+
+    #[test]
+    fn constructors_default_the_gemm_block_size() {
+        assert_eq!(KernelPolicy::for_conv(64, 64, 3, 3, 1024).kc, DEFAULT_KC);
+        assert_eq!(KernelPolicy::for_dense(64, 64).kc, DEFAULT_KC);
+        assert_eq!(
+            KernelPolicy::sequential(KernelTier::Im2colGemm)
+                .with_kc(96)
+                .kc,
+            96
+        );
+        assert_eq!(
+            KernelPolicy::sequential(KernelTier::Im2colGemm)
+                .with_kc(0)
+                .kc,
+            1,
+            "with_kc clamps zero to one"
+        );
+    }
+
+    #[test]
+    fn gemm_tuning_picks_first_class_covering_kk() {
+        let t = GemmTuning::new(vec![(1024, 192), (64, 48), (256, 96)]);
+        assert_eq!(
+            t.classes(),
+            &[(64, 48), (256, 96), (1024, 192)],
+            "classes sort by bound"
+        );
+        assert_eq!(t.kc_for(1), 48);
+        assert_eq!(t.kc_for(64), 48);
+        assert_eq!(t.kc_for(65), 96);
+        assert_eq!(t.kc_for(1024), 192);
+        assert_eq!(t.kc_for(1025), DEFAULT_KC, "past every bound: default");
+        assert_eq!(GemmTuning::default().kc_for(128), DEFAULT_KC);
+        assert!(GemmTuning::default().is_empty());
+    }
+
+    #[test]
+    fn gemm_tuning_treats_zero_kc_as_default() {
+        let t = GemmTuning::new(vec![(128, 0)]);
+        assert_eq!(t.kc_for(100), DEFAULT_KC);
     }
 
     #[test]

@@ -240,7 +240,8 @@ proptest! {
             for threads in [1usize, 3] {
                 let mut got = Tensor::zeros(DType::I32, &[kc, oy, ox]);
                 k::conv2d_accumulate_with(
-                    &k::KernelPolicy { tier, threads },
+                    // Off-default GEMM block size: bit-exact regardless.
+                    &k::KernelPolicy { tier, threads, kc: 7 },
                     &mut scratch,
                     &x, &w, &mut got, (sy, sx), padding, 0..kc, 0..oy, 0..ox, 0..c,
                 );

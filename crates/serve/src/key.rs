@@ -212,6 +212,59 @@ mod tests {
     }
 
     #[test]
+    fn calibrated_cost_models_feed_the_key() {
+        // A calibrated objective must never alias with the heuristic one,
+        // and two calibrations must never alias with each other — the
+        // calibration version is part of the serialized cost model.
+        let platform = DianaConfig::default();
+        let graph = conv_graph(8);
+        let base = ArtifactKey::new(
+            "diana",
+            &graph,
+            DeployConfig::Both,
+            &platform,
+            &LowerOptions::default(),
+        );
+        let model = htvm::CostModel {
+            version: 1,
+            gamma: 4.0,
+            dma_setup: 30,
+            dma_bytes_per_cycle: 8,
+            kernel_call_overhead: 800,
+            tile_overhead: 300,
+            engine: htvm::EngineModel::Digital {
+                pe_rows: 16,
+                pe_cols: 16,
+                dw_macs_per_cycle_x100: 375,
+                add_elems_per_cycle: 16,
+                efficiency_pct: 40,
+            },
+        };
+        let calibrated = LowerOptions {
+            digital_objective: htvm::TilingObjective::calibrated(model),
+            ..LowerOptions::default()
+        };
+        let with_model =
+            ArtifactKey::new("diana", &graph, DeployConfig::Both, &platform, &calibrated);
+        assert_ne!(
+            base, with_model,
+            "a calibrated objective must produce a distinct key"
+        );
+
+        let mut bumped_model = model;
+        bumped_model.version = 2;
+        let bumped = LowerOptions {
+            digital_objective: htvm::TilingObjective::calibrated(bumped_model),
+            ..LowerOptions::default()
+        };
+        let with_bumped = ArtifactKey::new("diana", &graph, DeployConfig::Both, &platform, &bumped);
+        assert_ne!(
+            with_model, with_bumped,
+            "bumping the calibration version must re-key the artifact"
+        );
+    }
+
+    #[test]
     fn runtime_only_options_do_not_feed_the_key() {
         let platform = DianaConfig::default();
         let base = ArtifactKey::new(

@@ -1,0 +1,472 @@
+//! Compile-time DMA descriptor programs.
+//!
+//! The DORY tile loop's temporal model is a pure function of the layer
+//! descriptor and the platform configuration: which (c, oy, ox) input
+//! slices get fetched, when the (k, c) weight slice is restaged, how many
+//! bytes and 1-D chunks each transaction moves. On real DIANA silicon
+//! HTVM resolves all of this at *compile* time — the generated C contains
+//! literal DMA calls, not geometry math. This module gives the simulator
+//! the same structure: [`linearize_step`] walks the tile loop once at
+//! compile time and flattens every DMA transaction into a [`DmaDescriptor`]
+//! list (plus pre-summed compute/pool/weight-programming cycles), and the
+//! [`Machine`](crate::Machine) *replays* those descriptors at run time
+//! instead of re-deriving per-tile geometry per operand per tile.
+//!
+//! Replay is bit- and cycle-exact with interpretation by construction:
+//! descriptors are recorded in the exact order `accel_timing` issues
+//! transactions (input operands → digital weight staging → output store,
+//! per tile), so fault injection by global DMA transaction index hits the
+//! same transfer either way. The table is keyed by a digest of the
+//! [`DianaConfig`] it was linearized against; running the program on a
+//! different platform silently falls back to interpretation.
+
+use crate::{analog, digital, dma, AccelLayerDesc, DianaConfig, EngineKind};
+use htvm_dory::{tiles, LayerKind};
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// Direction/target of one pre-linearized DMA transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DmaDir {
+    /// Activation fetch, L2 → L1 (one operand; element-wise add records
+    /// two consecutive `In` descriptors per fetched slice).
+    In,
+    /// Digital weight staging into the accelerator's weight memory.
+    /// Analog row programming is *not* a DMA transaction and never
+    /// appears as a descriptor (it lands in [`StepDma::analog_weight`]).
+    Weight,
+    /// Output store, L1 → L2. Recorded even for zero-byte reduction
+    /// slices: the transaction still occupies a slot in the global DMA
+    /// order that fault plans index by.
+    Out,
+}
+
+/// One pre-resolved DMA transaction of an accelerator step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DmaDescriptor {
+    /// What the transaction moves.
+    pub dir: DmaDir,
+    /// Payload bytes (may be 0 for final-reduction-only output slots).
+    pub bytes: u64,
+    /// Contiguous 1-D chunks the payload is split over.
+    pub chunks: u64,
+}
+
+/// The flattened temporal program of one accelerator step: every DMA
+/// transaction in issue order, plus the loop-invariant cycle sums that
+/// replay needs (compute, fused pooling, analog row programming).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepDma {
+    /// Tile instances the step executes (drives per-tile host overhead
+    /// and the double-buffering fill estimate).
+    pub n_tiles: u64,
+    /// Datapath compute cycles summed over all tiles, *excluding* fused
+    /// pooling (double-buffering overlaps DMA with this sum only, exactly
+    /// as the interpreter does).
+    pub compute: u64,
+    /// Fused output-pooling cycles, added to compute after the
+    /// double-buffering adjustment.
+    pub pool: u64,
+    /// Analog macro row-programming cycles (not DMA, not faultable).
+    pub analog_weight: u64,
+    /// Every DMA transaction in global issue order.
+    pub descriptors: Vec<DmaDescriptor>,
+}
+
+/// Pre-linearized DMA programs for a [`Program`](crate::Program)'s
+/// accelerator steps, keyed by step index.
+///
+/// Stored like [`FallbackTable`](crate::FallbackTable): a sorted vector,
+/// binary-searched, stable under serialization. The `platform_digest`
+/// pins the table to the [`DianaConfig`] it was derived from — a machine
+/// with any other configuration ignores the table and re-interprets the
+/// tile loop, so descriptor replay can never desynchronize cycle counts
+/// from the platform actually simulated.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DmaTable {
+    /// FNV-1a digest of the serialized platform configuration the
+    /// descriptors were linearized against; 0 only for the empty default.
+    platform_digest: u64,
+    entries: Vec<(usize, StepDma)>,
+}
+
+impl DmaTable {
+    /// An empty table pinned to `cfg`; populate with [`DmaTable::insert`].
+    #[must_use]
+    pub fn new(cfg: &DianaConfig) -> Self {
+        DmaTable {
+            platform_digest: platform_digest(cfg),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Registers (or replaces) the DMA program for step `step`.
+    pub fn insert(&mut self, step: usize, program: StepDma) {
+        match self.entries.binary_search_by_key(&step, |(s, _)| *s) {
+            Ok(pos) => self.entries[pos].1 = program,
+            Err(pos) => self.entries.insert(pos, (step, program)),
+        }
+    }
+
+    /// The DMA program for step `step`, if one was linearized.
+    #[must_use]
+    pub fn get(&self, step: usize) -> Option<&StepDma> {
+        self.entries
+            .binary_search_by_key(&step, |(s, _)| *s)
+            .ok()
+            .map(|pos| &self.entries[pos].1)
+    }
+
+    /// `true` if the table was linearized against exactly this platform
+    /// configuration (replay is only valid then).
+    #[must_use]
+    pub fn matches(&self, cfg: &DianaConfig) -> bool {
+        self.matches_digest(platform_digest(cfg))
+    }
+
+    /// [`DmaTable::matches`] against a pre-computed
+    /// [`platform_digest`] — the hot-path form: the machine digests its
+    /// config once at construction, not once per run.
+    #[must_use]
+    pub fn matches_digest(&self, digest: u64) -> bool {
+        !self.entries.is_empty() && self.platform_digest == digest
+    }
+
+    /// Number of steps carrying a DMA program.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no steps were linearized.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(step index, program)` in step order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &StepDma)> {
+        self.entries.iter().map(|(s, p)| (*s, p))
+    }
+}
+
+/// FNV-1a digest of a platform configuration's canonical serialization.
+/// Serde gives a stable field order, so equal configs digest equally and
+/// any cost-relevant field change re-keys the table.
+#[must_use]
+pub fn platform_digest(cfg: &DianaConfig) -> u64 {
+    let json = serde_json::to_string(cfg).expect("DianaConfig serializes");
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in json.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Fused output-pooling cycles for one accelerator layer: runs in the
+/// output SIMD stage, one window element per SIMD beat (paper §III-C).
+/// Shared by the interpreter and the linearizer so the two paths cannot
+/// drift. Pool output dims follow `kernels::pool2d`'s shape rule.
+pub(crate) fn pool_cycles(cfg: &DianaConfig, engine: EngineKind, desc: &AccelLayerDesc) -> u64 {
+    let Some(pool) = &desc.pool else { return 0 };
+    let geom = &desc.geom;
+    let oy = pooled_dim(
+        geom.oy(),
+        pool.kernel.0,
+        pool.strides.0,
+        pool.padding.top + pool.padding.bottom,
+    );
+    let ox = pooled_dim(
+        geom.ox(),
+        pool.kernel.1,
+        pool.strides.1,
+        pool.padding.left + pool.padding.right,
+    );
+    let window = (pool.kernel.0 * pool.kernel.1) as u64;
+    let elems = (geom.k * oy * ox) as u64 * window;
+    let rate = match engine {
+        EngineKind::Digital => cfg.digital.add_elems_per_cycle,
+        _ => 16,
+    };
+    elems.div_ceil(rate)
+}
+
+/// Pooling output dimension — must match `kernels::pool2d`'s shape rule
+/// (`(padded - kernel) / stride + 1`) so geometry-priced pool cycles equal
+/// the tensor-derived count.
+fn pooled_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    (input + pad - kernel) / stride + 1
+}
+
+/// Walks one accelerator step's tile loop and flattens its temporal model
+/// into a [`StepDma`]: every DMA transaction as a descriptor in issue
+/// order, compute/pool/row-programming cycles pre-summed.
+///
+/// Mirrors `Machine::accel_timing` exactly — same input-slice residency
+/// dedup, same weight restaging rule, same transaction order — which the
+/// differential tests in this module and `machine.rs` pin down.
+///
+/// # Panics
+///
+/// Panics if `engine` is [`EngineKind::Cpu`]; CPU steps have no tile loop.
+#[must_use]
+pub fn linearize_step(cfg: &DianaConfig, engine: EngineKind, desc: &AccelLayerDesc) -> StepDma {
+    assert_ne!(
+        engine,
+        EngineKind::Cpu,
+        "cpu steps carry no DMA program to linearize"
+    );
+    let geom = &desc.geom;
+    let instances = tiles(geom, &desc.tile);
+    let mut program = StepDma {
+        n_tiles: instances.len() as u64,
+        pool: pool_cycles(cfg, engine, desc),
+        ..StepDma::default()
+    };
+
+    let mut prev_weights: Option<(Range<usize>, Range<usize>)> = None;
+    let mut prev_input: Option<(Range<usize>, Range<usize>, Range<usize>)> = None;
+    for inst in &instances {
+        // Activation fetch, skipped while the (c, oy, ox) slice stays
+        // resident in L1 (two operands for element-wise add).
+        let input_slice = (inst.c.clone(), inst.oy.clone(), inst.ox.clone());
+        if prev_input.as_ref() != Some(&input_slice) {
+            let operand_count = if geom.kind == LayerKind::Add { 2 } else { 1 };
+            let fetch = DmaDescriptor {
+                dir: DmaDir::In,
+                bytes: inst.input_bytes(geom) as u64,
+                chunks: inst.input_chunks(geom) as u64,
+            };
+            for _ in 0..operand_count {
+                program.descriptors.push(fetch);
+            }
+            prev_input = Some(input_slice);
+        }
+        // Weight staging when the (k, c) slice changes.
+        if geom.kind != LayerKind::Add {
+            let slice = (inst.k.clone(), inst.c.clone());
+            if prev_weights.as_ref() != Some(&slice) {
+                match engine {
+                    EngineKind::Digital => {
+                        let elems = match geom.kind {
+                            LayerKind::Conv2d => inst.k.len() * inst.c.len() * geom.fy * geom.fx,
+                            LayerKind::DepthwiseConv2d => inst.c.len() * geom.fy * geom.fx,
+                            LayerKind::Dense => inst.k.len() * inst.c.len(),
+                            LayerKind::Add => 0,
+                        };
+                        program.descriptors.push(DmaDescriptor {
+                            dir: DmaDir::Weight,
+                            bytes: geom.w_dtype.storage_bytes(elems) as u64,
+                            chunks: 1,
+                        });
+                    }
+                    EngineKind::Analog => {
+                        program.analog_weight +=
+                            analog::analog_weight_load_cycles(&cfg.analog, geom, inst);
+                    }
+                    EngineKind::Cpu => unreachable!(),
+                }
+                prev_weights = Some(slice);
+            }
+        }
+        // Compute.
+        program.compute += match engine {
+            EngineKind::Digital => digital::digital_tile_cycles(&cfg.digital, geom, inst),
+            EngineKind::Analog => analog::analog_tile_cycles(&cfg.analog, geom, inst),
+            EngineKind::Cpu => unreachable!(),
+        };
+        // Output store (final reduction slice only, but the transaction
+        // slot exists for every tile — zero-byte stores included).
+        program.descriptors.push(DmaDescriptor {
+            dir: DmaDir::Out,
+            bytes: inst.output_bytes(geom) as u64,
+            chunks: inst.output_chunks(geom) as u64,
+        });
+    }
+    program
+}
+
+/// Cycles one descriptor costs on this platform's DMA.
+#[must_use]
+pub fn descriptor_cycles(cfg: &DianaConfig, d: &DmaDescriptor) -> u64 {
+    dma::dma_cycles(&cfg.dma, d.bytes as usize, d.chunks as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htvm_dory::{LayerGeometry, TileConfig};
+    use htvm_ir::{DType, Tensor};
+
+    fn conv_desc(tile: TileConfig) -> AccelLayerDesc {
+        let geom = LayerGeometry::conv2d(4, 6, 8, 8, 3, 3, (1, 1), (1, 1, 1, 1));
+        AccelLayerDesc {
+            name: "conv".into(),
+            geom,
+            tile,
+            weights: Some(Tensor::zeros(DType::I8, &[6, 4, 3, 3])),
+            bias: None,
+            shift: 0,
+            relu: false,
+            pool: None,
+        }
+    }
+
+    #[test]
+    fn zero_byte_descriptor_is_free_but_keeps_its_transaction_slot() {
+        // A non-final reduction slice stores 0 bytes over its (nonzero)
+        // chunk pattern: no cycles, but the slot must exist so fault
+        // plans indexed by global transfer order stay aligned.
+        let cfg = DianaConfig::default();
+        let d = DmaDescriptor {
+            dir: DmaDir::Out,
+            bytes: 0,
+            chunks: 5,
+        };
+        assert_eq!(descriptor_cycles(&cfg, &d), 0);
+
+        // c-split conv: every non-final c slice emits a zero-byte store.
+        let desc = conv_desc(TileConfig {
+            c_t: 2,
+            k_t: 6,
+            oy_t: 8,
+            ox_t: 8,
+        });
+        let program = linearize_step(&cfg, EngineKind::Digital, &desc);
+        let zero_stores = program
+            .descriptors
+            .iter()
+            .filter(|d| d.dir == DmaDir::Out && d.bytes == 0)
+            .count();
+        assert_eq!(zero_stores, 1, "first of two c-slices stores nothing");
+        let out_slots = program
+            .descriptors
+            .iter()
+            .filter(|d| d.dir == DmaDir::Out)
+            .count();
+        assert_eq!(out_slots as u64, program.n_tiles, "one slot per tile");
+    }
+
+    #[test]
+    fn single_byte_tail_pays_setup_plus_one_beat() {
+        let cfg = DianaConfig::default();
+        let d = DmaDescriptor {
+            dir: DmaDir::In,
+            bytes: 1,
+            chunks: 1,
+        };
+        assert_eq!(
+            descriptor_cycles(&cfg, &d),
+            cfg.dma.setup_cycles + 1,
+            "a 1-byte tail still costs one full setup and one bus beat"
+        );
+    }
+
+    #[test]
+    fn untiled_layer_linearizes_to_three_transactions() {
+        let cfg = DianaConfig::default();
+        let desc = conv_desc(TileConfig {
+            c_t: 4,
+            k_t: 6,
+            oy_t: 8,
+            ox_t: 8,
+        });
+        let program = linearize_step(&cfg, EngineKind::Digital, &desc);
+        assert_eq!(program.n_tiles, 1);
+        let dirs: Vec<DmaDir> = program.descriptors.iter().map(|d| d.dir).collect();
+        assert_eq!(dirs, vec![DmaDir::In, DmaDir::Weight, DmaDir::Out]);
+        assert!(program.compute > 0);
+        assert_eq!(program.analog_weight, 0);
+    }
+
+    #[test]
+    fn analog_weight_programming_is_not_a_descriptor() {
+        let cfg = DianaConfig::default();
+        let desc = conv_desc(TileConfig {
+            c_t: 4,
+            k_t: 3,
+            oy_t: 8,
+            ox_t: 8,
+        });
+        let program = linearize_step(&cfg, EngineKind::Analog, &desc);
+        assert!(program.analog_weight > 0, "rows were programmed");
+        assert!(
+            program.descriptors.iter().all(|d| d.dir != DmaDir::Weight),
+            "analog row programming must not occupy a DMA transaction slot"
+        );
+    }
+
+    #[test]
+    fn input_residency_dedup_matches_tile_order() {
+        // k split with full input: the (c, oy, ox) slice never changes, so
+        // exactly one input fetch is recorded across all k tiles.
+        let cfg = DianaConfig::default();
+        let desc = conv_desc(TileConfig {
+            c_t: 4,
+            k_t: 2,
+            oy_t: 8,
+            ox_t: 8,
+        });
+        let program = linearize_step(&cfg, EngineKind::Digital, &desc);
+        assert_eq!(program.n_tiles, 3);
+        let fetches = program
+            .descriptors
+            .iter()
+            .filter(|d| d.dir == DmaDir::In)
+            .count();
+        assert_eq!(fetches, 1, "resident input is fetched once");
+        let weights = program
+            .descriptors
+            .iter()
+            .filter(|d| d.dir == DmaDir::Weight)
+            .count();
+        assert_eq!(weights, 3, "each k slice restages weights");
+    }
+
+    #[test]
+    fn table_is_pinned_to_its_platform() {
+        let cfg = DianaConfig::default();
+        let desc = conv_desc(TileConfig {
+            c_t: 4,
+            k_t: 6,
+            oy_t: 8,
+            ox_t: 8,
+        });
+        let mut table = DmaTable::new(&cfg);
+        assert!(!table.matches(&cfg), "empty tables never match");
+        table.insert(0, linearize_step(&cfg, EngineKind::Digital, &desc));
+        assert!(table.matches(&cfg));
+        assert_eq!(table.len(), 1);
+        assert!(table.get(0).is_some());
+        assert!(table.get(1).is_none());
+
+        let mut other = cfg;
+        other.dma.setup_cycles += 1;
+        assert!(
+            !table.matches(&other),
+            "any cost-relevant config change must re-key the table"
+        );
+        assert!(
+            !DmaTable::default().matches(&cfg),
+            "the deserialized-from-old-artifact default stays inert"
+        );
+    }
+
+    #[test]
+    fn table_round_trips_through_serde() {
+        let cfg = DianaConfig::default();
+        let desc = conv_desc(TileConfig {
+            c_t: 2,
+            k_t: 3,
+            oy_t: 4,
+            ox_t: 8,
+        });
+        let mut table = DmaTable::new(&cfg);
+        table.insert(0, linearize_step(&cfg, EngineKind::Digital, &desc));
+        let json = serde_json::to_string(&table).unwrap();
+        let back: DmaTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(table, back);
+        assert!(back.matches(&cfg));
+    }
+}

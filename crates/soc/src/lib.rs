@@ -44,6 +44,7 @@ mod counters;
 mod cpu;
 mod digital;
 mod dma;
+mod dma_program;
 mod energy;
 mod faults;
 mod listing;
@@ -59,6 +60,9 @@ pub use counters::{CycleBreakdown, LayerProfile, PerfCounters, RunReport};
 pub use cpu::cpu_graph_cycles;
 pub use digital::digital_tile_cycles;
 pub use dma::dma_cycles;
+pub use dma_program::{
+    descriptor_cycles, linearize_step, platform_digest, DmaDescriptor, DmaDir, DmaTable, StepDma,
+};
 pub use energy::EnergyConfig;
 pub use faults::{FaultEvent, FaultPlan, RetryPolicy};
 pub use listing::render_listing;

@@ -1,5 +1,6 @@
 //! The program executor: functional semantics + cycle accounting.
 
+use crate::dma_program::{self, DmaDir, StepDma};
 use crate::faults::{DmaAbort, FaultCtx};
 use crate::{
     analog, cpu, digital, dma, AccelLayerDesc, BufferId, CycleBreakdown, DianaConfig, EngineKind,
@@ -221,13 +222,31 @@ impl RunError {
 #[derive(Debug, Clone)]
 pub struct Machine {
     cfg: DianaConfig,
+    /// [`dma_program::platform_digest`] of `cfg`, memoized at construction
+    /// so per-run DMA-table matching never re-serializes the config.
+    cfg_digest: u64,
+    tuning: kernels::GemmTuning,
 }
 
 impl Machine {
     /// Creates a machine with the given platform configuration.
     #[must_use]
     pub fn new(cfg: DianaConfig) -> Self {
-        Machine { cfg }
+        Machine {
+            cfg_digest: dma_program::platform_digest(&cfg),
+            cfg,
+            tuning: kernels::GemmTuning::default(),
+        }
+    }
+
+    /// This machine with a measurement-calibrated GEMM block-size table
+    /// applied to the host kernels backing the tile executor. Purely a
+    /// wall-time knob: outputs and simulated cycle counts are unaffected
+    /// (the kernels are bit-exact at any block size).
+    #[must_use]
+    pub fn with_tuning(mut self, tuning: kernels::GemmTuning) -> Self {
+        self.tuning = tuning;
+        self
     }
 
     /// The platform configuration.
@@ -345,7 +364,16 @@ impl Machine {
         }
         let mut layers = Vec::with_capacity(program.steps.len());
         let mut elapsed_cycles: u64 = 0;
+        // Descriptor replay is only sound against the exact platform the
+        // program was linearized for; anything else re-interprets the
+        // tile loop (identical cycles, just slower to price).
+        let replay_ok = program.dma.matches_digest(self.cfg_digest);
         for (step_idx, step) in program.steps.iter().enumerate() {
+            let replay = if replay_ok {
+                program.dma.get(step_idx)
+            } else {
+                None
+            };
             let profile = match step {
                 Step::Accel {
                     engine,
@@ -370,6 +398,7 @@ impl Machine {
                             desc,
                             kernel,
                             (a, b.as_ref()),
+                            replay,
                             &mut faults,
                         )?
                     } else {
@@ -388,6 +417,7 @@ impl Machine {
                             desc,
                             a,
                             b.as_ref(),
+                            replay,
                             &mut faults,
                             &mut scratch,
                         )?
@@ -612,32 +642,56 @@ impl Machine {
             cycles.dma = cycles.dma.saturating_sub(cycles.compute).max(fill);
         }
 
-        if let Some(pool) = &desc.pool {
-            // Fused output pooling (paper §III-C): runs in the output
-            // SIMD stage, one window element per SIMD beat. Cost follows
-            // from the geometry alone (pool output dims match
-            // `kernels::pool2d`).
-            let oy = pooled_dim(
-                geom.oy(),
-                pool.kernel.0,
-                pool.strides.0,
-                pool.padding.top + pool.padding.bottom,
-            );
-            let ox = pooled_dim(
-                geom.ox(),
-                pool.kernel.1,
-                pool.strides.1,
-                pool.padding.left + pool.padding.right,
-            );
-            let window = (pool.kernel.0 * pool.kernel.1) as u64;
-            let elems = (geom.k * oy * ox) as u64 * window;
-            let rate = match engine {
-                EngineKind::Digital => self.cfg.digital.add_elems_per_cycle,
-                _ => 16,
-            };
-            cycles.compute += elems.div_ceil(rate);
-        }
+        // Fused output pooling (paper §III-C): costed by the shared
+        // helper so interpretation and descriptor replay cannot drift.
+        cycles.compute += dma_program::pool_cycles(&self.cfg, engine, desc);
 
+        Ok(cycles)
+    }
+
+    /// The temporal model of one accelerator layer, replayed from its
+    /// compile-time [`StepDma`] descriptor program instead of re-deriving
+    /// per-tile transfer geometry. Cycle- and transaction-order-exact with
+    /// [`Machine::accel_timing`] by construction: descriptors were
+    /// recorded in the interpreter's issue order against this exact
+    /// platform configuration (digest-checked by the caller), so fault
+    /// plans indexed by global DMA transaction hit the same transfers.
+    fn replay_timing(
+        &self,
+        engine: EngineKind,
+        step_dma: &StepDma,
+        faults: &mut FaultCtx,
+    ) -> Result<CycleBreakdown, DmaAbort> {
+        let mut cycles = CycleBreakdown::default();
+        let (kernel_call, tile_overhead) = match engine {
+            EngineKind::Digital => (
+                self.cfg.digital.kernel_call_overhead,
+                self.cfg.digital.tile_overhead,
+            ),
+            EngineKind::Analog => (
+                self.cfg.analog.kernel_call_overhead,
+                self.cfg.analog.tile_overhead,
+            ),
+            EngineKind::Cpu => unreachable!("accel steps never target the cpu"),
+        };
+        cycles.overhead = kernel_call + tile_overhead * step_dma.n_tiles;
+        for d in &step_dma.descriptors {
+            let cost = dma_program::descriptor_cycles(&self.cfg, d);
+            match d.dir {
+                DmaDir::In | DmaDir::Out => cycles.dma += cost,
+                DmaDir::Weight => cycles.weight_load += cost,
+            }
+            faults.dma_transfer(cost)?;
+        }
+        cycles.weight_load += step_dma.analog_weight;
+        cycles.compute = step_dma.compute;
+        // Same double-buffering adjustment as the interpreter: applied
+        // over the pre-pool compute sum, fault stalls untouched.
+        if self.cfg.dma.double_buffer && step_dma.n_tiles > 1 {
+            let fill = cycles.dma / step_dma.n_tiles;
+            cycles.dma = cycles.dma.saturating_sub(cycles.compute).max(fill);
+        }
+        cycles.compute += step_dma.pool;
         Ok(cycles)
     }
 
@@ -651,6 +705,7 @@ impl Machine {
         desc: &AccelLayerDesc,
         input: &Tensor,
         input2: Option<&Tensor>,
+        replay: Option<&StepDma>,
         faults: &mut FaultCtx,
         scratch: &mut kernels::KernelScratch,
     ) -> Result<(Tensor, LayerProfile), RunError> {
@@ -674,15 +729,19 @@ impl Machine {
 
         let instances = tiles(geom, &desc.tile);
         let n_tiles = instances.len();
-        let mut cycles = self
-            .accel_timing(engine, desc, &instances, faults)
-            .map_err(|abort| RunError::DmaFailed {
-                layer_index: step_idx,
-                layer: desc.name.clone(),
-                engine,
-                transfer: abort.transfer,
-                attempts: abort.attempts,
-            })?;
+        let mut cycles = match replay {
+            // A stale tile count means the table does not describe this
+            // program; fall back to interpreting the loop.
+            Some(p) if p.n_tiles as usize == n_tiles => self.replay_timing(engine, p, faults),
+            _ => self.accel_timing(engine, desc, &instances, faults),
+        }
+        .map_err(|abort| RunError::DmaFailed {
+            layer_index: step_idx,
+            layer: desc.name.clone(),
+            engine,
+            transfer: abort.transfer,
+            attempts: abort.attempts,
+        })?;
         // Collect this layer's injected stalls/retries (includes any L1
         // denial backoff charged before dispatch).
         let (stall, retries) = faults.take_layer_faults();
@@ -720,6 +779,7 @@ impl Machine {
     /// before the CPU cost — a faulted run is never cheaper than the
     /// fault-free one. The fallback graph reproduces the accelerator's
     /// fused output path (including the analog DAC clamp) bit for bit.
+    #[allow(clippy::too_many_arguments)]
     fn exec_fallback(
         &self,
         step_idx: usize,
@@ -727,13 +787,20 @@ impl Machine {
         desc: &AccelLayerDesc,
         kernel: &FallbackKernel,
         (input, input2): (&Tensor, Option<&Tensor>),
+        replay: Option<&StepDma>,
         faults: &mut FaultCtx,
     ) -> Result<(Tensor, LayerProfile), RunError> {
-        let instances = tiles(&desc.geom, &desc.tile);
-        let timeout = self
-            .accel_timing(engine, desc, &instances, &mut FaultCtx::inert())
-            .expect("inert fault context cannot abort")
-            .total();
+        // With a descriptor program the timeout is priced without even
+        // enumerating the tile loop.
+        let timeout = match replay {
+            Some(p) => self.replay_timing(engine, p, &mut FaultCtx::inert()),
+            None => {
+                let instances = tiles(&desc.geom, &desc.tile);
+                self.accel_timing(engine, desc, &instances, &mut FaultCtx::inert())
+            }
+        }
+        .expect("inert fault context cannot abort")
+        .total();
 
         // Mirror the analog input DAC clamp so the fallback sees exactly
         // the bits the accelerator would have.
@@ -789,13 +856,17 @@ impl Machine {
         match geom.kind {
             LayerKind::Conv2d => {
                 let w = desc.weights.as_ref().expect("conv layers carry weights");
-                let policy = kernels::KernelPolicy::for_conv(
+                let mut policy = kernels::KernelPolicy::for_conv(
                     inst.k.len(),
                     inst.c.len(),
                     geom.fy,
                     geom.fx,
                     inst.oy.len() * inst.ox.len(),
                 );
+                if !self.tuning.is_empty() {
+                    let kk = inst.c.len() * geom.fy * geom.fx;
+                    policy = policy.with_kc(self.tuning.kc_for(kk));
+                }
                 kernels::conv2d_accumulate_with(
                     &policy,
                     scratch,
@@ -855,13 +926,6 @@ fn take_ref(values: &[Option<Tensor>], id: BufferId) -> &Tensor {
     values[id.0]
         .as_ref()
         .expect("schedule order guarantees producer ran before consumer")
-}
-
-/// Pooling output dimension — must match `kernels::pool2d`'s shape rule
-/// (`(padded - kernel) / stride + 1`) so geometry-priced pool cycles equal
-/// the tensor-derived count.
-fn pooled_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
-    (input + pad - kernel) / stride + 1
 }
 
 #[cfg(test)]
@@ -932,6 +996,7 @@ mod tests {
             outputs: vec![BufferId(1)],
             activation_peak: 4 * 64 + 6 * 64,
             fallbacks: crate::FallbackTable::default(),
+            dma: crate::DmaTable::default(),
         };
         (program, input, reference)
     }
@@ -1125,6 +1190,25 @@ mod tests {
         let a = ideal.run(&program, std::slice::from_ref(&small)).unwrap();
         let b = dac.run(&program, std::slice::from_ref(&small)).unwrap();
         assert_eq!(a.outputs, b.outputs);
+    }
+
+    #[test]
+    fn gemm_tuning_is_invisible_in_bits_and_cycles() {
+        // A calibrated block-size table is purely a wall-time knob: the
+        // full report (outputs, per-layer cycles, counters) must be
+        // identical with and without it, at any block size.
+        let geom = LayerGeometry::conv2d(4, 6, 8, 8, 3, 3, (1, 1), (1, 1, 1, 1));
+        let (program, input, _) = conv_program(TileConfig::full(&geom), EngineKind::Digital);
+        let plain = Machine::new(DianaConfig::default())
+            .run(&program, std::slice::from_ref(&input))
+            .unwrap();
+        for kc in [1usize, 5, 64, 1024] {
+            let tuned = Machine::new(DianaConfig::default())
+                .with_tuning(kernels::GemmTuning::new(vec![(usize::MAX, kc)]))
+                .run(&program, std::slice::from_ref(&input))
+                .unwrap();
+            assert_eq!(plain, tuned, "kc={kc}");
+        }
     }
 
     #[test]
@@ -1458,5 +1542,159 @@ mod tests {
             wc > ws,
             "channel-tiled loads ({wc}) must exceed spatial ({ws})"
         );
+    }
+
+    /// Attaches a freshly linearized DMA descriptor table (for `cfg`) to
+    /// every accelerator step of the program.
+    fn with_dma_table(mut program: Program, cfg: &DianaConfig) -> Program {
+        let mut table = crate::DmaTable::new(cfg);
+        for (idx, step) in program.steps.iter().enumerate() {
+            if let Step::Accel { engine, desc, .. } = step {
+                table.insert(idx, crate::linearize_step(cfg, *engine, desc));
+            }
+        }
+        program.dma = table;
+        program
+    }
+
+    #[test]
+    fn descriptor_replay_is_cycle_and_bit_exact() {
+        let geom = LayerGeometry::conv2d(4, 6, 8, 8, 3, 3, (1, 1), (1, 1, 1, 1));
+        let mut serial = DianaConfig::default();
+        let mut overlapped = DianaConfig::default();
+        overlapped.dma.double_buffer = true;
+        serial.analog.clamp_inputs_7bit = false;
+        for cfg in [serial, overlapped] {
+            for engine in [EngineKind::Digital, EngineKind::Analog] {
+                for tile in [
+                    TileConfig::full(&geom),
+                    TileConfig {
+                        c_t: 2,
+                        k_t: 3,
+                        oy_t: 4,
+                        ox_t: 8,
+                    },
+                    TileConfig {
+                        c_t: 1,
+                        k_t: 1,
+                        oy_t: 2,
+                        ox_t: 3,
+                    },
+                ] {
+                    let (program, input, _) = conv_program(tile, engine);
+                    let replayed = with_dma_table(program.clone(), &cfg);
+                    let m = Machine::new(cfg);
+                    let interp = m.run(&program, std::slice::from_ref(&input)).unwrap();
+                    let replay = m.run(&replayed, std::slice::from_ref(&input)).unwrap();
+                    assert_eq!(
+                        interp, replay,
+                        "replay must be bit- and cycle-exact ({engine} {tile:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replay_preserves_fault_transaction_order() {
+        // Faults are addressed by global DMA transaction index; replay
+        // must issue transactions in the interpreter's exact order —
+        // zero-byte output stores included — or plans would hit
+        // different transfers.
+        let tile = TileConfig {
+            c_t: 2,
+            k_t: 3,
+            oy_t: 4,
+            ox_t: 8,
+        };
+        let cfg = DianaConfig::default();
+        let (program, input, _) = conv_program(tile, EngineKind::Digital);
+        let replayed = with_dma_table(program.clone(), &cfg);
+        let m = Machine::new(cfg);
+        let n_transfers = replayed.dma.get(0).unwrap().descriptors.len() as u64;
+        assert!(n_transfers > 3);
+        for transfer in 0..n_transfers {
+            let plan = crate::FaultPlan::none().with_event(crate::FaultEvent::DmaStall {
+                transfer,
+                cycles: 999,
+            });
+            let interp = m
+                .run_with_faults(&program, std::slice::from_ref(&input), &plan)
+                .unwrap();
+            let replay = m
+                .run_with_faults(&replayed, std::slice::from_ref(&input), &plan)
+                .unwrap();
+            assert_eq!(interp, replay, "stall at transfer {transfer}");
+        }
+        // Retry-exhaustion aborts identify the same failing transfer.
+        let plan = crate::FaultPlan::none().with_event(crate::FaultEvent::DmaFail {
+            transfer: 1,
+            attempts: 99,
+        });
+        let ei = m
+            .run_with_faults(&program, std::slice::from_ref(&input), &plan)
+            .unwrap_err();
+        let er = m.run_with_faults(&replayed, &[input], &plan).unwrap_err();
+        match (ei, er) {
+            (
+                RunError::DmaFailed {
+                    transfer: ti,
+                    attempts: ai,
+                    ..
+                },
+                RunError::DmaFailed {
+                    transfer: tr,
+                    attempts: ar,
+                    ..
+                },
+            ) => {
+                assert_eq!(ti, tr);
+                assert_eq!(ai, ar);
+            }
+            other => panic!("expected DmaFailed on both paths, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn foreign_platform_digest_falls_back_to_interpretation() {
+        // A table linearized for the default platform must be ignored on
+        // a machine with different cost constants: the run still succeeds
+        // and prices exactly like the table-free program.
+        let tile = TileConfig {
+            c_t: 2,
+            k_t: 3,
+            oy_t: 4,
+            ox_t: 8,
+        };
+        let (program, input, _) = conv_program(tile, EngineKind::Digital);
+        let replayed = with_dma_table(program.clone(), &DianaConfig::default());
+        let mut other = DianaConfig::default();
+        other.dma.setup_cycles = 77;
+        other.digital.tile_overhead = 111;
+        let m = Machine::new(other);
+        let interp = m.run(&program, std::slice::from_ref(&input)).unwrap();
+        let replay = m.run(&replayed, std::slice::from_ref(&input)).unwrap();
+        assert_eq!(interp, replay, "stale tables must not perturb a cycle");
+    }
+
+    #[test]
+    fn fallback_timeout_priced_from_descriptors_matches_interpreter() {
+        let geom = LayerGeometry::conv2d(4, 6, 8, 8, 3, 3, (1, 1), (1, 1, 1, 1));
+        let cfg = DianaConfig::default();
+        let (mut program, input, reference) =
+            conv_program(TileConfig::full(&geom), EngineKind::Digital);
+        program.fallbacks.insert(0, conv_fallback(&program));
+        let replayed = with_dma_table(program.clone(), &cfg);
+        let m = Machine::new(cfg);
+        let plan = crate::FaultPlan::none().with_event(crate::FaultEvent::EngineOffline {
+            engine: EngineKind::Digital,
+            layer: 0,
+        });
+        let interp = m
+            .run_with_faults(&program, std::slice::from_ref(&input), &plan)
+            .unwrap();
+        let replay = m.run_with_faults(&replayed, &[input], &plan).unwrap();
+        assert_eq!(interp.outputs[0], reference);
+        assert_eq!(interp, replay, "degraded-path timeout must price equally");
     }
 }

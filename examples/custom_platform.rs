@@ -45,6 +45,7 @@ fn mega_objective() -> TilingObjective {
             (Heuristic::PeAlignIx { modulo: 32 }, 2.0),
             (Heuristic::DmaMaxIy, 0.4),
         ],
+        cost_model: None,
     }
 }
 
