@@ -117,7 +117,9 @@ pub fn binary_size(model: &BinarySizeModel, steps: &[Step]) -> BinarySize {
                             }
                             LayerKind::DepthwiseConv2d => round_up(g.c, granule) * g.fy * g.fx,
                             LayerKind::Dense => round_up(g.k, granule) * round_up(g.c, granule),
-                            LayerKind::Add => 0,
+                            // Matmul's second operand is a runtime
+                            // activation: no weights in the binary image.
+                            LayerKind::MatMul | LayerKind::Add => 0,
                         };
                         g.w_dtype.storage_bytes(elems)
                     }
@@ -125,7 +127,7 @@ pub fn binary_size(model: &BinarySizeModel, steps: &[Step]) -> BinarySize {
                         let rows = match g.kind {
                             LayerKind::Conv2d => g.c * g.fy * g.fx,
                             LayerKind::Dense => g.c,
-                            LayerKind::DepthwiseConv2d | LayerKind::Add => 0,
+                            LayerKind::DepthwiseConv2d | LayerKind::MatMul | LayerKind::Add => 0,
                         };
                         if rows == 0 {
                             0

@@ -12,7 +12,8 @@ use htvm_soc::FusedPool;
 pub struct ExtractedLayer {
     /// Layer geometry derived from the anchor's operand shapes.
     pub geom: LayerGeometry,
-    /// Weights in anchor layout; `None` for element-wise add.
+    /// Weights in anchor layout; `None` for element-wise add and matmul
+    /// (whose second operand is a runtime activation).
     pub weights: Option<Tensor>,
     /// Fused bias, if the chain had a `bias_add`.
     pub bias: Option<Tensor>,
@@ -87,7 +88,11 @@ pub fn extract(graph: &Graph, pattern: &str, m: &Match) -> Result<ExtractedLayer
                 bias = Some(b.clone());
                 cursor = node.inputs()[0];
             }
-            Op::Conv2d { .. } | Op::DepthwiseConv2d { .. } | Op::Dense | Op::Add => {
+            Op::Conv2d { .. }
+            | Op::DepthwiseConv2d { .. }
+            | Op::Dense
+            | Op::MatMul { .. }
+            | Op::Add => {
                 break cursor;
             }
             other => return Err(err(format!("unsupported op '{}' in chain", other.name()))),
@@ -117,6 +122,7 @@ pub fn extract(graph: &Graph, pattern: &str, m: &Match) -> Result<ExtractedLayer
                 padding: *padding,
                 w_dtype: w_node.dtype(),
                 act_dtype: x.dtype,
+                transpose_b: false,
             };
             (geom, Some(w_node.clone()), vec![node.inputs()[0]])
         }
@@ -140,6 +146,7 @@ pub fn extract(graph: &Graph, pattern: &str, m: &Match) -> Result<ExtractedLayer
                 padding: *padding,
                 w_dtype: w_node.dtype(),
                 act_dtype: x.dtype,
+                transpose_b: false,
             };
             (geom, Some(w_node.clone()), vec![node.inputs()[0]])
         }
@@ -154,6 +161,23 @@ pub fn extract(graph: &Graph, pattern: &str, m: &Match) -> Result<ExtractedLayer
             geom.w_dtype = w_node.dtype();
             geom.act_dtype = x.dtype;
             (geom, Some(w_node.clone()), vec![node.inputs()[0]])
+        }
+        Op::MatMul { transpose_b } => {
+            let a = graph.node(node.inputs()[0]);
+            let b = graph.node(node.inputs()[1]);
+            let ad = a.shape.dims();
+            let bd = b.shape.dims();
+            if ad.len() != 3 || bd.len() != 3 {
+                return Err(err(format!(
+                    "matmul expects rank-3 operands, got ranks {} and {}",
+                    ad.len(),
+                    bd.len()
+                )));
+            }
+            // a: [H, M, D]; b: [H, N, D] when transposed, else [H, D, N].
+            let n = if *transpose_b { bd[1] } else { bd[2] };
+            let geom = LayerGeometry::matmul(ad[2], n, ad[1], ad[0], *transpose_b);
+            (geom, None, vec![node.inputs()[0], node.inputs()[1]])
         }
         Op::Add => {
             let a = graph.node(node.inputs()[0]);

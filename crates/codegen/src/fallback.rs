@@ -27,6 +27,9 @@ pub fn cpu_fallback(desc: &AccelLayerDesc) -> Option<FallbackKernel> {
     let mut b = GraphBuilder::new();
     let in_dims: Vec<usize> = match geom.kind {
         LayerKind::Dense => vec![geom.c],
+        // Matmul geometry maps batch→ix, sequence→iy, reduction→c, so the
+        // lhs activation is [H, M, D] = [ix, iy, c].
+        LayerKind::MatMul => vec![geom.ix, geom.iy, geom.c],
         _ => vec![geom.c, geom.iy, geom.ix],
     };
     let x = b.input("x", &in_dims, geom.act_dtype);
@@ -42,6 +45,15 @@ pub fn cpu_fallback(desc: &AccelLayerDesc) -> Option<FallbackKernel> {
         LayerKind::Dense => {
             let w = b.constant("w", desc.weights.clone()?);
             b.dense(x, w).ok()?
+        }
+        LayerKind::MatMul => {
+            let b_dims = if geom.transpose_b {
+                vec![geom.ix, geom.k, geom.c]
+            } else {
+                vec![geom.ix, geom.c, geom.k]
+            };
+            let y = b.input("y", &b_dims, geom.act_dtype);
+            b.matmul(x, y, geom.transpose_b).ok()?
         }
         LayerKind::Add => {
             let y = b.input("y", &in_dims, geom.act_dtype);
@@ -96,7 +108,7 @@ mod tests {
                 }
                 Some(w)
             }
-            LayerKind::Add => None,
+            LayerKind::MatMul | LayerKind::Add => None,
         };
         let bias = (geom.kind != LayerKind::Add).then(|| {
             let mut t = Tensor::zeros(DType::I32, &[geom.k]);

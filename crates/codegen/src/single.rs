@@ -23,20 +23,23 @@ pub fn single_layer_program(geom: &LayerGeometry, tile: TileConfig, engine: Engi
     tile.validate(geom);
     let in_shape: Vec<usize> = match geom.kind {
         LayerKind::Dense => vec![geom.c],
+        // Matmul lhs is [H, M, D] = [ix, iy, c].
+        LayerKind::MatMul => vec![geom.ix, geom.iy, geom.c],
         _ => vec![geom.c, geom.iy, geom.ix],
     };
     let out_shape: Vec<usize> = match geom.kind {
         LayerKind::Dense => vec![geom.k],
+        LayerKind::MatMul => vec![geom.ox(), geom.oy(), geom.k],
         _ => vec![geom.k, geom.oy(), geom.ox()],
     };
     let weights = match geom.kind {
         LayerKind::Conv2d => Some(patterned(geom.w_dtype, &[geom.k, geom.c, geom.fy, geom.fx])),
         LayerKind::DepthwiseConv2d => Some(patterned(geom.w_dtype, &[geom.c, geom.fy, geom.fx])),
         LayerKind::Dense => Some(patterned(geom.w_dtype, &[geom.k, geom.c])),
-        LayerKind::Add => None,
+        LayerKind::MatMul | LayerKind::Add => None,
     };
     let bias = match geom.kind {
-        LayerKind::Add => None,
+        LayerKind::MatMul | LayerKind::Add => None,
         _ => Some(Tensor::zeros(DType::I32, &[geom.k])),
     };
 
@@ -50,15 +53,20 @@ pub fn single_layer_program(geom: &LayerGeometry, tile: TileConfig, engine: Engi
         kind: BufferKind::Input,
     }];
     let mut input2 = None;
-    if geom.kind == LayerKind::Add {
+    if matches!(geom.kind, LayerKind::Add | LayerKind::MatMul) {
+        let shape2: Vec<usize> = match geom.kind {
+            LayerKind::MatMul if geom.transpose_b => vec![geom.ix, geom.k, geom.c],
+            LayerKind::MatMul => vec![geom.ix, geom.c, geom.k],
+            _ => in_shape.clone(),
+        };
         input2 = Some(BufferId(1));
         buffers.push(BufferDecl {
             id: BufferId(1),
             name: "input2".into(),
-            shape: Shape::new(&in_shape),
+            shape: Shape::new(&shape2),
             dtype: geom.act_dtype,
             offset: buffers[0].size,
-            size: buffers[0].size,
+            size: geom.act_dtype.storage_bytes(shape2.iter().product()),
             kind: BufferKind::Input,
         });
     }

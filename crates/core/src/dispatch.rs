@@ -57,6 +57,10 @@ pub fn engine_feasible(
         (_, LayerKind::Add, _) => true,
         (EngineKind::Digital, LayerKind::DepthwiseConv2d, DType::I8) => true,
         (EngineKind::Digital, LayerKind::Conv2d | LayerKind::Dense, DType::I8) => true,
+        // Activation×activation matmul stages its i8 rhs through the
+        // digital weight memory; the analog array cannot host runtime
+        // operands at all.
+        (EngineKind::Digital, LayerKind::MatMul, DType::I8) => true,
         (EngineKind::Analog, LayerKind::Conv2d | LayerKind::Dense, DType::Ternary) => true,
         _ => false,
     };
@@ -139,6 +143,7 @@ pub fn dispatch_rule(
             }
         }
         (LayerKind::DepthwiseConv2d, DType::I8) if deploy.digital_enabled() => EngineKind::Digital,
+        (LayerKind::MatMul, DType::I8) if deploy.digital_enabled() => EngineKind::Digital,
         (LayerKind::Conv2d | LayerKind::Dense, DType::I8) if deploy.digital_enabled() => {
             EngineKind::Digital
         }
@@ -257,6 +262,26 @@ mod tests {
         let q = b.requantize(c, 7, false).unwrap();
         let g = b.finish(&[q]).unwrap();
         assert_eq!(rule_for(&g, q, DeployConfig::Both), None);
+    }
+
+    #[test]
+    fn matmul_routes_digital_only() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", &[2, 16, 8], DType::I8);
+        let m = b.matmul(x, x, true).unwrap();
+        let q = b.requantize(m, 6, false).unwrap();
+        let g = b.finish(&[q]).unwrap();
+        assert_eq!(
+            rule_for(&g, q, DeployConfig::Both),
+            Some(EngineKind::Digital)
+        );
+        assert_eq!(
+            rule_for(&g, q, DeployConfig::Digital),
+            Some(EngineKind::Digital)
+        );
+        // The analog array cannot stage runtime operands as weights.
+        assert_eq!(rule_for(&g, q, DeployConfig::Analog), None);
+        assert_eq!(rule_for(&g, q, DeployConfig::CpuTvm), None);
     }
 
     #[test]

@@ -67,7 +67,8 @@ pub use htvm_dory::{
 };
 pub use htvm_ir::{DType, Graph, GraphBuilder, IrError, Tensor};
 pub use htvm_soc::{
-    DianaConfig, DmaTable, EnergyConfig, EngineKind, FallbackKernel, FallbackTable, FaultEvent,
-    FaultPlan, LayerProfile, Machine, PerfCounters, Program, RetryPolicy, RunError, RunReport,
+    AccelLayerDesc, DianaConfig, DmaTable, EnergyConfig, EngineKind, FallbackKernel, FallbackTable,
+    FaultEvent, FaultPlan, LayerProfile, Machine, PerfCounters, Program, RetryPolicy, RunError,
+    RunReport, Step,
 };
 pub use htvm_trace::{tracks, ArgValue, Span, TimeDomain, Trace, Tracer, Track};

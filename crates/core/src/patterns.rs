@@ -44,6 +44,10 @@ pub fn diana_patterns() -> Vec<NamedPattern> {
             "add_requant",
             requant_tail(is_op("add", vec![wildcard(), wildcard()])),
         ),
+        NamedPattern::new(
+            "matmul_requant",
+            requant_tail(is_op("nn.matmul", vec![wildcard(), wildcard()])),
+        ),
     ];
     // Defensive: keep longest-first ordering even if the list above is
     // edited.
@@ -62,7 +66,7 @@ mod tests {
         let t = diana_patterns();
         let sizes: Vec<usize> = t.iter().map(|p| p.pattern.min_ops()).collect();
         assert!(sizes.windows(2).all(|w| w[0] >= w[1]));
-        assert_eq!(t.len(), 7);
+        assert_eq!(t.len(), 8);
     }
 
     #[test]
@@ -80,6 +84,22 @@ mod tests {
             .find(|p| p.name == "conv2d_bias_requant")
             .unwrap();
         assert!(match_at(&g, &p.pattern, q).is_some());
+    }
+
+    #[test]
+    fn matmul_chain_matches() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", &[2, 8, 4], DType::I8);
+        let m = b.matmul(x, x, true).unwrap();
+        let q = b.requantize(m, 6, false).unwrap();
+        let g = b.finish(&[q]).unwrap();
+        let p = diana_patterns()
+            .into_iter()
+            .find(|p| p.name == "matmul_requant")
+            .unwrap();
+        let m = match_at(&g, &p.pattern, q).unwrap();
+        assert_eq!(m.inputs.len(), 2);
+        assert_eq!(m.inputs[0], m.inputs[1], "self-attention shares one input");
     }
 
     #[test]

@@ -85,8 +85,10 @@ pub fn tile_memory(geom: &LayerGeometry, tile: &TileConfig) -> TileMemory {
         _ => act.storage_bytes(in_elems),
     };
     let out_elems = tile.k_t * tile.oy_t * tile.ox_t;
-    let splits_reduction =
-        matches!(geom.kind, LayerKind::Conv2d | LayerKind::Dense) && tile.c_t < geom.c;
+    let splits_reduction = matches!(
+        geom.kind,
+        LayerKind::Conv2d | LayerKind::Dense | LayerKind::MatMul
+    ) && tile.c_t < geom.c;
     let output = if splits_reduction {
         DType::I32.storage_bytes(out_elems)
     } else {
@@ -97,6 +99,9 @@ pub fn tile_memory(geom: &LayerGeometry, tile: &TileConfig) -> TileMemory {
         LayerKind::DepthwiseConv2d => tile.c_t * geom.fy * geom.fx,
         LayerKind::Dense => tile.k_t * tile.c_t,
         LayerKind::Add => 0,
+        // The staged b-operand slab: an N×D rectangle per resident batch
+        // column — the rectangular L1 partition conv tiles never exercise.
+        LayerKind::MatMul => tile.k_t * tile.c_t * tile.ox_t,
     };
     let weight = geom.w_dtype.storage_bytes(weight_elems);
     TileMemory {
@@ -186,6 +191,28 @@ mod tests {
         let m = tile_memory(&g, &tile(8, 8, 4, 4));
         assert_eq!(m.input, 2 * 8 * 16);
         assert_eq!(m.weight, 0);
+    }
+
+    #[test]
+    fn matmul_tiles_partition_rectangles() {
+        // D=32, N=128, M=128, H=2.
+        let g = LayerGeometry::matmul(32, 128, 128, 2, true);
+        let full = TileConfig::full(&g);
+        let m = tile_memory(&g, &full);
+        assert_eq!(m.input, 32 * 128 * 2);
+        assert_eq!(m.weight, 128 * 32 * 2, "whole staged b operand");
+        assert_eq!(m.output, 128 * 128 * 2);
+        // Halving sequence rows halves input and output but leaves the
+        // staged slab alone; halving output columns shrinks the slab.
+        let rows = tile_memory(&g, &tile(32, 128, 64, 2));
+        assert_eq!(rows.input, 32 * 64 * 2);
+        assert_eq!(rows.output, 128 * 64 * 2);
+        assert_eq!(rows.weight, m.weight);
+        let cols = tile_memory(&g, &tile(32, 64, 128, 2));
+        assert_eq!(cols.weight, 64 * 32 * 2);
+        // Splitting the reduction widens outputs to i32 partial sums.
+        let red = tile_memory(&g, &tile(16, 128, 128, 2));
+        assert_eq!(red.output, 128 * 128 * 2 * 4);
     }
 
     #[test]

@@ -223,10 +223,24 @@ impl CostModel {
         let weight = if geom.kind == LayerKind::Add {
             0
         } else {
-            let loads = if n_c == 1 { n_k as u64 } else { n_tiles };
+            // Matmul stages its b operand per (k, c, batch) slice: it stays
+            // resident across output rows only when reduction *and* batch
+            // are unsplit. Conv/dense weights key on (k, c) alone.
+            let resident = if geom.kind == LayerKind::MatMul {
+                n_c == 1 && n_x == 1
+            } else {
+                n_c == 1
+            };
+            let loads = if resident { n_k as u64 } else { n_tiles };
             match self.engine {
                 EngineModel::Digital { .. } => {
-                    let sweeps = if n_c == 1 { 1 } else { n_y * n_x };
+                    let sweeps = if resident {
+                        1
+                    } else if geom.kind == LayerKind::MatMul {
+                        n_y
+                    } else {
+                        n_y * n_x
+                    };
                     let bytes = (geom.weight_bytes() * sweeps) as u64;
                     self.dma_setup * loads + bytes.div_ceil(self.dma_bytes_per_cycle)
                 }
@@ -237,7 +251,7 @@ impl CostModel {
                 } => {
                     let per_load = match geom.kind {
                         LayerKind::Conv2d => tile.c_t * geom.fy * geom.fx,
-                        LayerKind::Dense => tile.c_t,
+                        LayerKind::Dense | LayerKind::MatMul => tile.c_t,
                         LayerKind::DepthwiseConv2d | LayerKind::Add => 0,
                     };
                     loads * per_load.min(rows) as u64 * row_load_cycles
@@ -303,6 +317,13 @@ impl CostModel {
                         blocks(geom.c, tile.c_t, n_c, pe_rows)
                             * blocks(geom.k, tile.k_t, n_k, pe_cols)
                     }
+                    // One PE-array pass per (sequence row, c block, k
+                    // block); constant in `o_yᵗ` like dense.
+                    LayerKind::MatMul => {
+                        (oy * ox) as u64
+                            * blocks(geom.c, tile.c_t, n_c, pe_rows)
+                            * blocks(geom.k, tile.k_t, n_k, pe_cols)
+                    }
                     LayerKind::DepthwiseConv2d => geom.macs() * 100 / dw_macs_per_cycle_x100.max(1),
                     LayerKind::Add => {
                         ((geom.k * oy * ox) as u64).div_ceil(add_elems_per_cycle.max(1))
@@ -323,7 +344,7 @@ impl CostModel {
                     LayerKind::Add => ((geom.k * oy * ox) as u64).div_ceil(16),
                     // Never dispatched to analog; priced as raw MACs so
                     // the term stays defined.
-                    LayerKind::DepthwiseConv2d => geom.macs(),
+                    LayerKind::DepthwiseConv2d | LayerKind::MatMul => geom.macs(),
                 };
                 (ideal * 100).div_ceil(efficiency_pct.max(1))
             }

@@ -14,6 +14,10 @@ pub enum LayerKind {
     Dense,
     /// Element-wise residual addition (no weights; two inputs).
     Add,
+    /// Batched integer matmul (attention). Both operands are runtime
+    /// activations; the second is staged through the weight memory
+    /// tile-by-tile like weight data, but re-fetched per batch.
+    MatMul,
 }
 
 /// Geometry of one layer as seen by the tiler: the dimensions of the
@@ -45,6 +49,12 @@ pub struct LayerGeometry {
     pub w_dtype: DType,
     /// Activation precision (inputs and requantized outputs).
     pub act_dtype: DType,
+    /// For [`LayerKind::MatMul`]: the second operand is `[H, N, D]`
+    /// (reduced over its last axis) instead of `[H, D, N]`. Skipped when
+    /// `false` so pre-matmul serialized geometries round-trip
+    /// byte-identically.
+    #[serde(default, skip_serializing_if = "std::ops::Not::not")]
+    pub transpose_b: bool,
 }
 
 impl LayerGeometry {
@@ -74,6 +84,7 @@ impl LayerGeometry {
             padding: padding.into(),
             w_dtype: DType::I8,
             act_dtype: DType::I8,
+            transpose_b: false,
         }
     }
 
@@ -101,6 +112,7 @@ impl LayerGeometry {
             padding: padding.into(),
             w_dtype: DType::I8,
             act_dtype: DType::I8,
+            transpose_b: false,
         }
     }
 
@@ -120,6 +132,7 @@ impl LayerGeometry {
             padding: Padding2d::same(0),
             w_dtype: DType::I8,
             act_dtype: DType::I8,
+            transpose_b: false,
         }
     }
 
@@ -139,6 +152,31 @@ impl LayerGeometry {
             padding: Padding2d::same(0),
             w_dtype: DType::I8,
             act_dtype: DType::I8,
+            transpose_b: false,
+        }
+    }
+
+    /// Convenience constructor for a batched matmul of `[H, M, D]` against
+    /// `[H, D, N]` (or `[H, N, D]` with `transpose_b`). In tiler terms the
+    /// reduction `D` maps to `c`, the output columns `N` to `k`, the
+    /// sequence rows `M` to `iy` (1×1 filter, so `oy == M`) and the batch
+    /// `H` to `ix` — a rectangular sequence×head geometry with no spatial
+    /// halo.
+    #[must_use]
+    pub fn matmul(d: usize, n: usize, m: usize, h: usize, transpose_b: bool) -> Self {
+        LayerGeometry {
+            kind: LayerKind::MatMul,
+            c: d,
+            k: n,
+            ix: h,
+            iy: m,
+            fx: 1,
+            fy: 1,
+            strides: (1, 1),
+            padding: Padding2d::same(0),
+            w_dtype: DType::I8,
+            act_dtype: DType::I8,
+            transpose_b,
         }
     }
 
@@ -190,10 +228,12 @@ impl LayerGeometry {
             LayerKind::DepthwiseConv2d => (self.c * self.fy * self.fx) as u64 * spatial,
             LayerKind::Dense => (self.k * self.c) as u64,
             LayerKind::Add => 0,
+            // N·D per output row, M rows, H batches.
+            LayerKind::MatMul => (self.k * self.c) as u64 * spatial,
         }
     }
 
-    /// Number of weight elements.
+    /// Number of weight elements (for matmul: the staged second operand).
     #[must_use]
     pub fn weight_elems(&self) -> usize {
         match self.kind {
@@ -201,6 +241,9 @@ impl LayerGeometry {
             LayerKind::DepthwiseConv2d => self.c * self.fy * self.fx,
             LayerKind::Dense => self.k * self.c,
             LayerKind::Add => 0,
+            // The b operand is [H, D, N] (either layout): one N×D slab
+            // per batch, staged through the weight memory.
+            LayerKind::MatMul => self.k * self.c * self.ix,
         }
     }
 
@@ -277,6 +320,18 @@ mod tests {
         assert_eq!(g.macs(), 0);
         assert_eq!(g.weight_bytes(), 0);
         assert_eq!(g.input_bytes(), 2 * 32 * 64);
+    }
+
+    #[test]
+    fn matmul_geometry_maps_attention_dims() {
+        // [2, 128, 32] × [2, 32, 128]ᵀ-free: D=32, N=128, M=128, H=2.
+        let g = LayerGeometry::matmul(32, 128, 128, 2, true);
+        assert_eq!((g.oy(), g.ox()), (128, 2));
+        assert_eq!(g.macs(), 128 * 32 * 128 * 2);
+        assert_eq!(g.weight_bytes(), 128 * 32 * 2, "staged b operand");
+        assert_eq!(g.input_bytes(), 32 * 128 * 2, "a operand only");
+        assert_eq!(g.output_bytes(), 128 * 128 * 2);
+        assert!(g.transpose_b);
     }
 
     #[test]

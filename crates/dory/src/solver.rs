@@ -262,6 +262,38 @@ mod tests {
     }
 
     #[test]
+    fn matmul_splits_sequence_rows() {
+        // tiny_transformer QK^T: D=32, N=256, M=256, H=2. The 128 kB i8
+        // score matrix plus its input exceeds a 128 kB activation budget,
+        // so the solver must carve rectangular sequence×head partitions.
+        let g = LayerGeometry::matmul(32, 256, 256, 2, true);
+        let b = budget(128, 64);
+        let s = solve(&g, &b, &TilingObjective::diana_digital()).unwrap();
+        assert!(!s.fits_untiled);
+        assert!(s.n_tiles > 1);
+        assert!(tile_fits(&g, &s.tile, &b));
+        assert!(
+            s.tile.oy_t < 256 || s.tile.k_t < 256,
+            "a rectangular split of the 256×256 output is required, got {:?}",
+            s.tile
+        );
+        // The staged b slab must respect the weight store.
+        assert!(s.mem.weight <= 64 * 1024);
+    }
+
+    #[test]
+    fn matmul_reduction_split_survives_tiny_budgets() {
+        // Force even the reduction to split: partial sums widen to i32 and
+        // the solution must still satisfy Eq. 2.
+        let g = LayerGeometry::matmul(256, 64, 256, 2, false);
+        for kb in [16usize, 32, 64] {
+            let b = budget(kb, 8);
+            let s = solve(&g, &b, &TilingObjective::diana_digital()).unwrap();
+            assert!(tile_fits(&g, &s.tile, &b), "must fit at {kb} kB");
+        }
+    }
+
+    #[test]
     fn depthwise_locksteps_channel_tiles() {
         let g = LayerGeometry::depthwise(64, 50, 10, 3, 3, (1, 1), (1, 1, 1, 1));
         let s = solve(&g, &budget(2, 64), &TilingObjective::diana_digital()).unwrap();

@@ -212,6 +212,7 @@ impl TileInstance {
             LayerKind::DepthwiseConv2d => (self.c.len() * geom.fy * geom.fx) as u64 * spatial,
             LayerKind::Dense => (self.k.len() * self.c.len()) as u64,
             LayerKind::Add => 0,
+            LayerKind::MatMul => (self.k.len() * self.c.len()) as u64 * spatial,
         }
     }
 }

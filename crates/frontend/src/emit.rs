@@ -438,7 +438,16 @@ pub fn emit_with_quant(
             Op::Reshape { .. } => {
                 new_shape_slot = Some(t.field_offset(&mut w, operator::NEW_SHAPE));
             }
-            Op::Dense | Op::BiasAdd | Op::Relu | Op::Add | Op::Softmax | Op::Flatten => {}
+            Op::MatMul { transpose_b } => {
+                t.field_u8(&mut w, operator::TRANSPOSE_B, u8::from(*transpose_b), 0);
+            }
+            Op::Dense
+            | Op::BiasAdd
+            | Op::Relu
+            | Op::Add
+            | Op::Softmax
+            | Op::Flatten
+            | Op::LayerNorm => {}
         }
         t.end(&mut w);
         let operand_ids: Vec<u32> = node
@@ -495,5 +504,7 @@ fn opcode_of(op: &Op) -> u32 {
         Op::Softmax => opcode::SOFTMAX,
         Op::Reshape { .. } => opcode::RESHAPE,
         Op::Flatten => opcode::FLATTEN,
+        Op::MatMul { .. } => opcode::MATMUL,
+        Op::LayerNorm => opcode::LAYER_NORM,
     }
 }

@@ -57,6 +57,25 @@ struct OpDecl {
 /// taxonomy on the type. No input — truncated, bit-flipped,
 /// offset-corrupted or adversarial — causes a panic.
 pub fn import(bytes: &[u8]) -> Result<Graph, ImportError> {
+    import_with_max_opcode(bytes, opcode::LAYER_NORM)
+}
+
+/// [`import`] restricted to opcodes `<= max_opcode` — how a reader built
+/// against an *older* schema revision behaves when handed newer bytes.
+///
+/// The HTF format version only bumps on layout changes; opcode additions
+/// are forward-compatible at the wire level, so an old reader meets a new
+/// opcode as an unknown number. This entry point pins that path: any
+/// operator above `max_opcode` is rejected as a typed
+/// [`ImportError::UnsupportedOp`] naming the opcode, never misparsed.
+/// Backward-compatibility tests and the fuzz corpus drive it directly;
+/// [`import`] itself accepts every opcode this build knows.
+///
+/// # Errors
+///
+/// Same taxonomy as [`import`], plus [`ImportError::UnsupportedOp`] for
+/// any operator whose opcode exceeds `max_opcode`.
+pub fn import_with_max_opcode(bytes: &[u8], max_opcode: u32) -> Result<Graph, ImportError> {
     let buf = Buf::new(bytes);
 
     // Header: root offset at 0, magic at 4..8.
@@ -160,7 +179,7 @@ pub fn import(bytes: &[u8]) -> Result<Graph, ImportError> {
                 }
                 operand_ids.push(node_ids[idx]);
             }
-            let op = build_op(&buf, od, j, t)?;
+            let op = build_op(&buf, od, j, t, max_opcode)?;
             let id = builder.apply_named(op, &operand_ids, &decl.name)?;
             let inferred = builder.shape_of(id)?;
             if inferred.dims() != decl.dims.as_slice() {
@@ -320,8 +339,21 @@ fn strides(buf: &Buf<'_>, od: &OpDecl, j: usize) -> Result<(usize, usize), Impor
     ))
 }
 
-/// Translates operator `j` (producing tensor `out_t`) to an IR [`Op`].
-fn build_op(buf: &Buf<'_>, od: &OpDecl, j: usize, out_t: usize) -> Result<Op, ImportError> {
+/// Translates operator `j` (producing tensor `out_t`) to an IR [`Op`],
+/// rejecting opcodes above `max_opcode` as [`ImportError::UnsupportedOp`].
+fn build_op(
+    buf: &Buf<'_>,
+    od: &OpDecl,
+    j: usize,
+    out_t: usize,
+    max_opcode: u32,
+) -> Result<Op, ImportError> {
+    if od.opcode > max_opcode {
+        return Err(ImportError::UnsupportedOp {
+            operator: j,
+            opcode: od.opcode,
+        });
+    }
     Ok(match od.opcode {
         opcode::CONV_2D => Op::Conv2d {
             strides: strides(buf, od, j)?,
@@ -381,6 +413,10 @@ fn build_op(buf: &Buf<'_>, od: &OpDecl, j: usize, out_t: usize) -> Result<Op, Im
             Op::Reshape { new_shape }
         }
         opcode::FLATTEN => Op::Flatten,
+        opcode::MATMUL => Op::MatMul {
+            transpose_b: od.table.u8_or(buf, operator::TRANSPOSE_B, 0)? != 0,
+        },
+        opcode::LAYER_NORM => Op::LayerNorm,
         other => {
             return Err(ImportError::UnsupportedOp {
                 operator: j,

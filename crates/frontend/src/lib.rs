@@ -52,7 +52,7 @@ mod schema;
 
 pub use emit::{emit, emit_with_layout, emit_with_quant, Layout};
 pub use error::{EmitError, ImportError};
-pub use import::{import, MAX_TENSOR_ELEMENTS};
+pub use import::{import, import_with_max_opcode, MAX_TENSOR_ELEMENTS};
 pub use schema::FORMAT_VERSION;
 
 /// Per-tensor quantization metadata carried by the wire format.

@@ -64,6 +64,7 @@ pub(crate) mod operator {
     pub const KERNEL_Y: usize = 14; // default 1
     pub const KERNEL_X: usize = 15;
     pub const NEW_SHAPE: usize = 16; // reshape target, u32 vector
+    pub const TRANSPOSE_B: usize = 17; // matmul rhs layout flag, default 0
 }
 
 /// `Buffer` table slots.
@@ -86,6 +87,8 @@ pub(crate) mod opcode {
     pub const SOFTMAX: u32 = 10;
     pub const RESHAPE: u32 = 11;
     pub const FLATTEN: u32 = 12;
+    pub const MATMUL: u32 = 13;
+    pub const LAYER_NORM: u32 = 14;
 }
 
 /// Dtype codes (`Tensor.dtype` and the cast `TO_DTYPE` attribute).

@@ -1,0 +1,192 @@
+//! Wire-format compatibility gate for the MatMul/LayerNorm opcode
+//! additions (13/14).
+//!
+//! HTF's format version only bumps on *layout* changes; new opcodes ride
+//! on the same version, so two directions need pinning:
+//!
+//! - **Old bytes, new reader**: a committed pre-matmul fixture must emit
+//!   and import byte-identically — adding opcodes (and the optional
+//!   `transpose_b` vtable slot) must not perturb a single byte of
+//!   existing model files.
+//! - **New bytes, old reader**: a reader built against the previous
+//!   schema revision meets opcode 13/14 as an unknown number and must
+//!   reject it as a typed [`ImportError::UnsupportedOp`] naming the
+//!   opcode — never a panic, never a misparse.
+//!
+//! [`import_with_max_opcode`] simulates the old reader: `max_opcode = 12`
+//! is exactly the opcode ceiling of the previous revision.
+
+use htvm_frontend::{emit, import, import_with_max_opcode, ImportError};
+use htvm_ir::{DType, Graph, GraphBuilder, Tensor};
+use htvm_models::{tiny_transformer, QuantScheme};
+use std::path::Path;
+
+/// Opcode ceiling of the previous schema revision (everything up to
+/// `SOFTMAX = 12`; `MATMUL = 13` and `LAYER_NORM = 14` are this PR's).
+const OLD_MAX_OPCODE: u32 = 12;
+
+/// A deterministic graph touching every *pre-matmul* opcode family:
+/// conv → bias → requantize → pool → flatten → dense → softmax. Its
+/// emitted bytes are committed as `fixtures/pre_matmul_v1.htf`.
+fn pre_matmul_graph() -> Graph {
+    let mut b = GraphBuilder::new();
+    let x = b.input("x", &[4, 8, 8], DType::I8);
+    // Patterned (non-zero) constants so the fixture also pins the buffer
+    // encoding, not just the table layout.
+    let w_data: Vec<i32> = (0..4 * 4 * 3 * 3).map(|i| (i % 17) - 8).collect();
+    let w = b.constant("w", Tensor::new(DType::I8, &[4, 4, 3, 3], w_data).unwrap());
+    let bias_data: Vec<i32> = (0..4).map(|i| i * 100 - 150).collect();
+    let bias = b.constant("bias", Tensor::new(DType::I32, &[4], bias_data).unwrap());
+    let c = b.conv2d(x, w, (1, 1), (1, 1, 1, 1)).unwrap();
+    let c = b.bias_add(c, bias).unwrap();
+    let c = b.requantize(c, 7, true).unwrap();
+    let p = b.global_avg_pool(c).unwrap();
+    let f = b.flatten(p).unwrap();
+    let fw_data: Vec<i32> = (0..10 * 4).map(|i| (i % 11) - 5).collect();
+    let fw = b.constant("fc_w", Tensor::new(DType::I8, &[10, 4], fw_data).unwrap());
+    let d = b.dense(f, fw).unwrap();
+    let q = b.requantize(d, 5, false).unwrap();
+    let s = b.softmax(q).unwrap();
+    b.finish(&[s]).unwrap()
+}
+
+fn fixture_path() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/pre_matmul_v1.htf")
+}
+
+/// The committed fixture is exactly what today's writer produces: the
+/// opcode additions changed nothing about pre-existing encodings.
+///
+/// Regenerate (after a deliberate format change only) with
+/// `HTVM_REGEN_FIXTURES=1 cargo test -p htvm-frontend --test backward_compat`.
+#[test]
+fn pre_matmul_fixture_is_byte_identical_to_current_emit() {
+    let bytes = emit(&pre_matmul_graph()).expect("emit");
+    if std::env::var("HTVM_REGEN_FIXTURES").is_ok() {
+        std::fs::write(fixture_path(), &bytes).expect("write fixture");
+        panic!("fixture regenerated; rerun without HTVM_REGEN_FIXTURES");
+    }
+    let golden = std::fs::read(fixture_path()).expect("committed fixture");
+    assert_eq!(
+        bytes, golden,
+        "emitting a pre-matmul graph changed its wire encoding"
+    );
+}
+
+/// Old-revision readers accept old bytes unchanged — the `max_opcode`
+/// gate only fires on opcodes the old revision never produced.
+#[test]
+fn pre_matmul_fixture_imports_under_both_readers() {
+    let golden = std::fs::read(fixture_path()).expect("committed fixture");
+    let graph = pre_matmul_graph();
+    let new_reader = import(&golden).expect("current reader");
+    let old_reader = import_with_max_opcode(&golden, OLD_MAX_OPCODE).expect("old reader");
+    assert_eq!(graph, new_reader);
+    assert_eq!(graph, old_reader);
+    // And the round trip re-encodes to the committed bytes.
+    assert_eq!(emit(&new_reader).expect("re-emit"), golden);
+}
+
+#[test]
+fn old_reader_rejects_matmul_naming_opcode_13() {
+    let mut b = GraphBuilder::new();
+    let x = b.input("x", &[1, 4, 8], DType::I8);
+    let m = b.matmul(x, x, true).unwrap();
+    let g = b.finish(&[m]).unwrap();
+    let bytes = emit(&g).expect("emit");
+    // The current reader round-trips it…
+    assert_eq!(import(&bytes).expect("current reader"), g);
+    // …the old reader rejects it, typed, naming the opcode.
+    match import_with_max_opcode(&bytes, OLD_MAX_OPCODE) {
+        Err(e @ ImportError::UnsupportedOp { opcode: 13, .. }) => {
+            assert!(e.to_string().contains("13"), "{e}");
+        }
+        other => panic!("expected UnsupportedOp opcode 13, got {other:?}"),
+    }
+}
+
+#[test]
+fn old_reader_rejects_layer_norm_naming_opcode_14() {
+    let mut b = GraphBuilder::new();
+    let x = b.input("x", &[2, 16, 8], DType::I8);
+    let n = b.layer_norm(x).unwrap();
+    let g = b.finish(&[n]).unwrap();
+    let bytes = emit(&g).expect("emit");
+    assert_eq!(import(&bytes).expect("current reader"), g);
+    match import_with_max_opcode(&bytes, OLD_MAX_OPCODE) {
+        Err(e @ ImportError::UnsupportedOp { opcode: 14, .. }) => {
+            assert!(e.to_string().contains("14"), "{e}");
+        }
+        other => panic!("expected UnsupportedOp opcode 14, got {other:?}"),
+    }
+}
+
+/// The full attention workload: the old reader trips on the *first* new
+/// opcode (the QK^T matmul) and the error names the operator index, so a
+/// deployment log pinpoints which op an outdated toolchain choked on.
+#[test]
+fn old_reader_rejects_tiny_transformer_at_the_first_matmul() {
+    let model = tiny_transformer(QuantScheme::Int8);
+    let bytes = emit(&model.graph).expect("emit");
+    assert_eq!(import(&bytes).expect("current reader"), model.graph);
+    match import_with_max_opcode(&bytes, OLD_MAX_OPCODE) {
+        Err(ImportError::UnsupportedOp {
+            operator,
+            opcode: 13,
+        }) => {
+            // Operator indices count ops only (not inputs/constants);
+            // the first matmul is the graph's first operator.
+            assert_eq!(operator, 0, "QK^T is the first operator");
+        }
+        other => panic!("expected UnsupportedOp opcode 13, got {other:?}"),
+    }
+}
+
+/// Both `transpose_b` layouts survive the wire, and the default (`false`)
+/// is vtable-omitted — the flag costs bytes only when set.
+#[test]
+fn transpose_b_slot_round_trips_both_ways() {
+    // Square operand: x·x is shape-valid under both layouts, so the two
+    // encodings differ only by the flag.
+    let build = |transpose_b: bool| {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", &[1, 8, 8], DType::I8);
+        let m = b.matmul(x, x, transpose_b).unwrap();
+        b.finish(&[m]).unwrap()
+    };
+    let (g_t, g_n) = (build(true), build(false));
+    let (bytes_t, bytes_n) = (emit(&g_t).unwrap(), emit(&g_n).unwrap());
+    assert_eq!(import(&bytes_t).unwrap(), g_t);
+    assert_eq!(import(&bytes_n).unwrap(), g_n);
+    assert_ne!(bytes_t, bytes_n, "the flag must reach the wire");
+    assert!(
+        bytes_t.len() > bytes_n.len(),
+        "default transpose_b=false is omitted from the operator table"
+    );
+}
+
+/// Adversarial sweep: every possible reader vintage (`max_opcode`
+/// 0..=20) fed the newest bytes either imports or rejects typed — the
+/// compatibility gate itself can never panic or misparse.
+#[test]
+fn every_reader_vintage_handles_new_bytes_without_panicking() {
+    let model = tiny_transformer(QuantScheme::Int8);
+    let bytes = emit(&model.graph).expect("emit");
+    for max_opcode in 0..=20u32 {
+        let outcome = std::panic::catch_unwind(|| import_with_max_opcode(&bytes, max_opcode));
+        match outcome {
+            Ok(Ok(g)) => {
+                assert!(max_opcode >= 14, "vintage {max_opcode} misparsed new ops");
+                assert_eq!(g, model.graph);
+            }
+            Ok(Err(e)) => {
+                assert!(
+                    max_opcode < 14,
+                    "vintage {max_opcode} wrongly rejected: {e}"
+                );
+                assert!(!e.variant_name().is_empty());
+            }
+            Err(_) => panic!("import_with_max_opcode({max_opcode}) panicked"),
+        }
+    }
+}

@@ -52,6 +52,10 @@ impl Rng {
 
 /// The mutation-matrix corpus: every mixed-scheme zoo model plus the
 /// stress topology. Other schemes get a bit-flip smoke pass below.
+/// `all_models` includes `tiny_transformer`, so mutants of the MatMul /
+/// LayerNorm opcodes (13/14) and the optional `transpose_b` vtable slot
+/// are in every matrix; `tests/backward_compat.rs` adds the old-reader
+/// (`max_opcode`) adversarial sweep on the same bytes.
 fn corpus() -> Vec<Model> {
     let mut models = all_models(QuantScheme::Mixed);
     models.push(stress_test(QuantScheme::Int8));

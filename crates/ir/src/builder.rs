@@ -265,6 +265,25 @@ impl GraphBuilder {
         self.pool2d(x, PoolKind::Avg, (h, w), (1, 1), (0, 0, 0, 0))
     }
 
+    /// Batched integer matrix multiply: `a: [H,M,D]` × `b: [H,D,N]`
+    /// (`[H,N,D]` when `transpose_b`) → `[H,M,N]` in `i32`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates inference failures (rank/batch/reduction mismatch).
+    pub fn matmul(&mut self, a: NodeId, b: NodeId, transpose_b: bool) -> Result<NodeId, IrError> {
+        self.apply(Op::MatMul { transpose_b }, &[a, b])
+    }
+
+    /// Integer layer normalization over the last dimension.
+    ///
+    /// # Errors
+    ///
+    /// Propagates inference failures.
+    pub fn layer_norm(&mut self, x: NodeId) -> Result<NodeId, IrError> {
+        self.apply(Op::LayerNorm, &[x])
+    }
+
     /// Softmax over the last dimension.
     ///
     /// # Errors

@@ -195,6 +195,11 @@ impl Graph {
                     let w = self.node(n.inputs()[1]);
                     w.shape.num_elements() as u64
                 }
+                Op::MatMul { .. } => {
+                    // out: [H, M, N]; each element reduces over D.
+                    let d = self.node(n.inputs()[0]).shape.dim(2).unwrap_or(1);
+                    (n.shape.num_elements() * d) as u64
+                }
                 _ => 0,
             })
             .sum()

@@ -100,6 +100,11 @@ pub(crate) fn infer(op: &Op, operands: &[(&Shape, DType)]) -> Result<Inferred, I
                 dtype: DType::I32,
             })
         }
+        Op::MatMul { transpose_b } => infer_matmul(operands, *transpose_b),
+        Op::LayerNorm => Ok(Inferred {
+            shape: operands[0].0.clone(),
+            dtype: operands[0].1,
+        }),
         Op::Pool2d {
             kernel,
             strides,
@@ -236,6 +241,45 @@ fn infer_dense(operands: &[(&Shape, DType)]) -> Result<Inferred, IrError> {
     })
 }
 
+fn infer_matmul(operands: &[(&Shape, DType)], transpose_b: bool) -> Result<Inferred, IrError> {
+    let (a, ad) = operands[0];
+    let (b, bd) = operands[1];
+    if a.rank() != 3 {
+        return Err(bad("nn.matmul", "rank-3 lhs [H,M,D]", a));
+    }
+    if b.rank() != 3 {
+        let want = if transpose_b {
+            "rank-3 rhs [H,N,D]"
+        } else {
+            "rank-3 rhs [H,D,N]"
+        };
+        return Err(bad("nn.matmul", want, b));
+    }
+    let (h, m, d) = (a.dims()[0], a.dims()[1], a.dims()[2]);
+    if b.dims()[0] != h {
+        return Err(bad("nn.matmul", format!("rhs batch dim == {h}"), b));
+    }
+    // Both operands are runtime activations: i8 only, no ternary path.
+    if ad != DType::I8 || bd != DType::I8 {
+        return Err(IrError::DTypeMismatch {
+            op: "nn.matmul",
+            detail: format!("both operands must be i8 activations, got {ad} × {bd}"),
+        });
+    }
+    let (red, n) = if transpose_b {
+        (b.dims()[2], b.dims()[1])
+    } else {
+        (b.dims()[1], b.dims()[2])
+    };
+    if red != d {
+        return Err(bad("nn.matmul", format!("rhs reduction dim == {d}"), b));
+    }
+    Ok(Inferred {
+        shape: Shape::new(&[h, m, n]),
+        dtype: DType::I32,
+    })
+}
+
 fn infer_bias_add(operands: &[(&Shape, DType)]) -> Result<Inferred, IrError> {
     let (x, xd) = operands[0];
     let (b, bd) = operands[1];
@@ -361,6 +405,59 @@ mod tests {
             infer(&Op::Clip { min: 5, max: -5 }, &[(&s, DType::I32)]),
             Err(IrError::BadAttribute { .. })
         ));
+    }
+
+    #[test]
+    fn matmul_infer_shapes_both_layouts() {
+        let a = Shape::new(&[2, 16, 8]);
+        let b = Shape::new(&[2, 8, 12]);
+        let r = infer(
+            &Op::MatMul { transpose_b: false },
+            &[(&a, DType::I8), (&b, DType::I8)],
+        )
+        .unwrap();
+        assert_eq!(r.shape.dims(), &[2, 16, 12]);
+        assert_eq!(r.dtype, DType::I32);
+        let bt = Shape::new(&[2, 12, 8]);
+        let r = infer(
+            &Op::MatMul { transpose_b: true },
+            &[(&a, DType::I8), (&bt, DType::I8)],
+        )
+        .unwrap();
+        assert_eq!(r.shape.dims(), &[2, 16, 12]);
+    }
+
+    #[test]
+    fn matmul_rejects_mismatches() {
+        let a = Shape::new(&[2, 16, 8]);
+        let wrong_batch = Shape::new(&[3, 8, 12]);
+        assert!(infer(
+            &Op::MatMul { transpose_b: false },
+            &[(&a, DType::I8), (&wrong_batch, DType::I8)],
+        )
+        .is_err());
+        let wrong_red = Shape::new(&[2, 7, 12]);
+        assert!(infer(
+            &Op::MatMul { transpose_b: false },
+            &[(&a, DType::I8), (&wrong_red, DType::I8)],
+        )
+        .is_err());
+        let b = Shape::new(&[2, 8, 12]);
+        assert!(matches!(
+            infer(
+                &Op::MatMul { transpose_b: false },
+                &[(&a, DType::I32), (&b, DType::I8)],
+            ),
+            Err(IrError::DTypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn layer_norm_preserves_shape_and_dtype() {
+        let s = Shape::new(&[2, 16, 8]);
+        let r = infer(&Op::LayerNorm, &[(&s, DType::I8)]).unwrap();
+        assert_eq!(r.shape.dims(), &[2, 16, 8]);
+        assert_eq!(r.dtype, DType::I8);
     }
 
     #[test]

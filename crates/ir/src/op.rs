@@ -134,6 +134,23 @@ pub enum Op {
         /// Zero padding.
         padding: Padding2d,
     },
+    /// Batched integer matrix multiply over rank-3 operands (attention).
+    ///
+    /// `MatMul(a, b)` with `a: [H, M, D]` and `b: [H, D, N]` (or `[H, N, D]`
+    /// when `transpose_b` is set, the QK^T form) produces `[H, M, N]` in the
+    /// `i32` accumulator dtype. Unlike `Dense`, **both** operands are runtime
+    /// activations, so the second operand is staged tile-by-tile like weight
+    /// data but re-fetched per batch.
+    MatMul {
+        /// Treat `b` as `[H, N, D]` and reduce over its last axis.
+        transpose_b: bool,
+    },
+    /// Integer layer normalization over the last dimension.
+    ///
+    /// Centers each row exactly in `i64` (`n·x_i − Σx`), scales by the
+    /// integer square root of the variance, and re-quantizes into the input
+    /// dtype's range. Shape- and dtype-preserving; always CPU-executed.
+    LayerNorm,
     /// Softmax over the last dimension (executed on the CPU in all HTVM
     /// deployment configurations).
     Softmax,
@@ -173,6 +190,8 @@ impl Op {
             Op::Cast { .. } => "cast",
             Op::Relu => "nn.relu",
             Op::Add => "add",
+            Op::MatMul { .. } => "nn.matmul",
+            Op::LayerNorm => "nn.layer_norm",
             Op::Pool2d { .. } => "nn.pool2d",
             Op::Softmax => "nn.softmax",
             Op::Reshape { .. } => "reshape",
@@ -184,7 +203,12 @@ impl Op {
     #[must_use]
     pub fn arity(&self) -> usize {
         match self {
-            Op::Conv2d { .. } | Op::DepthwiseConv2d { .. } | Op::Dense | Op::BiasAdd | Op::Add => 2,
+            Op::Conv2d { .. }
+            | Op::DepthwiseConv2d { .. }
+            | Op::Dense
+            | Op::BiasAdd
+            | Op::Add
+            | Op::MatMul { .. } => 2,
             _ => 1,
         }
     }
@@ -217,6 +241,9 @@ impl Op {
             (Op::Pool2d { strides, .. }, "strides") => {
                 Some(AttrValue::IntPair(strides.0 as i64, strides.1 as i64))
             }
+            (Op::MatMul { transpose_b }, "transpose_b") => {
+                Some(AttrValue::Int(i64::from(*transpose_b)))
+            }
             _ => None,
         }
     }
@@ -227,7 +254,7 @@ impl Op {
     pub fn is_anchor(&self) -> bool {
         matches!(
             self,
-            Op::Conv2d { .. } | Op::DepthwiseConv2d { .. } | Op::Dense
+            Op::Conv2d { .. } | Op::DepthwiseConv2d { .. } | Op::Dense | Op::MatMul { .. }
         )
     }
 }

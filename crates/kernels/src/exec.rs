@@ -1,6 +1,6 @@
 //! The reference graph interpreter.
 
-use crate::{conv, dense, elementwise, pool, softmax, EvalError};
+use crate::{conv, dense, elementwise, layer_norm, matmul, pool, softmax, EvalError};
 use htvm_ir::{Graph, NodeKind, Op, Tensor};
 
 /// Evaluates a graph on concrete inputs using the reference kernels,
@@ -95,6 +95,8 @@ fn apply_op<'a>(op: &Op, arg: impl Fn(usize) -> &'a Tensor) -> Tensor {
             strides,
             padding,
         } => pool::pool2d(arg(0), *kind, *kernel, *strides, *padding),
+        Op::MatMul { transpose_b } => matmul::matmul(arg(0), arg(1), *transpose_b),
+        Op::LayerNorm => layer_norm::layer_norm(arg(0)),
         Op::Softmax => softmax::softmax(arg(0)),
         Op::Reshape { new_shape } => {
             let x = arg(0);

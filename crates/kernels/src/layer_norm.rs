@@ -1,0 +1,116 @@
+//! Integer layer normalization (always executed on the CPU).
+
+use htvm_ir::Tensor;
+
+/// Layer normalization over the last dimension in exact integer
+/// arithmetic, re-quantized into the input dtype's range.
+///
+/// Per row of `n` elements the kernel computes, with no rounding until the
+/// final division:
+///
+/// 1. the scaled residuals `c_i = n·x_i − Σx` (exact in `i64`; this is
+///    `n·(x_i − μ)` without ever forming the non-integer mean),
+/// 2. `v = Σ c_i²` (exact in `i128`; equals `n³·Var(x)`),
+/// 3. `denom = isqrt(v / n) + 1 ≈ n·σ`, the `+1` making the divisor
+///    positive even for constant rows,
+/// 4. `out_i = clamp(round(c_i · q / denom), lo, hi)` with `q = max(hi/4, 1)`,
+///    so ±4σ spans the representable range (for `i8`: `σ ↦ 31`).
+///
+/// Shape- and dtype-preserving, fully deterministic, and overflow-free for
+/// any representable input: `|c_i| ≤ n·2³¹`, so `v ≤ n³·2⁶²` and the
+/// widened products stay far inside `i128`.
+///
+/// # Panics
+///
+/// Panics if the input has rank 0.
+#[must_use]
+pub fn layer_norm(x: &Tensor) -> Tensor {
+    assert!(x.shape().rank() >= 1, "layer_norm requires rank >= 1");
+    let dims = x.shape().dims();
+    let n = *dims.last().expect("rank checked above");
+    let outer: usize = dims[..dims.len() - 1].iter().product();
+    let (lo, hi) = x.dtype().range();
+    let q = i128::from((hi / 4).max(1));
+    let mut out = x.clone();
+    let data = out.data_mut();
+    for row in 0..outer {
+        let s = &mut data[row * n..(row + 1) * n];
+        let sum: i64 = s.iter().map(|&v| i64::from(v)).sum();
+        let residuals: Vec<i64> = s.iter().map(|&v| (n as i64) * i64::from(v) - sum).collect();
+        let v: i128 = residuals
+            .iter()
+            .map(|&c| i128::from(c) * i128::from(c))
+            .sum();
+        let denom = (v / n as i128).max(0).unsigned_abs().isqrt() as i128 + 1;
+        for (o, &c) in s.iter_mut().zip(&residuals) {
+            let num = i128::from(c) * q;
+            // Round half away from zero, matching `round_div`.
+            let scaled = if num >= 0 {
+                (num + denom / 2) / denom
+            } else {
+                -((-num + denom / 2) / denom)
+            };
+            *o = scaled.clamp(i128::from(lo), i128::from(hi)) as i32;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htvm_ir::DType;
+
+    #[test]
+    fn constant_rows_map_to_zero() {
+        let x = Tensor::new(DType::I8, &[2, 4], vec![5; 8]).unwrap();
+        let y = layer_norm(&x);
+        assert_eq!(y.data(), &[0; 8]);
+    }
+
+    #[test]
+    fn symmetric_row_stays_symmetric() {
+        let x = Tensor::new(DType::I8, &[4], vec![-30, -10, 10, 30]).unwrap();
+        let y = layer_norm(&x);
+        assert_eq!(y.data()[0], -y.data()[3]);
+        assert_eq!(y.data()[1], -y.data()[2]);
+        assert!(y.data()[3] > y.data()[2]);
+    }
+
+    #[test]
+    fn order_is_preserved_and_range_respected() {
+        let x = Tensor::new(DType::I8, &[6], vec![-128, -5, 0, 1, 7, 127]).unwrap();
+        let y = layer_norm(&x);
+        for w in y.data().windows(2) {
+            assert!(
+                w[0] <= w[1],
+                "monotone inputs stay monotone: {:?}",
+                y.data()
+            );
+        }
+        assert!(y.data().iter().all(|&v| (-128..=127).contains(&v)));
+        assert_eq!(y.dtype(), DType::I8);
+    }
+
+    #[test]
+    fn extreme_i32_rows_do_not_overflow() {
+        let x = Tensor::new(
+            DType::I32,
+            &[4],
+            vec![i32::MIN, i32::MAX, i32::MIN, i32::MAX],
+        )
+        .unwrap();
+        let y = layer_norm(&x);
+        assert_eq!(y.data()[0], y.data()[2]);
+        assert_eq!(y.data()[1], y.data()[3]);
+        assert!(y.data()[1] > y.data()[0]);
+    }
+
+    #[test]
+    fn rows_normalize_independently() {
+        let x = Tensor::new(DType::I8, &[2, 3], vec![1, 2, 3, 100, 101, 102]).unwrap();
+        let y = layer_norm(&x);
+        // Both rows have identical variance structure, so identical output.
+        assert_eq!(&y.data()[..3], &y.data()[3..]);
+    }
+}

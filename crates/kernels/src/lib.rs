@@ -39,6 +39,8 @@ mod error;
 mod exec;
 mod gemm;
 mod im2col;
+mod layer_norm;
+mod matmul;
 mod policy;
 mod pool;
 mod scratch;
@@ -54,6 +56,8 @@ pub use error::EvalError;
 pub use exec::evaluate;
 pub use gemm::{gemm_accumulate, gemm_accumulate_blocked, DEFAULT_KC, MR};
 pub use im2col::{conv2d_im2col, im2col};
+pub use layer_norm::layer_norm;
+pub use matmul::{matmul, matmul_accumulate_region, matmul_accumulate_region_ref};
 pub use policy::{
     num_threads, parse_num_threads, parse_tier, GemmTuning, KernelPolicy, KernelTier,
 };

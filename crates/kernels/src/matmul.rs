@@ -1,0 +1,332 @@
+//! Batched integer matrix-multiply kernels (attention workloads).
+//!
+//! `MatMul` is the only anchor whose *both* operands are runtime
+//! activations: `a: [H, M, D]` against `b: [H, D, N]` (or `[H, N, D]` when
+//! `transpose_b`, the QK^T form) producing `[H, M, N]` in `i32`. The fast
+//! tier processes output columns in `NR`-wide lockstep blocks that share
+//! one streamed pass over the `a` row (transposed layout) or accumulates
+//! whole contiguous `b` rows per reduction step (untransposed layout);
+//! [`matmul_accumulate_region_ref`] keeps plain indexed loops as the
+//! oracle. Every path combines the same multiset of `i32` products with
+//! `wrapping_add`, so they are bit-identical.
+
+use crate::policy::{KernelPolicy, KernelTier};
+use htvm_ir::{DType, Tensor};
+use std::ops::Range;
+
+/// Output-column lockstep width of the fast transposed-`b` path.
+const NR: usize = 4;
+
+struct Dims {
+    m: usize,
+    n: usize,
+    d: usize,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn validate(
+    a: &Tensor,
+    b: &Tensor,
+    transpose_b: bool,
+    out: &Tensor,
+    h_range: &Range<usize>,
+    m_range: &Range<usize>,
+    n_range: &Range<usize>,
+    d_range: &Range<usize>,
+) -> Dims {
+    assert_eq!(a.shape().rank(), 3, "matmul lhs must be [H,M,D]");
+    assert_eq!(b.shape().rank(), 3, "matmul rhs must be rank-3");
+    assert_eq!(out.dtype(), DType::I32, "matmul accumulator must be i32");
+    let (h, m, d) = (
+        a.shape().dims()[0],
+        a.shape().dims()[1],
+        a.shape().dims()[2],
+    );
+    assert_eq!(b.shape().dims()[0], h, "rhs batch dim must match lhs");
+    let (bred, n) = if transpose_b {
+        (b.shape().dims()[2], b.shape().dims()[1])
+    } else {
+        (b.shape().dims()[1], b.shape().dims()[2])
+    };
+    assert_eq!(bred, d, "rhs reduction dim must match lhs");
+    assert_eq!(
+        out.shape().dims(),
+        &[h, m, n],
+        "accumulator must be [H,M,N]"
+    );
+    assert!(h_range.end <= h && m_range.end <= m && n_range.end <= n && d_range.end <= d);
+    Dims { m, n, d }
+}
+
+/// Accumulates
+/// `out[h, m, n] += Σ_{d ∈ d_range} a[h, m, d] · b[h, d, n]`
+/// (`b[h, n, d]` when `transpose_b`) over the given sub-ranges — the
+/// tiled-execution building block for attention matmuls. DORY tiles these
+/// layers over sequence rows, output columns and (when the reduction
+/// exceeds L1) the inner dimension, accumulating partial sums exactly
+/// like conv/dense tiles.
+///
+/// * `a`: activations `[H, M, D]`,
+/// * `b`: activations `[H, D, N]` (or `[H, N, D]` with `transpose_b`),
+/// * `out`: accumulator `[H, M, N]` with dtype `I32`, updated in place.
+///
+/// # Panics
+///
+/// Panics on inconsistent shapes, non-`I32` accumulator, or out-of-range
+/// sub-ranges.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_accumulate_region(
+    a: &Tensor,
+    b: &Tensor,
+    transpose_b: bool,
+    out: &mut Tensor,
+    h_range: Range<usize>,
+    m_range: Range<usize>,
+    n_range: Range<usize>,
+    d_range: Range<usize>,
+) {
+    let policy = KernelPolicy::for_matmul(m_range.len(), n_range.len(), d_range.len());
+    if policy.tier == KernelTier::Reference {
+        matmul_accumulate_region_ref(a, b, transpose_b, out, h_range, m_range, n_range, d_range);
+        return;
+    }
+    let dims = validate(
+        a,
+        b,
+        transpose_b,
+        out,
+        &h_range,
+        &m_range,
+        &n_range,
+        &d_range,
+    );
+    if h_range.is_empty() || m_range.is_empty() || n_range.is_empty() || d_range.is_empty() {
+        return;
+    }
+    let (m, n, d) = (dims.m, dims.n, dims.d);
+    let ad = a.data();
+    let bd = b.data();
+    let od = out.data_mut();
+    for hh in h_range {
+        for mm in m_range.clone() {
+            let a_row = &ad[(hh * m + mm) * d + d_range.start..(hh * m + mm) * d + d_range.end];
+            let o_base = (hh * m + mm) * n;
+            if transpose_b {
+                // NR output columns advance in lockstep over one streamed
+                // read of the a-row; both operand rows are contiguous.
+                let mut nn = n_range.start;
+                while nn + NR <= n_range.end {
+                    let rows: [&[i32]; NR] = std::array::from_fn(|i| {
+                        let base = (hh * n + nn + i) * d;
+                        &bd[base + d_range.start..base + d_range.end]
+                    });
+                    let mut acc = [0i32; NR];
+                    for (j, &av) in a_row.iter().enumerate() {
+                        for (accv, row) in acc.iter_mut().zip(&rows) {
+                            *accv = accv.wrapping_add(av.wrapping_mul(row[j]));
+                        }
+                    }
+                    for (i, accv) in acc.iter().enumerate() {
+                        od[o_base + nn + i] = od[o_base + nn + i].wrapping_add(*accv);
+                    }
+                    nn += NR;
+                }
+                for nn in nn..n_range.end {
+                    let base = (hh * n + nn) * d;
+                    let b_row = &bd[base + d_range.start..base + d_range.end];
+                    let acc = a_row.iter().zip(b_row).fold(0i32, |acc, (&av, &bv)| {
+                        acc.wrapping_add(av.wrapping_mul(bv))
+                    });
+                    od[o_base + nn] = od[o_base + nn].wrapping_add(acc);
+                }
+            } else {
+                // b rows are contiguous in n: stream one output row,
+                // adding a whole scaled b-row per reduction step.
+                let dst = &mut od[o_base + n_range.start..o_base + n_range.end];
+                for (j, &av) in a_row.iter().enumerate() {
+                    let dd = d_range.start + j;
+                    let b_row =
+                        &bd[(hh * d + dd) * n + n_range.start..(hh * d + dd) * n + n_range.end];
+                    for (o, &bv) in dst.iter_mut().zip(b_row) {
+                        *o = o.wrapping_add(av.wrapping_mul(bv));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The reference indexed-loop implementation of
+/// [`matmul_accumulate_region`]: the oracle the fast paths are
+/// differentially tested against.
+///
+/// # Panics
+///
+/// As [`matmul_accumulate_region`].
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_accumulate_region_ref(
+    a: &Tensor,
+    b: &Tensor,
+    transpose_b: bool,
+    out: &mut Tensor,
+    h_range: Range<usize>,
+    m_range: Range<usize>,
+    n_range: Range<usize>,
+    d_range: Range<usize>,
+) {
+    let dims = validate(
+        a,
+        b,
+        transpose_b,
+        out,
+        &h_range,
+        &m_range,
+        &n_range,
+        &d_range,
+    );
+    let (m, n, d) = (dims.m, dims.n, dims.d);
+    let ad = a.data();
+    let bd = b.data();
+    let od = out.data_mut();
+    for hh in h_range {
+        for mm in m_range.clone() {
+            for nn in n_range.clone() {
+                let mut acc: i32 = 0;
+                for dd in d_range.clone() {
+                    let bv = if transpose_b {
+                        bd[(hh * n + nn) * d + dd]
+                    } else {
+                        bd[(hh * d + dd) * n + nn]
+                    };
+                    acc = acc.wrapping_add(ad[(hh * m + mm) * d + dd].wrapping_mul(bv));
+                }
+                let o = (hh * m + mm) * n + nn;
+                od[o] = od[o].wrapping_add(acc);
+            }
+        }
+    }
+}
+
+/// Reference batched matmul: `y[h, m, n] = Σ_d a[h, m, d] · b[h, d, n]`
+/// (`b[h, n, d]` with `transpose_b`) with `i32` output.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent.
+#[must_use]
+pub fn matmul(a: &Tensor, b: &Tensor, transpose_b: bool) -> Tensor {
+    let (h, m, d) = (
+        a.shape().dims()[0],
+        a.shape().dims()[1],
+        a.shape().dims()[2],
+    );
+    let n = if transpose_b {
+        b.shape().dims()[1]
+    } else {
+        b.shape().dims()[2]
+    };
+    let mut out = Tensor::zeros(DType::I32, &[h, m, n]);
+    matmul_accumulate_region(a, b, transpose_b, &mut out, 0..h, 0..m, 0..n, 0..d);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(dims: &[usize], seed: i32) -> Tensor {
+        let len: usize = dims.iter().product();
+        let data = (0..len as i32)
+            .map(|v| (v.wrapping_mul(31).wrapping_add(seed)) % 127 - 63)
+            .collect();
+        Tensor::new(DType::I8, dims, data).unwrap()
+    }
+
+    #[test]
+    fn identity_rhs_reproduces_lhs() {
+        let a = fill(&[1, 3, 3], 7);
+        let mut eye = Tensor::zeros(DType::I8, &[1, 3, 3]);
+        for i in 0..3 {
+            eye.data_mut()[i * 3 + i] = 1;
+        }
+        let y = matmul(&a, &eye, false);
+        assert_eq!(y.data(), a.data());
+        // The identity is symmetric, so the transposed form agrees too.
+        let yt = matmul(&a, &eye, true);
+        assert_eq!(yt.data(), a.data());
+    }
+
+    #[test]
+    fn transpose_b_matches_manual_transpose() {
+        let a = fill(&[2, 4, 5], 3);
+        let b = fill(&[2, 5, 6], 11);
+        // bt[h, n, d] = b[h, d, n]
+        let mut bt = Tensor::zeros(DType::I8, &[2, 6, 5]);
+        for h in 0..2 {
+            for dd in 0..5 {
+                for nn in 0..6 {
+                    bt.data_mut()[(h * 6 + nn) * 5 + dd] = b.data()[(h * 5 + dd) * 6 + nn];
+                }
+            }
+        }
+        assert_eq!(matmul(&a, &b, false), matmul(&a, &bt, true));
+    }
+
+    #[test]
+    fn fast_paths_match_reference() {
+        for &transpose_b in &[false, true] {
+            let a = fill(&[3, 9, 17], 5);
+            let b = if transpose_b {
+                fill(&[3, 13, 17], 23)
+            } else {
+                fill(&[3, 17, 13], 23)
+            };
+            let mut want = Tensor::zeros(DType::I32, &[3, 9, 13]);
+            matmul_accumulate_region_ref(&a, &b, transpose_b, &mut want, 0..3, 1..8, 2..13, 3..15);
+            let mut got = Tensor::zeros(DType::I32, &[3, 9, 13]);
+            matmul_accumulate_region(&a, &b, transpose_b, &mut got, 0..3, 1..8, 2..13, 3..15);
+            assert_eq!(got, want, "transpose_b={transpose_b}");
+        }
+    }
+
+    #[test]
+    fn partial_accumulation_matches_full() {
+        for &transpose_b in &[false, true] {
+            let a = fill(&[2, 8, 12], 1);
+            let b = if transpose_b {
+                fill(&[2, 10, 12], 2)
+            } else {
+                fill(&[2, 12, 10], 2)
+            };
+            let full = matmul(&a, &b, transpose_b);
+            let mut tiled = Tensor::zeros(DType::I32, &[2, 8, 10]);
+            for h_range in [0..1usize, 1..2] {
+                for m_range in [0..3usize, 3..8] {
+                    for n_range in [0..7usize, 7..10] {
+                        for d_range in [0..5usize, 5..12] {
+                            matmul_accumulate_region(
+                                &a,
+                                &b,
+                                transpose_b,
+                                &mut tiled,
+                                h_range.clone(),
+                                m_range.clone(),
+                                n_range.clone(),
+                                d_range.clone(),
+                            );
+                        }
+                    }
+                }
+            }
+            assert_eq!(tiled, full, "transpose_b={transpose_b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "reduction dim must match")]
+    fn shape_mismatch_panics() {
+        let a = fill(&[1, 2, 3], 0);
+        let b = fill(&[1, 4, 2], 0);
+        let _ = matmul(&a, &b, false);
+    }
+}

@@ -171,6 +171,27 @@ impl KernelPolicy {
         }
     }
 
+    /// Chooses the tier for a batched matmul block of `m_len × n_len`
+    /// outputs reducing `d_len` each. Both operands are runtime
+    /// activations, so there is no im2col detour: the fast tier is the
+    /// lockstep/streaming loops in
+    /// [`matmul_accumulate_region`](crate::matmul_accumulate_region),
+    /// reported as [`KernelTier::Direct`]. Always inline — DORY attention
+    /// tiles sit far below the parallelism threshold.
+    #[must_use]
+    pub fn for_matmul(m_len: usize, n_len: usize, d_len: usize) -> Self {
+        let _ = (m_len, n_len, d_len);
+        let tier = match tier_override() {
+            Some(KernelTier::Reference) => KernelTier::Reference,
+            _ => KernelTier::Direct,
+        };
+        KernelPolicy {
+            tier,
+            threads: 1,
+            kc: DEFAULT_KC,
+        }
+    }
+
     /// Chooses the policy for a depthwise convolution over `c_len`
     /// channels (no cross-channel reduction, so the GEMM tier never
     /// applies).

@@ -5,11 +5,15 @@ use htvm_ir::Tensor;
 /// Softmax over the last dimension, returning quantized probabilities.
 ///
 /// Inputs are treated as raw integer logits. The result is quantized back to
-/// the input dtype's range as `round(p · hi)` where `hi` is the dtype's
-/// maximum (e.g. 127 for `i8`), matching how TFLite emits an int8 softmax
-/// (up to the zero-point convention, which is irrelevant for arg-max style
-/// consumers). Computation uses the numerically stable max-subtracted form
-/// in `f64` and is fully deterministic.
+/// the input dtype's range so that every row sums to exactly `hi`, the
+/// dtype's maximum (e.g. 127 for `i8`), matching how TFLite emits an int8
+/// softmax (up to the zero-point convention, which is irrelevant for arg-max
+/// style consumers). Computation uses the numerically stable max-subtracted
+/// form in `f64` — with the subtraction widened to `i64`, since `i32` logits
+/// near `i32::MIN` would overflow an `i32` subtraction — and quantization is
+/// largest-remainder: each probability takes its floor and the leftover
+/// units go to the largest fractional remainders (ties to the lower index),
+/// so flat rows can never collapse to all zeros. Fully deterministic.
 ///
 /// # Panics
 ///
@@ -26,10 +30,28 @@ pub fn softmax(x: &Tensor) -> Tensor {
     for row in 0..outer {
         let s = &mut data[row * n..(row + 1) * n];
         let max = s.iter().copied().max().unwrap_or(0);
-        let exps: Vec<f64> = s.iter().map(|&v| f64::from(v - max).exp()).collect();
+        let exps: Vec<f64> = s
+            .iter()
+            .map(|&v| ((i64::from(v) - i64::from(max)) as f64).exp())
+            .collect();
         let sum: f64 = exps.iter().sum();
-        for (v, e) in s.iter_mut().zip(&exps) {
-            *v = ((e / sum) * f64::from(hi)).round() as i32;
+        let targets: Vec<f64> = exps.iter().map(|e| e / sum * f64::from(hi)).collect();
+        let floors: Vec<i64> = targets.iter().map(|t| t.floor() as i64).collect();
+        // Each floor is at most its target and the targets sum to `hi`
+        // (modulo sub-unit float error), so the leftover is in [0, n].
+        let leftover = (i64::from(hi) - floors.iter().sum::<i64>()).max(0) as usize;
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            let ra = targets[a] - floors[a] as f64;
+            let rb = targets[b] - floors[b] as f64;
+            rb.total_cmp(&ra).then(a.cmp(&b))
+        });
+        let mut vals = floors;
+        for &i in order.iter().take(leftover.min(n)) {
+            vals[i] += 1;
+        }
+        for (v, q) in s.iter_mut().zip(&vals) {
+            *v = *q as i32;
         }
     }
     out
@@ -44,8 +66,10 @@ mod tests {
     fn uniform_logits_give_uniform_probabilities() {
         let x = Tensor::new(DType::I8, &[4], vec![5, 5, 5, 5]).unwrap();
         let y = softmax(&x);
-        // 127/4 = 31.75 -> 32 after rounding.
-        assert_eq!(y.data(), &[32, 32, 32, 32]);
+        // 127/4 = 31.75: three rounded-up units land on the lowest
+        // indices so the row sums to exactly 127.
+        assert_eq!(y.data(), &[32, 32, 32, 31]);
+        assert_eq!(y.data().iter().sum::<i32>(), 127);
     }
 
     #[test]
@@ -61,8 +85,13 @@ mod tests {
         let x = Tensor::new(DType::I32, &[5], vec![3, -1, 7, 7, 0]).unwrap();
         let y = softmax(&x);
         let max = y.data().iter().copied().max().unwrap();
+        // The two tied logits split the last quantization unit (the row
+        // must sum to `hi` exactly), but both dominate every other entry.
         assert_eq!(y.data()[2], max);
-        assert_eq!(y.data()[3], max);
+        assert!((y.data()[2] - y.data()[3]).abs() <= 1);
+        assert!(y.data()[3] > y.data()[0]);
+        assert!(y.data()[3] > y.data()[1]);
+        assert!(y.data()[3] > y.data()[4]);
     }
 
     #[test]
@@ -72,5 +101,65 @@ mod tests {
         assert_eq!(y.data()[0], y.data()[3]);
         assert_eq!(y.data()[1], y.data()[2]);
         assert!(y.data()[0] > y.data()[1]);
+    }
+
+    #[test]
+    fn extreme_i32_logits_do_not_overflow() {
+        // Regression: `v - max` was computed in i32, so a logit near
+        // i32::MIN with a positive max overflowed the subtraction (debug
+        // panic, release wraparound → garbage probabilities).
+        let x = Tensor::new(DType::I32, &[4], vec![i32::MIN, i32::MIN + 1, 10, i32::MAX]).unwrap();
+        let y = softmax(&x);
+        assert_eq!(y.data()[3], i32::MAX, "dominant logit takes all mass");
+        assert_eq!(y.data()[0], 0);
+        assert_eq!(y.data()[1], 0);
+        assert_eq!(y.data()[2], 0);
+    }
+
+    #[test]
+    fn flat_wide_rows_do_not_collapse_to_zero() {
+        // Regression: 256 flat i8 logits each quantize to round(127/256)
+        // = 0 under naive rounding — the whole row silently vanished.
+        let x = Tensor::new(DType::I8, &[256], vec![3; 256]).unwrap();
+        let y = softmax(&x);
+        assert_eq!(y.data().iter().sum::<i32>(), 127);
+        assert!(y.data().iter().all(|&v| v == 0 || v == 1));
+    }
+
+    #[test]
+    fn random_rows_sum_to_hi_and_preserve_argmax() {
+        // Deterministic LCG over many shapes/dtypes: every row must sum
+        // to exactly `hi` and a strict argmax must stay the (possibly
+        // shared) maximum after quantization.
+        let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut next = move |bound: i64| -> i32 {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            ((state >> 33) as i64 % bound) as i32
+        };
+        for &(dtype, span) in &[
+            (DType::I8, 128i64),
+            (DType::I32, i64::from(i32::MAX)),
+            (DType::I32, 64),
+        ] {
+            for n in [1usize, 2, 7, 64, 300] {
+                let vals: Vec<i32> = (0..n).map(|_| next(span) - (span / 2) as i32).collect();
+                let x = Tensor::new(dtype, &[n], vals.clone()).unwrap();
+                let y = softmax(&x);
+                let (_, hi) = dtype.range();
+                assert_eq!(
+                    y.data().iter().map(|&v| i64::from(v)).sum::<i64>(),
+                    i64::from(hi),
+                    "row must sum to hi for dtype {dtype:?}, n {n}"
+                );
+                let arg = (0..n).max_by_key(|&i| vals[i]).unwrap();
+                let out_max = y.data().iter().copied().max().unwrap();
+                if vals.iter().filter(|&&v| v == vals[arg]).count() == 1 {
+                    assert_eq!(y.data()[arg], out_max, "strict argmax preserved");
+                }
+                assert!(y.data().iter().all(|&v| v >= 0));
+            }
+        }
     }
 }

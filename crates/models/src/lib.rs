@@ -40,6 +40,6 @@ mod zoo;
 
 pub use weights::random_input;
 pub use zoo::{
-    all_models, ds_cnn, mobilenet_v1, resnet8, stress_test, toyadmos_dae, Model, ModelError,
-    QuantScheme,
+    all_models, ds_cnn, mobilenet_v1, resnet8, stress_test, tiny_transformer, toyadmos_dae, Model,
+    ModelError, QuantScheme,
 };

@@ -378,7 +378,48 @@ pub fn stress_test(scheme: QuantScheme) -> Model {
     }
 }
 
-/// All four suite models under one scheme, in the paper's Table I order.
+/// A tiny integer transformer block: two-head self-attention over a
+/// 256-token sequence with 32-dimensional heads, followed by integer
+/// layer normalization and a 10-way classifier.
+///
+/// The attention core is `softmax(requantize(X·Xᵀ)) · X` per head — Q/K/V
+/// projections are folded away so the workload isolates exactly the new
+/// machinery: batched activation×activation matmuls (staged through the
+/// digital weight memory tile-by-tile), the integer softmax, and
+/// layer-norm. The score matrix `[2, 256, 256]` plus its operand exceeds
+/// the double-buffered 128 kB L1 half, so both matmuls genuinely tile
+/// (rectangular sequence×head partitions), and the `16384 → 10`
+/// classifier's 160 kB weight matrix overflows the 64 kB digital weight
+/// store, forcing a reduction split. ~8.6 M MACs — ResNet-8 scale.
+///
+/// The requantize after the score matmul is the integer stand-in for the
+/// float `1/√d` attention scaling; the one after the context matmul
+/// rescales `Σ pᵢ·vᵢ` (probability rows sum to 127) back to i8.
+#[must_use]
+pub fn tiny_transformer(scheme: QuantScheme) -> Model {
+    let mut n = Net::new(0x7F4A, scheme, 1);
+    let x = n.b.input("tokens", &[2, 256, 32], DType::I8);
+    let scores = n.b.matmul(x, x, true).expect("scores");
+    // |score| <= 127*127*32 ~ 2^19; shift 12 lands in i8 with headroom.
+    let scaled = n.b.requantize(scores, 12, false).expect("requant");
+    let probs = n.b.softmax(scaled).expect("softmax");
+    let ctx = n.b.matmul(probs, x, false).expect("context");
+    // |ctx| <= 127 (row sum) * 127 ~ 2^14; shift 7 lands in i8.
+    let ctx = n.b.requantize(ctx, 7, false).expect("requant");
+    let norm = n.b.layer_norm(ctx).expect("layer_norm");
+    let f = n.b.flatten(norm).expect("flatten");
+    let d = n.dense(f, 10, false);
+    let s = n.b.softmax(d).expect("softmax");
+    Model {
+        name: "tiny_transformer",
+        graph: n.b.finish(&[s]).expect("graph"),
+        input_dims: vec![2, 256, 32],
+        scheme,
+    }
+}
+
+/// The suite models under one scheme: the four MLPerf™ Tiny topologies in
+/// the paper's Table I order, plus the attention workload.
 #[must_use]
 pub fn all_models(scheme: QuantScheme) -> Vec<Model> {
     vec![
@@ -386,6 +427,7 @@ pub fn all_models(scheme: QuantScheme) -> Vec<Model> {
         mobilenet_v1(scheme),
         resnet8(scheme),
         toyadmos_dae(scheme),
+        tiny_transformer(scheme),
     ]
 }
 
@@ -430,6 +472,27 @@ mod tests {
         assert!((6_000_000..9_000_000).contains(&macs(&m)), "{}", macs(&m));
         let t = toyadmos_dae(QuantScheme::Int8);
         assert!((200_000..300_000).contains(&macs(&t)), "{}", macs(&t));
+        // Attention workload sits at ResNet-8 scale: 2 × (2·256·256·32)
+        // matmul MACs plus the 16384→10 classifier.
+        let tt = tiny_transformer(QuantScheme::Int8);
+        assert!((8_000_000..9_000_000).contains(&macs(&tt)), "{}", macs(&tt));
+    }
+
+    #[test]
+    fn tiny_transformer_evaluates_and_attention_matches() {
+        let m = tiny_transformer(QuantScheme::Int8);
+        assert_eq!(m.verify(), Ok(()));
+        let out = htvm_kernels::evaluate(&m.graph, &[m.input(7)]).unwrap();
+        assert_eq!(out[0].shape().dims(), &[10]);
+        // The graph contains the recognizable attention chain.
+        let ctx = m
+            .graph
+            .nodes()
+            .filter(|(_, n)| n.op().is_some_and(|op| op.name() == "nn.matmul"))
+            .map(|(id, _)| id)
+            .last()
+            .expect("context matmul present");
+        assert!(htvm_pattern::match_at(&m.graph, &htvm_pattern::attention(), ctx).is_some());
     }
 
     #[test]

@@ -41,4 +41,4 @@ mod pattern;
 
 pub use matcher::{match_at, Match};
 pub use partition::{partition, PartitionedGraph, Region};
-pub use pattern::{is_constant, is_op, wildcard, NamedPattern, Pattern, PatternError};
+pub use pattern::{attention, is_constant, is_op, wildcard, NamedPattern, Pattern, PatternError};

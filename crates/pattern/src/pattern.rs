@@ -79,6 +79,36 @@ pub fn is_op(name: &str, args: Vec<Pattern>) -> Pattern {
     }
 }
 
+/// The integer self-attention core: `softmax(requantize(Q·Kᵀ)) · V`.
+///
+/// Matches the chain
+/// `nn.matmul → right_shift → clip → cast → nn.softmax → nn.matmul`
+/// rooted at the second (probabilities × values) matmul. The requantize
+/// stage between the score matmul and the softmax is the integer stand-in
+/// for the float `1/√d` scaling; Q/K/V projections stay outside the
+/// pattern as region inputs.
+///
+/// This is a recognition pattern, not a dispatch pattern: DIANA's
+/// accelerators execute the two matmuls as separate coarse-grained calls
+/// (see the `matmul_requant` entry in the dispatch table), so `attention`
+/// exists for graph analysis and tests rather than the partitioner.
+///
+/// # Examples
+///
+/// ```
+/// use htvm_pattern::attention;
+/// assert_eq!(attention().min_ops(), 6);
+/// ```
+#[must_use]
+pub fn attention() -> Pattern {
+    let scores = is_op("nn.matmul", vec![wildcard(), wildcard()]);
+    let shift = is_op("right_shift", vec![scores]);
+    let clip = is_op("clip", vec![shift]);
+    let cast = is_op("cast", vec![clip]);
+    let probs = is_op("nn.softmax", vec![cast]);
+    is_op("nn.matmul", vec![probs, wildcard()])
+}
+
 /// Errors raised while *constructing* patterns.
 ///
 /// Dispatch rules are caller-supplied (accelerator tables, service
@@ -257,6 +287,30 @@ mod tests {
         assert_eq!(chain.min_ops(), 2);
         assert_eq!(chain.clone().optional("nn.relu").min_ops(), 2);
         assert_eq!(wildcard().min_ops(), 0);
+    }
+
+    #[test]
+    fn attention_matches_a_built_chain() {
+        use htvm_ir::{DType, GraphBuilder};
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", &[2, 8, 4], DType::I8);
+        let scores = b.matmul(x, x, true).unwrap();
+        let scaled = b.requantize(scores, 6, false).unwrap();
+        let probs = b.softmax(scaled).unwrap();
+        let ctx = b.matmul(probs, x, false).unwrap();
+        let g = b.finish(&[ctx]).unwrap();
+        let m = crate::match_at(&g, &attention(), ctx).expect("attention chain matches");
+        assert!(m.inputs.contains(&x));
+        // A relu between softmax and the context matmul breaks the chain.
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", &[2, 8, 4], DType::I8);
+        let scores = b.matmul(x, x, true).unwrap();
+        let scaled = b.requantize(scores, 6, false).unwrap();
+        let probs = b.softmax(scaled).unwrap();
+        let r = b.relu(probs).unwrap();
+        let ctx = b.matmul(r, x, false).unwrap();
+        let g = b.finish(&[ctx]).unwrap();
+        assert!(crate::match_at(&g, &attention(), ctx).is_none());
     }
 
     #[test]

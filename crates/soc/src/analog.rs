@@ -21,8 +21,9 @@ pub fn analog_weight_load_cycles(
         LayerKind::Conv2d => tile.c.len() * geom.fy * geom.fx,
         LayerKind::Dense => tile.c.len(),
         // Depthwise is not supported on DIANA's analog array; add carries
-        // no weights. Dispatch never routes depthwise here.
-        LayerKind::DepthwiseConv2d | LayerKind::Add => 0,
+        // no weights. Dispatch never routes depthwise (or i8-activation
+        // matmul) here.
+        LayerKind::DepthwiseConv2d | LayerKind::Add | LayerKind::MatMul => 0,
     };
     rows.min(cfg.rows) as u64 * cfg.row_load_cycles
 }
@@ -54,7 +55,9 @@ pub fn analog_tile_cycles(cfg: &AnalogConfig, geom: &LayerGeometry, tile: &TileI
             let elems = (tile.k.len() * tile.oy.len() * tile.ox.len()) as u64;
             elems.div_ceil(16)
         }
-        LayerKind::DepthwiseConv2d => unreachable!("depthwise is never dispatched to analog"),
+        LayerKind::DepthwiseConv2d | LayerKind::MatMul => {
+            unreachable!("depthwise/matmul are never dispatched to analog")
+        }
     };
     (ideal * 100).div_ceil(cfg.efficiency_pct.max(1))
 }

@@ -53,6 +53,14 @@ pub fn cpu_graph_cycles(cfg: &CpuConfig, graph: &Graph) -> u64 {
                 let w = graph.node(node.inputs()[1]);
                 w.shape.num_elements() as u64 * cfg.dense_cycles_per_mac_x100 / 100
             }
+            Op::MatMul { .. } => {
+                // [H, M, N] output, each element reducing over D — priced
+                // like dense MACs (both are gemm-shaped inner products).
+                let d = graph.node(node.inputs()[0]).shape.dim(2).unwrap_or(1) as u64;
+                out_elems * d * cfg.dense_cycles_per_mac_x100 / 100
+            }
+            // Integer mean/variance plus a division per element.
+            Op::LayerNorm => out_elems * cfg.softmax_cycles_per_elem,
             Op::Pool2d { kernel, .. } => {
                 out_elems * (kernel.0 * kernel.1) as u64 * cfg.pool_cycles_x100 / 100
             }

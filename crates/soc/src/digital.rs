@@ -50,6 +50,14 @@ pub fn digital_tile_cycles(cfg: &DigitalConfig, geom: &LayerGeometry, tile: &Til
             let k_blocks = tile.k.len().div_ceil(cfg.pe_cols) as u64;
             c_blocks * k_blocks
         }
+        LayerKind::MatMul => {
+            // Each sequence row in each batch is one dense-style pass
+            // unrolling the reduction across PE rows and the output
+            // columns across PE columns.
+            let c_blocks = tile.c.len().div_ceil(cfg.pe_rows) as u64;
+            let k_blocks = tile.k.len().div_ceil(cfg.pe_cols) as u64;
+            (tile.oy.len() * tile.ox.len()) as u64 * c_blocks * k_blocks
+        }
         LayerKind::DepthwiseConv2d => {
             // One PE row; 3.75 MAC/cycle peak (paper §IV-B).
             tile.macs(geom) * 100 / cfg.dw_macs_per_cycle_x100

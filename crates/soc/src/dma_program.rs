@@ -225,7 +225,7 @@ pub fn linearize_step(cfg: &DianaConfig, engine: EngineKind, desc: &AccelLayerDe
         ..StepDma::default()
     };
 
-    let mut prev_weights: Option<(Range<usize>, Range<usize>)> = None;
+    let mut prev_weights: Option<(Range<usize>, Range<usize>, Range<usize>)> = None;
     let mut prev_input: Option<(Range<usize>, Range<usize>, Range<usize>)> = None;
     for inst in &instances {
         // Activation fetch, skipped while the (c, oy, ox) slice stays
@@ -243,9 +243,17 @@ pub fn linearize_step(cfg: &DianaConfig, engine: EngineKind, desc: &AccelLayerDe
             }
             prev_input = Some(input_slice);
         }
-        // Weight staging when the (k, c) slice changes.
+        // Weight staging when the (k, c) slice changes — matmul's staged b
+        // slab also varies with the batch (ox) slice, so the residency key
+        // carries it (empty for weightful kinds). Must match
+        // `Machine::accel_timing` exactly.
         if geom.kind != LayerKind::Add {
-            let slice = (inst.k.clone(), inst.c.clone());
+            let batch = if geom.kind == LayerKind::MatMul {
+                inst.ox.clone()
+            } else {
+                0..0
+            };
+            let slice = (inst.k.clone(), inst.c.clone(), batch);
             if prev_weights.as_ref() != Some(&slice) {
                 match engine {
                     EngineKind::Digital => {
@@ -253,6 +261,7 @@ pub fn linearize_step(cfg: &DianaConfig, engine: EngineKind, desc: &AccelLayerDe
                             LayerKind::Conv2d => inst.k.len() * inst.c.len() * geom.fy * geom.fx,
                             LayerKind::DepthwiseConv2d => inst.c.len() * geom.fy * geom.fx,
                             LayerKind::Dense => inst.k.len() * inst.c.len(),
+                            LayerKind::MatMul => inst.k.len() * inst.c.len() * inst.ox.len(),
                             LayerKind::Add => 0,
                         };
                         program.descriptors.push(DmaDescriptor {

@@ -556,7 +556,7 @@ impl Machine {
         };
 
         let n_tiles = instances.len();
-        let mut prev_weights: Option<(Range<usize>, Range<usize>)> = None;
+        let mut prev_weights: Option<(Range<usize>, Range<usize>, Range<usize>)> = None;
         let mut prev_input: Option<(Range<usize>, Range<usize>, Range<usize>)> = None;
         for inst in instances {
             cycles.overhead += match engine {
@@ -583,9 +583,16 @@ impl Machine {
                 }
                 prev_input = Some(input_slice);
             }
-            // Weight staging when the (k, c) slice changes.
+            // Weight staging when the (k, c) slice changes — for matmul
+            // the staged b slab also varies with the batch (ox) slice, so
+            // the residency key carries it (empty for weightful kinds).
             if geom.kind != LayerKind::Add {
-                let slice = (inst.k.clone(), inst.c.clone());
+                let batch = if geom.kind == LayerKind::MatMul {
+                    inst.ox.clone()
+                } else {
+                    0..0
+                };
+                let slice = (inst.k.clone(), inst.c.clone(), batch);
                 if prev_weights.as_ref() != Some(&slice) {
                     cycles.weight_load += match engine {
                         EngineKind::Digital => {
@@ -595,6 +602,7 @@ impl Machine {
                                 }
                                 LayerKind::DepthwiseConv2d => inst.c.len() * geom.fy * geom.fx,
                                 LayerKind::Dense => inst.k.len() * inst.c.len(),
+                                LayerKind::MatMul => inst.k.len() * inst.c.len() * inst.ox.len(),
                                 LayerKind::Add => 0,
                             };
                             let load = dma::dma_cycles(
@@ -723,6 +731,8 @@ impl Machine {
         };
         let out_shape: Vec<usize> = match geom.kind {
             LayerKind::Dense => vec![geom.k],
+            // Matmul keeps the batched [H, M, N] layout of its operands.
+            LayerKind::MatMul => vec![geom.ox(), geom.oy(), geom.k],
             _ => vec![geom.k, geom.oy(), geom.ox()],
         };
         let mut acc = Tensor::zeros(DType::I32, &out_shape);
@@ -897,6 +907,19 @@ impl Machine {
             LayerKind::Dense => {
                 let w = desc.weights.as_ref().expect("dense layers carry weights");
                 kernels::dense_accumulate(input, w, acc, inst.k.clone(), inst.c.clone());
+            }
+            LayerKind::MatMul => {
+                let b = input2.expect("matmul layers have two operands");
+                kernels::matmul_accumulate_region(
+                    input,
+                    b,
+                    geom.transpose_b,
+                    acc,
+                    inst.ox.clone(),
+                    inst.oy.clone(),
+                    inst.k.clone(),
+                    inst.c.clone(),
+                );
             }
             LayerKind::Add => {
                 let b = input2.expect("add layers have two operands");

@@ -30,6 +30,9 @@ HTVM_FUZZ_SEED_BASE=0 cargo test -p htvm-frontend --release --test fuzz_import \
     2>&1 | tee "$out/fuzz_import_release.txt"
 cargo test -p htvm-serve --release --test import_roundtrip \
     2>&1 | tee "$out/import_roundtrip.txt"
+echo "-- wire-format compatibility gate --"
+cargo test -p htvm-frontend --test backward_compat \
+    2>&1 | tee "$out/backward_compat.txt"
 # File → importer → bench: emit a zoo model as an HTF container and
 # measure it through the import path; the entry must match the zoo sweep.
 cargo run --release -p htvm-frontend --example emit_model -- \

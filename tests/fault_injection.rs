@@ -201,6 +201,50 @@ fn engine_offline_mid_run_degrades_gracefully() {
     }
 }
 
+/// The engine dies exactly at the attention matmul: the step degrades to
+/// its CPU fallback — the same multiset of i32 products, so bit-exact —
+/// and the rest of the network keeps running on the recovered engine
+/// state machine. The second operand of a matmul is a runtime activation
+/// (not baked weights), so this exercises the two-input fallback path.
+#[test]
+fn engine_offline_at_the_attention_matmul_falls_back_bit_exactly() {
+    let model = htvm_models::tiny_transformer(QuantScheme::Int8);
+    let (program, machine) = compile(&model, DeployConfig::Digital);
+    let matmul_steps: Vec<usize> = program
+        .steps
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| match s {
+            htvm::Step::Accel { desc, .. } if desc.geom.kind == htvm::LayerKind::MatMul => Some(i),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(matmul_steps.len(), 2, "QK^T and the context matmul");
+    let input = model.input(23);
+    let clean = run_clean(&machine, &program, &input);
+    for &step in &matmul_steps {
+        let plan = FaultPlan::none().with_event(FaultEvent::EngineOffline {
+            engine: EngineKind::Digital,
+            layer: step,
+        });
+        let faulty = machine
+            .run_with_faults(&program, std::slice::from_ref(&input), &plan)
+            .unwrap_or_else(|e| panic!("step {step}: {e}"));
+        assert_eq!(
+            faulty.outputs, clean.outputs,
+            "attention fallback at step {step} changed the bits"
+        );
+        assert!(faulty.counters.engine_fallbacks >= 1);
+        assert!(
+            faulty
+                .layers
+                .iter()
+                .any(|l| l.name.ends_with("_cpu_fallback") && l.engine == EngineKind::Cpu),
+            "step {step}: no CPU fallback layer recorded"
+        );
+    }
+}
+
 /// Without compiled fallbacks, the same engine fault is a structured
 /// error carrying the failing layer index and engine — no string
 /// matching needed.
